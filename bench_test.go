@@ -1,0 +1,302 @@
+package crowdtopk
+
+import (
+	"strings"
+	"testing"
+
+	"crowdtopk/internal/experiment"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation section (the per-experiment index lives in DESIGN.md §4).
+// Each iteration runs the experiment once at Runs=1; the key series value
+// is attached as a custom benchmark metric so `go test -bench` output
+// doubles as a compact reproduction report. For the full tables, run
+// `go run ./cmd/experiments -all`.
+
+// benchCfg returns the per-iteration experiment configuration.
+func benchCfg(i int) experiment.Config {
+	return experiment.Config{Runs: 1, Seed: int64(i + 1)}
+}
+
+// reportCells attaches selected table cells as benchmark metrics. Metric
+// units must be whitespace-free, so label parts are slugified.
+func reportCells(b *testing.B, t *experiment.Table, unit string, cells [][2]string) {
+	b.Helper()
+	for _, c := range cells {
+		b.ReportMetric(t.Cell(c[0], c[1]), slug(c[0])+"/"+slug(c[1])+"_"+unit)
+	}
+}
+
+func slug(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '(', ')':
+			return '-'
+		default:
+			return r
+		}
+	}, s)
+}
+
+// BenchmarkTable3JudgmentModels regenerates Table 3: workload and accuracy
+// of the binary, preference and graded judgment models.
+func BenchmarkTable3JudgmentModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiment.Table3(benchCfg(i))
+		if i == b.N-1 {
+			reportCells(b, tables[0], "tasks", [][2]string{
+				{"binary-hoeffding workload", "0.95"},
+				{"preference-student workload", "0.95"},
+			})
+		}
+	}
+}
+
+// BenchmarkTable4ReferenceChange regenerates Table 4: SPR workload versus
+// the reference-change cap.
+func BenchmarkTable4ReferenceChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Table4(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "tasks", [][2]string{{"workload", "0"}, {"workload", "2"}})
+		}
+	}
+}
+
+// BenchmarkTable7ConfidenceAwareTMC regenerates Table 7: TMC of all
+// confidence-aware methods on the four datasets.
+func BenchmarkTable7ConfidenceAwareTMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Table7(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "tasks", [][2]string{
+				{"imdb", "spr"}, {"imdb", "tourtree"}, {"imdb", "pbr"},
+			})
+		}
+	}
+}
+
+// BenchmarkTable10MedianBounds regenerates Appendix C's Table 10: the
+// median-selection comparison bounds with empirical verification.
+func BenchmarkTable10MedianBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Table10(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "cmps", [][2]string{{"bubble", "m=101"}, {"bubble measured", "m=101"}})
+		}
+	}
+}
+
+// BenchmarkAblationSort regenerates the §5.3 sorting-strategy ablation.
+func BenchmarkAblationSort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.AblationSort(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "tasks", [][2]string{{"adjacent (paper)", "n=80"}, {"merge", "n=80"}})
+		}
+	}
+}
+
+// BenchmarkFigure8EffectOfK regenerates Figure 8: TMC and latency vs k.
+func BenchmarkFigure8EffectOfK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiment.Figure8(benchCfg(i))
+		if i == b.N-1 {
+			reportCells(b, tables[0], "tasks", [][2]string{{"k=1", "spr"}, {"k=20", "spr"}})
+		}
+	}
+}
+
+// BenchmarkFigure9EffectOfN regenerates Figure 9: TMC and latency vs item
+// cardinality.
+func BenchmarkFigure9EffectOfN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiment.Figure9(benchCfg(i))
+		if i == b.N-1 {
+			reportCells(b, tables[0], "tasks", [][2]string{{"N=25", "spr"}, {"N=All", "spr"}})
+		}
+	}
+}
+
+// BenchmarkFigure10EffectOfConfidence regenerates Figure 10: TMC and
+// latency vs the confidence level.
+func BenchmarkFigure10EffectOfConfidence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiment.Figure10(benchCfg(i))
+		if i == b.N-1 {
+			reportCells(b, tables[0], "tasks", [][2]string{{"1-a=0.80", "spr"}, {"1-a=0.98", "spr"}})
+		}
+	}
+}
+
+// BenchmarkFigure11EffectOfBudget regenerates Figure 11: TMC and latency
+// vs the pairwise budget B.
+func BenchmarkFigure11EffectOfBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiment.Figure11(benchCfg(i))
+		if i == b.N-1 {
+			reportCells(b, tables[0], "tasks", [][2]string{{"B=30", "spr"}, {"B=4000", "spr"}})
+		}
+	}
+}
+
+// BenchmarkFigure12Summary regenerates Figure 12: the performance summary
+// with the infimum floor.
+func BenchmarkFigure12Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiment.Figure12(benchCfg(i))
+		if i == b.N-1 {
+			reportCells(b, tables[0], "tasks", [][2]string{{"spr", "TMC"}, {"infimum", "TMC"}})
+		}
+	}
+}
+
+// BenchmarkFigure13Accuracy regenerates Figure 13: NDCG on IMDb across the
+// four parameter sweeps.
+func BenchmarkFigure13Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiment.Figure13(benchCfg(i))
+		if i == b.N-1 {
+			reportCells(b, tables[2], "ndcg", [][2]string{{"B=30", "spr"}, {"B=1000", "spr"}})
+		}
+	}
+}
+
+// BenchmarkFigure14NonConfidenceAware regenerates Figure 14: CrowdBT,
+// Hybrid and HybridSPR under SPR's budget.
+func BenchmarkFigure14NonConfidenceAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiment.Figure14(benchCfg(i))
+		if i == b.N-1 {
+			reportCells(b, tables[0], "ndcg", [][2]string{{"spr", "NDCG"}, {"crowdbt", "NDCG"}})
+		}
+	}
+}
+
+// BenchmarkFigure15BinaryVsPreference regenerates Figure 15: the
+// closed-form n_b − n grid of Appendix D.
+func BenchmarkFigure15BinaryVsPreference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Figure15(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "tasks", [][2]string{{"sigma=0.5", "mu=0.1"}})
+		}
+	}
+}
+
+// BenchmarkFigure16SweetSpot regenerates Figure 16: SPR's TMC vs the
+// sweet-spot constant c.
+func BenchmarkFigure16SweetSpot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Figure16(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "tasks", [][2]string{{"imdb", "c=1.25"}, {"imdb", "c=2.00"}})
+		}
+	}
+}
+
+// BenchmarkFigure17SteinVsStudent regenerates Figure 17: SPR under Stein
+// versus Student estimation.
+func BenchmarkFigure17SteinVsStudent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Figure17(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "tasks", [][2]string{{"student", "k=10"}, {"stein", "k=10"}})
+		}
+	}
+}
+
+// BenchmarkFigure18to21JesterPhoto regenerates Figures 18-21: the full
+// Jester and Photo sweeps of Appendix F.
+func BenchmarkFigure18to21JesterPhoto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiment.Figure18to21(benchCfg(i))
+		if i == b.N-1 {
+			reportCells(b, tables[0], "tasks", [][2]string{{"k=10", "spr"}})
+		}
+	}
+}
+
+// BenchmarkPeopleAgeInteractive regenerates the Appendix F interactive
+// experiment simulation.
+func BenchmarkPeopleAgeInteractive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.PeopleAge(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "val", [][2]string{{"spr", "TMC"}, {"spr", "NDCG"}})
+		}
+	}
+}
+
+// BenchmarkAblationEta regenerates the batch-size ablation (§5.5
+// money/latency trade-off).
+func BenchmarkAblationEta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.AblationEta(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "rounds", [][2]string{{"latency", "eta=1"}, {"latency", "eta=120"}})
+		}
+	}
+}
+
+// BenchmarkAblationSelectionBudget regenerates the reference-selection
+// budget ablation behind the DESIGN.md decision.
+func BenchmarkAblationSelectionBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.AblationSelectionBudget(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "tasks", [][2]string{{"TMC", "selB=2I (default)"}, {"TMC", "selB=B (naive)"}})
+		}
+	}
+}
+
+// BenchmarkAblationJudgment regenerates the comparison-process-variant
+// study (one-sided Student, Hoeffding-on-magnitudes).
+func BenchmarkAblationJudgment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.AblationJudgment(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "tasks", [][2]string{
+				{"student workload", "value"}, {"student-onesided workload", "value"},
+			})
+		}
+	}
+}
+
+// BenchmarkAblationWorkers regenerates the spammer-robustness ablation.
+func BenchmarkAblationWorkers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.AblationWorkers(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "tasks", [][2]string{{"TMC", "spam=0%"}, {"TMC", "spam=30%"}})
+		}
+	}
+}
+
+// BenchmarkAblationPrior regenerates the §7 prior-informed reference
+// selection ablation.
+func BenchmarkAblationPrior(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.AblationPrior(benchCfg(i))[0]
+		if i == b.N-1 {
+			reportCells(b, t, "tasks", [][2]string{{"TMC", "sampled (paper)"}, {"TMC", "perfect prior"}})
+		}
+	}
+}
+
+// BenchmarkQueryQuickstart measures the end-to-end public API on the
+// quickstart workload — the number a library user would feel.
+func BenchmarkQueryQuickstart(b *testing.B) {
+	d := SyntheticDataset(200, 0.3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Query(d, Options{K: 10, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.TMC), "tasks")
+		}
+	}
+}

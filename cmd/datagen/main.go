@@ -1,0 +1,99 @@
+// Command datagen materializes the synthetic datasets to CSV for external
+// analysis: one row per item with its ground-truth rank, plus (optionally)
+// the exact pairwise judgment moments.
+//
+// Usage:
+//
+//	datagen -dataset imdb -seed 1 > imdb_items.csv
+//	datagen -dataset jester -moments > jester_pairs.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"crowdtopk"
+)
+
+func main() {
+	var (
+		ds      = flag.String("dataset", "synthetic", "dataset: imdb, book, jester, photo, peopleage, synthetic")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		n       = flag.Int("n", 200, "item count for the synthetic dataset")
+		noise   = flag.Float64("noise", 0.3, "worker noise for the synthetic dataset")
+		moments = flag.Bool("moments", false, "emit pairwise judgment moments instead of items")
+		records = flag.Bool("records", false, "emit the stored judgment records of a judgment-database dataset (photo), in the i,j,preference format LoadJudgmentDataset reads back")
+	)
+	flag.Parse()
+
+	var data crowdtopk.Dataset
+	switch *ds {
+	case "imdb":
+		data = crowdtopk.IMDbDataset(*seed)
+	case "book":
+		data = crowdtopk.BookDataset(*seed)
+	case "jester":
+		data = crowdtopk.JesterDataset(*seed)
+	case "photo":
+		data = crowdtopk.PhotoDataset(*seed)
+	case "peopleage":
+		data = crowdtopk.PeopleAgeDataset(*seed)
+	case "synthetic":
+		data = crowdtopk.SyntheticDataset(*n, *noise, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *ds)
+		os.Exit(2)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *records {
+		db, ok := data.(interface{ Records(i, j int) []float64 })
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dataset %q has no stored judgment records (only judgment databases do)\n", *ds)
+			os.Exit(2)
+		}
+		for i := 0; i < data.NumItems(); i++ {
+			for j := i + 1; j < data.NumItems(); j++ {
+				for _, v := range db.Records(i, j) {
+					must(w.Write([]string{
+						strconv.Itoa(i), strconv.Itoa(j),
+						strconv.FormatFloat(v, 'g', 8, 64),
+					}))
+				}
+			}
+		}
+		return
+	}
+
+	if !*moments {
+		must(w.Write([]string{"item", "true_rank"}))
+		for i := 0; i < data.NumItems(); i++ {
+			must(w.Write([]string{strconv.Itoa(i), strconv.Itoa(data.TrueRank(i))}))
+		}
+		return
+	}
+
+	must(w.Write([]string{"i", "j", "mean", "sd"}))
+	for i := 0; i < data.NumItems(); i++ {
+		for j := i + 1; j < data.NumItems(); j++ {
+			mu, sd := data.PairMoments(i, j)
+			must(w.Write([]string{
+				strconv.Itoa(i), strconv.Itoa(j),
+				strconv.FormatFloat(mu, 'g', 8, 64),
+				strconv.FormatFloat(sd, 'g', 8, 64),
+			}))
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

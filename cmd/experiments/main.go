@@ -1,0 +1,137 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run table7 -runs 5
+//	experiments -all -runs 3 -seed 42
+//
+// Every experiment prints one or more fixed-width tables with the same
+// rows/series the paper reports. Runs defaults to 3 (the paper averages
+// over 100; raise -runs for tighter numbers at proportional cost).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"crowdtopk/internal/experiment"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiment identifiers and exit")
+		run      = flag.String("run", "", "run a single experiment by id")
+		all      = flag.Bool("all", false, "run every experiment in paper order")
+		runs     = flag.Int("runs", 0, "repetitions to average over (default 3)")
+		seed     = flag.Int64("seed", 0, "random seed (default 1)")
+		k        = flag.Int("k", 0, "query parameter k (default 10)")
+		conf     = flag.Float64("confidence", 0, "confidence level 1-alpha (default 0.98)")
+		b        = flag.Int("budget", 0, "pairwise comparison budget B (default 1000)")
+		format   = flag.String("format", "text", "output format: text or csv")
+		parallel = flag.Int("parallel", 1, "experiments to run concurrently with -all")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{Runs: *runs, Seed: *seed, K: *k, B: *b}
+	if *conf != 0 {
+		cfg.Alpha = 1 - *conf
+	}
+
+	switch {
+	case *list:
+		for _, e := range experiment.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case *run != "":
+		e, ok := experiment.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v\n", *run, experiment.IDs())
+			os.Exit(2)
+		}
+		started := time.Now()
+		render(e, cfg, *format)
+		if *format == "text" {
+			fmt.Printf("(%s in %v)\n", e.ID, time.Since(started).Round(time.Millisecond))
+		}
+	case *all:
+		runAll(cfg, *format, *parallel)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runAll executes every experiment, optionally several at a time.
+// Experiments are independent (each builds its own datasets and engines),
+// so with -parallel > 1 they run in worker goroutines with buffered
+// output, printed in registry order.
+func runAll(cfg experiment.Config, format string, parallel int) {
+	exps := experiment.All()
+	if parallel < 2 {
+		for _, e := range exps {
+			started := time.Now()
+			render(e, cfg, format)
+			if format == "text" {
+				fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(started).Round(time.Millisecond))
+			}
+		}
+		return
+	}
+
+	outputs := make([]bytes.Buffer, len(exps))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallel)
+	for i := range exps {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			started := time.Now()
+			renderTo(&outputs[i], exps[i], cfg, format)
+			if format == "text" {
+				fmt.Fprintf(&outputs[i], "(%s in %v)\n\n", exps[i].ID, time.Since(started).Round(time.Millisecond))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range outputs {
+		outputs[i].WriteTo(os.Stdout)
+	}
+}
+
+func renderTo(w io.Writer, e experiment.Experiment, cfg experiment.Config, format string) {
+	switch format {
+	case "text":
+		experiment.RunAndRender(e, cfg, w)
+	case "csv":
+		if err := experiment.RunAndRenderCSV(e, cfg, w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text or csv)\n", format)
+		os.Exit(2)
+	}
+}
+
+func render(e experiment.Experiment, cfg experiment.Config, format string) {
+	switch format {
+	case "text":
+		experiment.RunAndRender(e, cfg, os.Stdout)
+	case "csv":
+		if err := experiment.RunAndRenderCSV(e, cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text or csv)\n", format)
+		os.Exit(2)
+	}
+}

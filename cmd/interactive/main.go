@@ -1,0 +1,112 @@
+// Command interactive runs a live crowdsourced top-k query where YOU are
+// the crowd: every microtask is printed to the terminal and answered on
+// the keyboard with a preference in [-1, 1]. It is the Appendix F
+// interactive experiment with a one-person crowd — and a demonstration
+// that the engine blocks cleanly on a slow, human oracle.
+//
+// Usage:
+//
+//	interactive -items "espresso,flat white,cappuccino,filter,cortado" -k 2
+//
+// Answer each question with a number in [-1, 1]: positive means the FIRST
+// item is better, magnitude is how strongly you feel. With a real human
+// answering, keep -budget and -minworkload tiny unless you have a very
+// patient crowd.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"crowdtopk"
+)
+
+// consoleCrowd asks the terminal user to answer each microtask.
+type consoleCrowd struct {
+	items []string
+	in    *bufio.Scanner
+	out   io.Writer
+	asked int
+}
+
+func (c *consoleCrowd) NumItems() int { return len(c.items) }
+
+func (c *consoleCrowd) Preference(_ *rand.Rand, i, j int) float64 {
+	c.asked++
+	for {
+		fmt.Fprintf(c.out, "[task %3d] Which is better: (A) %s  or  (B) %s?\n", c.asked, c.items[i], c.items[j])
+		fmt.Fprintf(c.out, "           answer in [-1,1] (positive = A, negative = B): ")
+		if !c.in.Scan() {
+			fmt.Fprintln(c.out, "\ninput closed — treating the remaining judgments as neutral")
+			return 0
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(c.in.Text()), 64)
+		if err != nil || v < -1 || v > 1 {
+			fmt.Fprintln(c.out, "           please enter a number between -1 and 1")
+			continue
+		}
+		return v
+	}
+}
+
+func main() {
+	var (
+		itemsFlag = flag.String("items", "", "comma-separated item names (at least 2)")
+		k         = flag.Int("k", 1, "how many best items to find")
+		conf      = flag.Float64("confidence", 0.9, "per-comparison confidence level")
+		budget    = flag.Int("budget", 8, "max questions per pair")
+		minWork   = flag.Int("minworkload", 2, "initial questions per pair")
+	)
+	flag.Parse()
+
+	items := splitItems(*itemsFlag)
+	if len(items) < 2 {
+		fmt.Fprintln(os.Stderr, "need -items with at least two comma-separated names")
+		os.Exit(2)
+	}
+	if *k < 1 || *k > len(items) {
+		fmt.Fprintf(os.Stderr, "k=%d out of range for %d items\n", *k, len(items))
+		os.Exit(2)
+	}
+
+	crowdInst := &consoleCrowd{
+		items: items,
+		in:    bufio.NewScanner(os.Stdin),
+		out:   os.Stdout,
+	}
+	fmt.Printf("Finding the top %d of %d items. You are the crowd — answer honestly!\n\n", *k, len(items))
+
+	res, err := crowdtopk.Query(crowdInst, crowdtopk.Options{
+		K:           *k,
+		Confidence:  *conf,
+		Budget:      *budget,
+		MinWorkload: *minWork,
+		BatchSize:   *minWork,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nYour top %d:\n", *k)
+	for rank, o := range res.TopK {
+		fmt.Printf("  %d. %s\n", rank+1, items[o])
+	}
+	fmt.Printf("(%d judgments in %d rounds)\n", res.TMC, res.Rounds)
+}
+
+func splitItems(s string) []string {
+	var items []string
+	for _, part := range strings.Split(s, ",") {
+		if trimmed := strings.TrimSpace(part); trimmed != "" {
+			items = append(items, trimmed)
+		}
+	}
+	return items
+}

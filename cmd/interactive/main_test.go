@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSplitItems(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{" espresso , flat white ,", []string{"espresso", "flat white"}},
+		{"", nil},
+		{",,", nil},
+	}
+	for _, tc := range cases {
+		if got := splitItems(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitItems(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestConsoleCrowdParsesAnswers(t *testing.T) {
+	in := bufio.NewScanner(strings.NewReader("0.7\nnot a number\n2\n-0.4\n"))
+	var out bytes.Buffer
+	c := &consoleCrowd{items: []string{"x", "y"}, in: in, out: &out}
+
+	if got := c.Preference(nil, 0, 1); got != 0.7 {
+		t.Errorf("first answer = %v, want 0.7", got)
+	}
+	// The next two lines are invalid and must be re-prompted past.
+	if got := c.Preference(nil, 1, 0); got != -0.4 {
+		t.Errorf("second answer = %v, want -0.4", got)
+	}
+	if !strings.Contains(out.String(), "between -1 and 1") {
+		t.Error("invalid input was not re-prompted")
+	}
+	if c.asked != 2 {
+		t.Errorf("asked = %d, want 2", c.asked)
+	}
+	// Closed input falls back to neutral.
+	if got := c.Preference(nil, 0, 1); got != 0 {
+		t.Errorf("post-EOF answer = %v, want 0", got)
+	}
+}

@@ -1,0 +1,198 @@
+package crowdtopk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/topk"
+)
+
+// Oracle is the crowd: each call to Preference publishes one microtask —
+// "compare item i with item j" — to one independent worker and returns
+// her answer in [-1, 1] (positive favors i, magnitude is strength of
+// preference). Implementations backed by real crowdsourcing platforms
+// block until the answer arrives; the provided datasets simulate workers
+// from rating data. Preference must be antisymmetric in distribution.
+type Oracle = crowd.Oracle
+
+// Grader is optionally implemented by oracles that can also answer
+// absolute rating microtasks ("grade item i"), enabling the hybrid
+// two-phase methods.
+type Grader = crowd.Grader
+
+// Result is the outcome of a top-k query.
+type Result struct {
+	// TopK holds the k best items, best first.
+	TopK []int
+	// TMC is the total monetary cost: the number of microtasks purchased.
+	TMC int64
+	// Rounds is the query latency measured in batch rounds (§5.5): waves
+	// of microtasks that were outsourced in parallel.
+	Rounds int64
+	// Phases breaks the cost down by SPR framework phase. It is nil for
+	// the non-SPR algorithms.
+	Phases *PhaseBreakdown
+}
+
+// PhaseBreakdown attributes an SPR query's cost to the framework's three
+// phases (§5.1-5.3).
+type PhaseBreakdown struct {
+	// SelectTMC, PartitionTMC and RankTMC split the monetary cost.
+	SelectTMC, PartitionTMC, RankTMC int64
+	// SelectRounds, PartitionRounds and RankRounds split the latency.
+	SelectRounds, PartitionRounds, RankRounds int64
+	// RefChanges counts Algorithm 4's reference upgrades.
+	RefChanges int
+}
+
+// Outcome is the verdict of a single confidence-aware comparison.
+type Outcome int
+
+// Possible verdicts of Judge.
+const (
+	// Indistinguishable means the budget ran out before the confidence
+	// interval excluded the neutral value.
+	Indistinguishable Outcome = 0
+	// FirstBetter means o_i ≻ o_j at the requested confidence.
+	FirstBetter Outcome = 1
+	// SecondBetter means o_i ≺ o_j at the requested confidence.
+	SecondBetter Outcome = -1
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case FirstBetter:
+		return "first-better"
+	case SecondBetter:
+		return "second-better"
+	default:
+		return "indistinguishable"
+	}
+}
+
+// Judgment reports a single pairwise comparison: the verdict and what it
+// cost.
+type Judgment struct {
+	Outcome Outcome
+	// Workload is the number of microtasks the comparison consumed.
+	Workload int
+	// Mean and SD are the sample statistics of the purchased preferences,
+	// oriented toward the first item.
+	Mean, SD float64
+}
+
+// Query finds the top-k items of the oracle's item set, minimizing the
+// total monetary cost subject to per-comparison confidence (the paper's
+// problem statement, §4). The default configuration runs SPR with
+// Student-t comparisons at confidence 0.98 and budget 1000.
+func Query(o Oracle, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(o.NumItems()); err != nil {
+		return Result{}, err
+	}
+	r, err := newRunner(o, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	alg, err := newAlgorithm(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	var trace *topk.PhaseTrace
+	if spr, ok := alg.(*topk.SPR); ok {
+		trace = &topk.PhaseTrace{}
+		spr.Trace = trace
+	}
+	res := topk.Run(alg, r, opts.K)
+	out := Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}
+	if trace != nil {
+		out.Phases = &PhaseBreakdown{
+			SelectTMC:       trace.Select.TMC,
+			PartitionTMC:    trace.Partition.TMC,
+			RankTMC:         trace.Rank.TMC,
+			SelectRounds:    trace.Select.Rounds,
+			PartitionRounds: trace.Partition.Rounds,
+			RankRounds:      trace.Rank.Rounds,
+			RefChanges:      trace.RefChanges,
+		}
+	}
+	return out, nil
+}
+
+// Judge runs one confidence-aware comparison COMP(o_i, o_j): it keeps
+// purchasing preference microtasks for the pair until the estimator can
+// call a winner at the configured confidence, or the budget runs out.
+// Options.K and the SPR-specific options are ignored.
+func Judge(o Oracle, i, j int, opts Options) (Judgment, error) {
+	opts = opts.withDefaults()
+	opts.K = 1 // irrelevant to a single comparison; keep validation happy
+	if err := opts.validate(o.NumItems()); err != nil {
+		return Judgment{}, err
+	}
+	n := o.NumItems()
+	if i < 0 || i >= n || j < 0 || j >= n || i == j {
+		return Judgment{}, fmt.Errorf("crowdtopk: invalid pair (%d, %d) over %d items", i, j, n)
+	}
+	r, err := newRunner(o, opts)
+	if err != nil {
+		return Judgment{}, err
+	}
+	out := r.Compare(i, j)
+	v := r.Engine().View(i, j)
+	return Judgment{
+		Outcome:  Outcome(out),
+		Workload: v.N,
+		Mean:     v.Mean,
+		SD:       v.SD,
+	}, nil
+}
+
+func newRunner(o Oracle, opts Options) (*compare.Runner, error) {
+	var policy compare.Policy
+	alpha := 1 - opts.Confidence
+	switch opts.Estimator {
+	case Student:
+		policy = compare.NewStudent(alpha)
+	case Stein:
+		policy = compare.NewStein(alpha)
+	case StudentOneSided:
+		policy = compare.NewStudentOneSided(alpha)
+	case HoeffdingBinary:
+		policy = compare.NewHoeffding(alpha)
+	case HoeffdingPreference:
+		policy = compare.NewHoeffdingPref(alpha)
+	default:
+		return nil, fmt.Errorf("crowdtopk: unknown estimator %q", opts.Estimator)
+	}
+	eng := crowd.NewEngine(o, rand.New(rand.NewSource(opts.Seed)))
+	if opts.TotalBudget > 0 {
+		eng.SetSpendingCap(opts.TotalBudget)
+	}
+	return compare.NewRunner(eng, policy, compare.Params{
+		B: opts.Budget, I: opts.MinWorkload, Step: opts.BatchSize,
+	}), nil
+}
+
+func newAlgorithm(opts Options) (topk.Algorithm, error) {
+	switch opts.Algorithm {
+	case SPR:
+		return &topk.SPR{
+			C:             opts.SweetSpot,
+			MaxRefChanges: opts.MaxRefChanges,
+			PriorScores:   opts.PriorScores,
+		}, nil
+	case TourTree:
+		return topk.TourTree{}, nil
+	case HeapSort:
+		return topk.HeapSort{}, nil
+	case QuickSelect:
+		return topk.QuickSelect{}, nil
+	case PBR:
+		return &topk.PBR{Alpha: 1 - opts.Confidence}, nil
+	default:
+		return nil, fmt.Errorf("crowdtopk: unknown algorithm %q", opts.Algorithm)
+	}
+}

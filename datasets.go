@@ -1,0 +1,133 @@
+package crowdtopk
+
+import (
+	"io"
+
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/metrics"
+)
+
+// Dataset is an Oracle with known ground truth, used for evaluation and
+// experimentation. The provided datasets are deterministic in their seed.
+type Dataset = dataset.Source
+
+// IMDbDataset returns the paper's IMDb stand-in: 1,225 movies with vote
+// histograms (≥100k votes each); ground truth by the weighted-rank
+// formula with K = 25,000 and C = 6.9 (§6.1).
+func IMDbDataset(seed int64) Dataset { return dataset.NewIMDb(seed) }
+
+// BookDataset returns the Book-Crossing stand-in: 537 books with sparser,
+// noisier rating histograms (§6.1).
+func BookDataset(seed int64) Dataset { return dataset.NewBook(seed) }
+
+// JesterDataset returns the Jester stand-in: 100 jokes rated by a dense
+// user population; a judgment differences one random user's two ratings
+// (§6.1).
+func JesterDataset(seed int64) Dataset { return dataset.NewJester(seed) }
+
+// PhotoDataset returns the Photo stand-in: 200 items with a replayed
+// judgment database of at least ten 8-point-Likert records per pair
+// (§6.1).
+func PhotoDataset(seed int64) Dataset { return dataset.NewPhoto(seed) }
+
+// PeopleAgeDataset returns the Appendix F interactive dataset: 100 people
+// aged 1..100, query for the youngest, with age-dependent perception
+// noise.
+func PeopleAgeDataset(seed int64) Dataset { return dataset.NewPeopleAge(seed) }
+
+// SyntheticDataset returns a generic n-item dataset with uniform latent
+// scores and Gaussian worker noise of the given standard deviation — the
+// quickstart workload.
+func SyntheticDataset(n int, noiseSD float64, seed int64) Dataset {
+	return dataset.NewSynthetic(n, noiseSD, seed)
+}
+
+// SubsetDataset restricts a dataset to the given items, re-ranking ground
+// truth within the subset.
+func SubsetDataset(d Dataset, items []int) Dataset { return dataset.NewSubset(d, items) }
+
+// LoadHistogramDataset reads a real rating-histogram dump (IMDb/Book
+// style) from CSV: one item per row, `name,votes,count_1,...,count_S`.
+// When weightK > 0 the ground truth uses the weighted-rank formula with
+// constants (weightK, weightC) — pass 25000 and 6.9 for the paper's IMDb
+// setting — otherwise the plain histogram mean.
+func LoadHistogramDataset(r io.Reader, name string, weightK, weightC float64) (Dataset, error) {
+	return dataset.LoadHistogramCSV(r, name, weightK, weightC)
+}
+
+// LoadMatrixDataset reads a real user×item rating dump (Jester style)
+// from CSV: one user per row, one rating column per item, scale [lo, hi].
+func LoadMatrixDataset(r io.Reader, name string, lo, hi float64) (Dataset, error) {
+	return dataset.LoadMatrixCSV(r, name, lo, hi)
+}
+
+// WorkerPoolOptions models an imperfect worker population layered over a
+// base oracle: spammers answer randomly, adversaries negate the true
+// preference, and honest workers apply a personal slider scale.
+type WorkerPoolOptions struct {
+	// Workers is the pool size (default 100).
+	Workers int
+	// SpammerFraction and AdversaryFraction split the pool (their sum
+	// must not exceed 1).
+	SpammerFraction, AdversaryFraction float64
+	// ScaleSD spreads the per-worker slider scale (log-normal; 0 = all
+	// workers share the base scale).
+	ScaleSD float64
+	// Seed fixes the population.
+	Seed int64
+}
+
+// WithWorkerPool decorates an oracle with an imperfect worker population,
+// for robustness studies (cf. the ablation-workers experiment).
+func WithWorkerPool(o Oracle, opts WorkerPoolOptions) Oracle {
+	return crowd.NewWorkerPool(o, crowd.WorkerPoolConfig{
+		Workers:           opts.Workers,
+		SpammerFraction:   opts.SpammerFraction,
+		AdversaryFraction: opts.AdversaryFraction,
+		ScaleSD:           opts.ScaleSD,
+		Seed:              opts.Seed,
+	})
+}
+
+// LoadJudgmentDataset reads a pre-collected pairwise judgment database
+// (Photo style) from CSV: one record per row, `i,j,preference` with
+// preference in [-1, 1] toward item i. Every pair of the n items needs at
+// least one record.
+func LoadJudgmentDataset(r io.Reader, name string, n int) (Dataset, error) {
+	return dataset.LoadJudgmentCSV(r, name, n)
+}
+
+// TrueTopK returns the ground-truth top-k of a dataset.
+func TrueTopK(d Dataset, k int) []int { return dataset.TopK(d, k) }
+
+// Quality summarizes how well a returned top-k list matches a dataset's
+// ground truth.
+type Quality struct {
+	// NDCG is the normalized discounted cumulative gain with
+	// top-k-focused gains (§6.2).
+	NDCG float64
+	// Precision is the fraction of the true top-k recovered.
+	Precision float64
+	// KendallTau is the rank correlation of the returned order with the
+	// true relative order of the returned items (1 = identical order).
+	KendallTau float64
+	// Footrule is the normalized Spearman footrule displacement of the
+	// returned order against the true relative order (0 = identical).
+	Footrule float64
+}
+
+// Evaluate scores a query result against the dataset's ground truth.
+func Evaluate(d Dataset, topK []int) Quality {
+	q := Quality{
+		NDCG:      metrics.NDCG(topK, d.TrueRank, d.NumItems()),
+		Precision: metrics.PrecisionAtK(topK, d.TrueRank),
+	}
+	if len(topK) >= 2 {
+		q.KendallTau = metrics.KendallTau(topK, d.TrueRank)
+		q.Footrule = metrics.SpearmanFootrule(topK, d.TrueRank)
+	} else {
+		q.KendallTau = 1
+	}
+	return q
+}

@@ -1,0 +1,62 @@
+package crowdtopk_test
+
+import (
+	"fmt"
+
+	"crowdtopk"
+)
+
+// The basic flow: build (or wrap) an oracle, run a query, evaluate.
+func ExampleQuery() {
+	data := crowdtopk.SyntheticDataset(100, 0.2, 7)
+	res, err := crowdtopk.Query(data, crowdtopk.Options{
+		K:          5,
+		Confidence: 0.95,
+		Budget:     500,
+		Seed:       11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	q := crowdtopk.Evaluate(data, res.TopK)
+	fmt.Println("items:", len(res.TopK))
+	fmt.Println("mostly right:", q.Precision >= 0.8)
+	fmt.Println("cost positive:", res.TMC > 0)
+	// Output:
+	// items: 5
+	// mostly right: true
+	// cost positive: true
+}
+
+// A single confidence-aware comparison, usable without a full query.
+func ExampleJudge() {
+	data := crowdtopk.SyntheticDataset(50, 0.2, 3)
+	best := crowdtopk.TrueTopK(data, 1)[0]
+	worst := crowdtopk.TrueTopK(data, 50)[49]
+
+	j, err := crowdtopk.Judge(data, best, worst, crowdtopk.Options{Confidence: 0.95, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(j.Outcome)
+	fmt.Println("minimum workload:", j.Workload == 30)
+	// Output:
+	// first-better
+	// minimum workload: true
+}
+
+// Sessions keep purchased judgments across queries.
+func ExampleSession() {
+	data := crowdtopk.SyntheticDataset(40, 0.2, 9)
+	sess, err := crowdtopk.NewSession(data, crowdtopk.Options{Confidence: 0.95, Budget: 300, Seed: 13})
+	if err != nil {
+		panic(err)
+	}
+	first, _ := sess.TopK(3)
+	repeat, _ := sess.TopK(3)
+	fmt.Println("first query paid:", first.TMC > 0)
+	fmt.Println("repeat cheaper:", repeat.TMC < first.TMC)
+	// Output:
+	// first query paid: true
+	// repeat cheaper: true
+}

@@ -1,0 +1,49 @@
+// Jokerank: rank jokes from per-user rating differences (the Jester
+// workload) and show how the confidence level trades money for
+// reliability.
+//
+//	go run ./examples/jokerank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdtopk"
+)
+
+func main() {
+	jokes := crowdtopk.JesterDataset(77)
+	fmt.Printf("dataset: %s with %d jokes; judgments are one random user's rating difference\n\n",
+		jokes.Name(), jokes.NumItems())
+
+	fmt.Printf("%-12s %10s %7s\n", "confidence", "microtasks", "NDCG")
+	for _, conf := range []float64{0.80, 0.90, 0.95, 0.98} {
+		res, err := crowdtopk.Query(jokes, crowdtopk.Options{
+			K:          5,
+			Confidence: conf,
+			Seed:       5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := crowdtopk.Evaluate(jokes, res.TopK)
+		fmt.Printf("%-12.2f %10d %7.3f\n", conf, res.TMC, q.NDCG)
+	}
+
+	// The budget bounds how long a single comparison may run: with a tiny
+	// budget even easy verdicts become unreliable (the paper's Figure 13).
+	fmt.Printf("\n%-8s %10s %7s\n", "budget", "microtasks", "NDCG")
+	for _, budget := range []int{30, 100, 1000} {
+		res, err := crowdtopk.Query(jokes, crowdtopk.Options{
+			K:      5,
+			Budget: budget,
+			Seed:   5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := crowdtopk.Evaluate(jokes, res.TopK)
+		fmt.Printf("%-8d %10d %7.3f\n", budget, res.TMC, q.NDCG)
+	}
+}

@@ -1,0 +1,41 @@
+// Movierank: the paper's motivating workload — rank the best movies from
+// crowd judgments backed by rating histograms — and compare every
+// confidence-aware algorithm on cost, latency and quality.
+//
+//	go run ./examples/movierank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdtopk"
+)
+
+func main() {
+	imdb := crowdtopk.IMDbDataset(2024)
+	fmt.Printf("dataset: %s with %d movies\n\n", imdb.Name(), imdb.NumItems())
+
+	fmt.Printf("%-12s %10s %9s %7s %7s\n", "algorithm", "microtasks", "rounds", "NDCG", "prec")
+	for _, alg := range []crowdtopk.Algorithm{
+		crowdtopk.SPR, crowdtopk.TourTree, crowdtopk.HeapSort, crowdtopk.QuickSelect,
+	} {
+		res, err := crowdtopk.Query(imdb, crowdtopk.Options{
+			K:         10,
+			Algorithm: alg,
+			Seed:      99,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := crowdtopk.Evaluate(imdb, res.TopK)
+		fmt.Printf("%-12s %10d %9d %7.3f %7.2f\n", alg, res.TMC, res.Rounds, q.NDCG, q.Precision)
+	}
+
+	best, err := crowdtopk.Query(imdb, crowdtopk.Options{K: 10, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSPR's top-10 movie ids:", best.TopK)
+	fmt.Println("ground-truth top-10:   ", crowdtopk.TrueTopK(imdb, 10))
+}

@@ -1,0 +1,46 @@
+// Quickstart: find the top 10 of 200 items with SPR, then inspect what it
+// cost and how good the answer is.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdtopk"
+)
+
+func main() {
+	// A synthetic crowd: 200 items with hidden scores, workers answer
+	// pairwise sliders with Gaussian noise. Swap this for your own
+	// crowdtopk.Oracle to use a real crowdsourcing platform.
+	data := crowdtopk.SyntheticDataset(200, 0.3, 42)
+
+	res, err := crowdtopk.Query(data, crowdtopk.Options{
+		K:          10,
+		Confidence: 0.95, // each pairwise verdict is 95% reliable
+		Budget:     500,  // at most 500 microtasks per pair
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top-10 items (best first):", res.TopK)
+	fmt.Printf("total monetary cost: %d microtasks (%.2f USD at 0.1 cent each)\n",
+		res.TMC, float64(res.TMC)*0.001)
+	fmt.Println("latency:", res.Rounds, "batch rounds")
+
+	q := crowdtopk.Evaluate(data, res.TopK)
+	fmt.Printf("quality vs ground truth: NDCG=%.3f precision=%.2f kendall-tau=%.2f\n",
+		q.NDCG, q.Precision, q.KendallTau)
+
+	// A single confidence-aware comparison is also available on its own.
+	j, err := crowdtopk.Judge(data, res.TopK[0], res.TopK[9], crowdtopk.Options{Confidence: 0.95})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("judging #1 vs #10: %s after %d microtasks (mean preference %.3f)\n",
+		j.Outcome, j.Workload, j.Mean)
+}

@@ -1,0 +1,165 @@
+package btl
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+)
+
+func newEngine(n int, noise float64, seed int64) (*crowd.Engine, dataset.Source) {
+	src := dataset.NewSynthetic(n, noise, seed)
+	return crowd.NewEngine(src, rand.New(rand.NewSource(seed+1))), src
+}
+
+func TestCrowdBTSpendsExactBudget(t *testing.T) {
+	e, _ := newEngine(20, 0.3, 1)
+	c := NewCrowdBT(2000)
+	c.Rank(e)
+	if got := e.TMC(); got != 2000 {
+		t.Errorf("TMC = %d, want exactly the budget 2000", got)
+	}
+	if e.Rounds() <= 0 {
+		t.Error("no latency recorded")
+	}
+}
+
+func TestCrowdBTRecoversOrderWithGenerousBudget(t *testing.T) {
+	e, src := newEngine(15, 0.2, 2)
+	c := NewCrowdBT(12000)
+	got := c.Rank(e)
+	if len(got) != 15 {
+		t.Fatalf("ranking has %d items", len(got))
+	}
+	// With a generous budget the top third must be mostly right.
+	want := map[int]bool{}
+	for _, o := range dataset.TopK(src, 5) {
+		want[o] = true
+	}
+	hits := 0
+	for _, o := range got[:5] {
+		if want[o] {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Errorf("top-5 overlap %d/5 too low; got %v", hits, got[:5])
+	}
+}
+
+func TestCrowdBTDegradesWithTinyBudget(t *testing.T) {
+	// The §6.5 observation: insufficient budget leaves scores poorly
+	// estimated. A tiny budget must do visibly worse than a generous one.
+	score := func(budget int64) int {
+		hits := 0
+		for rep := int64(0); rep < 3; rep++ {
+			e, src := newEngine(30, 0.3, 100+rep)
+			got := NewCrowdBT(budget).Rank(e)
+			want := map[int]bool{}
+			for _, o := range dataset.TopK(src, 5) {
+				want[o] = true
+			}
+			for _, o := range got[:5] {
+				if want[o] {
+					hits++
+				}
+			}
+		}
+		return hits
+	}
+	rich, poor := score(15000), score(150)
+	if poor >= rich {
+		t.Errorf("tiny budget (%d hits) not worse than generous (%d hits)", poor, rich)
+	}
+}
+
+func TestCrowdBTTopKFacade(t *testing.T) {
+	e, _ := newEngine(12, 0.25, 3)
+	r := compare.NewRunner(e, compare.NewStudent(0.05), compare.DefaultParams())
+	c := NewCrowdBT(3000)
+	top := c.TopK(r, 4)
+	if len(top) != 4 {
+		t.Fatalf("TopK returned %d items", len(top))
+	}
+	seen := map[int]bool{}
+	for _, o := range top {
+		if o < 0 || o >= 12 || seen[o] {
+			t.Fatalf("invalid top-k %v", top)
+		}
+		seen[o] = true
+	}
+	if c.Name() != "crowdbt" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestCrowdBTDeterministic(t *testing.T) {
+	run := func() []int {
+		e, _ := newEngine(15, 0.3, 7)
+		return NewCrowdBT(2000).Rank(e)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCrowdBTPanics(t *testing.T) {
+	e, _ := newEngine(10, 0.3, 8)
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("zero budget", func() { NewCrowdBT(0).Rank(e) })
+	assertPanic("bad k", func() {
+		r := compare.NewRunner(e, compare.NewStudent(0.05), compare.DefaultParams())
+		NewCrowdBT(100).TopK(r, 0)
+	})
+}
+
+func TestCrowdBTActiveBeatsRandomAtTightBudget(t *testing.T) {
+	// Active pair selection concentrates votes on uncertain pairs; with a
+	// tight budget it should recover the top items at least as well as
+	// uniform sampling, usually better.
+	score := func(active bool) int {
+		hits := 0
+		for rep := int64(0); rep < 4; rep++ {
+			e, src := newEngine(30, 0.3, 300+rep)
+			c := NewCrowdBT(2500)
+			c.Active = active
+			got := c.Rank(e)
+			want := map[int]bool{}
+			for _, o := range dataset.TopK(src, 5) {
+				want[o] = true
+			}
+			for _, o := range got[:5] {
+				if want[o] {
+					hits++
+				}
+			}
+		}
+		return hits
+	}
+	random, active := score(false), score(true)
+	if active < random-2 {
+		t.Errorf("active selection (%d hits) clearly worse than random (%d)", active, random)
+	}
+}
+
+func TestCrowdBTActiveSpendsExactBudget(t *testing.T) {
+	e, _ := newEngine(15, 0.3, 310)
+	c := NewCrowdBT(1234)
+	c.Active = true
+	c.Rank(e)
+	if got := e.TMC(); got != 1234 {
+		t.Errorf("active TMC = %d, want 1234", got)
+	}
+}

@@ -1,0 +1,60 @@
+package compare
+
+import (
+	"testing"
+
+	"crowdtopk/internal/crowd"
+)
+
+// The stopping rules run after every batch; these benchmarks size one
+// policy test and one full comparison process.
+
+func BenchmarkStudentTest(b *testing.B) {
+	p := NewStudent(0.02)
+	v := crowd.BagView{N: 120, Mean: 0.05, SD: 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Test(v)
+	}
+}
+
+func BenchmarkSteinTest(b *testing.B) {
+	p := NewStein(0.02)
+	v := crowd.BagView{N: 120, Mean: 0.05, SD: 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Test(v)
+	}
+}
+
+func BenchmarkHoeffdingTest(b *testing.B) {
+	p := NewHoeffding(0.02)
+	v := crowd.BagView{BinN: 120, BinMean: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Test(v)
+	}
+}
+
+func BenchmarkCompareEasyPair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(pairEngine(0.5, 0.1, int64(i)), NewStudent(0.02), DefaultParams())
+		r.Compare(0, 1)
+	}
+}
+
+func BenchmarkCompareHardPair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(pairEngine(0.02, 0.4, int64(i)), NewStudent(0.02), DefaultParams())
+		r.Compare(0, 1)
+	}
+}
+
+func BenchmarkCompareMemoized(b *testing.B) {
+	r := NewRunner(pairEngine(0.3, 0.2, 1), NewStudent(0.02), DefaultParams())
+	r.Compare(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Compare(0, 1)
+	}
+}

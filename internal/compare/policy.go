@@ -1,0 +1,252 @@
+package compare
+
+import (
+	"math"
+
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/stats"
+)
+
+// Outcome is the conclusion of a comparison process for an ordered pair
+// (i, j): whether the first item wins, the second wins, or the pair is (so
+// far, or under budget) indistinguishable.
+type Outcome int8
+
+const (
+	// Tie means no conclusion can be drawn from the samples seen so far.
+	Tie Outcome = 0
+	// FirstWins means o_i ≻ o_j at the requested confidence.
+	FirstWins Outcome = 1
+	// SecondWins means o_i ≺ o_j at the requested confidence.
+	SecondWins Outcome = -1
+)
+
+// Flip returns the outcome as seen from the opposite orientation.
+func (o Outcome) Flip() Outcome { return -o }
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case FirstWins:
+		return "first-wins"
+	case SecondWins:
+		return "second-wins"
+	default:
+		return "tie"
+	}
+}
+
+// Policy decides, from the purchased samples of a pair, whether a winner
+// can be declared at the policy's confidence level. Test receives the bag
+// view oriented toward the first item of the pair. Policies are pure: they
+// never purchase samples.
+type Policy interface {
+	// Name identifies the policy in reports ("student", "stein", ...).
+	Name() string
+	// MinSamples is the smallest bag size the policy can decide on.
+	MinSamples() int
+	// Test returns FirstWins/SecondWins when the samples support a
+	// conclusion at the policy's confidence level, Tie otherwise.
+	Test(v crowd.BagView) Outcome
+}
+
+// Student implements Algorithm 1 (STUDENTCOMP): conclude when the
+// Student-t confidence interval of the preference mean excludes 0.
+type Student struct {
+	tt   *stats.TTable
+	name string
+}
+
+// NewStudent returns the Student policy at significance level alpha
+// (confidence 1−alpha).
+func NewStudent(alpha float64) *Student {
+	return &Student{tt: stats.NewTTable(alpha), name: "student"}
+}
+
+// NewStudentOneSided returns the half-closed-interval variant the paper
+// sketches in §3.1: instead of requiring the symmetric two-sided interval
+// to exclude 0, each direction is tested with a one-sided bound at level
+// α, i.e. the critical value t_{α,n−1} instead of t_{α/2,n−1}. The wrong
+// direction is still concluded with probability at most α, but the
+// tighter bound stops comparisons earlier — the paper's "the cumulative
+// probability of [the] half-closed confidence interval can be larger than
+// 1−α which improves the confidence".
+func NewStudentOneSided(alpha float64) *Student {
+	if alpha >= 0.5 {
+		panic("compare: NewStudentOneSided requires alpha < 0.5")
+	}
+	// TTable stores two-sided critical values t_{a/2, n-1}; requesting
+	// level 2α yields the one-sided t_{α, n-1}.
+	return &Student{tt: stats.NewTTable(2 * alpha), name: "student-onesided"}
+}
+
+// Name implements Policy.
+func (s *Student) Name() string { return s.name }
+
+// MinSamples implements Policy. Two samples are the bare minimum for a
+// sample standard deviation; the Runner's I parameter enforces the
+// practical minimum of 30.
+func (s *Student) MinSamples() int { return 2 }
+
+// Test implements Policy.
+func (s *Student) Test(v crowd.BagView) Outcome {
+	if v.N < 2 {
+		return Tie
+	}
+	half := s.tt.Critical(v.N-1) * v.SD / math.Sqrt(float64(v.N))
+	switch {
+	case v.Mean-half > 0:
+		return FirstWins
+	case v.Mean+half < 0:
+		return SecondWins
+	default:
+		return Tie
+	}
+}
+
+// Stein implements Algorithm 5 (STEINCOMP): Stein's estimation recast as a
+// progressive stopping rule. The target interval half-width L is kept just
+// below |x̄| so that the interval always excludes 0; the rule stops as soon
+// as the current sample size supports that width.
+type Stein struct {
+	tt *stats.TTable
+	// eps is the paper's small positive ε keeping the interval strictly
+	// away from 0.
+	eps float64
+}
+
+// NewStein returns the Stein policy at significance level alpha.
+func NewStein(alpha float64) *Stein {
+	return &Stein{tt: stats.NewTTable(alpha), eps: 1e-9}
+}
+
+// Name implements Policy.
+func (s *Stein) Name() string { return "stein" }
+
+// MinSamples implements Policy.
+func (s *Stein) MinSamples() int { return 2 }
+
+// Test implements Policy.
+func (s *Stein) Test(v crowd.BagView) Outcome {
+	if v.N < 2 {
+		return Tie
+	}
+	l := math.Abs(v.Mean) - s.eps
+	if l <= 0 {
+		return Tie
+	}
+	t := s.tt.Critical(v.N - 1)
+	if v.SD*v.SD/(l*l)*t*t > float64(v.N) {
+		return Tie // workload not yet sufficient for width L
+	}
+	if v.Mean > 0 {
+		return FirstWins
+	}
+	return SecondWins
+}
+
+// anytimeAlpha splits a significance level over doubling epochs so the
+// Hoeffding test stays valid under optional stopping: the epoch of sample
+// size n is ℓ = ⌈log₂ n⌉ + 1 and receives α/(ℓ(ℓ+1)), which sums to at
+// most α over all epochs.
+func anytimeAlpha(alpha float64, n int) float64 {
+	l := 1
+	for p := 1; p < n; p *= 2 {
+		l++
+	}
+	return alpha / float64(l*(l+1))
+}
+
+// Hoeffding implements the pairwise binary judgment comparison: votes are
+// the signs of the preferences (±1, zeros dropped), and the decision uses
+// the distribution-free Hoeffding confidence interval on the vote mean.
+//
+// Because the rule is applied after every sample, the interval carries an
+// anytime-valid racing correction in the style of Busa-Fekete et al.: the
+// significance is split over doubling epochs, α_n = α/(ℓ(ℓ+1)) with
+// ℓ = ⌈log₂ n⌉ + 1, which union-bounds over all stopping times at only a
+// log-log price. This correction is what makes binary judgments several
+// times more expensive than preference judgments in Table 3 — the
+// preference processes use the paper's plain fixed-n t-interval
+// (Algorithm 1) and pay no such premium.
+type Hoeffding struct {
+	alpha float64
+}
+
+// NewHoeffding returns the Hoeffding policy at significance level alpha.
+func NewHoeffding(alpha float64) *Hoeffding {
+	if alpha <= 0 || alpha >= 1 {
+		panic("compare: NewHoeffding requires alpha in (0,1)")
+	}
+	return &Hoeffding{alpha: alpha}
+}
+
+// Name implements Policy.
+func (h *Hoeffding) Name() string { return "hoeffding" }
+
+// MinSamples implements Policy.
+func (h *Hoeffding) MinSamples() int { return 1 }
+
+// Test implements Policy.
+func (h *Hoeffding) Test(v crowd.BagView) Outcome {
+	if v.BinN < 1 {
+		return Tie
+	}
+	half := stats.HoeffdingHalfWidth(v.BinN, 2, anytimeAlpha(h.alpha, v.BinN))
+	switch {
+	case v.BinMean-half > 0:
+		return FirstWins
+	case v.BinMean+half < 0:
+		return SecondWins
+	default:
+		return Tie
+	}
+}
+
+// HoeffdingPref applies the distribution-free Hoeffding interval directly
+// to the *preference* values (not their signs). It is the alternative the
+// paper's footnote 3 suggests for preferences that are not normally
+// distributed.
+//
+// A perhaps surprising consequence of range-only bounds: on symmetric
+// [-1, 1]-censored preferences, the sign transform concentrates the mean
+// at least as much as the clipped magnitudes do (μ̃ = 2Φ(μ/σ)−1 versus the
+// censored mean), so the plain binary Hoeffding policy never loses to
+// this one — the preference model's Table 3 advantage is created by
+// variance-adaptive (Student/Stein) intervals, not by the magnitudes
+// alone. HoeffdingPref is provided for completeness and for preference
+// distributions that are asymmetric or unclipped.
+type HoeffdingPref struct {
+	alpha float64
+}
+
+// NewHoeffdingPref returns the distribution-free preference policy at
+// significance level alpha.
+func NewHoeffdingPref(alpha float64) *HoeffdingPref {
+	if alpha <= 0 || alpha >= 1 {
+		panic("compare: NewHoeffdingPref requires alpha in (0,1)")
+	}
+	return &HoeffdingPref{alpha: alpha}
+}
+
+// Name implements Policy.
+func (h *HoeffdingPref) Name() string { return "hoeffding-pref" }
+
+// MinSamples implements Policy.
+func (h *HoeffdingPref) MinSamples() int { return 1 }
+
+// Test implements Policy.
+func (h *HoeffdingPref) Test(v crowd.BagView) Outcome {
+	if v.N < 1 {
+		return Tie
+	}
+	half := stats.HoeffdingHalfWidth(v.N, 2, anytimeAlpha(h.alpha, v.N))
+	switch {
+	case v.Mean-half > 0:
+		return FirstWins
+	case v.Mean+half < 0:
+		return SecondWins
+	default:
+		return Tie
+	}
+}

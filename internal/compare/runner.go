@@ -1,0 +1,231 @@
+package compare
+
+import (
+	"fmt"
+
+	"crowdtopk/internal/crowd"
+)
+
+// Params configures the execution of comparison processes.
+type Params struct {
+	// B is the per-pair budget: the maximum number of microtasks a single
+	// comparison may consume. B <= 0 means unlimited (the paper's B = ∞
+	// setting of §3.2).
+	B int
+	// I is the minimum initial workload that overcomes cold start
+	// (Algorithm 1; at least 30 by common statistical practice).
+	I int
+	// Step is the batch size η of microtask-level batch processing
+	// (§5.5): after the initial I samples, microtasks are purchased Step
+	// at a time and the stopping rule is tested after each batch. Step = 1
+	// reproduces the one-at-a-time Algorithm 1.
+	Step int
+}
+
+// DefaultParams returns the paper's default execution parameters:
+// B = 1000, I = 30, η = 30 (Table 6, §6.2).
+func DefaultParams() Params { return Params{B: 1000, I: 30, Step: 30} }
+
+func (p Params) validate() {
+	if p.I < 2 {
+		panic(fmt.Sprintf("compare: Params.I must be >= 2, got %d", p.I))
+	}
+	if p.Step < 1 {
+		panic(fmt.Sprintf("compare: Params.Step must be >= 1, got %d", p.Step))
+	}
+	if p.B > 0 && p.B < p.I {
+		panic(fmt.Sprintf("compare: Params.B (%d) must be >= Params.I (%d) or unlimited", p.B, p.I))
+	}
+}
+
+// Runner executes comparison processes over a crowd engine: it purchases
+// sample batches, applies the policy's stopping rule, advances the latency
+// clock, and memoizes conclusions so the rest of the query can reuse them
+// for free.
+type Runner struct {
+	eng    *crowd.Engine
+	policy Policy
+	params Params
+
+	memo map[[2]int]Outcome // canonical pair (lo, hi) -> outcome toward lo
+}
+
+// NewRunner binds a policy to an engine.
+func NewRunner(e *crowd.Engine, policy Policy, p Params) *Runner {
+	if e == nil {
+		panic("compare: NewRunner requires a non-nil engine")
+	}
+	if policy == nil {
+		panic("compare: NewRunner requires a non-nil policy")
+	}
+	p.validate()
+	return &Runner{
+		eng:    e,
+		policy: policy,
+		params: p,
+		memo:   make(map[[2]int]Outcome),
+	}
+}
+
+// Engine returns the underlying crowd engine.
+func (r *Runner) Engine() *crowd.Engine { return r.eng }
+
+// Policy returns the decision policy in use.
+func (r *Runner) Policy() Policy { return r.policy }
+
+// Params returns the execution parameters.
+func (r *Runner) Params() Params { return r.params }
+
+func canonical(i, j int) ([2]int, bool) {
+	if i < j {
+		return [2]int{i, j}, false
+	}
+	return [2]int{j, i}, true
+}
+
+// Concluded reports the memoized outcome for (i, j), if any.
+func (r *Runner) Concluded(i, j int) (Outcome, bool) {
+	k, flip := canonical(i, j)
+	o, ok := r.memo[k]
+	if !ok {
+		return Tie, false
+	}
+	if flip {
+		o = o.Flip()
+	}
+	return o, true
+}
+
+func (r *Runner) remember(i, j int, o Outcome) {
+	k, flip := canonical(i, j)
+	if flip {
+		o = o.Flip()
+	}
+	r.memo[k] = o
+}
+
+// budgetLeft returns how many more samples the pair may consume.
+func (r *Runner) budgetLeft(n int) int {
+	if r.params.B <= 0 {
+		return int(^uint(0) >> 1) // effectively unlimited
+	}
+	return r.params.B - n
+}
+
+// Compare runs the full comparison process COMP(o_i, o_j) sequentially:
+// it keeps purchasing batches until the policy concludes or the budget is
+// exhausted, advancing the latency clock by one round per batch. Concluded
+// pairs are memoized; calling Compare again costs nothing.
+func (r *Runner) Compare(i, j int) Outcome {
+	if o, ok := r.Concluded(i, j); ok {
+		return o
+	}
+	v := r.eng.View(i, j)
+	for {
+		if need := r.params.I - v.N; need > 0 {
+			// Cold start: the initial I samples arrive in ceil(I/Step)
+			// batch rounds.
+			rounds := (need + r.params.Step - 1) / r.params.Step
+			before := v.N
+			v = r.eng.Draw(i, j, need)
+			r.eng.Tick(rounds)
+			if v.N == before {
+				// A global spending cap ran dry: best-effort tie, not
+				// memoized — the pair itself is not statistically spent.
+				return Tie
+			}
+		}
+		if o := r.policy.Test(v); o != Tie {
+			r.remember(i, j, o)
+			return o
+		}
+		left := r.budgetLeft(v.N)
+		if left <= 0 {
+			r.remember(i, j, Tie)
+			return Tie
+		}
+		n := r.params.Step
+		if n > left {
+			n = left
+		}
+		before := v.N
+		v = r.eng.Draw(i, j, n)
+		r.eng.Tick(1)
+		if v.N == before {
+			return Tie // spending cap exhausted mid-comparison
+		}
+	}
+}
+
+// Advance performs one batch step of the comparison process for (i, j)
+// without touching the latency clock: the first call purchases the initial
+// I samples (Algorithm 4's β ← I), subsequent calls one batch of Step.
+// It returns the current outcome and whether the process is finished
+// (concluded, or budget exhausted). Callers running many pairs in parallel
+// Tick the engine once per wave.
+func (r *Runner) Advance(i, j int) (Outcome, bool) {
+	if o, ok := r.Concluded(i, j); ok {
+		return o, true
+	}
+	v := r.eng.View(i, j)
+	var n int
+	if v.N < r.params.I {
+		n = r.params.I - v.N
+	} else {
+		n = r.params.Step
+	}
+	if left := r.budgetLeft(v.N); n > left {
+		n = left
+	}
+	if n > 0 {
+		before := v.N
+		v = r.eng.Draw(i, j, n)
+		if v.N == before {
+			// Global spending cap exhausted: report the pair finished
+			// (best effort) without memoizing a statistical conclusion.
+			return r.policy.Test(v), true
+		}
+	}
+	if o := r.policy.Test(v); o != Tie {
+		r.remember(i, j, o)
+		return o, true
+	}
+	if r.budgetLeft(v.N) <= 0 {
+		r.remember(i, j, Tie)
+		return Tie, true
+	}
+	return Tie, false
+}
+
+// TestOnly applies the policy to the samples already purchased for (i, j)
+// without buying anything and without memoizing.
+func (r *Runner) TestOnly(i, j int) Outcome {
+	return r.policy.Test(r.eng.View(i, j))
+}
+
+// Leaning returns the direction currently suggested by the sample mean of
+// (i, j), regardless of confidence: FirstWins if the mean (toward i) is
+// positive, SecondWins if negative, Tie if zero or never sampled. It is the
+// tie-breaking heuristic used when a budget-exhausted pair must still be
+// placed in an order.
+func (r *Runner) Leaning(i, j int) Outcome {
+	v := r.eng.View(i, j)
+	switch {
+	case v.Mean > 0:
+		return FirstWins
+	case v.Mean < 0:
+		return SecondWins
+	default:
+		return Tie
+	}
+}
+
+// Workload returns the number of microtasks purchased so far for the pair.
+func (r *Runner) Workload(i, j int) int { return r.eng.View(i, j).N }
+
+// ForgetConclusions clears the outcome memo while keeping all purchased
+// samples, letting a caller re-judge pairs under a different policy or
+// budget against the same bags.
+func (r *Runner) ForgetConclusions() {
+	r.memo = make(map[[2]int]Outcome)
+}

@@ -1,0 +1,66 @@
+package crowd
+
+import (
+	"crowdtopk/internal/stats"
+)
+
+// pairKey canonically identifies an unordered item pair.
+type pairKey struct{ lo, hi int }
+
+func keyOf(i, j int) pairKey {
+	if i < j {
+		return pairKey{i, j}
+	}
+	return pairKey{j, i}
+}
+
+// bag accumulates the purchased preference samples of one unordered pair,
+// stored in the orientation v(lo, hi).
+type bag struct {
+	pref stats.Running // preference samples v(lo, hi)
+	bin  stats.Running // sign-only (±1) view of the same samples, zeros dropped
+}
+
+// BagView exposes the statistics of a pair's sample bag oriented to a
+// caller-chosen (i, j): a positive Mean favors item i. The view is a value
+// snapshot; it does not change when more samples are purchased.
+type BagView struct {
+	// N is the number of preference samples purchased for the pair.
+	N int
+	// Mean and SD are the sample mean and unbiased sample standard
+	// deviation of the preference values, oriented toward i.
+	Mean, SD float64
+	// BinN, BinMean describe the ±1 sign view of the same samples (zero
+	// preferences are dropped, as in the paper's binary judgment model).
+	BinN    int
+	BinMean float64
+}
+
+// view snapshots the bag in the orientation of (i, j) with i, j mapping to
+// key (lo, hi).
+func (b *bag) view(flip bool) BagView {
+	v := BagView{
+		N:       b.pref.N(),
+		Mean:    b.pref.Mean(),
+		SD:      b.pref.SD(),
+		BinN:    b.bin.N(),
+		BinMean: b.bin.Mean(),
+	}
+	if flip {
+		v.Mean = -v.Mean
+		v.BinMean = -v.BinMean
+	}
+	return v
+}
+
+// add records one preference sample already oriented as v(lo, hi).
+func (b *bag) add(v float64) {
+	b.pref.Add(v)
+	switch {
+	case v > 0:
+		b.bin.Add(1)
+	case v < 0:
+		b.bin.Add(-1)
+		// v == 0: the binary judgment model drops unidentifiable votes.
+	}
+}

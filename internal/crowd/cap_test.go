@@ -1,0 +1,65 @@
+package crowd
+
+import "testing"
+
+func TestSpendingCapTruncatesDraw(t *testing.T) {
+	e := newTestEngine(10, 61)
+	e.SetSpendingCap(25)
+	if got := e.Remaining(); got != 25 {
+		t.Fatalf("Remaining = %d, want 25", got)
+	}
+	v := e.Draw(0, 1, 30)
+	if v.N != 25 || e.TMC() != 25 {
+		t.Errorf("capped draw bought %d (TMC %d), want 25", v.N, e.TMC())
+	}
+	if got := e.Remaining(); got != 0 {
+		t.Errorf("Remaining after exhaustion = %d", got)
+	}
+	// Further draws buy nothing.
+	v = e.Draw(0, 1, 10)
+	if v.N != 25 {
+		t.Errorf("post-cap draw changed N to %d", v.N)
+	}
+	if _, ok := e.DrawOne(2, 3); ok {
+		t.Error("post-cap DrawOne succeeded")
+	}
+}
+
+func TestSpendingCapUncapped(t *testing.T) {
+	e := newTestEngine(10, 62)
+	if got := e.Remaining(); got >= 0 {
+		t.Errorf("uncapped Remaining = %d, want negative", got)
+	}
+	e.SetSpendingCap(5)
+	e.SetSpendingCap(0) // remove again
+	v := e.Draw(0, 1, 50)
+	if v.N != 50 {
+		t.Errorf("uncapped draw bought %d", v.N)
+	}
+}
+
+func TestSpendingCapMidSessionTighten(t *testing.T) {
+	e := newTestEngine(10, 63)
+	e.Draw(0, 1, 40)
+	e.SetSpendingCap(50) // 10 left
+	v := e.Draw(0, 1, 30)
+	if v.N != 50 {
+		t.Errorf("tightened cap allowed N=%d, want 50", v.N)
+	}
+}
+
+func TestSpendingCapDrawOneCounts(t *testing.T) {
+	e := newTestEngine(10, 64)
+	e.SetSpendingCap(3)
+	for i := 0; i < 3; i++ {
+		if _, ok := e.DrawOne(0, 1); !ok {
+			t.Fatalf("draw %d failed before the cap", i)
+		}
+	}
+	if _, ok := e.DrawOne(0, 1); ok {
+		t.Error("cap did not stop DrawOne")
+	}
+	if e.TMC() != 3 {
+		t.Errorf("TMC = %d, want 3", e.TMC())
+	}
+}

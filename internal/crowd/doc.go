@@ -1,0 +1,26 @@
+// Package crowd simulates a paid crowdsourcing platform for pairwise
+// preference microtasks, following the cost model of Kou et al. (SIGMOD
+// 2017).
+//
+// An Oracle plays the role of the human crowd: it produces one preference
+// sample v(o_i, o_j) ∈ [-1, 1] per microtask, where the sign encodes which
+// item the (simulated) worker prefers and the magnitude encodes how
+// strongly. Datasets provide oracles backed by rating histograms, per-user
+// rating differences, or replayed judgment databases.
+//
+// The Engine is the single point through which algorithms may spend money.
+// It owns:
+//
+//   - the per-pair bags of purchased samples (V_{i,j}), which persist for
+//     the lifetime of a query so that comparison results are reusable
+//     across query phases (§5.3 of the paper);
+//   - the total monetary cost counter (TMC — one unit per microtask,
+//     graded or pairwise, per Appendix B);
+//   - the latency clock, measured in batch rounds (§5.5): algorithms call
+//     Tick at their synchronization points, so a phase that compares many
+//     pairs in parallel pays one round per batch wave.
+//
+// The engine itself draws raw preference values; converting them into
+// binary votes, testing confidence intervals, and stopping rules are the
+// business of package compare.
+package crowd

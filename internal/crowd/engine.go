@@ -1,0 +1,235 @@
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Engine mediates every microtask purchase of a query. It accumulates the
+// per-pair sample bags (reused across query phases), the total monetary
+// cost, and the latency clock measured in batch rounds. An Engine is not
+// safe for concurrent use; a query is a single logical thread of control.
+type Engine struct {
+	oracle Oracle
+	rng    *rand.Rand
+
+	bags map[pairKey]*bag
+
+	tmc     int64 // microtasks purchased (pairwise + graded)
+	rounds  int64 // latency clock, in batch rounds
+	pairCmp int64 // pairwise microtasks only
+	graded  int64 // graded microtasks only
+	cap     int64 // global spending cap; 0 = unlimited
+
+	logging bool
+	log     []Record
+}
+
+// NewEngine returns an engine over the given oracle. rng drives all sample
+// generation; pass a seeded source for reproducible experiments.
+func NewEngine(o Oracle, rng *rand.Rand) *Engine {
+	if o == nil {
+		panic("crowd: NewEngine requires a non-nil oracle")
+	}
+	if rng == nil {
+		panic("crowd: NewEngine requires a non-nil rng")
+	}
+	return &Engine{
+		oracle: o,
+		rng:    rng,
+		bags:   make(map[pairKey]*bag),
+	}
+}
+
+// Oracle returns the oracle the engine draws from.
+func (e *Engine) Oracle() Oracle { return e.oracle }
+
+// NumItems returns the size of the item set.
+func (e *Engine) NumItems() int { return e.oracle.NumItems() }
+
+// Rand returns the engine's random source, shared with algorithms that need
+// randomization (sampling, shuffles) so a single seed fixes a whole run.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetSpendingCap limits the engine's total monetary cost: once TMC
+// reaches the cap, further pairwise purchases are silently truncated and
+// queries complete best-effort on the evidence at hand. cap <= 0 removes
+// the limit. The cap compares against the TMC already spent, so it can be
+// set (or tightened) mid-session.
+func (e *Engine) SetSpendingCap(cap int64) {
+	if cap <= 0 {
+		e.cap = 0
+		return
+	}
+	e.cap = cap
+}
+
+// Remaining returns how many more microtasks the cap allows, or a negative
+// value when the engine is uncapped.
+func (e *Engine) Remaining() int64 {
+	if e.cap <= 0 {
+		return -1
+	}
+	if left := e.cap - e.tmc; left > 0 {
+		return left
+	}
+	return 0
+}
+
+// allow truncates a requested purchase to the cap.
+func (e *Engine) allow(n int) int {
+	if e.cap <= 0 {
+		return n
+	}
+	left := e.cap - e.tmc
+	if left <= 0 {
+		return 0
+	}
+	if int64(n) > left {
+		return int(left)
+	}
+	return n
+}
+
+// Draw purchases up to n more preference microtasks for the pair (i, j) —
+// fewer if a spending cap is about to be hit — and returns the updated bag
+// view oriented toward i. Each microtask costs one unit of TMC. Draw does
+// not advance the latency clock; callers Tick at their batch boundaries.
+func (e *Engine) Draw(i, j, n int) BagView {
+	if i == j {
+		panic(fmt.Sprintf("crowd: Draw on identical items %d", i))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("crowd: Draw with negative count %d", n))
+	}
+	n = e.allow(n)
+	k := keyOf(i, j)
+	b := e.bags[k]
+	if b == nil {
+		b = &bag{}
+		e.bags[k] = b
+	}
+	record := func(v float64) {
+		if v < -1 || v > 1 {
+			panic(fmt.Sprintf("crowd: oracle returned preference %v outside [-1,1] for pair (%d,%d)", v, k.lo, k.hi))
+		}
+		b.add(v)
+		if e.logging {
+			e.log = append(e.log, Record{Round: e.rounds, I: k.lo, J: k.hi, Value: v})
+		}
+	}
+	// Oracles backed by asynchronous platforms answer whole batches in
+	// one exchange; everyone else is sampled one microtask at a time.
+	if bo, ok := e.oracle.(BatchOracle); ok && n > 1 {
+		for _, v := range bo.Preferences(e.rng, k.lo, k.hi, n) {
+			record(v)
+		}
+	} else {
+		for t := 0; t < n; t++ {
+			record(e.oracle.Preference(e.rng, k.lo, k.hi))
+		}
+	}
+	e.tmc += int64(n)
+	e.pairCmp += int64(n)
+	return b.view(i != k.lo)
+}
+
+// DrawOne purchases a single preference microtask for the pair (i, j) and
+// returns the sampled value oriented toward i (positive favors i). Like
+// Draw it costs one unit of TMC and records the sample in the pair's bag.
+// The second result is false — and nothing is purchased — when a spending
+// cap is exhausted.
+func (e *Engine) DrawOne(i, j int) (float64, bool) {
+	if i == j {
+		panic(fmt.Sprintf("crowd: DrawOne on identical items %d", i))
+	}
+	if e.allow(1) == 0 {
+		return 0, false
+	}
+	k := keyOf(i, j)
+	b := e.bags[k]
+	if b == nil {
+		b = &bag{}
+		e.bags[k] = b
+	}
+	v := e.oracle.Preference(e.rng, k.lo, k.hi)
+	if v < -1 || v > 1 {
+		panic(fmt.Sprintf("crowd: oracle returned preference %v outside [-1,1] for pair (%d,%d)", v, k.lo, k.hi))
+	}
+	b.add(v)
+	if e.logging {
+		e.log = append(e.log, Record{Round: e.rounds, I: k.lo, J: k.hi, Value: v})
+	}
+	e.tmc++
+	e.pairCmp++
+	if i != k.lo {
+		return -v, true
+	}
+	return v, true
+}
+
+// View returns the current bag view for pair (i, j) oriented toward i,
+// without purchasing anything. A pair never drawn has a zero view.
+func (e *Engine) View(i, j int) BagView {
+	if i == j {
+		panic(fmt.Sprintf("crowd: View on identical items %d", i))
+	}
+	k := keyOf(i, j)
+	b := e.bags[k]
+	if b == nil {
+		return BagView{}
+	}
+	return b.view(i != k.lo)
+}
+
+// Grade purchases one graded microtask for item i and returns the grade.
+// It costs one unit of TMC, like a pairwise microtask (Appendix B). The
+// oracle must implement Grader.
+func (e *Engine) Grade(i int) float64 {
+	g, ok := e.oracle.(Grader)
+	if !ok {
+		panic("crowd: oracle does not support graded judgments")
+	}
+	e.tmc++
+	e.graded++
+	v := g.Grade(e.rng, i)
+	if e.logging {
+		e.log = append(e.log, Record{Round: e.rounds, I: i, J: -1, Value: v})
+	}
+	return v
+}
+
+// Tick advances the latency clock by n batch rounds. Algorithms call it
+// once per wave of parallel batches (§5.5).
+func (e *Engine) Tick(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("crowd: Tick with negative rounds %d", n))
+	}
+	e.rounds += int64(n)
+}
+
+// TMC returns the total monetary cost so far: the number of microtasks
+// purchased, pairwise and graded combined.
+func (e *Engine) TMC() int64 { return e.tmc }
+
+// PairwiseTasks returns the number of pairwise microtasks purchased.
+func (e *Engine) PairwiseTasks() int64 { return e.pairCmp }
+
+// GradedTasks returns the number of graded microtasks purchased.
+func (e *Engine) GradedTasks() int64 { return e.graded }
+
+// Rounds returns the latency clock: the number of batch rounds elapsed.
+func (e *Engine) Rounds() int64 { return e.rounds }
+
+// PairsTouched returns how many distinct pairs have at least one purchased
+// sample; useful for diagnostics and tests.
+func (e *Engine) PairsTouched() int { return len(e.bags) }
+
+// Reset discards all purchased samples, zeroes the cost and latency
+// counters, and clears the audit log, keeping the oracle and random
+// source.
+func (e *Engine) Reset() {
+	e.bags = make(map[pairKey]*bag)
+	e.tmc, e.rounds, e.pairCmp, e.graded = 0, 0, 0, 0
+	e.log = nil
+}

@@ -1,0 +1,36 @@
+package crowd
+
+import (
+	"strings"
+	"testing"
+)
+
+// ReadLog parses untrusted JSON; any input must yield records or an
+// error, never a panic, and accepted logs must replay cleanly.
+func FuzzReadLog(f *testing.F) {
+	f.Add(`[{"round":0,"i":0,"j":1,"value":0.5}]`)
+	f.Add(`[]`)
+	f.Add(`not json`)
+	f.Add(`[{"round":-1,"i":5,"j":-1,"value":2}]`)
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := ReadLog(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Building a replay from any parsed log must not panic as long as
+		// the item ids fit the declared universe.
+		n := 2
+		for _, r := range recs {
+			if r.I >= n {
+				n = r.I + 1
+			}
+			if r.J >= n {
+				n = r.J + 1
+			}
+		}
+		if n > 1000 {
+			return
+		}
+		NewReplay(n, recs)
+	})
+}

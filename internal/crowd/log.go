@@ -1,0 +1,120 @@
+package crowd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Record is one purchased microtask in an engine's audit log: which pair
+// was compared (or which item graded), what the worker answered, and in
+// which batch round the answer arrived. Money in a crowdsourcing system is
+// real; the log makes every spent cent attributable and every query
+// replayable.
+type Record struct {
+	// Round is the latency-clock value when the microtask was purchased.
+	Round int64 `json:"round"`
+	// I and J identify the compared pair (I < J canonical orientation).
+	// For graded microtasks J is -1.
+	I int `json:"i"`
+	J int `json:"j"`
+	// Value is the worker's answer: a preference in [-1, 1] oriented
+	// toward I for pairwise tasks, or the grade on the oracle's native
+	// scale for graded tasks.
+	Value float64 `json:"value"`
+}
+
+// IsGraded reports whether the record is a graded (absolute rating)
+// microtask.
+func (r Record) IsGraded() bool { return r.J < 0 }
+
+// EnableLog switches on microtask recording. Recording costs one slice
+// append per microtask; it is off by default.
+func (e *Engine) EnableLog() { e.logging = true }
+
+// Log returns the recorded microtasks in purchase order. The slice is
+// shared; callers must not modify it.
+func (e *Engine) Log() []Record { return e.log }
+
+// WriteLog serializes the audit log as a JSON array.
+func (e *Engine) WriteLog(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(e.log)
+}
+
+// ReadLog parses a JSON audit log previously written by WriteLog.
+func ReadLog(r io.Reader) ([]Record, error) {
+	var recs []Record
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("crowd: decoding audit log: %w", err)
+	}
+	return recs, nil
+}
+
+// Replay is an Oracle that serves the answers of a recorded audit log:
+// each Preference call pops the next recorded answer for that pair. It
+// lets a query (or a cheaper variant of it) be re-run against the exact
+// judgments a real crowd already gave, without spending again.
+type Replay struct {
+	n       int
+	pending map[pairKey][]float64
+	grades  map[int][]float64
+}
+
+// NewReplay builds a replay oracle over n items from an audit log.
+func NewReplay(n int, log []Record) *Replay {
+	rp := &Replay{
+		n:       n,
+		pending: make(map[pairKey][]float64),
+		grades:  make(map[int][]float64),
+	}
+	for _, rec := range log {
+		if rec.IsGraded() {
+			rp.grades[rec.I] = append(rp.grades[rec.I], rec.Value)
+			continue
+		}
+		k := keyOf(rec.I, rec.J)
+		v := rec.Value
+		if rec.I != k.lo {
+			v = -v
+		}
+		rp.pending[k] = append(rp.pending[k], v)
+	}
+	return rp
+}
+
+// NumItems implements Oracle.
+func (rp *Replay) NumItems() int { return rp.n }
+
+// Remaining returns how many unused pairwise answers the replay still
+// holds for the pair (i, j).
+func (rp *Replay) Remaining(i, j int) int { return len(rp.pending[keyOf(i, j)]) }
+
+// Preference implements Oracle. It panics when the log holds no more
+// answers for the pair — a replayed run that demands judgments the
+// original never bought is a logic error the caller must see.
+func (rp *Replay) Preference(_ *rand.Rand, i, j int) float64 {
+	k := keyOf(i, j)
+	q := rp.pending[k]
+	if len(q) == 0 {
+		panic(fmt.Sprintf("crowd: replay exhausted for pair (%d,%d)", k.lo, k.hi))
+	}
+	v := q[0]
+	rp.pending[k] = q[1:]
+	if i != k.lo {
+		return -v
+	}
+	return v
+}
+
+// Grade implements Grader by replaying recorded grades for the item.
+func (rp *Replay) Grade(_ *rand.Rand, i int) float64 {
+	q := rp.grades[i]
+	if len(q) == 0 {
+		panic(fmt.Sprintf("crowd: replay exhausted for grades of item %d", i))
+	}
+	v := q[0]
+	rp.grades[i] = q[1:]
+	return v
+}

@@ -1,0 +1,148 @@
+package crowd
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLogDisabledByDefault(t *testing.T) {
+	e := newTestEngine(5, 41)
+	e.Draw(0, 1, 10)
+	if got := e.Log(); len(got) != 0 {
+		t.Errorf("log has %d records without EnableLog", len(got))
+	}
+}
+
+func TestLogRecordsEveryMicrotask(t *testing.T) {
+	e := newTestEngine(5, 42)
+	e.EnableLog()
+	e.Draw(0, 1, 10)
+	e.Tick(1)
+	e.DrawOne(2, 1)
+	e.Grade(3)
+	log := e.Log()
+	if len(log) != 12 {
+		t.Fatalf("log has %d records, want 12", len(log))
+	}
+	if int64(len(log)) != e.TMC() {
+		t.Errorf("log length %d != TMC %d", len(log), e.TMC())
+	}
+	// The first 10 records are pair (0,1) at round 0.
+	for _, r := range log[:10] {
+		if r.I != 0 || r.J != 1 || r.Round != 0 || r.IsGraded() {
+			t.Fatalf("unexpected record %+v", r)
+		}
+	}
+	// The DrawOne happened after the tick and is stored canonically.
+	if r := log[10]; r.I != 1 || r.J != 2 || r.Round != 1 {
+		t.Errorf("DrawOne record %+v", r)
+	}
+	// The graded task marks J = -1.
+	if r := log[11]; !r.IsGraded() || r.I != 3 {
+		t.Errorf("grade record %+v", r)
+	}
+}
+
+func TestLogRoundTripJSON(t *testing.T) {
+	e := newTestEngine(6, 43)
+	e.EnableLog()
+	e.Draw(0, 5, 7)
+	e.Grade(2)
+
+	var buf bytes.Buffer
+	if err := e.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(e.Log()) {
+		t.Fatalf("round trip changed length: %d vs %d", len(back), len(e.Log()))
+	}
+	for i := range back {
+		if back[i] != e.Log()[i] {
+			t.Fatalf("record %d changed: %+v vs %+v", i, back[i], e.Log()[i])
+		}
+	}
+}
+
+func TestReadLogRejectsGarbage(t *testing.T) {
+	if _, err := ReadLog(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReplayServesRecordedAnswers(t *testing.T) {
+	// Record a run, then replay it: the same draws yield the same bags at
+	// zero oracle involvement.
+	e := newTestEngine(6, 44)
+	e.EnableLog()
+	v1 := e.Draw(2, 4, 50)
+	g1 := e.Grade(1)
+
+	rp := NewReplay(6, e.Log())
+	if rp.NumItems() != 6 {
+		t.Fatalf("NumItems = %d", rp.NumItems())
+	}
+	if got := rp.Remaining(2, 4); got != 50 {
+		t.Fatalf("Remaining = %d, want 50", got)
+	}
+	e2 := NewEngine(rp, rand.New(rand.NewSource(1)))
+	v2 := e2.Draw(2, 4, 50)
+	if v1.Mean != v2.Mean || v1.SD != v2.SD || v1.N != v2.N {
+		t.Errorf("replayed bag differs: %+v vs %+v", v2, v1)
+	}
+	if g2 := e2.Grade(1); g2 != g1 {
+		t.Errorf("replayed grade %v != original %v", g2, g1)
+	}
+	if got := rp.Remaining(2, 4); got != 0 {
+		t.Errorf("Remaining after replay = %d", got)
+	}
+}
+
+func TestReplayOrientation(t *testing.T) {
+	e := newTestEngine(4, 45)
+	e.EnableLog()
+	e.Draw(3, 0, 20) // drawn in flipped orientation
+	rp := NewReplay(4, e.Log())
+	e2 := NewEngine(rp, rand.New(rand.NewSource(2)))
+	v := e2.Draw(0, 3, 20) // replayed in canonical orientation
+	if v.Mean != e.View(0, 3).Mean {
+		t.Errorf("orientation broken: %v vs %v", v.Mean, e.View(0, 3).Mean)
+	}
+}
+
+func TestReplayPanicsWhenExhausted(t *testing.T) {
+	e := newTestEngine(4, 46)
+	e.EnableLog()
+	e.Draw(0, 1, 3)
+	rp := NewReplay(4, e.Log())
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3; i++ {
+		rp.Preference(rng, 0, 1)
+	}
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("exhausted pair", func() { rp.Preference(rng, 0, 1) })
+	assertPanics("unknown pair", func() { rp.Preference(rng, 2, 3) })
+	assertPanics("unknown grade", func() { rp.Grade(rng, 0) })
+}
+
+func TestResetClearsLog(t *testing.T) {
+	e := newTestEngine(4, 47)
+	e.EnableLog()
+	e.Draw(0, 1, 5)
+	e.Reset()
+	if len(e.Log()) != 0 {
+		t.Error("Reset kept the log")
+	}
+}

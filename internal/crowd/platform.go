@@ -1,0 +1,179 @@
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Task is one pairwise microtask to publish on a crowdsourcing platform:
+// "compare item I with item J".
+type Task struct {
+	I, J int
+}
+
+// Answer is a worker's response to a published task: a preference in
+// [-1, 1] oriented toward the task's I item.
+type Answer struct {
+	Task  Task
+	Value float64
+}
+
+// Platform is the asynchronous interface real crowd markets expose:
+// batches of microtasks are published, workers answer on their own
+// schedule, and the requester collects the answers later. Post must not
+// block on workers; Collect blocks until every answer of the posted batch
+// is in. Implementations must be safe for use from one goroutine at a
+// time (the engine is single-threaded).
+type Platform interface {
+	// Post publishes the batch and returns a handle for collection.
+	Post(tasks []Task) (batch int, err error)
+	// Collect blocks until the batch is fully answered.
+	Collect(batch int) ([]Answer, error)
+}
+
+// PlatformOracle adapts a Platform to the Oracle interface the engine
+// consumes. Each Preference call publishes one task and waits for its
+// answer; the engine's batch purchases (Draw with n > 1) post the whole
+// batch at once and collect it together, so a platform serving answers
+// concurrently is exercised with real parallelism per batch. Posting or
+// collection errors are surfaced as panics: the engine has no money-safe
+// way to continue a query whose platform is failing.
+type PlatformOracle struct {
+	n        int
+	platform Platform
+}
+
+// NewPlatformOracle wraps a platform over n items.
+func NewPlatformOracle(n int, p Platform) *PlatformOracle {
+	if n < 2 {
+		panic(fmt.Sprintf("crowd: NewPlatformOracle requires n >= 2, got %d", n))
+	}
+	if p == nil {
+		panic("crowd: NewPlatformOracle requires a platform")
+	}
+	return &PlatformOracle{n: n, platform: p}
+}
+
+// NumItems implements Oracle.
+func (po *PlatformOracle) NumItems() int { return po.n }
+
+// Preference implements Oracle: one task posted, one answer awaited.
+func (po *PlatformOracle) Preference(_ *rand.Rand, i, j int) float64 {
+	vs := po.preferences(i, j, 1)
+	return vs[0]
+}
+
+// Preferences implements BatchOracle: the whole batch is posted at once.
+func (po *PlatformOracle) Preferences(_ *rand.Rand, i, j, n int) []float64 {
+	return po.preferences(i, j, n)
+}
+
+func (po *PlatformOracle) preferences(i, j, n int) []float64 {
+	tasks := make([]Task, n)
+	for t := range tasks {
+		tasks[t] = Task{I: i, J: j}
+	}
+	batch, err := po.platform.Post(tasks)
+	if err != nil {
+		panic(fmt.Sprintf("crowd: posting %d tasks: %v", n, err))
+	}
+	answers, err := po.platform.Collect(batch)
+	if err != nil {
+		panic(fmt.Sprintf("crowd: collecting batch %d: %v", batch, err))
+	}
+	if len(answers) != n {
+		panic(fmt.Sprintf("crowd: batch %d returned %d answers, want %d", batch, len(answers), n))
+	}
+	out := make([]float64, n)
+	for t, a := range answers {
+		v := a.Value
+		if a.Task.I == j && a.Task.J == i {
+			v = -v // platform may report in flipped orientation
+		}
+		out[t] = v
+	}
+	return out
+}
+
+// BatchOracle is implemented by oracles that can answer many microtasks
+// for the same pair in one exchange — the natural shape for asynchronous
+// platforms. The engine prefers it over n sequential Preference calls.
+type BatchOracle interface {
+	Preferences(rng *rand.Rand, i, j, n int) []float64
+}
+
+// SimPlatform is an in-process Platform backed by a pool of worker
+// goroutines answering from a base oracle — the test double for platform
+// integrations, and a demonstration that the adapter tolerates real
+// concurrency and out-of-order completion within a batch.
+type SimPlatform struct {
+	base    Oracle
+	workers int
+
+	mu      sync.Mutex
+	nextID  int
+	batches map[int]chan []Answer
+	seed    int64
+}
+
+// NewSimPlatform returns a simulated platform with the given worker
+// parallelism.
+func NewSimPlatform(base Oracle, workers int, seed int64) *SimPlatform {
+	if workers < 1 {
+		panic(fmt.Sprintf("crowd: NewSimPlatform requires workers >= 1, got %d", workers))
+	}
+	return &SimPlatform{
+		base:    base,
+		workers: workers,
+		batches: make(map[int]chan []Answer),
+		seed:    seed,
+	}
+}
+
+// Post implements Platform: it fans the batch out to worker goroutines
+// and returns immediately.
+func (sp *SimPlatform) Post(tasks []Task) (int, error) {
+	sp.mu.Lock()
+	id := sp.nextID
+	sp.nextID++
+	done := make(chan []Answer, 1)
+	sp.batches[id] = done
+	seed := sp.seed + int64(id)
+	sp.mu.Unlock()
+
+	go func() {
+		answers := make([]Answer, len(tasks))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, sp.workers)
+		for t := range tasks {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				// Each simulated worker has her own randomness.
+				rng := rand.New(rand.NewSource(seed + int64(t)*7919))
+				answers[t] = Answer{
+					Task:  tasks[t],
+					Value: sp.base.Preference(rng, tasks[t].I, tasks[t].J),
+				}
+			}(t)
+		}
+		wg.Wait()
+		done <- answers
+	}()
+	return id, nil
+}
+
+// Collect implements Platform.
+func (sp *SimPlatform) Collect(batch int) ([]Answer, error) {
+	sp.mu.Lock()
+	done, ok := sp.batches[batch]
+	delete(sp.batches, batch)
+	sp.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("crowd: unknown or already collected batch %d", batch)
+	}
+	return <-done, nil
+}

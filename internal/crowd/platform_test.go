@@ -1,0 +1,106 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newSimPlatformOracle(n int, workers int, seed int64) *PlatformOracle {
+	base := gaussOracle{n: n, sigma: 0.2}
+	return NewPlatformOracle(n, NewSimPlatform(base, workers, seed))
+}
+
+func TestPlatformOracleSingleTask(t *testing.T) {
+	po := newSimPlatformOracle(10, 4, 1)
+	if po.NumItems() != 10 {
+		t.Fatalf("NumItems = %d", po.NumItems())
+	}
+	rng := rand.New(rand.NewSource(2))
+	v := po.Preference(rng, 0, 9)
+	if v < -1 || v > 1 {
+		t.Fatalf("preference %v out of range", v)
+	}
+}
+
+func TestPlatformOracleBatchThroughEngine(t *testing.T) {
+	po := newSimPlatformOracle(10, 8, 3)
+	e := NewEngine(po, rand.New(rand.NewSource(4)))
+	v := e.Draw(0, 9, 600) // answered by 8 concurrent workers
+	if v.N != 600 {
+		t.Fatalf("bag N = %d", v.N)
+	}
+	// Item 0 is the best in gaussOracle; the mean must say so.
+	if v.Mean <= 0 {
+		t.Errorf("mean %v not positive toward the better item", v.Mean)
+	}
+	if e.TMC() != 600 {
+		t.Errorf("TMC = %d", e.TMC())
+	}
+}
+
+func TestPlatformOracleStatisticsMatchBase(t *testing.T) {
+	// The platform route must not distort the judgment distribution.
+	po := newSimPlatformOracle(10, 6, 5)
+	e1 := NewEngine(po, rand.New(rand.NewSource(6)))
+	vPlat := e1.Draw(2, 7, 4000)
+
+	base := gaussOracle{n: 10, sigma: 0.2}
+	e2 := NewEngine(base, rand.New(rand.NewSource(7)))
+	vBase := e2.Draw(2, 7, 4000)
+
+	if math.Abs(vPlat.Mean-vBase.Mean) > 0.02 {
+		t.Errorf("platform mean %v far from base %v", vPlat.Mean, vBase.Mean)
+	}
+	if math.Abs(vPlat.SD-vBase.SD) > 0.02 {
+		t.Errorf("platform SD %v far from base %v", vPlat.SD, vBase.SD)
+	}
+}
+
+func TestSimPlatformCollectTwiceFails(t *testing.T) {
+	sp := NewSimPlatform(gaussOracle{n: 4, sigma: 0.1}, 2, 8)
+	id, err := sp.Post([]Task{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Collect(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Collect(id); err == nil {
+		t.Error("double collection succeeded")
+	}
+	if _, err := sp.Collect(999); err == nil {
+		t.Error("unknown batch collected")
+	}
+}
+
+func TestPlatformOraclePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("small n", func() { NewPlatformOracle(1, NewSimPlatform(gaussOracle{n: 2, sigma: 0.1}, 1, 1)) })
+	assertPanics("nil platform", func() { NewPlatformOracle(5, nil) })
+	assertPanics("no workers", func() { NewSimPlatform(gaussOracle{n: 2, sigma: 0.1}, 0, 1) })
+}
+
+func TestPlatformOracleFullQueryPath(t *testing.T) {
+	// The adapter must carry a complete engine workload: draw across many
+	// pairs with interleaved batch sizes.
+	po := newSimPlatformOracle(20, 4, 9)
+	e := NewEngine(po, rand.New(rand.NewSource(10)))
+	for i := 1; i < 20; i++ {
+		e.Draw(0, i, 30)
+	}
+	e.Tick(1)
+	for i := 1; i < 20; i++ {
+		e.DrawOne(0, i)
+	}
+	if e.TMC() != 19*31 {
+		t.Errorf("TMC = %d, want %d", e.TMC(), 19*31)
+	}
+}

@@ -1,0 +1,116 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/stats"
+)
+
+func poolOver(cfg WorkerPoolConfig) *WorkerPool {
+	return NewWorkerPool(gaussOracle{n: 10, sigma: 0.1}, cfg)
+}
+
+func TestWorkerPoolAllReliableMatchesBase(t *testing.T) {
+	p := poolOver(WorkerPoolConfig{Workers: 50, Seed: 1})
+	if p.Workers() != 50 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+	rng := rand.New(rand.NewSource(2))
+	var pool, base stats.Running
+	baseOracle := gaussOracle{n: 10, sigma: 0.1}
+	for k := 0; k < 5000; k++ {
+		pool.Add(p.Preference(rng, 0, 9))
+		base.Add(baseOracle.Preference(rng, 0, 9))
+	}
+	if math.Abs(pool.Mean()-base.Mean()) > 0.02 {
+		t.Errorf("reliable pool shifted the mean: %v vs %v", pool.Mean(), base.Mean())
+	}
+}
+
+func TestWorkerPoolSpammersAddNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean := poolOver(WorkerPoolConfig{Workers: 50, Seed: 4})
+	noisy := poolOver(WorkerPoolConfig{Workers: 50, SpammerFraction: 0.5, Seed: 4})
+	var vc, vn stats.Running
+	for k := 0; k < 8000; k++ {
+		vc.Add(clean.Preference(rng, 0, 9))
+		vn.Add(noisy.Preference(rng, 0, 9))
+	}
+	if vn.SD() <= vc.SD() {
+		t.Errorf("spammers did not widen the spread: %v vs %v", vn.SD(), vc.SD())
+	}
+	// Spammers are unbiased: the mean shrinks toward 0 but keeps its sign.
+	if vn.Mean() <= 0 || vn.Mean() >= vc.Mean() {
+		t.Errorf("spammer mean %v not in (0, %v)", vn.Mean(), vc.Mean())
+	}
+}
+
+func TestWorkerPoolAdversariesFlipSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	hostile := poolOver(WorkerPoolConfig{Workers: 50, AdversaryFraction: 1, Seed: 6})
+	var v stats.Running
+	for k := 0; k < 4000; k++ {
+		v.Add(hostile.Preference(rng, 0, 9))
+	}
+	if v.Mean() >= 0 {
+		t.Errorf("all-adversary pool kept positive mean %v", v.Mean())
+	}
+}
+
+func TestWorkerPoolScaleKeepsDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	scaled := poolOver(WorkerPoolConfig{Workers: 50, ScaleSD: 0.6, Seed: 8})
+	var v stats.Running
+	for k := 0; k < 6000; k++ {
+		x := scaled.Preference(rng, 0, 9)
+		if x < -1 || x > 1 {
+			t.Fatalf("scaled preference %v outside range", x)
+		}
+		v.Add(x)
+	}
+	if v.Mean() <= 0 {
+		t.Errorf("scaling flipped the direction: mean %v", v.Mean())
+	}
+}
+
+func TestWorkerPoolGrading(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := poolOver(WorkerPoolConfig{Workers: 20, SpammerFraction: 0.2, Seed: 10})
+	for k := 0; k < 100; k++ {
+		p.Grade(rng, 3) // must not panic; base gaussOracle grades
+	}
+}
+
+func TestWorkerPoolValidation(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("nil base", func() { NewWorkerPool(nil, WorkerPoolConfig{}) })
+	assertPanics("fractions", func() {
+		poolOver(WorkerPoolConfig{SpammerFraction: 0.7, AdversaryFraction: 0.7})
+	})
+	assertPanics("grade unsupported", func() {
+		p := NewWorkerPool(FuncOracle{N: 2, Pref: func(*rand.Rand, int, int) float64 { return 0 }}, WorkerPoolConfig{})
+		p.Grade(rand.New(rand.NewSource(1)), 0)
+	})
+}
+
+func TestWorkerPoolEngineIntegration(t *testing.T) {
+	// The decorated oracle composes with the engine like any other.
+	p := poolOver(WorkerPoolConfig{Workers: 30, SpammerFraction: 0.1, Seed: 11})
+	e := NewEngine(p, rand.New(rand.NewSource(12)))
+	v := e.Draw(0, 9, 500)
+	if v.Mean <= 0 {
+		t.Errorf("best-vs-worst mean %v not positive under 10%% spammers", v.Mean)
+	}
+	if e.TMC() != 500 {
+		t.Errorf("TMC = %d", e.TMC())
+	}
+}

@@ -1,0 +1,41 @@
+package dataset
+
+import "testing"
+
+// Preference sampling is the innermost loop of every simulation; these
+// benchmarks size one microtask per dataset mechanism.
+
+func benchPreference(b *testing.B, s Source) {
+	b.Helper()
+	rng := newRand(1)
+	n := s.NumItems()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Preference(rng, i%(n-1), n-1)
+	}
+}
+
+func BenchmarkPreferenceIMDb(b *testing.B)   { benchPreference(b, NewIMDb(1)) }
+func BenchmarkPreferenceJester(b *testing.B) { benchPreference(b, NewJester(2)) }
+func BenchmarkPreferencePhoto(b *testing.B)  { benchPreference(b, NewPhoto(3)) }
+func BenchmarkPreferenceLatent(b *testing.B) { benchPreference(b, NewSynthetic(200, 0.3, 4)) }
+
+func BenchmarkGenerateIMDb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewIMDb(int64(i))
+	}
+}
+
+func BenchmarkGeneratePhoto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewPhoto(int64(i))
+	}
+}
+
+func BenchmarkPairMomentsJesterColdAndHot(b *testing.B) {
+	j := NewJester(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.PairMoments(i%99, 99)
+	}
+}

@@ -1,0 +1,387 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/stats"
+)
+
+// checkSourceContract exercises the invariants every Source must satisfy.
+func checkSourceContract(t *testing.T, s Source) {
+	t.Helper()
+	n := s.NumItems()
+	if n < 2 {
+		t.Fatalf("%s: NumItems = %d", s.Name(), n)
+	}
+
+	// Ranks are a permutation of 0..n-1.
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		r := s.TrueRank(i)
+		if r < 0 || r >= n || seen[r] {
+			t.Fatalf("%s: TrueRank not a permutation at item %d (rank %d)", s.Name(), i, r)
+		}
+		seen[r] = true
+	}
+
+	// Order inverts TrueRank.
+	order := Order(s)
+	for r, item := range order {
+		if s.TrueRank(item) != r {
+			t.Fatalf("%s: Order[%d] = %d but TrueRank = %d", s.Name(), r, item, s.TrueRank(item))
+		}
+	}
+
+	rng := newRand(123)
+	for trial := 0; trial < 50; trial++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		// Preferences stay in [-1, 1].
+		for k := 0; k < 20; k++ {
+			v := s.Preference(rng, i, j)
+			if v < -1 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s: preference %v outside [-1,1] for (%d,%d)", s.Name(), v, i, j)
+			}
+		}
+		// PairMoments are antisymmetric in the mean, symmetric in sigma.
+		mu1, sd1 := s.PairMoments(i, j)
+		mu2, sd2 := s.PairMoments(j, i)
+		if math.Abs(mu1+mu2) > 1e-12 || math.Abs(sd1-sd2) > 1e-12 {
+			t.Fatalf("%s: PairMoments not antisymmetric for (%d,%d): (%v,%v) vs (%v,%v)",
+				s.Name(), i, j, mu1, sd1, mu2, sd2)
+		}
+		if sd1 < 0 {
+			t.Fatalf("%s: negative sigma %v", s.Name(), sd1)
+		}
+	}
+
+	// The empirical preference mean must track PairMoments for a
+	// well-separated pair (best vs worst).
+	best, worst := order[0], order[n-1]
+	mu, _ := s.PairMoments(best, worst)
+	var run stats.Running
+	for k := 0; k < 4000; k++ {
+		run.Add(s.Preference(rng, best, worst))
+	}
+	if math.Abs(run.Mean()-mu) > 0.05 {
+		t.Errorf("%s: empirical mean %v far from moment mean %v (best vs worst)", s.Name(), run.Mean(), mu)
+	}
+	if mu <= 0 {
+		t.Errorf("%s: best-vs-worst moment mean %v not positive", s.Name(), mu)
+	}
+}
+
+func TestSourceContracts(t *testing.T) {
+	sources := []Source{
+		NewIMDb(1),
+		NewBook(2),
+		NewJester(3),
+		NewPhoto(4),
+		NewPeopleAge(5),
+		NewSynthetic(50, 0.3, 6),
+	}
+	for _, s := range sources {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) { checkSourceContract(t, s) })
+	}
+}
+
+func TestPaperCardinalities(t *testing.T) {
+	if n := NewIMDb(1).NumItems(); n != 1225 {
+		t.Errorf("IMDb N = %d, want 1225", n)
+	}
+	if n := NewBook(1).NumItems(); n != 537 {
+		t.Errorf("Book N = %d, want 537", n)
+	}
+	if n := NewJester(1).NumItems(); n != 100 {
+		t.Errorf("Jester N = %d, want 100", n)
+	}
+	if n := NewPhoto(1).NumItems(); n != 200 {
+		t.Errorf("Photo N = %d, want 200", n)
+	}
+	if n := NewPeopleAge(1).NumItems(); n != 100 {
+		t.Errorf("PeopleAge N = %d, want 100", n)
+	}
+}
+
+func TestIMDbVotesAboveFilter(t *testing.T) {
+	im := NewIMDb(7)
+	for i := 0; i < im.NumItems(); i++ {
+		if im.Votes(i) < 100_000 {
+			t.Fatalf("item %d has %d votes, below the 100k filter", i, im.Votes(i))
+		}
+	}
+}
+
+func TestHistogramsNormalized(t *testing.T) {
+	for _, h := range []*Histogram{NewIMDb(8), NewBook(9)} {
+		if h.Scale() != 10 {
+			t.Errorf("%s scale = %d, want 10", h.Name(), h.Scale())
+		}
+		for i := 0; i < h.NumItems(); i += 97 {
+			sum := 0.0
+			for _, p := range h.HistogramOf(i) {
+				if p < 0 {
+					t.Fatalf("%s item %d has negative bin %v", h.Name(), i, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%s item %d histogram sums to %v", h.Name(), i, sum)
+			}
+		}
+	}
+}
+
+func TestWeightedRank(t *testing.T) {
+	// With no votes the weighted rank is the prior C; with infinite votes
+	// it approaches the mean.
+	if got := WeightedRank(9.0, 0, 25000, 6.9); got != 6.9 {
+		t.Errorf("zero votes: %v, want 6.9", got)
+	}
+	if got := WeightedRank(9.0, 100_000_000, 25000, 6.9); math.Abs(got-9.0) > 0.01 {
+		t.Errorf("many votes: %v, want ≈ 9.0", got)
+	}
+	// Paper constants: 100k votes shrink a 9.0 movie to 0.8·9 + 0.2·6.9 = 8.58.
+	if got := WeightedRank(9.0, 100_000, 25000, 6.9); math.Abs(got-8.58) > 1e-12 {
+		t.Errorf("paper example: %v, want 8.58", got)
+	}
+}
+
+func TestIMDbGroundTruthUsesWeightedRank(t *testing.T) {
+	// Construct a tiny histogram dataset where raw means and weighted ranks
+	// disagree: a high-mean item with few votes must rank below a slightly
+	// lower-mean item with huge support when K is large.
+	// We verify on the real generator that rank ordering follows the
+	// weighted rank, not the raw mean, whenever the two disagree.
+	im := NewIMDb(10)
+	disagreements := 0
+	for i := 0; i < im.NumItems()-1 && disagreements < 5; i++ {
+		for j := i + 1; j < im.NumItems() && disagreements < 5; j++ {
+			mi, _ := im.PairMoments(i, j)
+			wi := WeightedRank(rawMean(im, i), im.Votes(i), 25000, 6.9)
+			wj := WeightedRank(rawMean(im, j), im.Votes(j), 25000, 6.9)
+			if (mi > 0) == (wi > wj) {
+				continue // raw-mean order agrees with weighted order
+			}
+			disagreements++
+			if (im.TrueRank(i) < im.TrueRank(j)) != (wi > wj) {
+				t.Fatalf("items %d,%d: rank order contradicts weighted rank", i, j)
+			}
+		}
+	}
+}
+
+func rawMean(h *Histogram, i int) float64 {
+	m := 0.0
+	for b, p := range h.HistogramOf(i) {
+		m += float64(b+1) * p
+	}
+	return m
+}
+
+func TestJesterJudgmentsComeFromUsers(t *testing.T) {
+	j := NewJester(11)
+	if j.Users() != 5000 {
+		t.Errorf("Users = %d, want 5000", j.Users())
+	}
+	// Every preference must be expressible as a rating difference / 20 of
+	// some user; in particular the set of values for one pair is finite.
+	rng := newRand(12)
+	vals := make(map[float64]bool)
+	for k := 0; k < 1000; k++ {
+		vals[j.Preference(rng, 0, 1)] = true
+	}
+	if len(vals) > j.Users() {
+		t.Errorf("more distinct judgment values (%d) than users", len(vals))
+	}
+}
+
+func TestPhotoRecordsAreLikert(t *testing.T) {
+	p := NewPhoto(13)
+	// All records live on the 8-point Likert lattice {±1/7, ±3/7, ±5/7, ±1}.
+	lattice := map[float64]bool{}
+	for _, l := range []float64{1, 3, 5, 7} {
+		lattice[l/7] = true
+		lattice[-l/7] = true
+	}
+	recs := p.Records(0, 1)
+	if len(recs) < 10 {
+		t.Fatalf("pair has %d records, want >= 10", len(recs))
+	}
+	for _, r := range recs {
+		ok := false
+		for v := range lattice {
+			if math.Abs(r-v) < 1e-12 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("record %v not on the 8-point Likert lattice", r)
+		}
+	}
+	// Records are antisymmetric under orientation flip.
+	flip := p.Records(1, 0)
+	for t2 := range recs {
+		if recs[t2] != -flip[t2] {
+			t.Fatal("Records not antisymmetric")
+		}
+	}
+}
+
+func TestPhotoPreferenceReplaysDatabase(t *testing.T) {
+	p := NewPhoto(14)
+	recs := map[float64]bool{}
+	for _, r := range p.Records(5, 9) {
+		recs[r] = true
+	}
+	rng := newRand(15)
+	for k := 0; k < 200; k++ {
+		v := p.Preference(rng, 5, 9)
+		if !recs[v] {
+			t.Fatalf("preference %v not in the stored record set", v)
+		}
+	}
+}
+
+func TestPeopleAgeYoungestRankFirst(t *testing.T) {
+	pa := NewPeopleAge(16)
+	order := Order(pa)
+	// The best item must have the highest score (= youngest person).
+	best := order[0]
+	for i := 0; i < pa.NumItems(); i++ {
+		if pa.Score(i) > pa.Score(best) {
+			t.Fatalf("item %d has better score than rank-0 item", i)
+		}
+	}
+	// Noise grows with age: sigma between the two oldest items exceeds
+	// sigma between the two youngest.
+	youngA, youngB := order[0], order[1]
+	oldA, oldB := order[len(order)-1], order[len(order)-2]
+	_, sdYoung := pa.PairMoments(youngA, youngB)
+	_, sdOld := pa.PairMoments(oldA, oldB)
+	if sdOld <= sdYoung {
+		t.Errorf("age-dependent noise violated: old sd %v <= young sd %v", sdOld, sdYoung)
+	}
+}
+
+func TestSubsetRemapsEverything(t *testing.T) {
+	base := NewSynthetic(30, 0.2, 17)
+	items := []int{5, 0, 12, 29, 7}
+	sub := NewSubset(base, items)
+	if sub.NumItems() != 5 {
+		t.Fatalf("subset size = %d", sub.NumItems())
+	}
+	// Ranks inside the subset respect base ranks.
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			if a == b {
+				continue
+			}
+			baseLess := base.TrueRank(items[a]) < base.TrueRank(items[b])
+			subLess := sub.TrueRank(a) < sub.TrueRank(b)
+			if baseLess != subLess {
+				t.Fatalf("subset rank order differs from base for %d,%d", a, b)
+			}
+		}
+	}
+	// Moments delegate to the base pair.
+	muS, sdS := sub.PairMoments(0, 2)
+	muB, sdB := base.PairMoments(5, 12)
+	if muS != muB || sdS != sdB {
+		t.Errorf("subset moments (%v,%v) differ from base (%v,%v)", muS, sdS, muB, sdB)
+	}
+	checkSourceContract(t, sub)
+}
+
+func TestRandomSubsetDistinct(t *testing.T) {
+	base := NewJester(18)
+	sub := RandomSubset(base, 25, newRand(19))
+	if sub.NumItems() != 25 {
+		t.Fatalf("size = %d, want 25", sub.NumItems())
+	}
+	checkSourceContract(t, sub)
+}
+
+func TestSubsetPanics(t *testing.T) {
+	base := NewSynthetic(10, 0.2, 20)
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("out of range", func() { NewSubset(base, []int{0, 10}) })
+	assertPanic("duplicate", func() { NewSubset(base, []int{3, 3}) })
+	assertPanic("too large random", func() { RandomSubset(base, 11, newRand(1)) })
+	assertPanic("TopK k", func() { TopK(base, 11) })
+}
+
+func TestGradersGradeOnNativeScale(t *testing.T) {
+	rng := newRand(21)
+	var graders = []struct {
+		s      Source
+		lo, hi float64
+	}{
+		{NewIMDb(22), 1, 10},
+		{NewBook(23), 1, 10},
+		{NewJester(24), -10, 10},
+	}
+	for _, g := range graders {
+		gr := g.s.(crowd.Grader)
+		for k := 0; k < 100; k++ {
+			v := gr.Grade(rng, k%g.s.NumItems())
+			if v < g.lo || v > g.hi {
+				t.Errorf("%s grade %v outside [%v,%v]", g.s.Name(), v, g.lo, g.hi)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := NewIMDb(42), NewIMDb(42)
+	for i := 0; i < a.NumItems(); i += 111 {
+		if a.TrueRank(i) != b.TrueRank(i) || a.Votes(i) != b.Votes(i) {
+			t.Fatalf("same seed, different dataset at item %d", i)
+		}
+	}
+	c := NewIMDb(43)
+	diff := 0
+	for i := 0; i < a.NumItems(); i++ {
+		if a.TrueRank(i) != c.TrueRank(i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical rank permutations")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("histogram N", func() { NewHistogram(HistogramConfig{N: 1, Scale: 10, VotesLo: 1, VotesHi: 2}) })
+	assertPanic("histogram scale", func() { NewHistogram(HistogramConfig{N: 5, Scale: 1, VotesLo: 1, VotesHi: 2}) })
+	assertPanic("histogram votes", func() { NewHistogram(HistogramConfig{N: 5, Scale: 10, VotesLo: 10, VotesHi: 5}) })
+	assertPanic("matrix items", func() { NewMatrix(MatrixConfig{Items: 1, Users: 5, Lo: 0, Hi: 1}) })
+	assertPanic("matrix scale", func() { NewMatrix(MatrixConfig{Items: 5, Users: 5, Lo: 1, Hi: 1}) })
+	assertPanic("judgmentdb N", func() { NewJudgmentDB(JudgmentDBConfig{N: 1, RecordsPerPair: 5, LikertPoints: 8}) })
+	assertPanic("judgmentdb likert odd", func() { NewJudgmentDB(JudgmentDBConfig{N: 5, RecordsPerPair: 5, LikertPoints: 7}) })
+	assertPanic("judgmentdb records", func() { NewJudgmentDB(JudgmentDBConfig{N: 5, RecordsPerPair: 0, LikertPoints: 8}) })
+	assertPanic("latent scores", func() { NewLatent(LatentConfig{Scores: []float64{1}}) })
+	assertPanic("latent noise", func() { NewLatent(LatentConfig{Scores: []float64{1, 2}, NoiseSD: -1}) })
+	assertPanic("latent per-item", func() { NewLatent(LatentConfig{Scores: []float64{1, 2}, PerItemNoise: []float64{1}}) })
+}

@@ -1,0 +1,28 @@
+// Package dataset provides the item collections and crowd oracles used in
+// the paper's evaluation (§6.1 and Appendix F): IMDb, Book, Jester, Photo
+// and PeopleAge, plus a configurable synthetic source for examples and
+// tests.
+//
+// The original datasets are proprietary dumps (IMDb interface files,
+// Book-Crossing, the Jester matrix) or bespoke CrowdFlower collections
+// (Photo, PeopleAge). This package generates synthetic stand-ins with the
+// same *mechanics* and statistics:
+//
+//   - IMDb/Book: items carry vote histograms on a 1..10 scale; a pairwise
+//     judgment samples one rating per item from the histograms and returns
+//     the normalized difference — exactly how the paper simulates
+//     preference judgments from rating data. Ground truth follows the
+//     paper's weighted-rank formula for IMDb and the histogram mean for
+//     Book.
+//   - Jester: a dense user×joke rating matrix; a judgment picks a random
+//     user and differences her two ratings, preserving inter-user
+//     disagreement.
+//   - Photo: a replayed judgment database with ≥10 pre-collected 8-point
+//     Likert records per pair; a judgment samples one stored record.
+//   - PeopleAge: photos of people aged 1..100 with age-dependent
+//     perception noise; the query asks for the k youngest.
+//
+// All generators are deterministic in their seed. Every source implements
+// crowd.Oracle and crowd.TruthOracle; those that can answer absolute
+// rating microtasks also implement crowd.Grader.
+package dataset

@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CSV loaders parse untrusted files; fuzz them for panics — any
+// malformed input must come back as an error.
+
+func FuzzLoadHistogramCSV(f *testing.F) {
+	f.Add("a,10,1,2\nb,10,2,1")
+	f.Add("a,10,1,2,3,4\nb,0,1,2,3,4")
+	f.Add("x")
+	f.Add("a,10,-1\nb,2,3")
+	f.Fuzz(func(t *testing.T, data string) {
+		h, err := LoadHistogramCSV(strings.NewReader(data), "fuzz", 25000, 6.9)
+		if err != nil {
+			return
+		}
+		// A successfully loaded dataset must satisfy basic invariants.
+		if h.NumItems() < 2 || h.Scale() < 2 {
+			t.Fatalf("accepted degenerate dataset: n=%d scale=%d", h.NumItems(), h.Scale())
+		}
+		rng := newRand(1)
+		v := h.Preference(rng, 0, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("loaded dataset produced preference %v", v)
+		}
+	})
+}
+
+func FuzzLoadMatrixCSV(f *testing.F) {
+	f.Add("1,2\n3,4")
+	f.Add("1,2,3")
+	f.Add("")
+	f.Add("x,y\n1,2")
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := LoadMatrixCSV(strings.NewReader(data), "fuzz", -10, 10)
+		if err != nil {
+			return
+		}
+		if m.NumItems() < 2 || m.Users() < 1 {
+			t.Fatalf("accepted degenerate matrix: %d items, %d users", m.NumItems(), m.Users())
+		}
+	})
+}
+
+func FuzzLoadJudgmentCSV(f *testing.F) {
+	f.Add("0,1,0.5\n0,2,0.1\n1,2,-0.2", 3)
+	f.Add("0,1,0.5", 2)
+	f.Add("0,0,0", 2)
+	f.Add("junk", 5)
+	f.Fuzz(func(t *testing.T, data string, n int) {
+		if n < 2 || n > 20 {
+			return // keep the pair matrix small
+		}
+		db, err := LoadJudgmentCSV(strings.NewReader(data), "fuzz", n)
+		if err != nil {
+			return
+		}
+		rng := newRand(2)
+		v := db.Preference(rng, 0, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("loaded judgment DB produced preference %v", v)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"crowdtopk/internal/stats"
+)
+
+// JudgmentDB is a replayed judgment database in the style of the paper's
+// Photo dataset: every unordered pair carries a set of pre-collected
+// discrete (Likert-scale) preference records, and a judgment microtask
+// samples one stored record uniformly (§6.1).
+type JudgmentDB struct {
+	name string
+	n    int
+	// records[p] holds the stored preferences of canonical pair p,
+	// oriented toward the lower item index and already normalized to
+	// [-1, 1].
+	records [][]float64
+	moments [][2]float64 // per-pair mean and population SD
+	rank    []int
+}
+
+// JudgmentDBConfig parameterizes the synthetic judgment-database generator.
+type JudgmentDBConfig struct {
+	Name string
+	N    int
+	// RecordsPerPair is the minimum number of stored judgments per pair
+	// (the paper collects at least 10).
+	RecordsPerPair int
+	// LikertPoints is the number of scale points (the paper uses 8, i.e.
+	// no neutral option).
+	LikertPoints int
+	// Gain scales latent score differences into the Likert continuum;
+	// NoiseSD is the per-record worker noise before discretization.
+	Gain, NoiseSD float64
+	Seed          int64
+}
+
+// NewJudgmentDB generates a judgment database from the config. Latent item
+// scores are uniform in [0, 1]; each stored record discretizes
+// Gain·(s_i − s_j) + noise onto the Likert scale.
+func NewJudgmentDB(cfg JudgmentDBConfig) *JudgmentDB {
+	if cfg.N < 2 {
+		panic(fmt.Sprintf("dataset: NewJudgmentDB requires N >= 2, got %d", cfg.N))
+	}
+	if cfg.RecordsPerPair < 1 {
+		panic(fmt.Sprintf("dataset: NewJudgmentDB requires RecordsPerPair >= 1, got %d", cfg.RecordsPerPair))
+	}
+	if cfg.LikertPoints < 2 || cfg.LikertPoints%2 != 0 {
+		panic(fmt.Sprintf("dataset: NewJudgmentDB requires an even LikertPoints >= 2, got %d", cfg.LikertPoints))
+	}
+	rng := newRand(cfg.Seed)
+
+	scores := make([]float64, cfg.N)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+
+	db := &JudgmentDB{
+		name:    cfg.Name,
+		n:       cfg.N,
+		records: make([][]float64, cfg.N*(cfg.N-1)/2),
+		moments: make([][2]float64, cfg.N*(cfg.N-1)/2),
+	}
+	borda := make([]float64, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		for j := i + 1; j < cfg.N; j++ {
+			p := db.pairIndex(i, j)
+			count := cfg.RecordsPerPair + rng.Intn(cfg.RecordsPerPair/2+1)
+			recs := make([]float64, count)
+			var r stats.Running
+			for t := range recs {
+				raw := cfg.Gain*(scores[i]-scores[j]) + rng.NormFloat64()*cfg.NoiseSD
+				recs[t] = likert(raw, cfg.LikertPoints)
+				r.Add(recs[t])
+			}
+			db.records[p] = recs
+			sd := r.SD()
+			if n := r.N(); n > 1 {
+				sd *= math.Sqrt(float64(n-1) / float64(n))
+			}
+			db.moments[p] = [2]float64{r.Mean(), sd}
+			borda[i] += r.Mean()
+			borda[j] -= r.Mean()
+		}
+	}
+	// Ground truth is the order induced by the database itself (mean
+	// stored preference against every other item): with finitely many
+	// records per pair, the replay distribution is the only observable —
+	// the latent generator order may disagree with it on close pairs and
+	// would then be unlearnable by ANY judgment-based method.
+	db.rank = ranksFromScores(borda)
+	return db
+}
+
+// NewPhoto returns the Photo-like dataset: 200 items, at least 10 stored
+// 8-point-Likert judgments per pair.
+func NewPhoto(seed int64) *JudgmentDB {
+	return NewJudgmentDB(JudgmentDBConfig{
+		Name:           "photo",
+		N:              200,
+		RecordsPerPair: 10,
+		LikertPoints:   8,
+		Gain:           1.2,
+		NoiseSD:        0.55,
+		Seed:           seed,
+	})
+}
+
+// likert discretizes a raw preference in the continuum onto a points-level
+// scale with no neutral option, normalized to [-1, 1]. With points = 8 the
+// attainable values are ±1/7, ±3/7, ±5/7, ±1.
+func likert(raw float64, points int) float64 {
+	half := points / 2
+	// Map |raw| in [0, ~1] onto level 1..half.
+	level := int(math.Ceil(clamp(math.Abs(raw), 1e-9, 1) * float64(half)))
+	if level < 1 {
+		level = 1
+	}
+	if level > half {
+		level = half
+	}
+	v := float64(2*level-1) / float64(points-1)
+	if raw < 0 {
+		return -v
+	}
+	return v
+}
+
+func (db *JudgmentDB) pairIndex(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Index of (i, j), i < j, in row-major upper-triangular order.
+	return i*(2*db.n-i-1)/2 + (j - i - 1)
+}
+
+// Name implements Source.
+func (db *JudgmentDB) Name() string { return db.name }
+
+// NumItems implements crowd.Oracle.
+func (db *JudgmentDB) NumItems() int { return db.n }
+
+// Preference implements crowd.Oracle: one stored record sampled uniformly
+// with replacement, as the paper replays its CrowdFlower database.
+func (db *JudgmentDB) Preference(rng *randSource, i, j int) float64 {
+	recs := db.records[db.pairIndex(i, j)]
+	v := recs[rng.Intn(len(recs))]
+	if i > j {
+		return -v
+	}
+	return v
+}
+
+// TrueRank implements crowd.TruthOracle.
+func (db *JudgmentDB) TrueRank(i int) int { return db.rank[i] }
+
+// PairMoments implements crowd.TruthOracle: the exact moments of the
+// record-replay distribution.
+func (db *JudgmentDB) PairMoments(i, j int) (float64, float64) {
+	m := db.moments[db.pairIndex(i, j)]
+	mu, sd := m[0], m[1]
+	if i > j {
+		mu = -mu
+	}
+	return mu, sd
+}
+
+// Records returns the stored judgments for pair (i, j) oriented toward i.
+// The returned slice is freshly allocated.
+func (db *JudgmentDB) Records(i, j int) []float64 {
+	recs := db.records[db.pairIndex(i, j)]
+	out := make([]float64, len(recs))
+	copy(out, recs)
+	if i > j {
+		for t := range out {
+			out[t] = -out[t]
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"crowdtopk/internal/stats"
+)
+
+// Latent is a dataset defined directly by hidden item scores s(o_i): a
+// judgment returns clamp(Gain·(s_i − s_j) + noise) as the paper's model of
+// §3.1, with Gaussian worker noise. It backs the quickstart/synthetic
+// scenarios and the PeopleAge reproduction.
+type Latent struct {
+	name    string
+	scores  []float64
+	gain    float64
+	noiseSD []float64 // per-item noise contribution (age-dependent for PeopleAge)
+	rank    []int
+}
+
+// LatentConfig parameterizes the synthetic latent-score generator.
+type LatentConfig struct {
+	Name string
+	// Scores are the hidden item scores (higher is better). They are
+	// copied.
+	Scores []float64
+	// Gain scales score differences into the preference continuum.
+	Gain float64
+	// NoiseSD is the common worker noise; PerItemNoise optionally adds an
+	// item-specific component (combined in quadrature).
+	NoiseSD      float64
+	PerItemNoise []float64
+}
+
+// NewLatent builds a latent-score dataset.
+func NewLatent(cfg LatentConfig) *Latent {
+	if len(cfg.Scores) < 2 {
+		panic(fmt.Sprintf("dataset: NewLatent requires >= 2 scores, got %d", len(cfg.Scores)))
+	}
+	if cfg.NoiseSD < 0 {
+		panic(fmt.Sprintf("dataset: NewLatent requires NoiseSD >= 0, got %v", cfg.NoiseSD))
+	}
+	if cfg.PerItemNoise != nil && len(cfg.PerItemNoise) != len(cfg.Scores) {
+		panic("dataset: PerItemNoise length must match Scores")
+	}
+	scores := make([]float64, len(cfg.Scores))
+	copy(scores, cfg.Scores)
+	noise := make([]float64, len(scores))
+	for i := range noise {
+		n2 := cfg.NoiseSD * cfg.NoiseSD / 2 // split common noise across the two items
+		if cfg.PerItemNoise != nil {
+			n2 += cfg.PerItemNoise[i] * cfg.PerItemNoise[i]
+		}
+		noise[i] = math.Sqrt(n2)
+	}
+	return &Latent{
+		name:    cfg.Name,
+		scores:  scores,
+		gain:    cfg.Gain,
+		noiseSD: noise,
+		rank:    ranksFromScores(scores),
+	}
+}
+
+// NewSynthetic returns a generic n-item dataset with latent scores drawn
+// uniformly from [0, 1] and homogeneous worker noise. It is the quickstart
+// workload: difficulty grows smoothly as items get closer in score.
+func NewSynthetic(n int, noiseSD float64, seed int64) *Latent {
+	rng := newRand(seed)
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	return NewLatent(LatentConfig{
+		Name:    "synthetic",
+		Scores:  scores,
+		Gain:    1.0,
+		NoiseSD: noiseSD,
+	})
+}
+
+// NewPeopleAge returns the Appendix F interactive dataset: 100 people aged
+// 1..100 (shuffled item order), where the query asks for the youngest
+// people, i.e. s(o_i) = −age_i. Age-perception noise grows with age:
+// σ(age) = 2 + 0.08·age years.
+func NewPeopleAge(seed int64) *Latent {
+	rng := newRand(seed)
+	perm := rng.Perm(100)
+	scores := make([]float64, 100)
+	perItem := make([]float64, 100)
+	for i, p := range perm {
+		age := float64(p + 1)
+		scores[i] = -age / 99 // normalized: younger is better
+		perItem[i] = (2 + 0.08*age) / 99
+	}
+	return NewLatent(LatentConfig{
+		Name:         "peopleage",
+		Scores:       scores,
+		Gain:         1.0,
+		NoiseSD:      0,
+		PerItemNoise: perItem,
+	})
+}
+
+// Name implements Source.
+func (l *Latent) Name() string { return l.name }
+
+// NumItems implements crowd.Oracle.
+func (l *Latent) NumItems() int { return len(l.scores) }
+
+// Preference implements crowd.Oracle.
+func (l *Latent) Preference(rng *randSource, i, j int) float64 {
+	mu, sd := l.rawMoments(i, j)
+	return clamp(mu+rng.NormFloat64()*sd, -1, 1)
+}
+
+// Grade implements crowd.Grader: the latent score plus one item's worth of
+// perception noise.
+func (l *Latent) Grade(rng *randSource, i int) float64 {
+	return l.scores[i] + rng.NormFloat64()*l.noiseSD[i]
+}
+
+// TrueRank implements crowd.TruthOracle.
+func (l *Latent) TrueRank(i int) int { return l.rank[i] }
+
+// rawMoments returns the pre-clamping Gaussian parameters of the
+// judgment distribution for the pair.
+func (l *Latent) rawMoments(i, j int) (float64, float64) {
+	mu := l.gain * (l.scores[i] - l.scores[j])
+	sd := l.gain * math.Hypot(l.noiseSD[i], l.noiseSD[j])
+	return mu, sd
+}
+
+// PairMoments implements crowd.TruthOracle: the exact moments of the
+// clamp-to-[-1,1] (censored Gaussian) judgment distribution.
+func (l *Latent) PairMoments(i, j int) (float64, float64) {
+	mu, sd := l.rawMoments(i, j)
+	return stats.CensoredNormalMoments(mu, sd, -1, 1)
+}
+
+// Score returns item i's hidden score; for evaluation only.
+func (l *Latent) Score(i int) float64 { return l.scores[i] }

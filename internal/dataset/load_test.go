@@ -1,0 +1,209 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLoadHistogramCSV(t *testing.T) {
+	// Three items on a 1..5 scale. Item "good" has high ratings, "bad"
+	// low; "niche" is great but has few votes, so the weighted rank must
+	// pull it below "good" when k is large.
+	csvData := strings.Join([]string{
+		"good,100000,0,0,10,40,50",
+		"bad,100000,50,40,10,0,0",
+		"niche,100,0,0,0,10,90",
+	}, "\n")
+	h, err := LoadHistogramCSV(strings.NewReader(csvData), "mini", 25000, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "mini" || h.NumItems() != 3 || h.Scale() != 5 {
+		t.Fatalf("metadata: %s %d %d", h.Name(), h.NumItems(), h.Scale())
+	}
+	// Histogram means: good = 4.4, bad = 1.6, niche = 4.9.
+	mu, _ := h.PairMoments(0, 1)
+	if want := (4.4 - 1.6) / 4; math.Abs(mu-want) > 1e-9 {
+		t.Errorf("mean diff = %v, want %v", mu, want)
+	}
+	// Weighted rank demotes the under-voted niche item below good.
+	if !(h.TrueRank(0) < h.TrueRank(2) && h.TrueRank(2) < h.TrueRank(1)) {
+		t.Errorf("ranks: good=%d niche=%d bad=%d", h.TrueRank(0), h.TrueRank(2), h.TrueRank(1))
+	}
+	checkSourceContract(t, h)
+
+	// Plain-mean ground truth (k=0) ranks niche first instead.
+	h2, err := LoadHistogramCSV(strings.NewReader(csvData), "mini2", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.TrueRank(2) != 0 {
+		t.Errorf("plain-mean rank of niche = %d, want 0", h2.TrueRank(2))
+	}
+}
+
+func TestLoadHistogramCSVErrors(t *testing.T) {
+	cases := []string{
+		"solo,10,1,2",                  // single item
+		"a,10,1,2\nb,10,1",             // ragged row
+		"a,0,1,2\nb,10,1,2",            // zero votes
+		"a,10,-1,2\nb,10,1,2",          // negative count
+		"a,10,0,0\nb,10,1,2",           // empty histogram
+		"a,x,1,2\nb,10,1,2",            // bad votes
+		"a,10,y,2\nb,10,1,2",           // bad count
+		"a,10\nb,10",                   // no rating columns
+		"a,10,1,2\nb,10,1,2,3",         // inconsistent width (csv error)
+		"\"unterminated,10,1,2\nb,1,1", // csv syntax error
+	}
+	for _, c := range cases {
+		if _, err := LoadHistogramCSV(strings.NewReader(c), "x", 0, 0); err == nil {
+			t.Errorf("accepted malformed input %q", c)
+		}
+	}
+}
+
+func TestLoadMatrixCSV(t *testing.T) {
+	csvData := "5,-3,0\n4,-5,2\n3,-1,1"
+	m, err := LoadMatrixCSV(strings.NewReader(csvData), "jmini", -10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumItems() != 3 || m.Users() != 3 {
+		t.Fatalf("shape: %d items, %d users", m.NumItems(), m.Users())
+	}
+	// Means: item0 = 4, item1 = -3, item2 = 1 → ranks 0, 2, 1.
+	if m.TrueRank(0) != 0 || m.TrueRank(1) != 2 || m.TrueRank(2) != 1 {
+		t.Errorf("ranks: %d %d %d", m.TrueRank(0), m.TrueRank(1), m.TrueRank(2))
+	}
+	// Judgments are per-user differences / 20.
+	mu, _ := m.PairMoments(0, 1)
+	if want := (4.0 - (-3.0)) / 20; math.Abs(mu-want) > 1e-9 {
+		t.Errorf("pair mean = %v, want %v", mu, want)
+	}
+	checkSourceContract(t, m)
+}
+
+func TestLoadMatrixCSVErrors(t *testing.T) {
+	cases := []struct {
+		data   string
+		lo, hi float64
+	}{
+		{"5", -10, 10},         // one item
+		{"5,3\n4", -10, 10},    // ragged (csv error)
+		{"5,30\n4,3", -10, 10}, // out of scale
+		{"5,x\n4,3", -10, 10},  // non-numeric
+		{"5,3\n4,3", 10, -10},  // inverted scale
+		{"", -10, 10},          // empty
+	}
+	for _, c := range cases {
+		if _, err := LoadMatrixCSV(strings.NewReader(c.data), "x", c.lo, c.hi); err == nil {
+			t.Errorf("accepted malformed input %q", c.data)
+		}
+	}
+}
+
+func TestLoadJudgmentCSV(t *testing.T) {
+	// Three items; every pair has records. Item 0 beats both, 1 beats 2.
+	csvData := strings.Join([]string{
+		"0,1,0.6", "1,0,-0.4", "0,2,0.8", "2,0,-1", "1,2,0.3", "1,2,0.5",
+	}, "\n")
+	db, err := LoadJudgmentCSV(strings.NewReader(csvData), "pmini", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumItems() != 3 {
+		t.Fatalf("n = %d", db.NumItems())
+	}
+	if db.TrueRank(0) != 0 || db.TrueRank(1) != 1 || db.TrueRank(2) != 2 {
+		t.Errorf("ranks: %d %d %d", db.TrueRank(0), db.TrueRank(1), db.TrueRank(2))
+	}
+	// Pair (0,1) records: 0.6 and (flipped) 0.4 → mean 0.5.
+	mu, _ := db.PairMoments(0, 1)
+	if math.Abs(mu-0.5) > 1e-9 {
+		t.Errorf("pair (0,1) mean = %v, want 0.5", mu)
+	}
+	// Replay serves only stored values.
+	rng := newRand(9)
+	for k := 0; k < 50; k++ {
+		v := db.Preference(rng, 1, 2)
+		if v != 0.3 && v != 0.5 {
+			t.Fatalf("unexpected replayed value %v", v)
+		}
+	}
+	checkSourceContract(t, db)
+}
+
+func TestLoadJudgmentCSVErrors(t *testing.T) {
+	cases := []struct {
+		data string
+		n    int
+	}{
+		{"0,1,0.5", 1}, // n too small
+		{"0,1,0.5", 3}, // missing pair (0,2) etc.
+		{"0,0,0.5\n0,1,0.1\n0,2,0.1\n1,2,0.1", 3}, // self pair
+		{"0,5,0.5\n0,1,0.1\n0,2,0.1\n1,2,0.1", 3}, // out of range
+		{"0,1,2\n0,2,0.1\n1,2,0.1", 3},            // preference out of range
+		{"0,1\n0,2,0.1\n1,2,0.1", 3},              // wrong arity (csv error)
+		{"a,1,0.5\n0,2,0.1\n1,2,0.1", 3},          // non-numeric
+	}
+	for _, c := range cases {
+		if _, err := LoadJudgmentCSV(strings.NewReader(c.data), "x", c.n); err == nil {
+			t.Errorf("accepted malformed input %q", c.data)
+		}
+	}
+}
+
+func TestLoadedRoundTripWithDatagenFormat(t *testing.T) {
+	// A loaded histogram behaves like a generated one end to end: sample
+	// judgments, check moments converge.
+	csvData := "a,1000,1,2,3,4,10\nb,1000,10,4,3,2,1\nc,1000,2,2,2,2,2"
+	h, err := LoadHistogramCSV(strings.NewReader(csvData), "rt", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newRand(10)
+	mu, _ := h.PairMoments(0, 1)
+	sum := 0.0
+	const draws = 20000
+	for k := 0; k < draws; k++ {
+		sum += h.Preference(rng, 0, 1)
+	}
+	if got := sum / draws; math.Abs(got-mu) > 0.02 {
+		t.Errorf("empirical mean %v vs moments %v", got, mu)
+	}
+}
+
+func TestJudgmentDBRoundTripThroughCSV(t *testing.T) {
+	// Dump a generated judgment database in the i,j,preference format and
+	// load it back: moments and ground truth must survive exactly.
+	orig := NewJudgmentDB(JudgmentDBConfig{
+		Name: "rt", N: 12, RecordsPerPair: 6, LikertPoints: 8,
+		Gain: 1.2, NoiseSD: 0.5, Seed: 99,
+	})
+	var sb strings.Builder
+	for i := 0; i < orig.NumItems(); i++ {
+		for j := i + 1; j < orig.NumItems(); j++ {
+			for _, v := range orig.Records(i, j) {
+				fmt.Fprintf(&sb, "%d,%d,%g\n", i, j, v)
+			}
+		}
+	}
+	back, err := LoadJudgmentCSV(strings.NewReader(sb.String()), "rt2", orig.NumItems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < orig.NumItems(); i++ {
+		if back.TrueRank(i) != orig.TrueRank(i) {
+			t.Errorf("item %d rank changed: %d vs %d", i, back.TrueRank(i), orig.TrueRank(i))
+		}
+		for j := i + 1; j < orig.NumItems(); j++ {
+			m1, s1 := orig.PairMoments(i, j)
+			m2, s2 := back.PairMoments(i, j)
+			if math.Abs(m1-m2) > 1e-6 || math.Abs(s1-s2) > 1e-6 {
+				t.Errorf("pair (%d,%d) moments changed: (%v,%v) vs (%v,%v)", i, j, m1, s1, m2, s2)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"crowdtopk/internal/stats"
+)
+
+// Matrix is a dense user×item rating dataset in the style of Jester: a
+// pairwise judgment picks one random user and returns the normalized
+// difference of her ratings for the two items, so inter-user disagreement
+// (not per-rating noise) is the source of comparison difficulty (§6.1).
+type Matrix struct {
+	name    string
+	ratings [][]float64 // ratings[u][i]
+	lo, hi  float64     // rating scale bounds
+	mean    []float64   // per-item mean over users
+	rank    []int
+
+	// momentsMemo caches PairMoments, which require a pass over all users.
+	momentsMemo map[[2]int][2]float64
+}
+
+// MatrixConfig parameterizes the synthetic user×item generator.
+type MatrixConfig struct {
+	Name  string
+	Items int
+	Users int
+	// Lo and Hi bound the rating scale (Jester uses [-10, 10]).
+	Lo, Hi float64
+	// ItemSD spreads the item means; UserBiasSD and NoiseSD shape per-user
+	// systematic and idiosyncratic disagreement.
+	ItemSD, UserBiasSD, NoiseSD float64
+	Seed                        int64
+}
+
+// NewMatrix generates a matrix dataset from the config.
+func NewMatrix(cfg MatrixConfig) *Matrix {
+	if cfg.Items < 2 || cfg.Users < 1 {
+		panic(fmt.Sprintf("dataset: NewMatrix requires Items >= 2 and Users >= 1, got %d, %d", cfg.Items, cfg.Users))
+	}
+	if cfg.Hi <= cfg.Lo {
+		panic(fmt.Sprintf("dataset: NewMatrix requires Lo < Hi, got [%v,%v]", cfg.Lo, cfg.Hi))
+	}
+	rng := newRand(cfg.Seed)
+	mid := (cfg.Lo + cfg.Hi) / 2
+
+	itemMean := make([]float64, cfg.Items)
+	for i := range itemMean {
+		itemMean[i] = clamp(mid+rng.NormFloat64()*cfg.ItemSD, cfg.Lo, cfg.Hi)
+	}
+
+	m := &Matrix{
+		name:        cfg.Name,
+		ratings:     make([][]float64, cfg.Users),
+		lo:          cfg.Lo,
+		hi:          cfg.Hi,
+		mean:        make([]float64, cfg.Items),
+		momentsMemo: make(map[[2]int][2]float64),
+	}
+	for u := 0; u < cfg.Users; u++ {
+		bias := rng.NormFloat64() * cfg.UserBiasSD
+		row := make([]float64, cfg.Items)
+		for i := 0; i < cfg.Items; i++ {
+			row[i] = clamp(itemMean[i]+bias+rng.NormFloat64()*cfg.NoiseSD, cfg.Lo, cfg.Hi)
+		}
+		m.ratings[u] = row
+	}
+	for i := 0; i < cfg.Items; i++ {
+		s := 0.0
+		for u := 0; u < cfg.Users; u++ {
+			s += m.ratings[u][i]
+		}
+		m.mean[i] = s / float64(cfg.Users)
+	}
+	m.rank = ranksFromScores(m.mean)
+	return m
+}
+
+// NewJester returns the Jester-like dataset: 100 jokes rated by a dense
+// population of users on the [−10, 10] scale; ground truth by mean rating.
+func NewJester(seed int64) *Matrix {
+	return NewMatrix(MatrixConfig{
+		Name:       "jester",
+		Items:      100,
+		Users:      5000,
+		Lo:         -10,
+		Hi:         10,
+		ItemSD:     2.2,
+		UserBiasSD: 1.5,
+		NoiseSD:    4.0,
+		Seed:       seed,
+	})
+}
+
+// Name implements Source.
+func (m *Matrix) Name() string { return m.name }
+
+// NumItems implements crowd.Oracle.
+func (m *Matrix) NumItems() int { return len(m.mean) }
+
+// Users returns the number of simulated users.
+func (m *Matrix) Users() int { return len(m.ratings) }
+
+// Preference implements crowd.Oracle: v = (r_{u,i} − r_{u,j})/(hi−lo) for
+// a uniformly random user u.
+func (m *Matrix) Preference(rng *randSource, i, j int) float64 {
+	u := rng.Intn(len(m.ratings))
+	return (m.ratings[u][i] - m.ratings[u][j]) / (m.hi - m.lo)
+}
+
+// Grade implements crowd.Grader: a random user's rating of the item.
+func (m *Matrix) Grade(rng *randSource, i int) float64 {
+	return m.ratings[rng.Intn(len(m.ratings))][i]
+}
+
+// TrueRank implements crowd.TruthOracle.
+func (m *Matrix) TrueRank(i int) int { return m.rank[i] }
+
+// PairMoments implements crowd.TruthOracle: the exact moments of the
+// judgment distribution, i.e. of the per-user rating differences.
+func (m *Matrix) PairMoments(i, j int) (float64, float64) {
+	key := [2]int{i, j}
+	flip := false
+	if i > j {
+		key = [2]int{j, i}
+		flip = true
+	}
+	mom, ok := m.momentsMemo[key]
+	if !ok {
+		var r stats.Running
+		for u := range m.ratings {
+			r.Add((m.ratings[u][key[0]] - m.ratings[u][key[1]]) / (m.hi - m.lo))
+		}
+		// Population SD over the full user base: this IS the judgment
+		// distribution, so use the n divisor.
+		sd := r.SD()
+		if n := r.N(); n > 1 {
+			sd *= math.Sqrt(float64(n-1) / float64(n))
+		}
+		mom = [2]float64{r.Mean(), sd}
+		m.momentsMemo[key] = mom
+	}
+	mu, sd := mom[0], mom[1]
+	if flip {
+		mu = -mu
+	}
+	return mu, sd
+}

@@ -1,0 +1,23 @@
+package dataset
+
+import "math/rand"
+
+// randSource aliases math/rand.Rand so oracle method signatures in this
+// package stay short while still satisfying the crowd interfaces.
+type randSource = rand.Rand
+
+// newRand returns a deterministic generator for dataset construction.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// clamp limits v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdtopk/internal/crowd"
+)
+
+// Source is a dataset: a crowd oracle with known ground truth. Query
+// algorithms only ever see the crowd.Oracle facet; the truth facet serves
+// evaluation and the infimum-cost calculator.
+type Source interface {
+	crowd.Oracle
+	crowd.TruthOracle
+	// Name identifies the dataset in reports.
+	Name() string
+}
+
+// Order returns the ground-truth total order of the source: Order(s)[r] is
+// the item at rank r (0 is best).
+func Order(s Source) []int {
+	n := s.NumItems()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return s.TrueRank(order[a]) < s.TrueRank(order[b])
+	})
+	return order
+}
+
+// TopK returns the ground-truth top-k item set of the source.
+func TopK(s Source, k int) []int {
+	if k < 0 || k > s.NumItems() {
+		panic(fmt.Sprintf("dataset: TopK with k=%d out of range [0,%d]", k, s.NumItems()))
+	}
+	return Order(s)[:k]
+}
+
+// ranksFromScores converts a higher-is-better score slice into ranks,
+// breaking ties by item index so every source has a strict total order.
+func ranksFromScores(scores []float64) []int {
+	n := len(scores)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	rank := make([]int, n)
+	for r, item := range order {
+		rank[item] = r
+	}
+	return rank
+}
+
+// WeightedRank computes IMDb's Bayesian weighted rating used by the paper
+// as ground truth: votes/(votes+K)·mean + K/(votes+K)·C, with the paper's
+// constants K = 25,000 and C = 6.9 for the IMDb dataset.
+func WeightedRank(mean float64, votes int, k, c float64) float64 {
+	v := float64(votes)
+	return v/(v+k)*mean + k/(v+k)*c
+}
+
+// Subset restricts a source to the given items (in the given order; the
+// new item t corresponds to items[t] of the base source). Ranks are
+// recomputed within the subset. It is how the paper's cardinality sweeps
+// (Figure 9) and the 30-movie study of Table 3 are built.
+type Subset struct {
+	base  Source
+	items []int
+	rank  []int
+	name  string
+}
+
+// NewSubset returns a subset source over base restricted to items, which
+// must be distinct and in range.
+func NewSubset(base Source, items []int) *Subset {
+	seen := make(map[int]bool, len(items))
+	for _, it := range items {
+		if it < 0 || it >= base.NumItems() {
+			panic(fmt.Sprintf("dataset: subset item %d out of range [0,%d)", it, base.NumItems()))
+		}
+		if seen[it] {
+			panic(fmt.Sprintf("dataset: duplicate subset item %d", it))
+		}
+		seen[it] = true
+	}
+	// Recompute ranks: order the subset positions by base rank.
+	scores := make([]float64, len(items))
+	for t, it := range items {
+		scores[t] = -float64(base.TrueRank(it))
+	}
+	return &Subset{
+		base:  base,
+		items: items,
+		rank:  ranksFromScores(scores),
+		name:  fmt.Sprintf("%s[%d]", base.Name(), len(items)),
+	}
+}
+
+// Name implements Source.
+func (s *Subset) Name() string { return s.name }
+
+// NumItems implements crowd.Oracle.
+func (s *Subset) NumItems() int { return len(s.items) }
+
+// Preference implements crowd.Oracle.
+func (s *Subset) Preference(rng *randSource, i, j int) float64 {
+	return s.base.Preference(rng, s.items[i], s.items[j])
+}
+
+// Grade implements crowd.Grader when the base source does.
+func (s *Subset) Grade(rng *randSource, i int) float64 {
+	g, ok := s.base.(crowd.Grader)
+	if !ok {
+		panic("dataset: base source does not support graded judgments")
+	}
+	return g.Grade(rng, s.items[i])
+}
+
+// TrueRank implements crowd.TruthOracle.
+func (s *Subset) TrueRank(i int) int { return s.rank[i] }
+
+// PairMoments implements crowd.TruthOracle.
+func (s *Subset) PairMoments(i, j int) (float64, float64) {
+	return s.base.PairMoments(s.items[i], s.items[j])
+}
+
+// RandomSubset returns a subset of n distinct random items of base.
+func RandomSubset(base Source, n int, rng *randSource) *Subset {
+	if n > base.NumItems() {
+		panic(fmt.Sprintf("dataset: RandomSubset n=%d exceeds base size %d", n, base.NumItems()))
+	}
+	perm := rng.Perm(base.NumItems())
+	return NewSubset(base, perm[:n])
+}

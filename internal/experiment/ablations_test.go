@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationEtaTradeoff(t *testing.T) {
+	tb := AblationEta(quickCfg())[0]
+	// Latency must fall steeply with the batch size. Run-to-run noise can
+	// wiggle neighbouring points by a few rounds once the curve flattens,
+	// so assert the trend across well-separated batch sizes.
+	if !(tb.Cell("latency", "eta=1") > tb.Cell("latency", "eta=10") &&
+		tb.Cell("latency", "eta=10") > tb.Cell("latency", "eta=120")) {
+		t.Errorf("latency not decreasing across the sweep: %v / %v / %v",
+			tb.Cell("latency", "eta=1"), tb.Cell("latency", "eta=10"), tb.Cell("latency", "eta=120"))
+	}
+	if tb.Cell("latency", "eta=1") < 10*tb.Cell("latency", "eta=120") {
+		t.Error("batching barely reduced latency")
+	}
+	// Money: the overshoot effect must show between moderate and large
+	// batches. (The η=1 end is non-monotone — see the driver's note.)
+	if tb.Cell("TMC", "eta=120") <= tb.Cell("TMC", "eta=10") {
+		t.Errorf("eta=120 TMC %v not above eta=10 TMC %v",
+			tb.Cell("TMC", "eta=120"), tb.Cell("TMC", "eta=10"))
+	}
+}
+
+func TestAblationSelectionBudgetShape(t *testing.T) {
+	tb := AblationSelectionBudget(quickCfg())[0]
+	def := tb.Cell("TMC", "selB=2I (default)")
+	naive := tb.Cell("TMC", "selB=B (naive)")
+	if naive <= def {
+		t.Errorf("naive full-budget selection TMC %v not above default %v", naive, def)
+	}
+	for _, col := range tb.Columns {
+		if n := tb.Cell("NDCG", col); n <= 0 || n > 1 {
+			t.Errorf("NDCG at %s = %v out of range", col, n)
+		}
+	}
+}
+
+func TestAblationJudgmentShape(t *testing.T) {
+	cfg := quickCfg()
+	tb := AblationJudgment(cfg)[0]
+	oneSided := tb.Cell("student-onesided workload", "value")
+	twoSided := tb.Cell("student workload", "value")
+	if oneSided >= twoSided {
+		t.Errorf("one-sided workload %v not below two-sided %v", oneSided, twoSided)
+	}
+	// All variants keep high accuracy on the pairs they decide.
+	for _, p := range []string{"student", "student-onesided", "stein", "hoeffding-pref", "hoeffding"} {
+		if acc := tb.Cell(p+" accuracy", "value"); acc < 0.95 {
+			t.Errorf("%s decided-accuracy %v below 0.95", p, acc)
+		}
+		if tie := tb.Cell(p+" tie-rate", "value"); tie < 0 || tie > 0.5 {
+			t.Errorf("%s tie-rate %v out of plausible range", p, tie)
+		}
+	}
+	// Distribution-free variants cost more than Student, and keeping
+	// clipped magnitudes does not beat the sign transform under
+	// range-only bounds (see compare.HoeffdingPref docs).
+	if tb.Cell("hoeffding-pref workload", "value") <= twoSided {
+		t.Error("hoeffding-pref not above student")
+	}
+	if tb.Cell("hoeffding workload", "value") >= tb.Cell("hoeffding-pref workload", "value") {
+		t.Error("binary hoeffding not below hoeffding-pref on crisp rating data")
+	}
+}
+
+func TestAblationWorkersShape(t *testing.T) {
+	tb := AblationWorkers(quickCfg())[0]
+	clean := tb.Cell("TMC", "spam=0%")
+	spam := tb.Cell("TMC", "spam=30%")
+	if spam <= clean {
+		t.Errorf("30%% spammers TMC %v not above clean %v", spam, clean)
+	}
+	if n := tb.Cell("NDCG", "spam=0%"); n < 0.5 {
+		t.Errorf("clean NDCG %v suspiciously low", n)
+	}
+}
+
+func TestAblationSortShape(t *testing.T) {
+	tb := AblationSort(quickCfg())[0]
+	// The paper's §5.3 choice must win at every size, and the gap must
+	// widen with n (near-linear vs n·log n).
+	var prevRatio float64
+	for _, col := range tb.Columns {
+		adj := tb.Cell("adjacent (paper)", col)
+		mrg := tb.Cell("merge", col)
+		if adj >= mrg {
+			t.Errorf("%s: adjacent sort %v not below merge %v", col, adj, mrg)
+		}
+		ratio := mrg / adj
+		if ratio < prevRatio*0.7 {
+			t.Errorf("%s: merge/adjacent ratio %v collapsed from %v", col, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestAblationPhasesShape(t *testing.T) {
+	tb := AblationPhases(quickCfg())[0]
+	for _, ds := range DatasetNames {
+		sel := tb.Cell(ds, "select")
+		part := tb.Cell(ds, "partition")
+		if sel <= 0 || part <= 0 {
+			t.Errorf("%s: degenerate phase costs select=%v partition=%v", ds, sel, part)
+		}
+		// The capped selection must not dominate partitioning badly.
+		if sel > 3*part {
+			t.Errorf("%s: selection %v dwarfs partitioning %v", ds, sel, part)
+		}
+	}
+}
+
+func TestAblationCrowdBTShape(t *testing.T) {
+	// Two runs: single-run NDCG at these budgets is ±0.05-noisy, which
+	// would make the cross-strategy comparison a coin flip.
+	tb := AblationCrowdBT(Config{Runs: 2, Seed: 3})[0]
+	// NDCG grows with budget for both strategies, and active is not
+	// clearly worse than random at the largest budget.
+	for _, row := range []string{"random", "active"} {
+		if tb.Cell(row, "budget=10000") <= tb.Cell(row, "budget=2000")-0.05 {
+			t.Errorf("%s: NDCG not improving with budget", row)
+		}
+	}
+	if tb.Cell("active", "budget=10000") < tb.Cell("random", "budget=10000")-0.05 {
+		t.Errorf("active (%v) clearly below random (%v) at the large budget",
+			tb.Cell("active", "budget=10000"), tb.Cell("random", "budget=10000"))
+	}
+}
+
+func TestAblationPriorShape(t *testing.T) {
+	tb := AblationPrior(quickCfg())[0]
+	sampled := tb.Cell("TMC", "sampled (paper)")
+	perfect := tb.Cell("TMC", "perfect prior")
+	if perfect >= sampled {
+		t.Errorf("perfect-prior TMC %v not below sampled %v", perfect, sampled)
+	}
+	for _, col := range tb.Columns {
+		if v := tb.Cell("NDCG", col); math.IsNaN(v) || v <= 0 {
+			t.Errorf("NDCG at %s = %v", col, v)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickCfg is a fast test configuration: single run, reduced budget.
+func quickCfg() Config {
+	return Config{Runs: 1, Seed: 3, B: 500}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.K != 10 || c.Alpha != 0.02 || c.B != 1000 || c.I != 30 || c.Eta != 30 ||
+		c.C != 1.5 || c.MaxRefChanges != 2 || c.Runs != 3 || c.Seed != 1 {
+		t.Errorf("unexpected defaults %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{K: 5, Runs: 7}.withDefaults()
+	if c2.K != 5 || c2.Runs != 7 {
+		t.Errorf("explicit values overwritten: %+v", c2)
+	}
+}
+
+func TestConfigValidatePanics(t *testing.T) {
+	for _, c := range []Config{
+		{K: -1, Alpha: 0.02, Runs: 1},
+		{K: 1, Alpha: 2, Runs: 1},
+		{K: 1, Alpha: 0.02, Runs: -2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", c)
+				}
+			}()
+			c.validate()
+		}()
+	}
+}
+
+func TestMakeSourceKnownNames(t *testing.T) {
+	for _, name := range append(append([]string{}, DatasetNames...), "peopleage", "synthetic") {
+		s := MakeSource(name, 1)
+		if s.NumItems() < 2 {
+			t.Errorf("%s: too few items", name)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown dataset did not panic")
+			}
+		}()
+		MakeSource("nope", 1)
+	}()
+}
+
+func TestMakeAlgorithmKnownNames(t *testing.T) {
+	cfg := quickCfg().withDefaults()
+	for _, name := range ConfidenceAwareAlgorithms {
+		if alg := makeAlgorithm(name, cfg); alg.Name() != name {
+			t.Errorf("makeAlgorithm(%q).Name() = %q", name, alg.Name())
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown algorithm did not panic")
+			}
+		}()
+		makeAlgorithm("nope", cfg)
+	}()
+}
+
+func TestTableCellAndRender(t *testing.T) {
+	tb := newTable("x", "demo", []string{"r1", "r2"}, []string{"c1", "c2"})
+	tb.Values[0][0] = 1.5
+	tb.Values[1][1] = 42
+	if got := tb.Cell("r1", "c1"); got != 1.5 {
+		t.Errorf("Cell = %v", got)
+	}
+	if !math.IsNaN(tb.Cell("r1", "c2")) {
+		t.Error("unset cell not NaN")
+	}
+	var sb strings.Builder
+	tb.Notes = append(tb.Notes, "a note")
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "r1", "c2", "1.500", "42", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown cell did not panic")
+			}
+		}()
+		tb.Cell("nope", "c1")
+	}()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table3", "table4", "table7", "table10", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18-21", "peopleage",
+		"ablation-eta", "ablation-selbudget", "ablation-judgment",
+		"ablation-workers", "ablation-prior", "ablation-phases", "ablation-crowdbt",
+		"ablation-sort"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		e, ok := ByID(id)
+		if !ok {
+			t.Errorf("missing experiment %q", id)
+			continue
+		}
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %q incomplete", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted an unknown id")
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("IDs() returned %d ids", len(IDs()))
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tables := Table3(quickCfg())
+	if len(tables) != 2 {
+		t.Fatalf("Table3 returned %d tables", len(tables))
+	}
+	tb := tables[0]
+	// Core claim: binary judgments need several times the preference
+	// workload at every confidence level, and accuracy is high everywhere.
+	for _, conf := range []string{"0.95", "0.98", "0.99"} {
+		binary := tb.Cell("binary-hoeffding workload", conf)
+		student := tb.Cell("preference-student workload", conf)
+		stein := tb.Cell("preference-stein workload", conf)
+		if binary < 2*student {
+			t.Errorf("conf %s: binary workload %v not ≫ student %v", conf, binary, student)
+		}
+		if ratio := stein / student; ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("conf %s: stein %v and student %v not comparable", conf, stein, student)
+		}
+		for _, row := range []string{"binary-hoeffding accuracy", "preference-student accuracy", "preference-stein accuracy"} {
+			if acc := tb.Cell(row, conf); acc < 0.93 {
+				t.Errorf("conf %s: %s = %v below 0.93", conf, row, acc)
+			}
+		}
+	}
+	// Workload grows with the confidence level.
+	if tb.Cell("preference-student workload", "0.99") <= tb.Cell("preference-student workload", "0.95") {
+		t.Error("student workload not increasing in confidence")
+	}
+	// Graded accuracy improves with workload.
+	g := tables[1]
+	if g.Cell("graded accuracy", "10000") <= g.Cell("graded accuracy", "100") {
+		t.Error("graded accuracy not improving with workload")
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	tb := Table7(quickCfg())[0]
+	for _, ds := range DatasetNames {
+		spr := tb.Cell(ds, "spr")
+		if spr <= 0 {
+			t.Fatalf("%s: non-positive SPR TMC", ds)
+		}
+		// The headline claim: SPR is the cheapest confidence-aware method
+		// on every dataset.
+		for _, alg := range []string{"tourtree", "heapsort", "quickselect", "pbr"} {
+			if other := tb.Cell(ds, alg); other <= spr {
+				t.Errorf("%s: %s TMC %v not above SPR %v", ds, alg, other, spr)
+			}
+		}
+	}
+}
+
+func TestTable10Shape(t *testing.T) {
+	tb := Table10(quickCfg())[0]
+	for _, col := range tb.Columns {
+		// The measured bubble-to-median comparisons respect their bound.
+		if got, bound := tb.Cell("bubble measured", col), tb.Cell("bubble", col); got > bound {
+			t.Errorf("%s: measured bubble comparisons %v exceed bound %v", col, got, bound)
+		}
+		// Selection shares bubble's bound; quick is the loosest at scale.
+		if tb.Cell("bubble", col) != tb.Cell("selection", col) {
+			t.Errorf("%s: bubble and selection bounds differ", col)
+		}
+	}
+	// Asymptotics: at m=101 the merge bound undercuts the quadratic ones.
+	if tb.Cell("merge", "m=101") >= tb.Cell("bubble", "m=101") {
+		t.Error("merge bound not below bubble at m=101")
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	tables := Figure12(quickCfg())
+	if len(tables) != 2 {
+		t.Fatalf("Figure12 returned %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		// Infimum floors SPR; heap sort has the worst latency; SPR beats
+		// tournament and heap on latency (§5.5).
+		if tb.Cell("infimum", "TMC") > tb.Cell("spr", "TMC") {
+			t.Errorf("%s: infimum above SPR", tb.ID)
+		}
+		if tb.Cell("heapsort", "latency") <= tb.Cell("spr", "latency") {
+			t.Errorf("%s: heap latency not above SPR", tb.ID)
+		}
+		if tb.Cell("tourtree", "latency") <= tb.Cell("spr", "latency") {
+			t.Errorf("%s: tournament latency not above SPR", tb.ID)
+		}
+	}
+}
+
+func TestFigure15AllPositive(t *testing.T) {
+	tb := Figure15(quickCfg())[0]
+	for i, row := range tb.Values {
+		for j, v := range row {
+			if !(v > 0) {
+				t.Errorf("n_b−n at (%s, %s) = %v, want > 0", tb.RowLabels[i], tb.Columns[j], v)
+			}
+		}
+	}
+}
+
+func TestPeopleAgeShape(t *testing.T) {
+	tb := PeopleAge(quickCfg())[0]
+	tmc := tb.Cell("spr", "TMC")
+	ndcg := tb.Cell("spr", "NDCG")
+	// Paper: simulation TMC 9,570 and NDCG 0.905 at these settings. Allow
+	// generous slack for the synthetic stand-in.
+	if tmc < 2000 || tmc > 40000 {
+		t.Errorf("PeopleAge TMC %v outside the plausible range", tmc)
+	}
+	if ndcg < 0.6 {
+		t.Errorf("PeopleAge NDCG %v below 0.6", ndcg)
+	}
+}
+
+func TestSweepPointBuilders(t *testing.T) {
+	cfg := quickCfg().withDefaults()
+	if got := len(kSweepPoints(cfg)); got != len(paperKs) {
+		t.Errorf("k sweep has %d points", got)
+	}
+	if got := len(confSweepPoints(cfg)); got != len(paperConfidences) {
+		t.Errorf("confidence sweep has %d points", got)
+	}
+	if got := len(budgetSweepPoints(cfg)); got != len(paperBudgets) {
+		t.Errorf("budget sweep has %d points", got)
+	}
+	// Jester (100 items) folds every >=100 sweep size into All.
+	pts := nSweepPoints(cfg, 100)
+	if len(pts) != 3 { // 25, 50, All
+		t.Errorf("n sweep for 100-item dataset has %d points: %+v", len(pts), pts)
+	}
+	if pts[len(pts)-1].label != "N=All" {
+		t.Errorf("last point is %q, want N=All", pts[len(pts)-1].label)
+	}
+}

@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Figure14 reproduces Figure 14 (§6.5): SPR against the
+// non-confidence-aware baselines — CrowdBT and Hybrid granted SPR's
+// measured TMC as their budget, and HybridSPR with Hybrid's grading share.
+// Reported per dataset: NDCG and actual cost.
+func Figure14(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+
+	var out []*Table
+	for _, ds := range []string{"imdb", "book"} {
+		src := MakeSource(ds, cfg.Seed)
+		t := newTable("fig14-"+ds, "Non-confidence-aware methods at SPR's budget ("+ds+")",
+			[]string{"spr", "crowdbt", "hybrid", "hybridspr"}, []string{"NDCG", "TMC"})
+
+		spr := measureNamed("spr", src, cfg)
+		t.Values[0][0] = spr.NDCG
+		t.Values[0][1] = spr.TMC
+
+		budget := int64(math.Round(spr.TMC))
+		for ri, alg := range []string{"crowdbt", "hybrid", "hybridspr"} {
+			m := measureBudgeted(alg, budget, src, cfg)
+			t.Values[ri+1][0] = m.NDCG
+			t.Values[ri+1][1] = m.TMC
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("crowdbt and hybrid budget = SPR's measured TMC (%d); hybridspr grading share = budget/2", budget))
+		out = append(out, t)
+	}
+	return out
+}

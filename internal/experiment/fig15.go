@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crowdtopk/internal/stats"
+)
+
+// Figure15 reproduces Appendix D's Figure 15: the closed-form workload gap
+// n_b − n between the pairwise binary judgment (Hoeffding, Eq. 3) and the
+// pairwise preference judgment (Student-t) over a (μ, σ) grid. The paper
+// verifies n_b > n everywhere by a Mathematica simulation; this driver
+// recomputes the same grid in Go.
+func Figure15(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+
+	mus := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	sigmas := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+	cols := make([]string, len(mus))
+	for i, mu := range mus {
+		cols[i] = fmt.Sprintf("mu=%.1f", mu)
+	}
+	rows := make([]string, len(sigmas))
+	for i, s := range sigmas {
+		rows[i] = fmt.Sprintf("sigma=%.1f", s)
+	}
+	t := newTable("fig15", fmt.Sprintf("Workload gap n_b − n of binary vs preference judgments (alpha=%.2f)", cfg.Alpha), rows, cols)
+	for ri, sigma := range sigmas {
+		for ci, mu := range mus {
+			n := stats.PreferenceSamplesNeeded(mu, sigma, cfg.Alpha)
+			nb := stats.BinarySamplesNeeded(mu, sigma, cfg.Alpha)
+			t.Values[ri][ci] = nb - n
+		}
+	}
+	t.Notes = append(t.Notes, "all entries must be positive: binary judgments always need more microtasks")
+	return []*Table{t}
+}

@@ -1,0 +1,222 @@
+package experiment
+
+import "fmt"
+
+// sweepAlgorithms are the methods tracked in the scalability figures;
+// the paper drops PBR after Table 7 because of its cost.
+var sweepAlgorithms = []string{"spr", "tourtree", "heapsort", "quickselect"}
+
+// paperKs, paperNs, paperConfidences, paperBudgets are the sweep ranges of
+// Table 6.
+var (
+	paperKs          = []int{1, 5, 10, 15, 20}
+	paperNs          = []int{25, 50, 100, 200, 400, 800, 0} // 0 = All
+	paperConfidences = []float64{0.80, 0.85, 0.90, 0.95, 0.98}
+	paperBudgets     = []int{30, 100, 200, 500, 1000, 2000, 4000}
+)
+
+// sweepPoint is one x-axis position of a scalability figure.
+type sweepPoint struct {
+	label string
+	cfg   Config // fully resolved config for this point
+	n     int    // subset cardinality; 0 keeps the full dataset
+}
+
+// scalabilitySweep measures the sweep methods and the Lemma 1 infimum at
+// every point of one dataset's sweep, emitting a TMC table and a latency
+// table.
+func scalabilitySweep(id, title, ds string, pts []sweepPoint) []*Table {
+	cols := append(append([]string{}, sweepAlgorithms...), "infimum")
+	labels := make([]string, len(pts))
+	for i, p := range pts {
+		labels[i] = p.label
+	}
+	tmc := newTable(id+"-tmc", title+" — TMC ("+ds+")", labels, cols)
+	lat := newTable(id+"-latency", title+" — latency in rounds ("+ds+")", labels, cols)
+
+	for pi, pt := range pts {
+		src := MakeSource(ds, pt.cfg.Seed)
+		if pt.n > 0 {
+			src = subsetOf(src, pt.n, pt.cfg.Seed+99)
+		}
+		for ai, alg := range sweepAlgorithms {
+			m := measureNamed(alg, src, pt.cfg)
+			tmc.Values[pi][ai] = m.TMC
+			lat.Values[pi][ai] = m.Rounds
+		}
+		inf := infimumMeasure(src, pt.cfg)
+		tmc.Values[pi][len(sweepAlgorithms)] = inf.TMC
+		lat.Values[pi][len(sweepAlgorithms)] = inf.Rounds
+	}
+	return []*Table{tmc, lat}
+}
+
+// accuracySweep measures NDCG for the sweep methods at every point (the
+// Figure 13 panels).
+func accuracySweep(id, title, ds string, pts []sweepPoint) *Table {
+	labels := make([]string, len(pts))
+	for i, p := range pts {
+		labels[i] = p.label
+	}
+	t := newTable(id, title+" — NDCG ("+ds+")", labels, sweepAlgorithms)
+	for pi, pt := range pts {
+		src := MakeSource(ds, pt.cfg.Seed)
+		if pt.n > 0 {
+			src = subsetOf(src, pt.n, pt.cfg.Seed+99)
+		}
+		for ai, alg := range sweepAlgorithms {
+			t.Values[pi][ai] = measureNamed(alg, src, pt.cfg).NDCG
+		}
+	}
+	return t
+}
+
+// kSweepPoints builds the k-sweep of Figure 8 for a dataset of n items.
+func kSweepPoints(cfg Config) []sweepPoint {
+	var pts []sweepPoint
+	for _, k := range paperKs {
+		c := cfg
+		c.K = k
+		pts = append(pts, sweepPoint{label: fmt.Sprintf("k=%d", k), cfg: c})
+	}
+	return pts
+}
+
+// nSweepPoints builds the cardinality sweep of Figure 9; sweep sizes at or
+// beyond the dataset are folded into the single "All" point.
+func nSweepPoints(cfg Config, full int) []sweepPoint {
+	var pts []sweepPoint
+	for _, n := range paperNs {
+		switch {
+		case n == 0:
+			pts = append(pts, sweepPoint{label: "N=All", cfg: cfg})
+		case n < full:
+			pts = append(pts, sweepPoint{label: fmt.Sprintf("N=%d", n), cfg: cfg, n: n})
+		}
+	}
+	return pts
+}
+
+// confSweepPoints builds the confidence sweep of Figure 10.
+func confSweepPoints(cfg Config) []sweepPoint {
+	var pts []sweepPoint
+	for _, conf := range paperConfidences {
+		c := cfg
+		c.Alpha = 1 - conf
+		pts = append(pts, sweepPoint{label: fmt.Sprintf("1-a=%.2f", conf), cfg: c})
+	}
+	return pts
+}
+
+// budgetSweepPoints builds the B sweep of Figure 11.
+func budgetSweepPoints(cfg Config) []sweepPoint {
+	var pts []sweepPoint
+	for _, b := range paperBudgets {
+		c := cfg
+		c.B = b
+		pts = append(pts, sweepPoint{label: fmt.Sprintf("B=%d", b), cfg: c})
+	}
+	return pts
+}
+
+// Figure8 reproduces Figure 8: TMC and latency versus k on IMDb and Book.
+func Figure8(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	var out []*Table
+	for _, ds := range []string{"imdb", "book"} {
+		out = append(out, scalabilitySweep("fig8-"+ds, "Effect of k", ds, kSweepPoints(cfg))...)
+	}
+	return out
+}
+
+// Figure9 reproduces Figure 9: TMC and latency versus item cardinality on
+// IMDb and Book.
+func Figure9(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	var out []*Table
+	for _, ds := range []string{"imdb", "book"} {
+		full := MakeSource(ds, cfg.Seed).NumItems()
+		out = append(out, scalabilitySweep("fig9-"+ds, "Effect of item cardinality", ds, nSweepPoints(cfg, full))...)
+	}
+	return out
+}
+
+// Figure10 reproduces Figure 10: TMC and latency versus confidence level.
+func Figure10(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	var out []*Table
+	for _, ds := range []string{"imdb", "book"} {
+		out = append(out, scalabilitySweep("fig10-"+ds, "Effect of confidence level", ds, confSweepPoints(cfg))...)
+	}
+	return out
+}
+
+// Figure11 reproduces Figure 11: TMC and latency versus the pairwise
+// comparison budget B.
+func Figure11(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	var out []*Table
+	for _, ds := range []string{"imdb", "book"} {
+		out = append(out, scalabilitySweep("fig11-"+ds, "Effect of B", ds, budgetSweepPoints(cfg))...)
+	}
+	return out
+}
+
+// Figure12 reproduces Figure 12: the performance summary at default
+// settings — every confidence-aware method plus the infimum, TMC and
+// latency side by side.
+func Figure12(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	var out []*Table
+	for _, ds := range []string{"imdb", "book"} {
+		src := MakeSource(ds, cfg.Seed)
+		// PBR is omitted like in the paper, which drops it after Table 7.
+		rows := append(append([]string{}, sweepAlgorithms...), "infimum")
+		t := newTable("fig12-"+ds, "Performance summary at defaults ("+ds+")", rows, []string{"TMC", "latency"})
+		for ri, alg := range sweepAlgorithms {
+			m := measureNamed(alg, src, cfg)
+			t.Values[ri][0] = m.TMC
+			t.Values[ri][1] = m.Rounds
+		}
+		inf := infimumMeasure(src, cfg)
+		t.Values[len(rows)-1][0] = inf.TMC
+		t.Values[len(rows)-1][1] = inf.Rounds
+		out = append(out, t)
+	}
+	return out
+}
+
+// Figure13 reproduces Figure 13: result accuracy (NDCG) on IMDb versus k,
+// item cardinality, pairwise budget and confidence level.
+func Figure13(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	full := MakeSource("imdb", cfg.Seed).NumItems()
+	return []*Table{
+		accuracySweep("fig13-k", "Accuracy vs k", "imdb", kSweepPoints(cfg)),
+		accuracySweep("fig13-n", "Accuracy vs cardinality", "imdb", nSweepPoints(cfg, full)),
+		accuracySweep("fig13-b", "Accuracy vs budget", "imdb", budgetSweepPoints(cfg)),
+		accuracySweep("fig13-conf", "Accuracy vs confidence", "imdb", confSweepPoints(cfg)),
+	}
+}
+
+// Figure18to21 reproduces Appendix F's Figures 18-21: the full scalability
+// sweeps (k, N, confidence, B) on Jester and Photo, TMC and latency.
+func Figure18to21(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	var out []*Table
+	for _, ds := range []string{"jester", "photo"} {
+		full := MakeSource(ds, cfg.Seed).NumItems()
+		out = append(out, scalabilitySweep("fig18-21-"+ds+"-k", "Effect of k", ds, kSweepPoints(cfg))...)
+		out = append(out, scalabilitySweep("fig18-21-"+ds+"-n", "Effect of cardinality", ds, nSweepPoints(cfg, full))...)
+		out = append(out, scalabilitySweep("fig18-21-"+ds+"-conf", "Effect of confidence", ds, confSweepPoints(cfg))...)
+		out = append(out, scalabilitySweep("fig18-21-"+ds+"-b", "Effect of B", ds, budgetSweepPoints(cfg))...)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsAndRenders executes the full registry at Runs=1
+// and validates structure: every advertised table renders, and no value
+// cell is NaN (each driver fills its whole matrix). Slowish (~30s), so
+// skipped in -short mode.
+func TestEveryExperimentRunsAndRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment registry")
+	}
+	cfg := Config{Runs: 1, Seed: 2}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if tb.ID == "" || tb.Title == "" || len(tb.Columns) == 0 || len(tb.RowLabels) == 0 {
+					t.Fatalf("table %q structurally incomplete", tb.ID)
+				}
+				for i, row := range tb.Values {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("table %q row %d has %d cells, want %d", tb.ID, i, len(row), len(tb.Columns))
+					}
+					for j, v := range row {
+						if math.IsNaN(v) {
+							t.Errorf("table %q cell (%s, %s) left NaN", tb.ID, tb.RowLabels[i], tb.Columns[j])
+						}
+					}
+				}
+				var text, csv bytes.Buffer
+				tb.Render(&text)
+				if !strings.Contains(text.String(), tb.ID) {
+					t.Errorf("render of %q misses its id", tb.ID)
+				}
+				if err := tb.RenderCSV(&csv); err != nil {
+					t.Errorf("CSV render of %q: %v", tb.ID, err)
+				}
+				if lines := strings.Count(csv.String(), "\n"); lines != len(tb.RowLabels)+1 {
+					t.Errorf("CSV of %q has %d lines, want %d", tb.ID, lines, len(tb.RowLabels)+1)
+				}
+			}
+		})
+	}
+}
+
+// TestScalabilityShapes spot-checks the monotone trends the sweeps must
+// show, on the small fast datasets.
+func TestScalabilityShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep shapes")
+	}
+	cfg := Config{Runs: 1, Seed: 4}.withDefaults()
+
+	// Budget sweep on Jester: TMC grows with B for every method, and the
+	// infimum floors SPR at every point.
+	tables := scalabilitySweep("shape-b", "B sweep", "jester", budgetSweepPoints(cfg))
+	tmc := tables[0]
+	for _, alg := range sweepAlgorithms {
+		if tmc.Cell("B=30", alg) >= tmc.Cell("B=4000", alg) {
+			t.Errorf("%s TMC not growing in B: %v vs %v", alg,
+				tmc.Cell("B=30", alg), tmc.Cell("B=4000", alg))
+		}
+	}
+	for _, row := range tmc.RowLabels {
+		if tmc.Cell(row, "infimum") > tmc.Cell(row, "spr") {
+			t.Errorf("infimum above SPR at %s", row)
+		}
+	}
+
+	// Cardinality sweep on Photo: every method's cost grows with N.
+	tables = scalabilitySweep("shape-n", "N sweep", "photo", nSweepPoints(cfg, 200))
+	tmc = tables[0]
+	first, last := tmc.RowLabels[0], tmc.RowLabels[len(tmc.RowLabels)-1]
+	for _, alg := range sweepAlgorithms {
+		if tmc.Cell(first, alg) >= tmc.Cell(last, alg) {
+			t.Errorf("%s TMC not growing in N: %v vs %v", alg, tmc.Cell(first, alg), tmc.Cell(last, alg))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crowdtopk/internal/btl"
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/hybrid"
+	"crowdtopk/internal/metrics"
+	"crowdtopk/internal/topk"
+)
+
+// Measure is the averaged outcome of repeated query runs.
+type Measure struct {
+	TMC       float64
+	Rounds    float64
+	NDCG      float64
+	Precision float64
+}
+
+// ConfidenceAwareAlgorithms lists the confidence-aware methods of Table 7
+// in report order.
+var ConfidenceAwareAlgorithms = []string{"spr", "tourtree", "heapsort", "quickselect", "pbr"}
+
+// makeAlgorithm instantiates a confidence-aware algorithm by name under
+// the config. Budgeted §6.5 baselines (crowdbt, hybrid, hybridspr) are
+// built by their drivers since they need SPR's measured TMC first.
+func makeAlgorithm(name string, cfg Config) topk.Algorithm {
+	switch name {
+	case "spr":
+		return &topk.SPR{C: cfg.C, MaxRefChanges: cfg.MaxRefChanges}
+	case "tourtree":
+		return topk.TourTree{}
+	case "heapsort":
+		return topk.HeapSort{}
+	case "quickselect":
+		return topk.QuickSelect{}
+	case "pbr":
+		return &topk.PBR{Alpha: cfg.Alpha}
+	default:
+		panic(fmt.Sprintf("experiment: unknown algorithm %q", name))
+	}
+}
+
+// measure runs one algorithm cfg.Runs times on fresh engines over the
+// same source and averages cost, latency and quality.
+func measure(alg func(run int) topk.Algorithm, src dataset.Source, cfg Config) Measure {
+	var m Measure
+	n := src.NumItems()
+	for run := 0; run < cfg.Runs; run++ {
+		r := newRunner(src, cfg, cfg.Seed+int64(1000*run))
+		res := topk.Run(alg(run), r, cfg.K)
+		m.TMC += float64(res.TMC)
+		m.Rounds += float64(res.Rounds)
+		m.NDCG += metrics.NDCG(res.TopK, src.TrueRank, n)
+		m.Precision += metrics.PrecisionAtK(res.TopK, src.TrueRank)
+	}
+	f := float64(cfg.Runs)
+	m.TMC /= f
+	m.Rounds /= f
+	m.NDCG /= f
+	m.Precision /= f
+	return m
+}
+
+// measureNamed measures a named confidence-aware algorithm.
+func measureNamed(name string, src dataset.Source, cfg Config) Measure {
+	return measure(func(int) topk.Algorithm { return makeAlgorithm(name, cfg) }, src, cfg)
+}
+
+// measureBudgeted measures a §6.5 budget-driven baseline (crowdbt, hybrid,
+// hybridspr) granted the given total budget.
+func measureBudgeted(name string, budget int64, src dataset.Source, cfg Config) Measure {
+	factory := func(int) topk.Algorithm {
+		switch name {
+		case "crowdbt":
+			c := btl.NewCrowdBT(budget)
+			c.Eta = cfg.Eta
+			return c
+		case "hybrid":
+			h := hybrid.NewHybrid(budget)
+			h.Eta = cfg.Eta
+			return h
+		case "hybridspr":
+			h := hybrid.NewHybridSPR(budget / 2) // grading share matching Hybrid's
+			h.Eta = cfg.Eta
+			h.SPR = &topk.SPR{C: cfg.C, MaxRefChanges: cfg.MaxRefChanges}
+			return h
+		default:
+			panic(fmt.Sprintf("experiment: unknown budgeted algorithm %q", name))
+		}
+	}
+	return measure(factory, src, cfg)
+}
+
+// infimumMeasure evaluates the Lemma 1 floor at the config's settings.
+func infimumMeasure(src dataset.Source, cfg Config) Measure {
+	p := topk.InfimumParams{Alpha: cfg.Alpha, B: cfg.B, I: cfg.I, Eta: cfg.Eta}
+	res := topk.Infimum(src, cfg.K, p)
+	return Measure{
+		TMC:       float64(res.TMC),
+		Rounds:    float64(res.Rounds),
+		NDCG:      1,
+		Precision: 1,
+	}
+}

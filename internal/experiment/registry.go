@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment couples a paper artifact with its driver.
+type Experiment struct {
+	// ID is the command-line identifier ("table7", "fig8", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the driver and returns one or more tables.
+	Run func(Config) []*Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table3", "Table 3: accuracy and workload of judgment models", Table3},
+		{"table4", "Table 4: effect of changing the reference", Table4},
+		{"table7", "Table 7: TMC of confidence-aware methods", Table7},
+		{"table10", "Table 10 (App. C): median-selection comparison bounds", Table10},
+		{"fig8", "Figure 8: effect of k (TMC, latency)", Figure8},
+		{"fig9", "Figure 9: effect of item cardinality", Figure9},
+		{"fig10", "Figure 10: effect of confidence level", Figure10},
+		{"fig11", "Figure 11: effect of pairwise budget B", Figure11},
+		{"fig12", "Figure 12: performance summary at defaults", Figure12},
+		{"fig13", "Figure 13: accuracy on IMDb", Figure13},
+		{"fig14", "Figure 14: non-confidence-aware methods", Figure14},
+		{"fig15", "Figure 15: binary vs preference workload gap", Figure15},
+		{"fig16", "Figure 16: sweet-spot range", Figure16},
+		{"fig17", "Figure 17: Stein vs Student", Figure17},
+		{"fig18-21", "Figures 18-21: Jester and Photo sweeps", Figure18to21},
+		{"peopleage", "Appendix F: interactive PeopleAge experiment", PeopleAge},
+		// Ablations beyond the paper's figures (design decisions and
+		// implemented future-work extensions).
+		{"ablation-eta", "Ablation: batch size η (money vs latency, §5.5)", AblationEta},
+		{"ablation-selbudget", "Ablation: reference-selection comparison budget", AblationSelectionBudget},
+		{"ablation-judgment", "Ablation: comparison-process variants (one-sided, Hoeffding-pref)", AblationJudgment},
+		{"ablation-workers", "Ablation: spammer fractions and slider scales", AblationWorkers},
+		{"ablation-prior", "Ablation: prior-informed reference selection (§7)", AblationPrior},
+		{"ablation-phases", "Ablation: SPR cost anatomy by phase", AblationPhases},
+		{"ablation-crowdbt", "Ablation: CrowdBT active vs random pair selection", AblationCrowdBT},
+		{"ablation-sort", "Ablation: ranking-phase sort strategy (§5.3)", AblationSort},
+	}
+}
+
+// ByID finds one experiment by identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the sorted identifiers of all experiments.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAndRender executes an experiment and writes its tables to w.
+func RunAndRender(e Experiment, cfg Config, w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", e.ID, e.Title)
+	for _, t := range e.Run(cfg) {
+		t.Render(w)
+	}
+}
+
+// RunAndRenderCSV executes an experiment and writes its tables as CSV
+// blocks separated by blank lines.
+func RunAndRenderCSV(e Experiment, cfg Config, w io.Writer) error {
+	for _, t := range e.Run(cfg) {
+		if err := t.RenderCSV(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: one paper table or one figure's
+// data series (rows = x-axis points or methods, columns = series).
+type Table struct {
+	// ID is the experiment identifier ("table7", "fig8", ...).
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Columns labels the value columns.
+	Columns []string
+	// RowLabels labels the rows.
+	RowLabels []string
+	// Values has one row per RowLabel; NaN renders as "-".
+	Values [][]float64
+	// Notes carry caveats (substitutions, reduced runs, ...).
+	Notes []string
+}
+
+// Cell returns the value at (row, col) addressed by labels; it panics on
+// unknown labels so tests fail loudly.
+func (t *Table) Cell(row, col string) float64 {
+	ri, ci := -1, -1
+	for i, r := range t.RowLabels {
+		if r == row {
+			ri = i
+			break
+		}
+	}
+	for j, c := range t.Columns {
+		if c == col {
+			ci = j
+			break
+		}
+	}
+	if ri < 0 || ci < 0 {
+		panic(fmt.Sprintf("experiment: no cell (%q, %q) in table %s", row, col, t.ID))
+	}
+	return t.Values[ri][ci]
+}
+
+// Render writes a fixed-width text rendering of the table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+
+	labelW := len("series")
+	for _, r := range t.RowLabels {
+		if len(r) > labelW {
+			labelW = len(r)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for j, c := range t.Columns {
+		colW[j] = len(c)
+		if colW[j] < 10 {
+			colW[j] = 10
+		}
+	}
+
+	fmt.Fprintf(w, "%-*s", labelW+2, "")
+	for j, c := range t.Columns {
+		fmt.Fprintf(w, "%*s", colW[j]+2, c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", labelW+2+sum(colW)+2*len(colW)))
+
+	for i, r := range t.RowLabels {
+		fmt.Fprintf(w, "%-*s", labelW+2, r)
+		for j := range t.Columns {
+			fmt.Fprintf(w, "%*s", colW[j]+2, formatCell(t.Values[i][j]))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as CSV: a header row of column labels
+// preceded by an id column, then one row per row label. NaN cells are
+// empty.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.ID}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, r := range t.RowLabels {
+		row := make([]string, 0, len(t.Columns)+1)
+		row = append(row, r)
+		for j := range t.Columns {
+			v := t.Values[i][j]
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, strconv.FormatFloat(v, 'g', 10, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != math.Trunc(v) || math.Abs(v) < 1000:
+		if math.Abs(v) < 10 && v != math.Trunc(v) {
+			return fmt.Sprintf("%.3f", v)
+		}
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// newTable allocates a table with a NaN-filled value matrix.
+func newTable(id, title string, rows, cols []string) *Table {
+	vals := make([][]float64, len(rows))
+	for i := range vals {
+		vals[i] = make([]float64, len(cols))
+		for j := range vals[i] {
+			vals[i][j] = math.NaN()
+		}
+	}
+	return &Table{ID: id, Title: title, Columns: cols, RowLabels: rows, Values: vals}
+}

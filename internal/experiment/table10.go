@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"crowdtopk/internal/topk"
+)
+
+// table10Sizes are the m values the bound table is evaluated at.
+var table10Sizes = []int{5, 11, 25, 51, 101}
+
+// Table10 reproduces Appendix C's Table 10: the worst-case comparison
+// bounds of the median-selection algorithms available to SELECTREFERENCE,
+// plus — beyond the paper — an empirical column: the measured comparison
+// count of bubble-sort-to-the-median on random inputs, which must respect
+// its bound.
+func Table10(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+
+	algs := []string{"bubble", "selection", "merge", "heap", "quick"}
+	cols := make([]string, len(table10Sizes))
+	for i, m := range table10Sizes {
+		cols[i] = fmt.Sprintf("m=%d", m)
+	}
+	rows := append(append([]string{}, algs...), "bubble measured")
+	t := newTable("table10", "Median-selection comparison bounds (Appendix C)", rows, cols)
+
+	for ci, m := range table10Sizes {
+		for ri, alg := range algs {
+			t.Values[ri][ci] = topk.MedianCostBound(alg, m)
+		}
+		// Empirical bubble-to-median comparisons on random permutations.
+		var total float64
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)))
+		for run := 0; run < cfg.Runs; run++ {
+			total += float64(bubbleToMedianComparisons(rng.Perm(m)))
+		}
+		t.Values[len(algs)][ci] = total / float64(cfg.Runs)
+	}
+	t.Notes = append(t.Notes, "measured bubble comparisons must not exceed the bubble bound")
+	return []*Table{t}
+}
+
+// bubbleToMedianComparisons runs Appendix C's bubble-to-the-median
+// procedure on xs and counts comparisons: ⌈m/2⌉ passes, each bubbling the
+// next-smallest element into place from the tail.
+func bubbleToMedianComparisons(xs []int) int {
+	m := len(xs)
+	comparisons := 0
+	for pass := 1; pass <= (m+1)/2; pass++ {
+		for i := m - 1; i >= pass; i-- {
+			comparisons++
+			if xs[i] < xs[i-1] {
+				xs[i], xs[i-1] = xs[i-1], xs[i]
+			}
+		}
+	}
+	// Sanity: position ⌈m/2⌉−1 now holds the ⌈m/2⌉-th smallest value.
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	if xs[(m+1)/2-1] != sorted[(m+1)/2-1] {
+		panic("experiment: bubble-to-median failed to place the median")
+	}
+	return comparisons
+}

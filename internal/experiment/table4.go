@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"fmt"
+
+	"crowdtopk/internal/topk"
+)
+
+// table4Changes are the reference-change caps of Table 4.
+var table4Changes = []int{0, 1, 2, 4, 8, 16}
+
+// Table4 reproduces Table 4: the effect of the maximum number of reference
+// changes on SPR's average workload (IMDb, default settings).
+func Table4(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	src := MakeSource("imdb", cfg.Seed)
+
+	cols := make([]string, len(table4Changes))
+	for i, c := range table4Changes {
+		cols[i] = fmt.Sprintf("%d", c)
+	}
+	t := newTable("table4", "Effect of changing the reference on SPR workload (IMDb)", []string{"workload"}, cols)
+	for i, changes := range table4Changes {
+		sprCfg := cfg
+		sprCfg.MaxRefChanges = changes
+		m := measure(func(int) topk.Algorithm {
+			return &topk.SPR{C: sprCfg.C, MaxRefChanges: changes}
+		}, src, sprCfg)
+		t.Values[0][i] = m.TMC
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("averaged over %d runs; paper uses 100", cfg.Runs))
+	return []*Table{t}
+}

@@ -1,0 +1,22 @@
+package experiment
+
+import "fmt"
+
+// Table7 reproduces Table 7: the total monetary cost of all
+// confidence-aware methods (SPR, TourTree, HeapSort, QuickSelect, PBR) on
+// the four datasets at default settings.
+func Table7(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+
+	t := newTable("table7", "TMC of confidence-aware methods (defaults: k=10, 1-α=0.98, B=1000)",
+		DatasetNames, ConfidenceAwareAlgorithms)
+	for ri, ds := range DatasetNames {
+		src := MakeSource(ds, cfg.Seed)
+		for ci, alg := range ConfidenceAwareAlgorithms {
+			t.Values[ri][ci] = measureNamed(alg, src, cfg).TMC
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("averaged over %d runs; paper uses 100", cfg.Runs))
+	return []*Table{t}
+}

@@ -1,0 +1,187 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/topk"
+)
+
+func newRunner(seed int64) (*compare.Runner, dataset.Source) {
+	src := dataset.NewBook(seed) // graded + pairwise, rating ground truth
+	sub := dataset.RandomSubset(src, 60, rand.New(rand.NewSource(seed+1)))
+	eng := crowd.NewEngine(sub, rand.New(rand.NewSource(seed+2)))
+	r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 300, I: 30, Step: 30})
+	return r, sub
+}
+
+func precisionAt(got, want []int) float64 {
+	in := map[int]bool{}
+	for _, o := range want {
+		in[o] = true
+	}
+	hits := 0
+	for _, o := range got {
+		if in[o] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(want))
+}
+
+func TestHybridStaysWithinBudget(t *testing.T) {
+	r, _ := newRunner(1)
+	h := NewHybrid(20000)
+	h.TopK(r, 8)
+	if got := r.Engine().TMC(); got > 20000 {
+		t.Errorf("TMC = %d exceeds budget 20000", got)
+	}
+	if g := r.Engine().GradedTasks(); g == 0 {
+		t.Error("no graded microtasks spent")
+	}
+	if p := r.Engine().PairwiseTasks(); p == 0 {
+		t.Error("no pairwise microtasks spent")
+	}
+}
+
+func TestHybridFindsMostOfTopK(t *testing.T) {
+	total := 0.0
+	for rep := int64(0); rep < 3; rep++ {
+		r, src := newRunner(10 + rep)
+		got := NewHybrid(25000).TopK(r, 8)
+		total += precisionAt(got, dataset.TopK(src, 8))
+	}
+	if avg := total / 3; avg < 0.6 {
+		t.Errorf("Hybrid precision %.2f below 0.6", avg)
+	}
+}
+
+func TestHybridSPRFindsMostOfTopK(t *testing.T) {
+	total := 0.0
+	for rep := int64(0); rep < 3; rep++ {
+		r, src := newRunner(20 + rep)
+		got := NewHybridSPR(10000).TopK(r, 8)
+		total += precisionAt(got, dataset.TopK(src, 8))
+	}
+	if avg := total / 3; avg < 0.6 {
+		t.Errorf("HybridSPR precision %.2f below 0.6", avg)
+	}
+}
+
+func TestHybridSPRCheaperThanHybridAtSameFilter(t *testing.T) {
+	// The §6.5 claim: the confidence-aware ranking phase is more
+	// efficient, so with the same grading spend HybridSPR's ranking phase
+	// undercuts Hybrid's fixed all-pairs phase at matched filter sizes.
+	var hybridCost, sprCost int64
+	for rep := int64(0); rep < 3; rep++ {
+		r1, _ := newRunner(30 + rep)
+		NewHybrid(25000).TopK(r1, 8)
+		hybridCost += r1.Engine().TMC()
+
+		r2, _ := newRunner(30 + rep)
+		NewHybridSPR(12500).TopK(r2, 8) // same grading spend as Hybrid's share
+		sprCost += r2.Engine().TMC()
+	}
+	if sprCost >= hybridCost {
+		t.Errorf("HybridSPR cost %d not below Hybrid cost %d", sprCost, hybridCost)
+	}
+}
+
+func TestHybridAsAlgorithmInterface(t *testing.T) {
+	var algs = []topk.Algorithm{NewHybrid(15000), NewHybridSPR(7500)}
+	for _, alg := range algs {
+		r, _ := newRunner(40)
+		res := topk.Run(alg, r, 5)
+		if res.Algorithm != alg.Name() || len(res.TopK) != 5 {
+			t.Errorf("%s: unexpected result %+v", alg.Name(), res)
+		}
+		seen := map[int]bool{}
+		for _, o := range res.TopK {
+			if seen[o] {
+				t.Errorf("%s returned duplicate item %d", alg.Name(), o)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestHybridPanics(t *testing.T) {
+	r, _ := newRunner(50)
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("hybrid zero budget", func() { NewHybrid(0).TopK(r, 3) })
+	assertPanic("hybrid bad k", func() { NewHybrid(100).TopK(r, 0) })
+	assertPanic("hybridspr zero budget", func() { NewHybridSPR(0).TopK(r, 3) })
+	assertPanic("hybridspr bad k", func() { NewHybridSPR(100).TopK(r, 0) })
+}
+
+func TestGradeFilterKeepsBestGraded(t *testing.T) {
+	r, src := newRunner(60)
+	// A generous grading budget must keep most of the true top items.
+	survivors, means := gradeFilter(r, allItems(src.NumItems()), 20, 60000, 30)
+	if len(survivors) != 20 {
+		t.Fatalf("kept %d, want 20", len(survivors))
+	}
+	if len(means) != src.NumItems() {
+		t.Fatalf("means cover %d items", len(means))
+	}
+	if p := precisionAt(survivors, dataset.TopK(src, 8)); p < 0.7 {
+		t.Errorf("grade filter kept only %.2f of the true top-8", p)
+	}
+}
+
+func TestHybridZeroValueFieldsFallBackToDefaults(t *testing.T) {
+	// Zero or out-of-range tuning fields must resolve to the documented
+	// defaults rather than degenerate behavior.
+	r, src := newRunner(70)
+	h := &Hybrid{Budget: 15000} // Eta, GradeShare, FilterFactor all zero
+	got := h.TopK(r, 5)
+	if len(got) != 5 {
+		t.Fatalf("returned %d items", len(got))
+	}
+	if p := precisionAt(got, dataset.TopK(src, 5)); p < 0.4 {
+		t.Errorf("default-field hybrid precision %v degenerate", p)
+	}
+
+	r2, _ := newRunner(71)
+	hs := &HybridSPR{GradeBudget: 7000} // FilterFactor, SPR, Eta zero
+	got2 := hs.TopK(r2, 5)
+	if len(got2) != 5 {
+		t.Fatalf("hybridspr returned %d items", len(got2))
+	}
+}
+
+func TestHybridDegenerateBudgetFallsBackToGrades(t *testing.T) {
+	// A budget too small for any pairwise phase must still return k items
+	// ranked by grades alone.
+	r, _ := newRunner(72)
+	h := NewHybrid(70) // ~1 grade per item, nothing left for pairs
+	got := h.TopK(r, 5)
+	if len(got) != 5 {
+		t.Fatalf("returned %d items", len(got))
+	}
+	if r.Engine().PairwiseTasks() != 0 {
+		t.Errorf("degenerate budget still bought %d pairwise tasks", r.Engine().PairwiseTasks())
+	}
+}
+
+func TestHybridKeepAllWhenFactorExceedsN(t *testing.T) {
+	// FilterFactor·k beyond the item count keeps everything.
+	r, src := newRunner(73)
+	h := NewHybrid(30000)
+	h.FilterFactor = 100
+	got := h.TopK(r, 3)
+	if len(got) != 3 {
+		t.Fatalf("returned %d items", len(got))
+	}
+	_ = src
+}

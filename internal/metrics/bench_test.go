@@ -1,0 +1,17 @@
+package metrics
+
+import "testing"
+
+func BenchmarkNDCG(b *testing.B) {
+	got := []int{5, 2, 9, 1, 0, 3, 11, 7, 4, 6}
+	for i := 0; i < b.N; i++ {
+		NDCG(got, identityRank, 1225)
+	}
+}
+
+func BenchmarkKendallTau(b *testing.B) {
+	got := []int{5, 2, 9, 1, 0, 3, 11, 7, 4, 6}
+	for i := 0; i < b.N; i++ {
+		KendallTau(got, identityRank)
+	}
+}

@@ -1,0 +1,117 @@
+// Package metrics provides the ranking-quality measures of the paper's
+// evaluation: NDCG (§6.2, after Järvelin & Kekäläinen), precision@k, and
+// the rank-correlation measures (Kendall tau, Spearman's footrule)
+// commonly reported alongside.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// NDCG computes the Normalized Discounted Cumulative Gain of a returned
+// top-k list against a ground-truth ranking. trueRank maps an item to its
+// 0-based rank in the total order (0 is best) over n items. The gain is
+// top-k-focused, the standard choice for top-k retrieval: an item of true
+// rank r contributes k − r when it belongs to the true top-k and 0
+// otherwise, and position i (0-based) is discounted by 1/log2(i+2). The
+// result is normalized by the ideal DCG, so NDCG ∈ [0, 1] with 1 iff the
+// list is exactly the true top-k in order; with this gain the measure is
+// sensitive to both membership and order even when n ≫ k.
+func NDCG(got []int, trueRank func(int) int, n int) float64 {
+	k := len(got)
+	if k == 0 {
+		panic("metrics: NDCG of an empty list")
+	}
+	if k > n {
+		panic(fmt.Sprintf("metrics: list of %d items exceeds universe %d", k, n))
+	}
+	dcg := 0.0
+	for i, o := range got {
+		r := trueRank(o)
+		if r < 0 || r >= n {
+			panic(fmt.Sprintf("metrics: trueRank(%d) = %d out of range [0,%d)", o, r, n))
+		}
+		if r < k {
+			dcg += float64(k-r) / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := 0.0
+	for i := 0; i < k; i++ {
+		ideal += float64(k-i) / math.Log2(float64(i)+2)
+	}
+	return dcg / ideal
+}
+
+// PrecisionAtK returns the fraction of the true top-k present in the
+// returned list (order-insensitive). got and the truth both have k items.
+func PrecisionAtK(got []int, trueRank func(int) int) float64 {
+	if len(got) == 0 {
+		panic("metrics: PrecisionAtK of an empty list")
+	}
+	k := len(got)
+	hits := 0
+	for _, o := range got {
+		if trueRank(o) < k {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// KendallTau returns the Kendall rank-correlation coefficient between the
+// order of the returned list and the ground truth restricted to those
+// items: 1 for perfect agreement, −1 for full reversal.
+func KendallTau(got []int, trueRank func(int) int) float64 {
+	k := len(got)
+	if k < 2 {
+		panic("metrics: KendallTau requires at least two items")
+	}
+	concordant, discordant := 0, 0
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			// Position order says got[a] before got[b].
+			if trueRank(got[a]) < trueRank(got[b]) {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	return float64(concordant-discordant) / float64(concordant+discordant)
+}
+
+// SpearmanFootrule returns the normalized Spearman footrule distance
+// between the returned order and the true relative order of the same
+// items: 0 for identical orders, 1 for the maximal displacement.
+func SpearmanFootrule(got []int, trueRank func(int) int) float64 {
+	k := len(got)
+	if k < 2 {
+		panic("metrics: SpearmanFootrule requires at least two items")
+	}
+	// Rank the items among themselves by ground truth.
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by trueRank (k is small).
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && trueRank(got[idx[j]]) < trueRank(got[idx[j-1]]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	relative := make([]int, k) // relative[positionInGot] = rank among got
+	for r, i := range idx {
+		relative[i] = r
+	}
+	sum := 0
+	for i, r := range relative {
+		d := i - r
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	// Maximal footrule displacement is ⌊k²/2⌋.
+	return float64(sum) / float64(k*k/2)
+}

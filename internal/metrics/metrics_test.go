@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// identityRank treats item id as its rank.
+func identityRank(i int) int { return i }
+
+func TestNDCGPerfectList(t *testing.T) {
+	if got := NDCG([]int{0, 1, 2, 3, 4}, identityRank, 100); got != 1 {
+		t.Errorf("perfect NDCG = %v, want 1", got)
+	}
+}
+
+func TestNDCGOrderMatters(t *testing.T) {
+	right := NDCG([]int{0, 1, 2}, identityRank, 50)
+	swapped := NDCG([]int{1, 0, 2}, identityRank, 50)
+	if swapped >= right {
+		t.Errorf("swapping top items did not lower NDCG: %v >= %v", swapped, right)
+	}
+	if swapped <= 0 || swapped >= 1 {
+		t.Errorf("swapped NDCG %v out of (0,1)", swapped)
+	}
+}
+
+func TestNDCGWorstItems(t *testing.T) {
+	n := 100
+	// Items entirely outside the true top-k earn zero gain.
+	if bad := NDCG([]int{97, 98, 99}, identityRank, n); bad != 0 {
+		t.Errorf("bottom items NDCG = %v, want 0", bad)
+	}
+	good := NDCG([]int{0, 1, 5}, identityRank, n)
+	if good <= 0 || good >= 1 {
+		t.Errorf("partially-correct NDCG %v out of (0,1)", good)
+	}
+}
+
+func TestNDCGMembershipSensitiveAtLargeN(t *testing.T) {
+	// The top-k-focused gain must punish swapping the true rank-9 item for
+	// the rank-10 item even in a huge universe — the blunt linear-gain
+	// variant would barely move.
+	n := 10000
+	perfect := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	offByOne := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}
+	a := NDCG(perfect, identityRank, n)
+	b := NDCG(offByOne, identityRank, n)
+	if a != 1 {
+		t.Fatalf("perfect NDCG = %v", a)
+	}
+	if b > 0.995 {
+		// The blunt linear-gain variant would score ≈ 0.99997 here.
+		t.Errorf("off-by-one NDCG %v too close to 1: gain not top-k-focused", b)
+	}
+	if b >= a {
+		t.Errorf("off-by-one NDCG %v not below perfect %v", b, a)
+	}
+}
+
+func TestNDCGBoundsProperty(t *testing.T) {
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		n := 256
+		seen := map[int]bool{}
+		var got []int
+		for _, p := range picks {
+			if !seen[int(p)] {
+				seen[int(p)] = true
+				got = append(got, int(p))
+			}
+		}
+		v := NDCG(got, identityRank, n)
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	if got := PrecisionAtK([]int{0, 1, 2, 3}, identityRank); got != 1 {
+		t.Errorf("perfect precision = %v", got)
+	}
+	if got := PrecisionAtK([]int{0, 1, 50, 60}, identityRank); got != 0.5 {
+		t.Errorf("half precision = %v", got)
+	}
+	if got := PrecisionAtK([]int{90, 91, 92, 93}, identityRank); got != 0 {
+		t.Errorf("zero precision = %v", got)
+	}
+	// Precision ignores order.
+	if PrecisionAtK([]int{3, 0, 2, 1}, identityRank) != 1 {
+		t.Error("precision must be order-insensitive")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	if got := KendallTau([]int{2, 5, 9, 11}, identityRank); got != 1 {
+		t.Errorf("sorted tau = %v, want 1", got)
+	}
+	if got := KendallTau([]int{11, 9, 5, 2}, identityRank); got != -1 {
+		t.Errorf("reversed tau = %v, want -1", got)
+	}
+	// One adjacent swap in 3 items: 2 concordant, 1 discordant → 1/3.
+	if got := KendallTau([]int{1, 0, 2}, identityRank); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("one-swap tau = %v, want 1/3", got)
+	}
+}
+
+func TestSpearmanFootrule(t *testing.T) {
+	if got := SpearmanFootrule([]int{4, 7, 9}, identityRank); got != 0 {
+		t.Errorf("sorted footrule = %v, want 0", got)
+	}
+	if got := SpearmanFootrule([]int{9, 7, 4, 1}, identityRank); got != 1 {
+		t.Errorf("reversed footrule = %v, want 1", got)
+	}
+	got := SpearmanFootrule([]int{7, 4, 9}, identityRank) // displacement 1+1+0 of max 4
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("footrule = %v, want 0.5", got)
+	}
+}
+
+func TestRankCorrelationAgreementProperty(t *testing.T) {
+	// Tau = 1 ⟺ footrule = 0 on any duplicate-free list.
+	f := func(picks []uint16) bool {
+		seen := map[int]bool{}
+		var got []int
+		for _, p := range picks {
+			if !seen[int(p)] {
+				seen[int(p)] = true
+				got = append(got, int(p))
+			}
+		}
+		if len(got) < 2 {
+			return true
+		}
+		tau := KendallTau(got, identityRank)
+		foot := SpearmanFootrule(got, identityRank)
+		if (tau == 1) != (foot == 0) {
+			return false
+		}
+		return tau >= -1-1e-12 && tau <= 1+1e-12 && foot >= 0 && foot <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricsPanics(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("NDCG empty", func() { NDCG(nil, identityRank, 10) })
+	assertPanic("NDCG oversize", func() { NDCG([]int{0, 1, 2}, identityRank, 2) })
+	assertPanic("NDCG bad rank", func() { NDCG([]int{11}, identityRank, 10) })
+	assertPanic("Precision empty", func() { PrecisionAtK(nil, identityRank) })
+	assertPanic("Tau single", func() { KendallTau([]int{1}, identityRank) })
+	assertPanic("Footrule single", func() { SpearmanFootrule([]int{1}, identityRank) })
+}

@@ -1,0 +1,29 @@
+package optimize
+
+import "testing"
+
+// BenchmarkBFGSQuadratic100 sizes one CrowdBT-scale BFGS leg: 100
+// parameters, convex objective.
+func BenchmarkBFGSQuadratic100(b *testing.B) {
+	const n = 100
+	p := Problem{
+		F: func(x []float64) float64 {
+			s := 0.0
+			for i := range x {
+				d := x[i] - float64(i%7)
+				s += d * d
+			}
+			return s
+		},
+		Grad: func(x, out []float64) {
+			for i := range x {
+				out[i] = 2 * (x[i] - float64(i%7))
+			}
+		},
+	}
+	x0 := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFGS(p, x0, Options{MaxIter: 30})
+	}
+}

@@ -1,0 +1,193 @@
+// Package optimize provides the small numerical-optimization substrate the
+// CrowdBT baseline needs: dense BFGS with Armijo backtracking line search,
+// as used by the paper for the Bradley-Terry-Luce likelihood ("optimized
+// by BFGS with 100 iterations", §6.5).
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem is an unconstrained minimization problem. Grad writes ∇f(x) into
+// out (len(out) == len(x)).
+type Problem struct {
+	F    func(x []float64) float64
+	Grad func(x, out []float64)
+}
+
+// Options tunes the solver. Zero values select defaults.
+type Options struct {
+	// MaxIter caps the BFGS iterations (default 100, the paper's setting).
+	MaxIter int
+	// GradTol stops the solver once the gradient ∞-norm drops below it
+	// (default 1e-8).
+	GradTol float64
+}
+
+// Result reports the solution found.
+type Result struct {
+	X         []float64
+	F         float64
+	Iters     int
+	Converged bool
+}
+
+// BFGS minimizes the problem from x0 with the classic dense inverse-Hessian
+// update. The line search is Armijo backtracking, which is sufficient for
+// the smooth convex-ish likelihoods this library optimizes.
+func BFGS(p Problem, x0 []float64, opt Options) Result {
+	if p.F == nil || p.Grad == nil {
+		panic("optimize: BFGS requires both F and Grad")
+	}
+	n := len(x0)
+	if n == 0 {
+		panic("optimize: BFGS requires a non-empty start point")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 100
+	}
+	if opt.GradTol <= 0 {
+		opt.GradTol = 1e-8
+	}
+
+	x := append([]float64(nil), x0...)
+	fx := p.F(x)
+	if math.IsNaN(fx) || math.IsInf(fx, 0) {
+		panic(fmt.Sprintf("optimize: F(x0) is not finite: %v", fx))
+	}
+	g := make([]float64, n)
+	p.Grad(x, g)
+
+	// h is the inverse Hessian approximation, initialized to I.
+	h := eye(n)
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gNew := make([]float64, n)
+	s := make([]float64, n)
+	y := make([]float64, n)
+
+	res := Result{X: x, F: fx}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		if infNorm(g) < opt.GradTol {
+			res.Converged = true
+			break
+		}
+		// dir = -H·g.
+		for i := 0; i < n; i++ {
+			d := 0.0
+			row := h[i]
+			for j := 0; j < n; j++ {
+				d -= row[j] * g[j]
+			}
+			dir[i] = d
+		}
+		// Safeguard: fall back to steepest descent on a non-descent
+		// direction (can happen after a skipped update).
+		if dot(dir, g) >= 0 {
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+		}
+
+		step, ok := armijo(p, x, fx, g, dir, xNew)
+		if !ok {
+			break // no progress possible along this direction
+		}
+		fNew := p.F(xNew)
+		p.Grad(xNew, gNew)
+
+		for i := 0; i < n; i++ {
+			s[i] = step * dir[i]
+			y[i] = gNew[i] - g[i]
+		}
+		if sy := dot(s, y); sy > 1e-12 {
+			bfgsUpdate(h, s, y, sy)
+		}
+
+		copy(x, xNew)
+		copy(g, gNew)
+		fx = fNew
+		res.Iters = iter + 1
+	}
+	res.X = x
+	res.F = fx
+	if infNorm(g) < opt.GradTol {
+		res.Converged = true
+	}
+	return res
+}
+
+// armijo backtracks from step 1 until the sufficient-decrease condition
+// f(x+t·d) ≤ f(x) + c1·t·gᵀd holds, writing the accepted point into xNew.
+func armijo(p Problem, x []float64, fx float64, g, dir, xNew []float64) (float64, bool) {
+	const (
+		c1     = 1e-4
+		shrink = 0.5
+		minT   = 1e-16
+	)
+	gd := dot(g, dir)
+	for t := 1.0; t >= minT; t *= shrink {
+		for i := range x {
+			xNew[i] = x[i] + t*dir[i]
+		}
+		f := p.F(xNew)
+		if !math.IsNaN(f) && f <= fx+c1*t*gd {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// bfgsUpdate applies the inverse-Hessian BFGS update
+// H ← (I − ρsyᵀ)H(I − ρysᵀ) + ρssᵀ with ρ = 1/sᵀy.
+func bfgsUpdate(h [][]float64, s, y []float64, sy float64) {
+	n := len(s)
+	rho := 1 / sy
+	// hy = H·y.
+	hy := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := 0.0
+		row := h[i]
+		for j := 0; j < n; j++ {
+			d += row[j] * y[j]
+		}
+		hy[i] = d
+	}
+	yhy := dot(y, hy)
+	// H ← H − ρ(s·hyᵀ + hy·sᵀ) + ρ²(yᵀHy)ssᵀ + ρssᵀ.
+	c := rho * rho * yhy
+	for i := 0; i < n; i++ {
+		row := h[i]
+		for j := 0; j < n; j++ {
+			row[j] += -rho*(s[i]*hy[j]+hy[i]*s[j]) + (c+rho)*s[i]*s[j]
+		}
+	}
+}
+
+func eye(n int) [][]float64 {
+	h := make([][]float64, n)
+	for i := range h {
+		h[i] = make([]float64, n)
+		h[i][i] = 1
+	}
+	return h
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func infNorm(a []float64) float64 {
+	m := 0.0
+	for _, v := range a {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}

@@ -1,0 +1,163 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBFGSQuadratic(t *testing.T) {
+	// f(x) = Σ a_i (x_i − b_i)², minimized at b.
+	a := []float64{1, 4, 0.5, 10}
+	b := []float64{3, -2, 7, 0.25}
+	p := Problem{
+		F: func(x []float64) float64 {
+			s := 0.0
+			for i := range x {
+				d := x[i] - b[i]
+				s += a[i] * d * d
+			}
+			return s
+		},
+		Grad: func(x, out []float64) {
+			for i := range x {
+				out[i] = 2 * a[i] * (x[i] - b[i])
+			}
+		},
+	}
+	res := BFGS(p, make([]float64, 4), Options{})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	for i := range b {
+		if math.Abs(res.X[i]-b[i]) > 1e-6 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], b[i])
+		}
+	}
+	if res.F > 1e-10 {
+		t.Errorf("F = %v, want ≈ 0", res.F)
+	}
+}
+
+func TestBFGSRosenbrock(t *testing.T) {
+	p := Problem{
+		F: func(x []float64) float64 {
+			a := 1 - x[0]
+			b := x[1] - x[0]*x[0]
+			return a*a + 100*b*b
+		},
+		Grad: func(x, out []float64) {
+			out[0] = -2*(1-x[0]) - 400*x[0]*(x[1]-x[0]*x[0])
+			out[1] = 200 * (x[1] - x[0]*x[0])
+		},
+	}
+	res := BFGS(p, []float64{-1.2, 1}, Options{MaxIter: 500, GradTol: 1e-8})
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]-1) > 1e-4 {
+		t.Errorf("Rosenbrock solution %v, want (1,1); f=%v iters=%d", res.X, res.F, res.Iters)
+	}
+}
+
+func TestBFGSLogistic(t *testing.T) {
+	// A BTL-like logistic log-likelihood in 3 parameters; checks descent on
+	// the exact structure CrowdBT optimizes.
+	rng := rand.New(rand.NewSource(5))
+	theta := []float64{1.5, 0, -1.5}
+	type vote struct{ i, j int }
+	var votes []vote
+	for t2 := 0; t2 < 3000; t2++ {
+		i, j := rng.Intn(3), rng.Intn(3)
+		if i == j {
+			continue
+		}
+		p := 1 / (1 + math.Exp(theta[j]-theta[i]))
+		if rng.Float64() < p {
+			votes = append(votes, vote{i, j})
+		} else {
+			votes = append(votes, vote{j, i})
+		}
+	}
+	const lambda = 0.01
+	p := Problem{
+		F: func(x []float64) float64 {
+			s := 0.0
+			for _, v := range votes {
+				s += math.Log1p(math.Exp(x[v.j] - x[v.i]))
+			}
+			for _, xi := range x {
+				s += lambda * xi * xi
+			}
+			return s
+		},
+		Grad: func(x, out []float64) {
+			for i := range out {
+				out[i] = 2 * lambda * x[i]
+			}
+			for _, v := range votes {
+				q := 1 / (1 + math.Exp(x[v.i]-x[v.j])) // σ(θj−θi)
+				out[v.i] -= q
+				out[v.j] += q
+			}
+		},
+	}
+	res := BFGS(p, make([]float64, 3), Options{MaxIter: 200, GradTol: 1e-7})
+	// Recovered ordering must match the generator.
+	if !(res.X[0] > res.X[1] && res.X[1] > res.X[2]) {
+		t.Errorf("recovered scores %v do not order as 0 > 1 > 2", res.X)
+	}
+}
+
+func TestBFGSMonotoneDecrease(t *testing.T) {
+	// Every accepted iterate must not increase f; probe via a wrapper.
+	var seen []float64
+	p := Problem{
+		F: func(x []float64) float64 {
+			return math.Cosh(x[0]) + x[1]*x[1]*0.5
+		},
+		Grad: func(x, out []float64) {
+			out[0] = math.Sinh(x[0])
+			out[1] = x[1]
+		},
+	}
+	wrapped := Problem{
+		F:    p.F,
+		Grad: p.Grad,
+	}
+	x := []float64{2, -3}
+	fPrev := p.F(x)
+	for iter := 0; iter < 10; iter++ {
+		res := BFGS(wrapped, x, Options{MaxIter: 1})
+		if res.F > fPrev+1e-12 {
+			t.Fatalf("iteration increased f: %v -> %v", fPrev, res.F)
+		}
+		seen = append(seen, res.F)
+		fPrev = res.F
+		x = res.X
+	}
+	if seen[len(seen)-1] >= seen[0] {
+		t.Errorf("no overall progress: %v", seen)
+	}
+}
+
+func TestBFGSPanics(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	ok := Problem{
+		F:    func(x []float64) float64 { return x[0] * x[0] },
+		Grad: func(x, out []float64) { out[0] = 2 * x[0] },
+	}
+	assertPanic("nil F", func() { BFGS(Problem{Grad: ok.Grad}, []float64{1}, Options{}) })
+	assertPanic("nil Grad", func() { BFGS(Problem{F: ok.F}, []float64{1}, Options{}) })
+	assertPanic("empty x0", func() { BFGS(ok, nil, Options{}) })
+	assertPanic("non-finite f", func() {
+		BFGS(Problem{
+			F:    func(x []float64) float64 { return math.NaN() },
+			Grad: func(x, out []float64) {},
+		}, []float64{1}, Options{})
+	})
+}

@@ -1,0 +1,54 @@
+package stats
+
+import "testing"
+
+// The comparison processes evaluate quantiles and running moments on every
+// purchased sample; these benchmarks size those hot paths.
+
+func BenchmarkRegIncBeta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RegIncBeta(15, 0.5, 0.7)
+	}
+}
+
+func BenchmarkTQuantileCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TQuantile(0.99, float64(i%1000+2))
+	}
+}
+
+func BenchmarkTTableCriticalHot(b *testing.B) {
+	tt := NewTTable(0.02)
+	for df := 1; df <= 1000; df++ {
+		tt.Critical(df) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tt.Critical(i%1000 + 1)
+	}
+}
+
+func BenchmarkNormalQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NormalQuantile(0.975)
+	}
+}
+
+func BenchmarkRunningAdd(b *testing.B) {
+	var r Running
+	for i := 0; i < b.N; i++ {
+		r.Add(float64(i % 17))
+	}
+}
+
+func BenchmarkCensoredNormalMoments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CensoredNormalMoments(0.3, 0.5, -1, 1)
+	}
+}
+
+func BenchmarkHoeffdingHalfWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HoeffdingHalfWidth(i%5000+1, 2, 0.02)
+	}
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestRegIncBetaEndpoints(t *testing.T) {
+	for _, tc := range []struct{ a, b float64 }{
+		{0.5, 0.5}, {1, 1}, {2, 3}, {10, 0.5}, {0.5, 10}, {100, 100},
+	} {
+		if got := RegIncBeta(tc.a, tc.b, 0); got != 0 {
+			t.Errorf("I_0(%v,%v) = %v, want 0", tc.a, tc.b, got)
+		}
+		if got := RegIncBeta(tc.a, tc.b, 1); got != 1 {
+			t.Errorf("I_1(%v,%v) = %v, want 1", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestRegIncBetaClosedForms(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almostEqual(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// I_x(2,2) = 3x² − 2x³.
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.95} {
+		want := 3*x*x - 2*x*x*x
+		if got := RegIncBeta(2, 2, x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+	// I_x(a,1) = x^a.
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		for _, a := range []float64{0.5, 1.5, 4} {
+			want := math.Pow(x, a)
+			if got := RegIncBeta(a, 1, x); !almostEqual(got, want, 1e-12) {
+				t.Errorf("I_%v(%v,1) = %v, want %v", x, a, got, want)
+			}
+		}
+	}
+	// I_{1/2}(a,a) = 1/2 by symmetry.
+	for _, a := range []float64{0.5, 1, 3, 17, 120} {
+		if got := RegIncBeta(a, a, 0.5); !almostEqual(got, 0.5, 1e-12) {
+			t.Errorf("I_0.5(%v,%v) = %v, want 0.5", a, a, got)
+		}
+	}
+}
+
+func TestRegIncBetaArcsineClosedForm(t *testing.T) {
+	// I_x(1/2, 1/2) = (2/π) asin(√x), the arcsine distribution.
+	for x := 0.05; x < 1; x += 0.05 {
+		want := 2 / math.Pi * math.Asin(math.Sqrt(x))
+		if got := RegIncBeta(0.5, 0.5, x); !almostEqual(got, want, 1e-10) {
+			t.Errorf("I_%v(0.5,0.5) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// betaCDFBySimpson integrates the Beta(a,b) density on [0,x] with composite
+// Simpson's rule, giving an independent cross-check of the continued
+// fraction. It requires a, b >= 1 so the density is bounded.
+func betaCDFBySimpson(a, b, x float64, n int) float64 {
+	lgab, _ := math.Lgamma(a + b)
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	logC := lgab - lga - lgb
+	pdf := func(u float64) float64 {
+		if u <= 0 || u >= 1 {
+			if (u == 0 && a == 1) || (u == 1 && b == 1) {
+				return math.Exp(logC)
+			}
+			return 0
+		}
+		return math.Exp(logC + (a-1)*math.Log(u) + (b-1)*math.Log1p(-u))
+	}
+	h := x / float64(n)
+	sum := pdf(0) + pdf(x)
+	for i := 1; i < n; i++ {
+		u := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * pdf(u)
+		} else {
+			sum += 2 * pdf(u)
+		}
+	}
+	return sum * h / 3
+}
+
+func TestRegIncBetaAgainstNumericalIntegration(t *testing.T) {
+	cases := []struct{ a, b float64 }{
+		{1, 1}, {2, 3}, {5, 1.5}, {10, 10}, {15, 2}, {50, 25}, {5, 0.5 + 0.5}, // t-CDF like shapes
+	}
+	for _, tc := range cases {
+		for _, x := range []float64{0.05, 0.2, 0.5, 0.8, 0.99} {
+			want := betaCDFBySimpson(tc.a, tc.b, x, 20000)
+			got := RegIncBeta(tc.a, tc.b, x)
+			if !almostEqual(got, want, 1e-7) {
+				t.Errorf("I_%v(%v,%v) = %.10f, Simpson says %.10f", x, tc.a, tc.b, got, want)
+			}
+		}
+	}
+}
+
+func TestRegIncBetaSymmetryProperty(t *testing.T) {
+	f := func(ai, bi uint8, xi uint16) bool {
+		a := 0.5 + float64(ai%64)/4 // (0.5, 16.25]
+		b := 0.5 + float64(bi%64)/4
+		x := float64(xi%999+1) / 1000 // (0, 1)
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		return almostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaMonotoneProperty(t *testing.T) {
+	f := func(ai, bi uint8, x1i, x2i uint16) bool {
+		a := 0.5 + float64(ai%40)/2
+		b := 0.5 + float64(bi%40)/2
+		x1 := float64(x1i%1000) / 1000
+		x2 := float64(x2i%1000) / 1000
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return RegIncBeta(a, b, x1) <= RegIncBeta(a, b, x2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaRangeProperty(t *testing.T) {
+	f := func(ai, bi uint8, xi uint16) bool {
+		a := 0.25 + float64(ai)/8
+		b := 0.25 + float64(bi)/8
+		x := float64(xi) / 65535
+		v := RegIncBeta(a, b, x)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaPanics(t *testing.T) {
+	for _, tc := range []struct{ a, b, x float64 }{
+		{0, 1, 0.5}, {1, 0, 0.5}, {-1, 1, 0.5}, {1, 1, -0.1}, {1, 1, 1.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegIncBeta(%v,%v,%v) did not panic", tc.a, tc.b, tc.x)
+				}
+			}()
+			RegIncBeta(tc.a, tc.b, tc.x)
+		}()
+	}
+}

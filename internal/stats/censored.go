@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// CensoredNormalMoments returns the exact mean and standard deviation of
+// clamp(X, a, b) for X ~ N(mu, sigma²): the censored (not truncated)
+// normal distribution, where probability mass outside [a, b] piles up on
+// the bounds. Datasets that clip worker preferences to [-1, 1] use it so
+// their reported pair moments match the judgment distribution exactly.
+func CensoredNormalMoments(mu, sigma, a, b float64) (mean, sd float64) {
+	if b < a {
+		panic(fmt.Sprintf("stats: CensoredNormalMoments requires a <= b, got [%v,%v]", a, b))
+	}
+	if sigma < 0 {
+		panic(fmt.Sprintf("stats: CensoredNormalMoments requires sigma >= 0, got %v", sigma))
+	}
+	if sigma == 0 {
+		m := math.Min(math.Max(mu, a), b)
+		return m, 0
+	}
+	alpha := (a - mu) / sigma
+	beta := (b - mu) / sigma
+	pa := NormalCDF(alpha)     // mass censored at a
+	pb := 1 - NormalCDF(beta)  // mass censored at b
+	pm := math.Max(0, 1-pa-pb) // interior mass
+	fa, fb := NormalPDF(alpha), NormalPDF(beta)
+
+	mean = a*pa + b*pb + mu*pm - sigma*(fb-fa)
+	// Rounding in the extreme-censoring regime (|μ| ≫ bounds) can push
+	// the mean past a boundary by ~1e-15; the true mean lives in [a, b].
+	if mean < a {
+		mean = a
+	}
+	if mean > b {
+		mean = b
+	}
+
+	// E[Y²] with Y = clamp(X, a, b): boundary atoms plus the interior
+	// second moment ∫(μ+σz)²φ(z)dz over [α, β].
+	interior := (mu*mu+sigma*sigma)*pm +
+		2*mu*sigma*(fa-fb) +
+		sigma*sigma*(alphaTimesPhi(alpha)-alphaTimesPhi(beta))
+	ey2 := a*a*pa + b*b*pb + interior
+	v := ey2 - mean*mean
+	if v < 0 {
+		v = 0 // guard tiny negative rounding
+	}
+	return mean, math.Sqrt(v)
+}
+
+// alphaTimesPhi returns x·φ(x), with the 0·φ(±∞) limit handled.
+func alphaTimesPhi(x float64) float64 {
+	if math.IsInf(x, 0) {
+		return 0
+	}
+	return x * NormalPDF(x)
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCensoredNormalMomentsNoClipping(t *testing.T) {
+	// Bounds far away: moments are the plain Gaussian moments.
+	m, s := CensoredNormalMoments(0.3, 0.1, -100, 100)
+	if !almostEqual(m, 0.3, 1e-12) || !almostEqual(s, 0.1, 1e-9) {
+		t.Errorf("wide bounds: (%v,%v), want (0.3,0.1)", m, s)
+	}
+}
+
+func TestCensoredNormalMomentsFullClipping(t *testing.T) {
+	// Mean far above the upper bound: everything censors to b.
+	m, s := CensoredNormalMoments(50, 1, -1, 1)
+	if !almostEqual(m, 1, 1e-9) || s > 1e-6 {
+		t.Errorf("fully censored: (%v,%v), want (1,0)", m, s)
+	}
+}
+
+func TestCensoredNormalMomentsSymmetric(t *testing.T) {
+	// Symmetric setup: mean 0 stays 0, variance shrinks.
+	m, s := CensoredNormalMoments(0, 1, -1, 1)
+	if math.Abs(m) > 1e-12 {
+		t.Errorf("symmetric mean = %v, want 0", m)
+	}
+	if s >= 1 || s <= 0 {
+		t.Errorf("censored sd = %v, want in (0,1)", s)
+	}
+}
+
+func TestCensoredNormalMomentsZeroSigma(t *testing.T) {
+	if m, s := CensoredNormalMoments(0.5, 0, -1, 1); m != 0.5 || s != 0 {
+		t.Errorf("σ=0 interior: (%v,%v)", m, s)
+	}
+	if m, s := CensoredNormalMoments(3, 0, -1, 1); m != 1 || s != 0 {
+		t.Errorf("σ=0 censored: (%v,%v)", m, s)
+	}
+}
+
+func TestCensoredNormalMomentsMonteCarlo(t *testing.T) {
+	rng := newTestRand(31)
+	cases := []struct{ mu, sigma, a, b float64 }{
+		{0.9, 0.3, -1, 1},
+		{-0.5, 0.8, -1, 1},
+		{0, 2, -1, 1},
+		{0.2, 0.05, -1, 1},
+		{1.5, 0.5, -1, 1},
+	}
+	for _, tc := range cases {
+		var r Running
+		for i := 0; i < 400000; i++ {
+			x := tc.mu + rng.NormFloat64()*tc.sigma
+			r.Add(math.Min(math.Max(x, tc.a), tc.b))
+		}
+		m, s := CensoredNormalMoments(tc.mu, tc.sigma, tc.a, tc.b)
+		if math.Abs(r.Mean()-m) > 4e-3 {
+			t.Errorf("μ=%v σ=%v: MC mean %v vs analytic %v", tc.mu, tc.sigma, r.Mean(), m)
+		}
+		if math.Abs(r.SD()-s) > 4e-3 {
+			t.Errorf("μ=%v σ=%v: MC sd %v vs analytic %v", tc.mu, tc.sigma, r.SD(), s)
+		}
+	}
+}
+
+func TestCensoredNormalMomentsBoundsProperty(t *testing.T) {
+	f := func(mui int16, sigi uint16) bool {
+		mu := float64(mui) / 8192 // ~[-4, 4]
+		sigma := float64(sigi)/16384 + 1e-6
+		m, s := CensoredNormalMoments(mu, sigma, -1, 1)
+		if m < -1 || m > 1 || s < 0 || s > 1 {
+			return false
+		}
+		// Censoring can only reduce spread versus the raw Gaussian.
+		return s <= sigma+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCensoredNormalMomentsPanics(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("b<a", func() { CensoredNormalMoments(0, 1, 1, -1) })
+	assertPanic("sigma<0", func() { CensoredNormalMoments(0, -1, -1, 1) })
+}

@@ -1,0 +1,11 @@
+// Package stats provides the statistical substrate of the crowdtopk
+// library: special functions (regularized incomplete beta), the Student-t
+// and normal distributions with numerically inverted quantiles, Hoeffding
+// bounds for bounded variables, and numerically stable running moments.
+//
+// Everything is implemented from scratch on top of the math package so the
+// module has no third-party dependencies. Accuracy targets are those needed
+// by the confidence-aware comparison processes of Kou et al. (SIGMOD 2017):
+// quantiles accurate to ~1e-8, which is far below the Monte-Carlo noise of
+// any crowdsourced estimate.
+package stats

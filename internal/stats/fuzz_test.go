@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The statistical kernels run millions of times per simulated query; fuzz
+// their numeric domains for NaNs, range violations and inversion drift.
+
+func FuzzRegIncBeta(f *testing.F) {
+	f.Add(0.5, 0.5, 0.5)
+	f.Add(100.0, 0.5, 0.99)
+	f.Add(1.0, 1.0, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, x float64) {
+		if !(a > 0 && a < 1e6) || !(b > 0 && b < 1e6) || !(x >= 0 && x <= 1) {
+			return
+		}
+		v := RegIncBeta(a, b, x)
+		if math.IsNaN(v) || v < -1e-12 || v > 1+1e-12 {
+			t.Fatalf("I_%v(%v,%v) = %v out of [0,1]", x, a, b, v)
+		}
+	})
+}
+
+func FuzzTQuantileRoundTrip(f *testing.F) {
+	f.Add(0.975, 10.0)
+	f.Add(0.5, 1.0)
+	f.Add(0.001, 3.0)
+	f.Fuzz(func(t *testing.T, p, df float64) {
+		if !(p > 1e-6 && p < 1-1e-6) || !(df >= 1 && df < 1e5) {
+			return
+		}
+		q := TQuantile(p, df)
+		if math.IsNaN(q) {
+			t.Fatalf("TQuantile(%v,%v) is NaN", p, df)
+		}
+		back := TCDF(q, df)
+		if math.Abs(back-p) > 1e-6 {
+			t.Fatalf("round trip drift: p=%v df=%v q=%v back=%v", p, df, q, back)
+		}
+	})
+}
+
+func FuzzCensoredNormalMoments(f *testing.F) {
+	f.Add(0.0, 1.0)
+	f.Add(5.0, 0.1)
+	f.Add(-3.0, 2.0)
+	f.Fuzz(func(t *testing.T, mu, sigma float64) {
+		if math.IsNaN(mu) || math.IsInf(mu, 0) || !(sigma >= 0 && sigma < 1e6) || math.Abs(mu) > 1e6 {
+			return
+		}
+		m, s := CensoredNormalMoments(mu, sigma, -1, 1)
+		if math.IsNaN(m) || m < -1-1e-9 || m > 1+1e-9 {
+			t.Fatalf("censored mean %v out of [-1,1] for μ=%v σ=%v", m, mu, sigma)
+		}
+		if math.IsNaN(s) || s < 0 || s > 1+1e-9 {
+			t.Fatalf("censored sd %v out of [0,1] for μ=%v σ=%v", s, mu, sigma)
+		}
+	})
+}

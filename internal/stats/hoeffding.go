@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoeffdingHalfWidth returns the half-width t of the two-sided Hoeffding
+// confidence interval for the mean of n i.i.d. samples bounded in an
+// interval of width rang, at confidence level 1-alpha:
+//
+//	Pr{ |x̄ - μ| ≥ t } ≤ 2 exp(-2 n t² / rang²) = alpha.
+//
+// With the paper's preference range [-1, 1], rang = 2 and the bound reduces
+// to the form used in Appendix D.
+func HoeffdingHalfWidth(n int, rang, alpha float64) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: HoeffdingHalfWidth requires n > 0, got %d", n))
+	}
+	if rang <= 0 {
+		panic(fmt.Sprintf("stats: HoeffdingHalfWidth requires positive range, got %v", rang))
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stats: HoeffdingHalfWidth requires alpha in (0,1), got %v", alpha))
+	}
+	return rang * math.Sqrt(math.Log(2/alpha)/(2*float64(n)))
+}
+
+// HoeffdingSamples returns the smallest n such that the Hoeffding half-width
+// at confidence 1-alpha is at most t, for samples bounded in an interval of
+// width rang. It is the closed-form workload n_b of Appendix D, Eq. (3)
+// (there specialized to rang = 2).
+func HoeffdingSamples(t, rang, alpha float64) int {
+	if t <= 0 {
+		panic(fmt.Sprintf("stats: HoeffdingSamples requires t > 0, got %v", t))
+	}
+	if rang <= 0 {
+		panic(fmt.Sprintf("stats: HoeffdingSamples requires positive range, got %v", rang))
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stats: HoeffdingSamples requires alpha in (0,1), got %v", alpha))
+	}
+	n := rang * rang * math.Log(2/alpha) / (2 * t * t)
+	return int(math.Ceil(n))
+}
+
+// BinaryShiftedMean returns μ̃ = 2Φ(μ/σ) − 1, the mean of the ±1 binary
+// judgment derived by thresholding a Gaussian preference N(μ, σ²) at zero
+// (Appendix D). It quantifies how much signal survives binarization.
+func BinaryShiftedMean(mu, sigma float64) float64 {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("stats: BinaryShiftedMean requires sigma > 0, got %v", sigma))
+	}
+	return 2*NormalCDF(mu/sigma) - 1
+}
+
+// PreferenceSamplesNeeded returns the approximate workload n at which the
+// Student-t confidence interval around a preference with true mean mu and
+// standard deviation sigma first excludes zero at confidence 1-alpha:
+// n = (t_{α/2,n-1}·σ/μ)², solved by fixed-point iteration (Appendix D).
+func PreferenceSamplesNeeded(mu, sigma, alpha float64) float64 {
+	if sigma < 0 {
+		panic(fmt.Sprintf("stats: PreferenceSamplesNeeded requires sigma >= 0, got %v", sigma))
+	}
+	if mu == 0 {
+		return math.Inf(1)
+	}
+	if sigma == 0 {
+		// A deterministic judgment distribution (e.g. a replayed database
+		// whose records all agree): any two samples decide.
+		return 2
+	}
+	ratio := sigma / math.Abs(mu)
+	// Start from the normal-limit workload and iterate the implicit
+	// definition; it converges in a handful of steps because t_{α/2,n-1}
+	// changes slowly in n.
+	z := NormalQuantile(1 - alpha/2)
+	n := math.Max(2, (z*ratio)*(z*ratio))
+	for i := 0; i < 50; i++ {
+		df := math.Max(1, n-1)
+		t := TQuantile(1-alpha/2, df)
+		next := (t * ratio) * (t * ratio)
+		if next < 2 {
+			next = 2
+		}
+		if math.Abs(next-n) < 1e-9*(1+n) {
+			return next
+		}
+		n = next
+	}
+	return n
+}
+
+// BinarySamplesNeeded returns the Appendix D closed-form workload of the
+// pairwise binary judgment for a Gaussian preference N(μ, σ²):
+// n_b = (2/μ̃²)·log(2/α) with μ̃ = 2Φ(μ/σ)−1.
+func BinarySamplesNeeded(mu, sigma, alpha float64) float64 {
+	if mu == 0 {
+		return math.Inf(1)
+	}
+	mt := BinaryShiftedMean(mu, sigma)
+	if mt == 0 {
+		return math.Inf(1)
+	}
+	return 2 / (mt * mt) * math.Log(2/alpha)
+}

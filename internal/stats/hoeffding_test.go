@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHoeffdingHalfWidthShrinks(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{1, 10, 100, 1000, 10000} {
+		w := HoeffdingHalfWidth(n, 2, 0.05)
+		if w >= prev {
+			t.Errorf("half-width not shrinking at n=%d: %v >= %v", n, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestHoeffdingRoundTripProperty(t *testing.T) {
+	// SamplesNeeded(t) must yield a half-width ≤ t, and one fewer sample a
+	// half-width > t.
+	f := func(ti uint16, ai uint8) bool {
+		tol := 0.01 + float64(ti%1000)/1000 // (0.01, 1.01)
+		alpha := 0.01 + float64(ai%90)/100  // (0.01, 0.91)
+		n := HoeffdingSamples(tol, 2, alpha)
+		if HoeffdingHalfWidth(n, 2, alpha) > tol+1e-12 {
+			return false
+		}
+		if n > 1 && HoeffdingHalfWidth(n-1, 2, alpha) <= tol-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHoeffdingCoverageMonteCarlo(t *testing.T) {
+	// The Hoeffding interval is conservative: empirical coverage must be at
+	// least the nominal level for bounded samples.
+	const (
+		alpha = 0.1
+		n     = 200
+		runs  = 2000
+	)
+	w := HoeffdingHalfWidth(n, 2, alpha)
+	rng := newTestRand(99)
+	mu := 0.3
+	covered := 0
+	for r := 0; r < runs; r++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			// Bounded sample in [-1,1] with mean mu.
+			x := mu + (rng.Float64()*2-1)*(1-math.Abs(mu))
+			s += x
+		}
+		m := s / n
+		if math.Abs(m-mu) <= w {
+			covered++
+		}
+	}
+	if frac := float64(covered) / runs; frac < 1-alpha {
+		t.Errorf("coverage %.3f below nominal %.3f", frac, 1-alpha)
+	}
+}
+
+func TestBinaryShiftedMean(t *testing.T) {
+	if got := BinaryShiftedMean(0, 1); got != 0 {
+		t.Errorf("μ̃(0,1) = %v, want 0", got)
+	}
+	// μ/σ → ∞ gives μ̃ → 1.
+	if got := BinaryShiftedMean(10, 0.1); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("μ̃(10,0.1) = %v, want ≈1", got)
+	}
+	// Antisymmetric in μ.
+	if got := BinaryShiftedMean(0.4, 1) + BinaryShiftedMean(-0.4, 1); math.Abs(got) > 1e-12 {
+		t.Errorf("μ̃ not antisymmetric: sum = %v", got)
+	}
+}
+
+func TestBinaryNeedsMoreSamplesThanPreference(t *testing.T) {
+	// The Appendix D claim (Figure 15): n_b > n for all μ, σ.
+	for _, alpha := range []float64{0.05, 0.02, 0.01} {
+		for mu := 0.05; mu <= 1.0; mu += 0.05 {
+			for sigma := 0.05; sigma <= 1.0; sigma += 0.05 {
+				n := PreferenceSamplesNeeded(mu, sigma, alpha)
+				nb := BinarySamplesNeeded(mu, sigma, alpha)
+				if nb <= n {
+					t.Errorf("α=%v μ=%v σ=%v: n_b=%v ≤ n=%v", alpha, mu, sigma, nb, n)
+				}
+			}
+		}
+	}
+}
+
+func TestSamplesNeededInfiniteAtZeroMean(t *testing.T) {
+	if !math.IsInf(PreferenceSamplesNeeded(0, 1, 0.05), 1) {
+		t.Error("PreferenceSamplesNeeded(0, ...) should be +Inf")
+	}
+	if !math.IsInf(BinarySamplesNeeded(0, 1, 0.05), 1) {
+		t.Error("BinarySamplesNeeded(0, ...) should be +Inf")
+	}
+}
+
+func TestHoeffdingPanics(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("HalfWidth n=0", func() { HoeffdingHalfWidth(0, 2, 0.05) })
+	assertPanic("HalfWidth rang", func() { HoeffdingHalfWidth(10, 0, 0.05) })
+	assertPanic("HalfWidth alpha", func() { HoeffdingHalfWidth(10, 2, 0) })
+	assertPanic("Samples t", func() { HoeffdingSamples(0, 2, 0.05) })
+	assertPanic("ShiftedMean sigma", func() { BinaryShiftedMean(1, 0) })
+	assertPanic("PrefSamples sigma", func() { PreferenceSamplesNeeded(1, -1, 0.05) })
+}

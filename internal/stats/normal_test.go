@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFReferenceValues(t *testing.T) {
+	// Classic z-table anchors.
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{2.575829303548901, 0.995},
+		{-3, 0.0013498980316300933},
+		{6, 0.9999999990134123},
+	}
+	for _, tc := range cases {
+		if got := NormalCDF(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Φ(%v) = %.16f, want %.16f", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNormalQuantileReferenceValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.995, 2.575829303548901},
+		{0.99, 2.3263478740408408},
+		{0.95, 1.6448536269514722},
+		{0.9, 1.2815515655446004},
+		{0.025, -1.959963984540054},
+		{1e-6, -4.753424308822899},
+	}
+	for _, tc := range cases {
+		if got := NormalQuantile(tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Φ⁻¹(%v) = %.12f, want %.12f", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTripProperty(t *testing.T) {
+	f := func(pi uint32) bool {
+		p := (float64(pi%999998) + 1) / 1000000 // (0, 1)
+		x := NormalQuantile(p)
+		return math.Abs(NormalCDF(x)-p) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileSymmetryProperty(t *testing.T) {
+	f := func(pi uint32) bool {
+		p := (float64(pi%499998) + 1) / 1000000 // (0, 0.5)
+		return math.Abs(NormalQuantile(p)+NormalQuantile(1-p)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoid integration of the pdf should track the CDF.
+	const h = 1e-4
+	acc := NormalCDF(-8)
+	x := -8.0
+	for x < 3 {
+		acc += h * (NormalPDF(x) + NormalPDF(x+h)) / 2
+		x += h
+		if math.Mod(x, 1) < h { // spot check near integers
+			if !almostEqual(acc, NormalCDF(x), 1e-6) {
+				t.Fatalf("integral of pdf at %v = %v, CDF = %v", x, acc, NormalCDF(x))
+			}
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTCDFSpecialValues(t *testing.T) {
+	for _, df := range []float64{1, 2, 5, 30, 1000} {
+		if got := TCDF(0, df); got != 0.5 {
+			t.Errorf("TCDF(0, %v) = %v, want 0.5", df, got)
+		}
+		if got := TCDF(math.Inf(1), df); got != 1 {
+			t.Errorf("TCDF(+inf, %v) = %v, want 1", df, got)
+		}
+		if got := TCDF(math.Inf(-1), df); got != 0 {
+			t.Errorf("TCDF(-inf, %v) = %v, want 0", df, got)
+		}
+	}
+}
+
+func TestTCDFCauchyClosedForm(t *testing.T) {
+	// df = 1 is the Cauchy distribution: F(t) = 1/2 + atan(t)/π.
+	for _, x := range []float64{-10, -2, -0.5, 0.3, 1, 7} {
+		want := 0.5 + math.Atan(x)/math.Pi
+		if got := TCDF(x, 1); !almostEqual(got, want, 1e-12) {
+			t.Errorf("TCDF(%v, 1) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestTCDFdf2ClosedForm(t *testing.T) {
+	// df = 2: F(t) = 1/2 + t / (2√(2+t²)).
+	for _, x := range []float64{-5, -1, 0.25, 2, 9} {
+		want := 0.5 + x/(2*math.Sqrt(2+x*x))
+		if got := TCDF(x, 2); !almostEqual(got, want, 1e-12) {
+			t.Errorf("TCDF(%v, 2) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestTQuantileReferenceValues(t *testing.T) {
+	// Standard two-sided critical values t_{α/2, ν} from statistical tables.
+	cases := []struct {
+		alpha float64
+		df    int
+		want  float64
+	}{
+		{0.05, 1, 12.706204736432095},
+		{0.05, 2, 4.302652729911275},
+		{0.05, 5, 2.5705818366147395},
+		{0.05, 10, 2.2281388519649385},
+		{0.05, 29, 2.045229642132703},
+		{0.05, 30, 2.0422724563012373},
+		{0.01, 30, 2.7499956535670305},
+		{0.02, 99, 2.3646058614359737},
+		{0.05, 1000, 1.9623390808264078},
+	}
+	for _, tc := range cases {
+		got := TCritical(tc.alpha, tc.df)
+		if math.Abs(got-tc.want) > 1e-4 {
+			t.Errorf("t_{%v/2, %d} = %.9f, want %.9f", tc.alpha, tc.df, got, tc.want)
+		}
+	}
+}
+
+func TestTQuantileRoundTripProperty(t *testing.T) {
+	f := func(pi uint32, dfi uint16) bool {
+		p := (float64(pi%9998) + 1) / 10000 // (0, 1)
+		df := float64(dfi%2000 + 1)
+		x := TQuantile(p, df)
+		return math.Abs(TCDF(x, df)-p) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCDFMonotoneProperty(t *testing.T) {
+	f := func(x1i, x2i int16, dfi uint16) bool {
+		x1 := float64(x1i) / 100
+		x2 := float64(x2i) / 100
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		df := float64(dfi%500 + 1)
+		return TCDF(x1, df) <= TCDF(x2, df)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTQuantileSymmetryProperty(t *testing.T) {
+	f := func(pi uint32, dfi uint16) bool {
+		p := (float64(pi%4998) + 1) / 10000 // (0, 0.5)
+		df := float64(dfi%300 + 1)
+		return math.Abs(TQuantile(p, df)+TQuantile(1-p, df)) < 1e-7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTQuantileApproachesNormal(t *testing.T) {
+	// As df → ∞ the t quantile converges to the normal quantile from above
+	// (upper tail).
+	for _, p := range []float64{0.9, 0.95, 0.975, 0.99, 0.995} {
+		z := NormalQuantile(p)
+		prev := math.Inf(1)
+		for _, df := range []float64{3, 10, 30, 100, 1000, 100000} {
+			q := TQuantile(p, df)
+			if q < z-1e-9 {
+				t.Errorf("TQuantile(%v, %v) = %v below normal %v", p, df, q, z)
+			}
+			if q > prev+1e-9 {
+				t.Errorf("TQuantile(%v, df) not decreasing in df at df=%v: %v > %v", p, df, q, prev)
+			}
+			prev = q
+		}
+		if math.Abs(TQuantile(p, 1e7)-z) > 1e-4 {
+			t.Errorf("TQuantile(%v, 1e7) = %v, want ≈ %v", p, TQuantile(p, 1e7), z)
+		}
+	}
+}
+
+func TestTPDFIntegratesToOne(t *testing.T) {
+	for _, df := range []float64{3, 10, 50} {
+		const h = 1e-3
+		sum := 0.0
+		for x := -60.0; x < 60; x += h {
+			sum += h * (TPDF(x, df) + TPDF(x+h, df)) / 2
+		}
+		if !almostEqual(sum, 1, 1e-5) {
+			t.Errorf("∫TPDF(df=%v) = %v, want 1", df, sum)
+		}
+	}
+}
+
+func TestTTableCachesAndMatches(t *testing.T) {
+	tt := NewTTable(0.02)
+	for _, df := range []int{1, 5, 29, 29, 100, 5, 999} {
+		want := TCritical(0.02, df)
+		if got := tt.Critical(df); got != want {
+			t.Errorf("TTable.Critical(%d) = %v, want %v", df, got, want)
+		}
+	}
+	if tt.Alpha() != 0.02 {
+		t.Errorf("Alpha() = %v, want 0.02", tt.Alpha())
+	}
+}
+
+func TestTTableConcurrent(t *testing.T) {
+	tt := NewTTable(0.05)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for df := 1; df <= 200; df++ {
+				tt.Critical(df)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got, want := tt.Critical(10), TCritical(0.05, 10); got != want {
+		t.Errorf("after concurrent fill, Critical(10) = %v, want %v", got, want)
+	}
+}
+
+func TestStudentPanics(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("TCDF df<=0", func() { TCDF(1, 0) })
+	assertPanic("TPDF df<=0", func() { TPDF(1, -3) })
+	assertPanic("TQuantile p=0", func() { TQuantile(0, 5) })
+	assertPanic("TQuantile p=1", func() { TQuantile(1, 5) })
+	assertPanic("TQuantile df<=0", func() { TQuantile(0.5, 0) })
+	assertPanic("TCritical alpha", func() { TCritical(0, 5) })
+	assertPanic("TCritical df", func() { TCritical(0.05, 0) })
+	assertPanic("NewTTable alpha", func() { NewTTable(1) })
+}

@@ -1,0 +1,8 @@
+package stats
+
+import "math/rand"
+
+// newTestRand returns a deterministic rng for Monte-Carlo tests.
+func newTestRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,64 @@
+package topk
+
+import (
+	"fmt"
+
+	"crowdtopk/internal/compare"
+)
+
+// Algorithm is a crowdsourced top-k query processor: given a comparison
+// runner over N items and a query parameter k, it returns the k best items
+// in ranked order (best first). Implementations spend money and latency
+// only through the runner.
+type Algorithm interface {
+	// Name identifies the algorithm in reports ("spr", "tourtree", ...).
+	Name() string
+	// TopK answers the query. 1 <= k <= N is required.
+	TopK(r *compare.Runner, k int) []int
+}
+
+// Result captures the outcome and cost of one query run.
+type Result struct {
+	// Algorithm is the processor that produced the result.
+	Algorithm string
+	// TopK holds the returned items, best first.
+	TopK []int
+	// TMC is the total monetary cost: microtasks purchased during the run.
+	TMC int64
+	// Rounds is the query latency in batch rounds.
+	Rounds int64
+}
+
+// Run executes alg on a fresh accounting window of the runner's engine and
+// returns the result with cost deltas attributed to this run.
+func Run(alg Algorithm, r *compare.Runner, k int) Result {
+	validateK(r, k)
+	e := r.Engine()
+	tmc0, rounds0 := e.TMC(), e.Rounds()
+	items := alg.TopK(r, k)
+	if len(items) != k {
+		panic(fmt.Sprintf("topk: %s returned %d items, want %d", alg.Name(), len(items), k))
+	}
+	return Result{
+		Algorithm: alg.Name(),
+		TopK:      items,
+		TMC:       e.TMC() - tmc0,
+		Rounds:    e.Rounds() - rounds0,
+	}
+}
+
+func validateK(r *compare.Runner, k int) {
+	n := r.Engine().NumItems()
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("topk: k=%d out of range [1,%d]", k, n))
+	}
+}
+
+// allItems returns [0, 1, ..., n).
+func allItems(n int) []int {
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	return items
+}

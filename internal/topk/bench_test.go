@@ -1,0 +1,81 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+)
+
+// benchRunner builds a fresh paper-default runner over a 200-item
+// synthetic instance; iteration i gets its own crowd stream.
+func benchRunner(i int) *compare.Runner {
+	src := dataset.NewSynthetic(200, 0.3, 1) // one fixed dataset
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(int64(i+1))))
+	return compare.NewRunner(eng, compare.NewStudent(0.02), compare.Params{B: 1000, I: 30, Step: 30})
+}
+
+func benchAlgorithm(b *testing.B, alg Algorithm) {
+	b.Helper()
+	var tmc int64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(i)
+		tmc = Run(alg, r, 10).TMC
+	}
+	b.ReportMetric(float64(tmc), "tasks")
+}
+
+func BenchmarkSPR(b *testing.B)         { benchAlgorithm(b, NewSPR()) }
+func BenchmarkTourTree(b *testing.B)    { benchAlgorithm(b, TourTree{}) }
+func BenchmarkHeapSort(b *testing.B)    { benchAlgorithm(b, HeapSort{}) }
+func BenchmarkQuickSelect(b *testing.B) { benchAlgorithm(b, QuickSelect{}) }
+func BenchmarkPBR(b *testing.B)         { benchAlgorithm(b, NewPBR()) }
+
+func BenchmarkSelectReference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(i)
+		NewSPR().selectReference(r, allItems(200), 10)
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(i)
+		partition(r, allItems(200), 10, 17, 2)
+	}
+}
+
+func BenchmarkAdjacentSortAlmostSorted(b *testing.B) {
+	src := dataset.NewSynthetic(100, 0.2, 2)
+	order := dataset.Order(src)
+	for i := 0; i < b.N; i++ {
+		eng := crowd.NewEngine(src, rand.New(rand.NewSource(int64(i+1))))
+		r := compare.NewRunner(eng, compare.NewStudent(0.02), compare.Params{B: 300, I: 30, Step: 30})
+		sortByCrowd(r, order)
+	}
+}
+
+func BenchmarkInfimumCost(b *testing.B) {
+	src := dataset.NewIMDb(3)
+	p := InfimumParams{Alpha: 0.02, B: 1000, I: 30, Eta: 30}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InfimumCost(src, 10, p)
+	}
+}
+
+func BenchmarkIntervalGroups(b *testing.B) {
+	src := dataset.NewSynthetic(60, 0.2, 4)
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(5)))
+	r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 500, I: 30, Step: 30})
+	items := allItems(60)
+	for _, o := range items[1:] {
+		r.Compare(o, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntervalGroups(eng, items, 0, 0.05)
+	}
+}

@@ -1,0 +1,14 @@
+// Package topk implements the crowdsourced top-k query processors of Kou
+// et al. (SIGMOD 2017): the paper's Select-Partition-Rank framework (SPR,
+// §5) and the confidence-aware baselines it is evaluated against —
+// tournament tree (§4.1), heap sort (§4.2), quick selection (§4.3) and the
+// preference-based racing algorithm PBR of Busa-Fekete et al. (§6.2). The
+// package also provides the infimum-cost calculator of Lemmas 1 and 3
+// (§4.4), the theoretical floor every algorithm is compared to.
+//
+// All algorithms speak to the crowd exclusively through a compare.Runner,
+// so they share the same confidence-aware comparison processes, monetary
+// accounting, latency clock, and judgment reuse. Latency follows the
+// paper's batch model (§5.5): independent comparisons advance together in
+// waves, one engine tick per wave.
+package topk

@@ -1,0 +1,218 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/metrics"
+)
+
+func TestPriorReferenceSkipsSamplingCost(t *testing.T) {
+	const n, k = 120, 10
+	src := dataset.NewSynthetic(n, 0.3, 900)
+	prior := make([]float64, n)
+	for i := 0; i < n; i++ {
+		prior[i] = -float64(src.TrueRank(i)) // perfect prior
+	}
+
+	run := func(s *SPR, seed int64) Result {
+		eng := crowd.NewEngine(src, rand.New(rand.NewSource(seed)))
+		r := compare.NewRunner(eng, compare.NewStudent(0.02), compare.Params{B: 500, I: 30, Step: 30})
+		return Run(s, r, k)
+	}
+	vanilla := run(NewSPR(), 901)
+	informed := run(&SPR{C: 1.5, MaxRefChanges: 2, PriorScores: prior}, 901)
+
+	if informed.TMC >= vanilla.TMC {
+		t.Errorf("prior-informed TMC %d not below vanilla %d", informed.TMC, vanilla.TMC)
+	}
+	if p := metrics.PrecisionAtK(informed.TopK, src.TrueRank); p < 0.7 {
+		t.Errorf("prior-informed precision %v too low", p)
+	}
+}
+
+func TestPriorReferenceTargetsSweetSpot(t *testing.T) {
+	prior := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1} // item i has prior rank i
+	// k=2, c=1.5 → sweet spot ranks [1, 2], middle index (1+2)/2 = 1.
+	if got := priorReference(prior, allItems(10), 2, 1.5); got != 1 {
+		t.Errorf("reference = %d, want 1", got)
+	}
+	// Subset remaps: the same call over items {5..9} picks by prior order
+	// within the subset.
+	if got := priorReference(prior, []int{9, 7, 5, 8, 6}, 2, 1.5); got != 6 {
+		t.Errorf("subset reference = %d, want 6", got)
+	}
+	// Degenerate small subsets stay in range.
+	if got := priorReference(prior, []int{4}, 10, 2.0); got != 4 {
+		t.Errorf("single-item reference = %d", got)
+	}
+}
+
+func TestNoisyPriorStillHelps(t *testing.T) {
+	// Priors only steer reference selection; even badly noisy priors must
+	// not break correctness (the partition still verifies with the crowd).
+	const n, k = 80, 8
+	src := dataset.NewSynthetic(n, 0.25, 902)
+	rng := rand.New(rand.NewSource(903))
+	prior := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Rank noise of ~n/8: the prior is mediocre but monotone-ish. (A
+		// totally wrong prior can park the reference far above o_k*,
+		// where Algorithm 2's random tie-filling legitimately degrades —
+		// the trade-off §7 hints at.)
+		prior[i] = -float64(src.TrueRank(i)) + rng.NormFloat64()*float64(n)/8
+	}
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(904)))
+	r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 500, I: 30, Step: 30})
+	res := Run(&SPR{C: 1.5, MaxRefChanges: 2, PriorScores: prior}, r, k)
+	if p := metrics.PrecisionAtK(res.TopK, src.TrueRank); p < 0.6 {
+		t.Errorf("noisy-prior precision %v too low", p)
+	}
+}
+
+func TestSelectionBudgetAblation(t *testing.T) {
+	// The DESIGN.md decision: uncapped selection comparisons (the naive
+	// Algorithm 3 reading) must cost visibly more than the capped default
+	// on a dataset with near-tied top items.
+	src := dataset.NewIMDb(905)
+	run := func(selBudget int) int64 {
+		eng := crowd.NewEngine(src, rand.New(rand.NewSource(906)))
+		r := compare.NewRunner(eng, compare.NewStudent(0.02), compare.Params{B: 1000, I: 30, Step: 30})
+		return Run(&SPR{C: 1.5, MaxRefChanges: 2, SelectionBudget: selBudget}, r, 10).TMC
+	}
+	capped := run(0)    // default 2I
+	uncapped := run(-1) // full B
+	if uncapped <= capped {
+		t.Errorf("uncapped selection TMC %d not above capped %d", uncapped, capped)
+	}
+}
+
+func TestIntervalGroupsOrderAndSeparation(t *testing.T) {
+	const n = 30
+	src := dataset.NewSynthetic(n, 0.2, 907)
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(908)))
+	r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 2000, I: 30, Step: 30})
+
+	order := dataset.Order(src)
+	ref := order[n/2]
+	items := append([]int(nil), order[:8]...)
+	items = append(items, order[n-4:]...)
+	for _, o := range items {
+		r.Compare(o, ref) // buy the evidence the intervals will use
+	}
+
+	groups := IntervalGroups(eng, items, ref, 0.05)
+
+	// Every item appears exactly once.
+	seen := map[int]bool{}
+	total := 0
+	for _, g := range groups {
+		for _, o := range g {
+			if seen[o] {
+				t.Fatalf("item %d in two groups", o)
+			}
+			seen[o] = true
+			total++
+		}
+	}
+	if total != len(items) {
+		t.Fatalf("groups cover %d items, want %d", total, len(items))
+	}
+
+	// Tiers separate: the worst items (far below the reference) cannot
+	// share a tier with the best items (far above it).
+	tierOf := map[int]int{}
+	for ti, g := range groups {
+		for _, o := range g {
+			tierOf[o] = ti
+		}
+	}
+	if tierOf[order[0]] >= tierOf[order[n-1]] {
+		t.Errorf("best item tier %d not before worst item tier %d",
+			tierOf[order[0]], tierOf[order[n-1]])
+	}
+
+	// Mean monotonicity across tiers.
+	prevWorst := math.Inf(1)
+	for _, g := range groups {
+		for _, o := range g {
+			m := 0.0
+			if o != ref {
+				m = eng.View(o, ref).Mean
+			}
+			if m > prevWorst+1e-9 {
+				t.Fatalf("tier means not monotone at item %d", o)
+			}
+		}
+		// prevWorst = min mean in this tier.
+		for _, o := range g {
+			m := 0.0
+			if o != ref {
+				m = eng.View(o, ref).Mean
+			}
+			if m < prevWorst {
+				prevWorst = m
+			}
+		}
+	}
+}
+
+func TestIntervalGroupsUnsampledItemsMergeEverything(t *testing.T) {
+	src := dataset.NewSynthetic(10, 0.2, 909)
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(910)))
+	// No purchases at all: every interval is unbounded, one giant tier.
+	groups := IntervalGroups(eng, allItems(10), 0, 0.05)
+	if len(groups) != 1 || len(groups[0]) != 10 {
+		t.Errorf("expected a single 10-item tier, got %v", groups)
+	}
+}
+
+func TestIntervalGroupsIncludesReferencePoint(t *testing.T) {
+	src := dataset.NewSynthetic(12, 0.1, 911)
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(912)))
+	r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 2000, I: 30, Step: 30})
+	order := dataset.Order(src)
+	ref := order[5]
+	for _, o := range order {
+		if o != ref {
+			r.Compare(o, ref)
+		}
+	}
+	groups := IntervalGroups(eng, order, ref, 0.05)
+	found := false
+	for _, g := range groups {
+		for _, o := range g {
+			if o == ref {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("reference missing from groups")
+	}
+	if len(groups) < 2 {
+		t.Errorf("well-separated data yielded %d tier(s)", len(groups))
+	}
+}
+
+func TestIntervalGroupsPanicsOnBadAlpha(t *testing.T) {
+	src := dataset.NewSynthetic(5, 0.2, 913)
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(914)))
+	for _, a := range []float64{0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%v accepted", a)
+				}
+			}()
+			IntervalGroups(eng, allItems(5), 0, a)
+		}()
+	}
+	if got := IntervalGroups(eng, nil, 0, 0.05); got != nil {
+		t.Errorf("empty items returned %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package topk
+
+import "crowdtopk/internal/compare"
+
+// HeapSort answers top-k queries with a crowd-backed min-heap of k
+// candidates (§4.2): the heap root is the worst current candidate; every
+// remaining item is tested against the root and replaces it on a win.
+// Expected cost is O(Nw·logk). The scan is inherently sequential, which is
+// why the paper reports heap sort's latency as the worst of all methods
+// (§5.5).
+type HeapSort struct{}
+
+// Name implements Algorithm.
+func (HeapSort) Name() string { return "heapsort" }
+
+// TopK implements Algorithm.
+func (HeapSort) TopK(r *compare.Runner, k int) []int {
+	validateK(r, k)
+	n := r.Engine().NumItems()
+	perm := r.Engine().Rand().Perm(n)
+
+	// heap[0] is the worst candidate (min-heap in quality).
+	heap := append([]int(nil), perm[:k]...)
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(r, heap, i)
+	}
+
+	for _, o := range perm[k:] {
+		// If o beats the worst candidate, it becomes a candidate.
+		if better(r, o, heap[0]) {
+			heap[0] = o
+			siftDown(r, heap, 0)
+		}
+	}
+
+	// Extract candidates worst-first, then reverse into best-first order.
+	out := make([]int, k)
+	for i := k - 1; i >= 0; i-- {
+		last := len(heap) - 1
+		out[i] = heap[0]
+		heap[0] = heap[last]
+		heap = heap[:last]
+		if len(heap) > 1 {
+			siftDown(r, heap, 0)
+		}
+	}
+	return out
+}
+
+// siftDown restores the min-heap property below position i: a parent must
+// be worse than (lose to) its children.
+func siftDown(r *compare.Runner, heap []int, i int) {
+	n := len(heap)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && better(r, heap[worst], heap[l]) {
+			worst = l
+		}
+		if rt := 2*i + 2; rt < n && better(r, heap[worst], heap[rt]) {
+			worst = rt
+		}
+		if worst == i {
+			return
+		}
+		heap[i], heap[worst] = heap[worst], heap[i]
+		i = worst
+	}
+}

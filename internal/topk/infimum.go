@@ -1,0 +1,117 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+
+	"crowdtopk/internal/dataset"
+	"crowdtopk/internal/stats"
+)
+
+// InfimumParams configures the infimum-cost calculator of §4.4.
+type InfimumParams struct {
+	// Alpha is the comparison significance level (1−confidence).
+	Alpha float64
+	// B and I are the per-pair budget and minimum workload, bounding every
+	// expected workload to [I, B]. B <= 0 means unlimited.
+	B, I int
+	// Eta is the batch size used for the latency floor.
+	Eta int
+}
+
+// ExpectedWorkload returns W(o_i, o_j): the expected number of preference
+// microtasks the Student-t comparison process needs to separate the pair at
+// confidence 1−α, clamped to the execution bounds [I, B]. It is computed
+// from the pair's true judgment moments, so it is only available to the
+// evaluator, never to the algorithms (§4.4: W(o_i,o_j) ∝ 1/|s(o_i)−s(o_j)|).
+func ExpectedWorkload(src dataset.Source, i, j int, p InfimumParams) float64 {
+	mu, sigma := src.PairMoments(i, j)
+	w := stats.PreferenceSamplesNeeded(mu, sigma, p.Alpha)
+	if w < float64(p.I) {
+		w = float64(p.I)
+	}
+	if p.B > 0 && w > float64(p.B) {
+		w = float64(p.B)
+	}
+	return w
+}
+
+// InfimumCost computes TMC_inf of Lemma 1: the minimum possible monetary
+// cost of a top-k query — comparing each adjacent pair of the top-k
+// (confirming o_1* ≻ ... ≻ o_k*) plus comparing every non-result item
+// directly with o_k*.
+func InfimumCost(src dataset.Source, k int, p InfimumParams) float64 {
+	return InfimumCostWithReference(src, k, k-1, p)
+}
+
+// InfimumCostWithReference computes TMC_inf(o_ℓ*) of Lemma 3: the infimum
+// cost when partitioning uses the rank-ℓ item (0-based: ell) as reference.
+// ell = k−1 reproduces Lemma 1, and the value is monotonically increasing
+// in ell (Lemma 4).
+func InfimumCostWithReference(src dataset.Source, k int, ell int, p InfimumParams) float64 {
+	n := src.NumItems()
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("topk: infimum k=%d out of range [1,%d]", k, n))
+	}
+	if ell < k-1 || ell >= n {
+		panic(fmt.Sprintf("topk: infimum reference rank %d out of range [%d,%d)", ell, k-1, n))
+	}
+	order := dataset.Order(src)
+
+	total := 0.0
+	// (i) confirm o_1* ≻ o_2* ≻ ... ≻ o_k*.
+	for j := 0; j+1 < k; j++ {
+		total += ExpectedWorkload(src, order[j], order[j+1], p)
+	}
+	// (ii) o_k* ≻ o_j* for k < j ≤ ℓ (0-based: ranks k..ell).
+	for j := k; j <= ell; j++ {
+		total += ExpectedWorkload(src, order[j], order[k-1], p)
+	}
+	// (iii) o_ℓ* ≻ o_j* for j > ℓ.
+	for j := ell + 1; j < n; j++ {
+		total += ExpectedWorkload(src, order[j], order[ell], p)
+	}
+	return total
+}
+
+// InfimumRounds estimates the latency floor corresponding to Lemma 1 under
+// the batch model of §5.5: all pruning comparisons against o_k* run in
+// parallel (rounds = the largest per-pair batch count), and the already
+// sorted top-k needs one more parallel wave of adjacent confirmations.
+func InfimumRounds(src dataset.Source, k int, p InfimumParams) float64 {
+	if p.Eta < 1 {
+		panic(fmt.Sprintf("topk: infimum requires Eta >= 1, got %d", p.Eta))
+	}
+	n := src.NumItems()
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("topk: infimum k=%d out of range [1,%d]", k, n))
+	}
+	order := dataset.Order(src)
+
+	batches := func(w float64) float64 { return math.Ceil(w / float64(p.Eta)) }
+
+	prune := 0.0
+	for j := k; j < n; j++ {
+		if b := batches(ExpectedWorkload(src, order[j], order[k-1], p)); b > prune {
+			prune = b
+		}
+	}
+	confirm := 0.0
+	for j := 0; j+1 < k; j++ {
+		if b := batches(ExpectedWorkload(src, order[j], order[j+1], p)); b > confirm {
+			confirm = b
+		}
+	}
+	return prune + confirm
+}
+
+// Infimum packages the Lemma 1 floor for reporting alongside measured
+// algorithm results.
+func Infimum(src dataset.Source, k int, p InfimumParams) Result {
+	return Result{
+		Algorithm: "infimum",
+		TopK:      dataset.TopK(src, k),
+		TMC:       int64(math.Round(InfimumCost(src, k, p))),
+		Rounds:    int64(math.Round(InfimumRounds(src, k, p))),
+	}
+}

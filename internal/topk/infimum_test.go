@@ -1,0 +1,137 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+)
+
+func infParams() InfimumParams {
+	return InfimumParams{Alpha: 0.02, B: 1000, I: 30, Eta: 30}
+}
+
+func TestExpectedWorkloadBounds(t *testing.T) {
+	src := dataset.NewSynthetic(40, 0.3, 51)
+	p := infParams()
+	order := dataset.Order(src)
+	// An easy pair clamps to I; adjacent mid-ranked pairs cost more.
+	easy := ExpectedWorkload(src, order[0], order[39], p)
+	if easy != float64(p.I) {
+		t.Errorf("easy pair workload %v, want I=%d", easy, p.I)
+	}
+	hard := ExpectedWorkload(src, order[19], order[20], p)
+	if hard <= easy {
+		t.Errorf("adjacent pair workload %v not above easy %v", hard, easy)
+	}
+	if hard > float64(p.B) {
+		t.Errorf("workload %v exceeds budget %d", hard, p.B)
+	}
+}
+
+func TestExpectedWorkloadInverseDistance(t *testing.T) {
+	// §4.4: W(o_i, o_j) ∝ 1/|s(o_i) − s(o_j)| — monotone in rank distance
+	// for a homogeneous-noise latent source with unbounded budget.
+	scores := make([]float64, 20)
+	for i := range scores {
+		scores[i] = float64(20-i) / 20
+	}
+	src := dataset.NewLatent(dataset.LatentConfig{
+		Name: "even", Scores: scores, Gain: 0.5, NoiseSD: 0.4,
+	})
+	p := InfimumParams{Alpha: 0.02, B: 0, I: 2, Eta: 30}
+	prev := math.Inf(1)
+	for d := 1; d < 19; d++ {
+		w := ExpectedWorkload(src, 0, d, p)
+		if w > prev+1e-9 {
+			t.Errorf("workload not decreasing with distance at d=%d: %v > %v", d, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestInfimumLemma4Monotone(t *testing.T) {
+	// Lemma 4 assumes the idealized workload model W ∝ 1/|Δs| over a
+	// homogeneous item space; build exactly that — evenly spaced scores,
+	// uniform noise — and expect strict monotonicity.
+	k := 10
+	scores := make([]float64, 200)
+	for i := range scores {
+		scores[i] = 1 - float64(i)/200
+	}
+	even := dataset.NewLatent(dataset.LatentConfig{
+		Name: "even", Scores: scores, Gain: 0.5, NoiseSD: 0.4,
+	})
+	p := InfimumParams{Alpha: 0.02, B: 0, I: 2, Eta: 30}
+	prev := -1.0
+	for ell := k - 1; ell < 60; ell++ {
+		c := InfimumCostWithReference(even, k, ell, p)
+		if c < prev-1e-9 {
+			t.Errorf("TMC_inf(o_%d*) = %v below TMC_inf at ℓ-1 (%v): violates Lemma 4", ell, c, prev)
+		}
+		prev = c
+	}
+
+	// On heterogeneous real-style data only the overall trend survives:
+	// a reference far from o_k* must cost more than o_k* itself.
+	imdb := dataset.NewIMDb(52)
+	pi := infParams()
+	base := InfimumCostWithReference(imdb, k, k-1, pi)
+	far := InfimumCostWithReference(imdb, k, k+50, pi)
+	if far <= base {
+		t.Errorf("IMDb: TMC_inf at ℓ=k+50 (%v) not above TMC_inf at o_k* (%v)", far, base)
+	}
+	if got, want := InfimumCostWithReference(imdb, k, k-1, pi), InfimumCost(imdb, k, pi); got != want {
+		t.Errorf("Lemma 3 at ℓ=k disagrees with Lemma 1: %v vs %v", got, want)
+	}
+}
+
+func TestInfimumBelowMeasuredAlgorithms(t *testing.T) {
+	// The floor must actually floor the measured costs at matched settings.
+	const n, k = 120, 10
+	src := dataset.NewSynthetic(n, 0.3, 53)
+	p := InfimumParams{Alpha: 0.02, B: 500, I: 30, Eta: 30}
+	floor := InfimumCost(src, k, p)
+	for _, alg := range []Algorithm{NewSPR(), TourTree{}, HeapSort{}, QuickSelect{}} {
+		eng := crowd.NewEngine(src, rand.New(rand.NewSource(54)))
+		r := compare.NewRunner(eng, compare.NewStudent(0.02), compare.Params{B: 500, I: 30, Step: 30})
+		res := Run(alg, r, k)
+		if float64(res.TMC) < floor*0.8 {
+			// 0.8 slack: the infimum uses expected workloads, single runs
+			// fluctuate.
+			t.Errorf("%s measured TMC %d below infimum %v", alg.Name(), res.TMC, floor)
+		}
+	}
+}
+
+func TestInfimumResultShape(t *testing.T) {
+	src := dataset.NewSynthetic(30, 0.2, 55)
+	res := Infimum(src, 5, infParams())
+	if res.Algorithm != "infimum" || len(res.TopK) != 5 || res.TMC <= 0 || res.Rounds <= 0 {
+		t.Errorf("unexpected infimum result %+v", res)
+	}
+}
+
+func TestInfimumPanics(t *testing.T) {
+	src := dataset.NewSynthetic(10, 0.2, 56)
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("k=0", func() { InfimumCost(src, 0, infParams()) })
+	assertPanic("k>n", func() { InfimumCost(src, 11, infParams()) })
+	assertPanic("ell<k-1", func() { InfimumCostWithReference(src, 5, 3, infParams()) })
+	assertPanic("ell>=n", func() { InfimumCostWithReference(src, 5, 10, infParams()) })
+	assertPanic("eta", func() {
+		p := infParams()
+		p.Eta = 0
+		InfimumRounds(src, 5, p)
+	})
+}

@@ -1,0 +1,73 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/stats"
+)
+
+// IntervalGroups infers a partial ranking of the given items from the
+// confidence intervals of their preference means against a common
+// reference item — the §7 future-work direction ("infer the partial
+// ranking based on the distinguishable intervals and their dependence").
+//
+// Every item's 1−α Student-t interval of μ_{i,ref} is computed from the
+// samples already purchased (no new microtasks are spent). Items are then
+// grouped into tiers: consecutive tiers have non-overlapping intervals,
+// so every item of a tier beats every item of later tiers with confidence
+// 1−α per pair, while items inside one tier remain statistically
+// indistinguishable on the evidence at hand. The reference itself may be
+// included among items; its self-interval is the point {0}.
+//
+// The tiers are returned best-first, each tier ordered by estimated mean.
+func IntervalGroups(e *crowd.Engine, items []int, ref int, alpha float64) [][]int {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("topk: IntervalGroups requires alpha in (0,1), got %v", alpha))
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	tt := stats.NewTTable(alpha)
+
+	type iv struct {
+		item         int
+		lo, hi, mean float64
+	}
+	ivs := make([]iv, 0, len(items))
+	for _, o := range items {
+		if o == ref {
+			ivs = append(ivs, iv{item: o})
+			continue
+		}
+		v := e.View(o, ref)
+		if v.N < 2 {
+			// No usable evidence: an unbounded interval.
+			ivs = append(ivs, iv{item: o, lo: math.Inf(-1), hi: math.Inf(1), mean: v.Mean})
+			continue
+		}
+		half := tt.Critical(v.N-1) * v.SD / math.Sqrt(float64(v.N))
+		ivs = append(ivs, iv{item: o, lo: v.Mean - half, hi: v.Mean + half, mean: v.Mean})
+	}
+
+	sort.SliceStable(ivs, func(a, b int) bool { return ivs[a].mean > ivs[b].mean })
+
+	var groups [][]int
+	var cur []int
+	minLo := math.Inf(1)
+	for _, x := range ivs {
+		if len(cur) > 0 && x.hi < minLo {
+			groups = append(groups, cur)
+			cur = nil
+			minLo = math.Inf(1)
+		}
+		cur = append(cur, x.item)
+		if x.lo < minLo {
+			minLo = x.lo
+		}
+	}
+	groups = append(groups, cur)
+	return groups
+}

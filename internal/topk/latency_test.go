@@ -1,0 +1,72 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+)
+
+// The §5.5 latency analysis, verified as scaling laws rather than absolute
+// numbers: heap sort's round count grows roughly linearly in N (its scan
+// is sequential), while SPR's stays nearly flat (its phases are
+// parallel).
+
+func measuredRounds(alg Algorithm, n int, seed int64) float64 {
+	src := dataset.NewSynthetic(n, 0.3, seed)
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(seed+1)))
+	r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 300, I: 30, Step: 30})
+	return float64(Run(alg, r, 8).Rounds)
+}
+
+func avgRounds(alg Algorithm, n int) float64 {
+	total := 0.0
+	const runs = 3
+	for s := int64(0); s < runs; s++ {
+		total += measuredRounds(alg, n, 100*s+int64(n))
+	}
+	return total / runs
+}
+
+func TestLatencyScalingLaws(t *testing.T) {
+	small, large := 60, 240 // 4× the items
+
+	heapGrowth := avgRounds(HeapSort{}, large) / avgRounds(HeapSort{}, small)
+	sprGrowth := avgRounds(NewSPR(), large) / avgRounds(NewSPR(), small)
+	qsGrowth := avgRounds(QuickSelect{}, large) / avgRounds(QuickSelect{}, small)
+
+	// Heap's sequential scan: rounds ≈ Θ(N). 4× items give ≈4× scan
+	// comparisons; per-comparison round counts vary with pair difficulty,
+	// so assert clearly-superlinear-vs-flat rather than the exact factor.
+	if heapGrowth < 2.0 {
+		t.Errorf("heap sort round growth %.2f too small for a sequential scan", heapGrowth)
+	}
+	// SPR and QuickSelect parallelize their phases: growth far below
+	// linear.
+	if sprGrowth > heapGrowth/1.5 {
+		t.Errorf("SPR round growth %.2f not clearly below heap's %.2f", sprGrowth, heapGrowth)
+	}
+	if qsGrowth > heapGrowth/1.5 {
+		t.Errorf("quickselect round growth %.2f not clearly below heap's %.2f", qsGrowth, heapGrowth)
+	}
+}
+
+func TestLatencyGrowsWithKForHeapAndTournament(t *testing.T) {
+	// §5.5: heap (N−k)·log k scan rounds and the tournament's k·loglogN
+	// extractions both grow in k; SPR's constant-round partition keeps its
+	// growth mild.
+	roundsAt := func(alg Algorithm, k int) float64 {
+		src := dataset.NewSynthetic(100, 0.3, 7)
+		eng := crowd.NewEngine(src, rand.New(rand.NewSource(8)))
+		r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 300, I: 30, Step: 30})
+		return float64(Run(alg, r, k).Rounds)
+	}
+	for _, alg := range []Algorithm{HeapSort{}, TourTree{}} {
+		lo, hi := roundsAt(alg, 2), roundsAt(alg, 16)
+		if hi <= lo {
+			t.Errorf("%s rounds did not grow with k: %v -> %v", alg.Name(), lo, hi)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+)
+
+func TestMergeSortByCrowdExact(t *testing.T) {
+	r, src := exactRunner(30, 71)
+	order := dataset.Order(src)
+	shuffled := append([]int(nil), order...)
+	rng := newTestRand(72)
+	rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+	got := mergeSortByCrowd(r, shuffled)
+	for i := range got {
+		if got[i] != order[i] {
+			t.Fatalf("sorted[%d] = %d, want %d", i, got[i], order[i])
+		}
+	}
+}
+
+func TestMergeSortHandlesOddAndTinyInputs(t *testing.T) {
+	r, src := exactRunner(9, 73)
+	order := dataset.Order(src)
+	for n := 1; n <= 9; n++ {
+		in := append([]int(nil), order[:n]...)
+		rng := newTestRand(int64(74 + n))
+		rng.Shuffle(len(in), func(a, b int) { in[a], in[b] = in[b], in[a] })
+		got := mergeSortByCrowd(r, in)
+		for i := range got {
+			if got[i] != order[i] {
+				t.Fatalf("n=%d: sorted[%d] = %d, want %d", n, i, got[i], order[i])
+			}
+		}
+	}
+}
+
+// TestBubbleBeatsMergeOnAlmostSorted verifies the §5.3 design argument:
+// on the almost-sorted candidate order the ranking phase produces, the
+// adjacent (bubble) sort costs less crowd money than merge sort, because
+// merge re-compares across the whole sequence regardless of presortedness.
+func TestBubbleBeatsMergeOnAlmostSorted(t *testing.T) {
+	var bubbleCost, mergeCost int64
+	const runs = 5
+	for rep := 0; rep < runs; rep++ {
+		src := dataset.NewSynthetic(40, 0.25, int64(800+rep))
+		order := dataset.Order(src)
+		// Almost sorted: a few adjacent swaps, as the Thurstone bootstrap
+		// leaves behind.
+		almost := append([]int(nil), order...)
+		rng := newTestRand(int64(810 + rep))
+		for s := 0; s < 4; s++ {
+			i := rng.Intn(len(almost) - 1)
+			almost[i], almost[i+1] = almost[i+1], almost[i]
+		}
+
+		run := func(sorter func(*compare.Runner, []int) []int) int64 {
+			eng := crowd.NewEngine(src, rand.New(rand.NewSource(int64(820+rep))))
+			r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 300, I: 30, Step: 30})
+			sorter(r, almost)
+			return eng.TMC()
+		}
+		bubbleCost += run(sortByCrowd)
+		mergeCost += run(mergeSortByCrowd)
+	}
+	if bubbleCost >= mergeCost {
+		t.Errorf("bubble sort cost %d not below merge sort %d on almost-sorted input",
+			bubbleCost, mergeCost)
+	}
+}

@@ -1,0 +1,97 @@
+package topk
+
+import "crowdtopk/internal/compare"
+
+// compareAll drives the comparison processes of all given pairs to
+// completion in parallel batch waves: every still-undecided pair advances
+// by one batch per wave, and each wave costs one latency round (§5.5).
+// It returns the outcome of every pair, oriented toward the pair's first
+// item. Pairs already concluded complete immediately at zero cost, and
+// duplicate pairs (in either orientation) are advanced only once per wave.
+func compareAll(r *compare.Runner, pairs [][2]int) []compare.Outcome {
+	out := make([]compare.Outcome, len(pairs))
+
+	// Group indices by canonical pair so each distinct pair advances once.
+	type group struct {
+		i, j    int
+		indices []int
+	}
+	byKey := make(map[[2]int]*group, len(pairs))
+	var pending []*group
+	for idx, p := range pairs {
+		key := [2]int{p[0], p[1]}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{i: key[0], j: key[1]}
+			byKey[key] = g
+			pending = append(pending, g)
+		}
+		g.indices = append(g.indices, idx)
+	}
+
+	assign := func(g *group, o compare.Outcome) {
+		for _, idx := range g.indices {
+			if pairs[idx][0] == g.i {
+				out[idx] = o
+			} else {
+				out[idx] = o.Flip()
+			}
+		}
+	}
+
+	// Skip identical-item pairs (a tie by definition — they arise when
+	// sampling with replacement yields the same max twice) and pairs that
+	// concluded in an earlier phase.
+	live := pending[:0]
+	for _, g := range pending {
+		if g.i == g.j {
+			assign(g, compare.Tie)
+			continue
+		}
+		if o, ok := r.Concluded(g.i, g.j); ok {
+			assign(g, o)
+		} else {
+			live = append(live, g)
+		}
+	}
+	pending = live
+
+	for len(pending) > 0 {
+		next := pending[:0]
+		for _, g := range pending {
+			o, done := r.Advance(g.i, g.j)
+			if done {
+				assign(g, o)
+			} else {
+				next = append(next, g)
+			}
+		}
+		r.Engine().Tick(1)
+		pending = next
+	}
+	return out
+}
+
+// resolve turns a possibly tied outcome for (i, j) into a usable direction:
+// confidence-level conclusions win; otherwise the sample-mean leaning; and
+// as a final tie-break the first item. It never returns Tie.
+func resolve(r *compare.Runner, i, j int, o compare.Outcome) compare.Outcome {
+	if o != compare.Tie {
+		return o
+	}
+	if i != j {
+		if l := r.Leaning(i, j); l != compare.Tie {
+			return l
+		}
+	}
+	return compare.FirstWins
+}
+
+// better reports whether item i beats item j, running the full comparison
+// process if needed and breaking budget-exhausted ties by leaning.
+func better(r *compare.Runner, i, j int) bool {
+	return resolve(r, i, j, r.Compare(i, j)) == compare.FirstWins
+}

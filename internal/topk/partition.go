@@ -1,0 +1,121 @@
+package topk
+
+import (
+	"crowdtopk/internal/compare"
+)
+
+// partitionResult is the three-way split of Algorithm 4: winners beat the
+// final reference at confidence 1−α, losers lose to it, and ties exhausted
+// their pairwise budget undecided. The final reference is added into
+// winners when winners would otherwise fall short of k (Algorithm 4,
+// line 13).
+type partitionResult struct {
+	winners []int
+	ties    []int
+	losers  []int
+	// ref is the final reference item (it may differ from the initial one
+	// after reference changes).
+	ref int
+	// refInWinners reports whether ref was added back into winners.
+	refInWinners bool
+	// refChanges counts how many times the reference was upgraded.
+	refChanges int
+}
+
+// partition implements Algorithm 4 (PARTITION): every item is compared
+// with the reference incrementally — one batch per still-tied item per
+// wave, all items advancing in parallel — deferring difficult comparisons
+// as long as possible. Whenever k confirmed winners accumulate, the
+// reference may be upgraded to the estimated k-th best winner (Lines 9-12;
+// at most maxRefChanges times, cf. Table 4), which reactivates the
+// still-tied comparisons against a reference closer to o_k* (Lemma 4).
+func partition(r *compare.Runner, items []int, k, ref, maxRefChanges int) partitionResult {
+	var winners, losers []int
+	changes := 0
+
+	// active holds items still racing against the current reference;
+	// exhausted holds items whose pairwise budget ran out undecided.
+	active := make([]int, 0, len(items)-1)
+	for _, o := range items {
+		if o != ref {
+			active = append(active, o)
+		}
+	}
+	var exhausted []int
+
+	for len(active) > 0 {
+		kept := make([]int, 0, len(active))
+		for idx := 0; idx < len(active); idx++ {
+			o := active[idx]
+			out, done := r.Advance(o, ref)
+			if !done {
+				kept = append(kept, o)
+				continue
+			}
+			switch out {
+			case compare.FirstWins:
+				winners = append(winners, o)
+			case compare.SecondWins:
+				losers = append(losers, o)
+			default:
+				exhausted = append(exhausted, o)
+			}
+
+			if len(winners) == k && changes < maxRefChanges {
+				// Lines 9-12: the estimated k-th best winner r' satisfies
+				// o_k* ⪰ r' ≻ r, a strictly better reference (Lemma 4).
+				changes++
+				newRef := estimatedKth(r, winners, ref)
+				losers = append(losers, ref)
+				winners = removeItem(winners, newRef)
+				ref = newRef
+				// Budget-exhausted ties get a fresh race against the new
+				// reference; unprocessed items simply continue against it.
+				kept = append(kept, exhausted...)
+				kept = append(kept, active[idx+1:]...)
+				exhausted = nil
+				break
+			}
+		}
+		r.Engine().Tick(1)
+		active = kept
+	}
+
+	res := partitionResult{
+		winners:    winners,
+		ties:       exhausted,
+		losers:     losers,
+		ref:        ref,
+		refChanges: changes,
+	}
+	if len(res.winners) < k {
+		// Line 13: the reference itself is a top-k candidate.
+		res.winners = append(res.winners, ref)
+		res.refInWinners = true
+	}
+	return res
+}
+
+// estimatedKth returns the winner with the k-th best (here: smallest,
+// since all winners beat the reference) estimated preference mean against
+// the current reference — the paper's r', satisfying o_k* ⪰ r' ≻ r.
+func estimatedKth(r *compare.Runner, winners []int, ref int) int {
+	best := winners[0]
+	bestMean := r.Engine().View(best, ref).Mean
+	for _, w := range winners[1:] {
+		if m := r.Engine().View(w, ref).Mean; m < bestMean {
+			best, bestMean = w, m
+		}
+	}
+	return best
+}
+
+func removeItem(items []int, x int) []int {
+	out := items[:0]
+	for _, o := range items {
+		if o != x {
+			out = append(out, o)
+		}
+	}
+	return out
+}

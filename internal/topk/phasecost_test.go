@@ -1,0 +1,80 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+)
+
+// TestSPRPhaseTrace verifies the per-phase cost breakdown on the
+// paper-scale IMDb instance: the phases must account for the full spend,
+// and the partition must dominate selection (the cost anatomy behind the
+// reduced-budget selection decision in DESIGN.md).
+func TestSPRPhaseTrace(t *testing.T) {
+	src := dataset.NewIMDb(1)
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(2)))
+	r := compare.NewRunner(eng, compare.NewStudent(0.02), compare.Params{B: 1000, I: 30, Step: 30})
+
+	trace := &PhaseTrace{}
+	s := NewSPR()
+	s.Trace = trace
+	res := Run(s, r, 10)
+
+	total := trace.Select.TMC + trace.Partition.TMC + trace.Rank.TMC
+	if total != res.TMC {
+		t.Errorf("phase TMCs sum to %d, run reports %d", total, res.TMC)
+	}
+	roundTotal := trace.Select.Rounds + trace.Partition.Rounds + trace.Rank.Rounds
+	if roundTotal != res.Rounds {
+		t.Errorf("phase rounds sum to %d, run reports %d", roundTotal, res.Rounds)
+	}
+	if trace.Select.TMC <= 0 || trace.Partition.TMC <= 0 || trace.Rank.TMC < 0 {
+		t.Errorf("degenerate phase costs: %+v", trace)
+	}
+	if trace.Select.TMC >= trace.Partition.TMC*2 {
+		t.Errorf("selection (%d) should not dwarf partitioning (%d) with the capped budget",
+			trace.Select.TMC, trace.Partition.TMC)
+	}
+	if trace.Winners+trace.Ties+trace.Losers < src.NumItems()-1 {
+		t.Errorf("partition sizes %d+%d+%d do not cover the items",
+			trace.Winners, trace.Ties, trace.Losers)
+	}
+	t.Logf("select=%+v partition=%+v rank=%+v refChanges=%d W/T/L=%d/%d/%d recursions=%d",
+		trace.Select, trace.Partition, trace.Rank,
+		trace.RefChanges, trace.Winners, trace.Ties, trace.Losers, trace.Recursions)
+}
+
+// TestSPRPhaseTraceResetsPerQuery guards against stale accumulation when
+// one SPR value runs several queries.
+func TestSPRPhaseTraceResetsPerQuery(t *testing.T) {
+	src := dataset.NewSynthetic(40, 0.25, 3)
+	trace := &PhaseTrace{}
+	s := NewSPR()
+	s.Trace = trace
+
+	run := func() int64 {
+		eng := crowd.NewEngine(src, rand.New(rand.NewSource(4)))
+		r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 300, I: 30, Step: 30})
+		Run(s, r, 5)
+		return trace.Select.TMC + trace.Partition.TMC + trace.Rank.TMC
+	}
+	first := run()
+	second := run()
+	if second != first {
+		t.Errorf("trace accumulated across queries: %d then %d", first, second)
+	}
+}
+
+// TestSPRNilTraceIsFree checks the no-trace fast path stays intact.
+func TestSPRNilTraceIsFree(t *testing.T) {
+	src := dataset.NewSynthetic(30, 0.25, 5)
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(6)))
+	r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 300, I: 30, Step: 30})
+	res := Run(NewSPR(), r, 5) // Trace nil: must simply work
+	if len(res.TopK) != 5 {
+		t.Fatalf("result %v", res.TopK)
+	}
+}

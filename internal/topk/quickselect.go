@@ -1,0 +1,59 @@
+package topk
+
+import "crowdtopk/internal/compare"
+
+// QuickSelect answers top-k queries by crowd-backed quick selection
+// (§4.3, after Hoare's FIND): a random pivot is compared with every other
+// item in one parallel batch phase, then the recursion descends into the
+// side containing the k-th item. Average cost is O(Nw + kw·logk); latency
+// is O(logN) phases, the best of the baselines (§5.5).
+type QuickSelect struct{}
+
+// Name implements Algorithm.
+func (QuickSelect) Name() string { return "quickselect" }
+
+// TopK implements Algorithm.
+func (QuickSelect) TopK(r *compare.Runner, k int) []int {
+	validateK(r, k)
+	items := allItems(r.Engine().NumItems())
+	top := quickSelect(r, items, k)
+	return sortByCrowd(r, top)[:k]
+}
+
+// quickSelect returns some k best items of items (unordered).
+func quickSelect(r *compare.Runner, items []int, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if len(items) <= k {
+		return items
+	}
+	pivot := items[r.Engine().Rand().Intn(len(items))]
+
+	pairs := make([][2]int, 0, len(items)-1)
+	for _, o := range items {
+		if o != pivot {
+			pairs = append(pairs, [2]int{o, pivot})
+		}
+	}
+	outs := compareAll(r, pairs)
+
+	var winners, losers []int
+	for pi, p := range pairs {
+		if resolve(r, p[0], p[1], outs[pi]) == compare.FirstWins {
+			winners = append(winners, p[0])
+		} else {
+			losers = append(losers, p[0])
+		}
+	}
+
+	switch {
+	case len(winners) >= k:
+		return quickSelect(r, winners, k)
+	case len(winners)+1 == k:
+		return append(winners, pivot)
+	default:
+		rest := quickSelect(r, losers, k-len(winners)-1)
+		return append(append(winners, pivot), rest...)
+	}
+}

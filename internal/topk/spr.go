@@ -1,0 +1,226 @@
+package topk
+
+import (
+	"fmt"
+	"sort"
+
+	"crowdtopk/internal/compare"
+)
+
+// SPR is the paper's Select-Partition-Rank framework (§5): select a
+// reference item from the sweet spot {o_k*, ..., o_ck*} by sampled maxima
+// (Algorithm 3), partition all items against it with incremental
+// confidence-aware comparisons (Algorithm 4), and rank the surviving
+// candidates by a reference-bootstrapped near-linear sort (§5.3). SPR
+// minimizes total monetary cost by avoiding comparisons between items that
+// are adjacent in the unknown total order.
+type SPR struct {
+	// C controls the sweet-spot width ck (c > 1; the paper's default is
+	// 1.5, Table 6).
+	C float64
+	// MaxRefChanges caps how many times partitioning may upgrade the
+	// reference (Table 4 finds 2-4 optimal; default 2).
+	MaxRefChanges int
+	// SelectionBudget caps the per-pair microtasks of reference-selection
+	// comparisons. 0 selects the default of 2I (see selectReference); a
+	// negative value disables the cap and uses the full pairwise budget B
+	// (the naive reading of Algorithm 3 — measurably wasteful, kept for
+	// the ablation study).
+	SelectionBudget int
+	// PriorScores, when non-nil, must score every item of the runner's
+	// item space (higher is better) and replaces sampled reference
+	// selection entirely: the reference is the item whose prior rank sits
+	// in the middle of the sweet spot, at zero crowd cost. This is the
+	// §7 future-work direction ("given some partial knowledge of the
+	// items, SPR could more effectively select a reference"). Priors only
+	// steer efficiency; correctness still rests on the confidence-aware
+	// partition.
+	PriorScores []float64
+	// Trace, when non-nil, is filled during TopK with the per-phase cost
+	// breakdown of the run (accumulated across recursions).
+	Trace *PhaseTrace
+}
+
+// PhaseCost is the money and latency one query phase consumed.
+type PhaseCost struct {
+	TMC    int64
+	Rounds int64
+}
+
+// PhaseTrace breaks one SPR query down by framework phase — the paper's
+// cost anatomy (selection §5.1, partitioning §5.2, ranking §5.3) made
+// observable.
+type PhaseTrace struct {
+	Select    PhaseCost
+	Partition PhaseCost
+	Rank      PhaseCost
+	// RefChanges counts Algorithm 4's reference upgrades across the run.
+	RefChanges int
+	// Winners, Ties and Losers are the partition sizes of the outermost
+	// call.
+	Winners, Ties, Losers int
+	// Recursions counts Algorithm 2's descents into the loser set.
+	Recursions int
+}
+
+// NewSPR returns SPR with the paper's default parameters.
+func NewSPR() *SPR { return &SPR{C: 1.5, MaxRefChanges: 2} }
+
+// Name implements Algorithm.
+func (s *SPR) Name() string { return "spr" }
+
+// TopK implements Algorithm.
+func (s *SPR) TopK(r *compare.Runner, k int) []int {
+	validateK(r, k)
+	if s.C <= 1 {
+		panic(fmt.Sprintf("topk: SPR requires C > 1, got %v", s.C))
+	}
+	if s.MaxRefChanges < 0 {
+		panic(fmt.Sprintf("topk: SPR requires MaxRefChanges >= 0, got %d", s.MaxRefChanges))
+	}
+	if s.Trace != nil {
+		*s.Trace = PhaseTrace{} // one trace per query
+	}
+	return s.topK(r, allItems(r.Engine().NumItems()), k)
+}
+
+// TopKSubset answers the top-k query restricted to the given candidate
+// items (all indices of the runner's item space). It is the entry point
+// for two-phase methods that first filter candidates by other means, such
+// as HybridSPR (§6.5).
+func (s *SPR) TopKSubset(r *compare.Runner, items []int, k int) []int {
+	if k < 1 || k > len(items) {
+		panic(fmt.Sprintf("topk: SPR subset query k=%d out of range [1,%d]", k, len(items)))
+	}
+	return s.topK(r, items, k)
+}
+
+// phaseSpan snapshots engine counters so phases can attribute their cost.
+type phaseSpan struct {
+	tmc, rounds int64
+}
+
+func (s *SPR) beginPhase(r *compare.Runner) phaseSpan {
+	e := r.Engine()
+	return phaseSpan{tmc: e.TMC(), rounds: e.Rounds()}
+}
+
+func (s *SPR) endPhase(r *compare.Runner, span phaseSpan, into *PhaseCost) {
+	if s.Trace == nil {
+		return
+	}
+	e := r.Engine()
+	into.TMC += e.TMC() - span.tmc
+	into.Rounds += e.Rounds() - span.rounds
+}
+
+// topK is Algorithm 2 (SPR) on an item subset.
+func (s *SPR) topK(r *compare.Runner, items []int, k int) []int {
+	return s.topKTraced(r, items, k, true)
+}
+
+func (s *SPR) topKTraced(r *compare.Runner, items []int, k int, outermost bool) []int {
+	if k >= len(items) {
+		// Nothing to prune; rank everything.
+		span := s.beginPhase(r)
+		out := s.rank(r, items, -1)[:k]
+		s.endPhase(r, span, s.traceRank())
+		return out
+	}
+
+	span := s.beginPhase(r)
+	ref := s.selectReference(r, items, k) // §5.1
+	s.endPhase(r, span, s.traceSelect())
+
+	span = s.beginPhase(r)
+	part := partition(r, items, k, ref, s.MaxRefChanges)
+	s.endPhase(r, span, s.tracePartition())
+	if s.Trace != nil {
+		s.Trace.RefChanges += part.refChanges
+		if outermost {
+			s.Trace.Winners = len(part.winners)
+			s.Trace.Ties = len(part.ties)
+			s.Trace.Losers = len(part.losers)
+		}
+	}
+
+	w, t := part.winners, part.ties
+	sortRef := part.ref
+
+	switch {
+	case len(w) >= k:
+		// Line 10: enough confirmed winners; rank them.
+		span = s.beginPhase(r)
+		out := s.rank(r, w, sortRef)[:k]
+		s.endPhase(r, span, s.traceRank())
+		return out
+	case len(w)+len(t) >= k:
+		// Lines 4-6: fill up with random ties.
+		need := k - len(w)
+		rng := r.Engine().Rand()
+		rng.Shuffle(len(t), func(a, b int) { t[a], t[b] = t[b], t[a] })
+		cands := append(append([]int{}, w...), t[:need]...)
+		span = s.beginPhase(r)
+		out := s.rank(r, cands, sortRef)[:k]
+		s.endPhase(r, span, s.traceRank())
+		return out
+	default:
+		// Lines 7-9: recurse into the losers for the remainder.
+		if s.Trace != nil {
+			s.Trace.Recursions++
+		}
+		cands := append(append([]int{}, w...), t...)
+		rest := s.topKTraced(r, part.losers, k-len(cands), false)
+		cands = append(cands, rest...)
+		span = s.beginPhase(r)
+		out := s.rank(r, cands, sortRef)[:k]
+		s.endPhase(r, span, s.traceRank())
+		return out
+	}
+}
+
+// trace accessors tolerate a nil trace so call sites stay linear.
+func (s *SPR) traceSelect() *PhaseCost {
+	if s.Trace == nil {
+		return &PhaseCost{}
+	}
+	return &s.Trace.Select
+}
+
+func (s *SPR) tracePartition() *PhaseCost {
+	if s.Trace == nil {
+		return &PhaseCost{}
+	}
+	return &s.Trace.Partition
+}
+
+func (s *SPR) traceRank() *PhaseCost {
+	if s.Trace == nil {
+		return &PhaseCost{}
+	}
+	return &s.Trace.Rank
+}
+
+// rank implements reference-based sorting (§5.3): candidates are first
+// ordered by their estimated preference means against the reference —
+// the order maximizing Thurstone's pairwise probabilities Φ((μ̂_i−μ̂_j)/σ̂)
+// — and the almost-sorted sequence is then repaired by a best-case-linear
+// crowd sort whose comparisons are reusable. ref < 0 means no reference
+// information is available and the initial order is arbitrary.
+func (s *SPR) rank(r *compare.Runner, items []int, ref int) []int {
+	out := append([]int(nil), items...)
+	if len(out) < 2 {
+		return out
+	}
+	if ref >= 0 {
+		mean := func(o int) float64 {
+			if o == ref {
+				return 0 // an item neither beats nor loses to itself
+			}
+			return r.Engine().View(o, ref).Mean
+		}
+		sort.SliceStable(out, func(a, b int) bool { return mean(out[a]) > mean(out[b]) })
+	}
+	adjacentSort(r, out)
+	return out
+}

@@ -1,0 +1,8 @@
+package topk
+
+import "math/rand"
+
+// newTestRand returns a deterministic rng for test-local randomness.
+func newTestRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,219 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/dataset"
+)
+
+// exactRunner wraps a noise-free latent dataset: every comparison resolves
+// on the minimum workload, so algorithm logic can be verified exactly.
+func exactRunner(n int, seed int64) (*compare.Runner, dataset.Source) {
+	src := dataset.NewSynthetic(n, 0, seed)
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(seed+1000)))
+	r := compare.NewRunner(eng, compare.NewStudent(0.02), compare.Params{B: 50, I: 2, Step: 1})
+	return r, src
+}
+
+// noisyRunner wraps a moderately noisy dataset under paper-like execution
+// parameters (scaled down for test speed).
+func noisyRunner(n int, noise float64, seed int64) (*compare.Runner, dataset.Source) {
+	src := dataset.NewSynthetic(n, noise, seed)
+	eng := crowd.NewEngine(src, rand.New(rand.NewSource(seed+2000)))
+	r := compare.NewRunner(eng, compare.NewStudent(0.05), compare.Params{B: 300, I: 30, Step: 30})
+	return r, src
+}
+
+func allAlgorithms() []Algorithm {
+	return []Algorithm{NewSPR(), TourTree{}, HeapSort{}, QuickSelect{}, NewPBR()}
+}
+
+func TestAlgorithmsExactOnNoiselessData(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			for _, n := range []int{5, 12, 40} {
+				for _, k := range []int{1, 3, 5} {
+					r, src := exactRunner(n, int64(10*n+k))
+					got := Run(alg, r, k)
+					want := dataset.TopK(src, k)
+					if alg.Name() == "pbr" {
+						// PBR races Borda scores against random opponents:
+						// even noise-free judgments leave opponent-choice
+						// randomness, so under a tiny cap only most of the
+						// set is guaranteed.
+						if overlap(got.TopK, want) < (k+1)/2 {
+							t.Errorf("n=%d k=%d: pbr set = %v overlaps %v too little", n, k, got.TopK, want)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(got.TopK, want) {
+						t.Errorf("n=%d k=%d: %s = %v, want %v", n, k, alg.Name(), got.TopK, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func overlap(a, b []int) int {
+	in := make(map[int]bool, len(b))
+	for _, x := range b {
+		in[x] = true
+	}
+	n := 0
+	for _, x := range a {
+		if in[x] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestAlgorithmsAccurateOnNoisyData(t *testing.T) {
+	// With real noise and a reasonable budget, every method must recover
+	// most of the true top-k (the paper's Figure 13 regime).
+	for _, alg := range allAlgorithms() {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			const n, k = 60, 8
+			hits, total := 0, 0
+			for rep := 0; rep < 3; rep++ {
+				r, src := noisyRunner(n, 0.25, int64(100+rep))
+				got := Run(alg, r, k)
+				want := map[int]bool{}
+				for _, o := range dataset.TopK(src, k) {
+					want[o] = true
+				}
+				for _, o := range got.TopK {
+					if want[o] {
+						hits++
+					}
+				}
+				total += k
+			}
+			if frac := float64(hits) / float64(total); frac < 0.7 {
+				t.Errorf("%s precision %.2f below 0.7", alg.Name(), frac)
+			}
+		})
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	r, _ := noisyRunner(30, 0.3, 7)
+	res := Run(NewSPR(), r, 5)
+	if res.Algorithm != "spr" {
+		t.Errorf("Algorithm = %q", res.Algorithm)
+	}
+	if res.TMC <= 0 || res.Rounds <= 0 {
+		t.Errorf("cost deltas not positive: TMC=%d rounds=%d", res.TMC, res.Rounds)
+	}
+	if res.TMC != r.Engine().TMC() {
+		t.Errorf("TMC delta %d != engine total %d on fresh engine", res.TMC, r.Engine().TMC())
+	}
+	// A second run on the same engine attributes only its own cost.
+	res2 := Run(TourTree{}, r, 5)
+	if res2.TMC+res.TMC != r.Engine().TMC() {
+		t.Errorf("second run delta wrong: %d + %d != %d", res.TMC, res2.TMC, r.Engine().TMC())
+	}
+}
+
+func TestRunDeterministicUnderSeed(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		run := func() Result {
+			r, _ := noisyRunner(40, 0.3, 99)
+			return Run(alg, r, 6)
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s not deterministic under fixed seed", alg.Name())
+		}
+	}
+}
+
+func TestValidateKPanics(t *testing.T) {
+	r, _ := exactRunner(10, 1)
+	for _, k := range []int{0, -1, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d did not panic", k)
+				}
+			}()
+			Run(NewSPR(), r, k)
+		}()
+	}
+}
+
+func TestSPRKEqualsN(t *testing.T) {
+	r, src := exactRunner(8, 3)
+	got := Run(NewSPR(), r, 8)
+	if !reflect.DeepEqual(got.TopK, dataset.Order(src)) {
+		t.Errorf("k=N: %v, want full order %v", got.TopK, dataset.Order(src))
+	}
+}
+
+func TestSPRConfigPanics(t *testing.T) {
+	r, _ := exactRunner(10, 4)
+	for _, s := range []*SPR{{C: 1.0, MaxRefChanges: 2}, {C: 1.5, MaxRefChanges: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SPR %+v did not panic", s)
+				}
+			}()
+			s.TopK(r, 3)
+		}()
+	}
+}
+
+func TestSPRCheaperThanBaselinesOnLargerInstance(t *testing.T) {
+	// The headline Table 7 shape at test scale: SPR's TMC beats TourTree
+	// and QuickSelect, and PBR is the most expensive by far.
+	const n, k = 150, 10
+	cost := map[string]int64{}
+	for _, alg := range allAlgorithms() {
+		var total int64
+		for rep := 0; rep < 2; rep++ {
+			src := dataset.NewSynthetic(n, 0.3, int64(500+rep))
+			eng := crowd.NewEngine(src, rand.New(rand.NewSource(int64(600+rep))))
+			r := compare.NewRunner(eng, compare.NewStudent(0.02), compare.Params{B: 500, I: 30, Step: 30})
+			total += Run(alg, r, k).TMC
+		}
+		cost[alg.Name()] = total
+	}
+	if cost["spr"] >= cost["tourtree"] {
+		t.Errorf("SPR (%d) not cheaper than TourTree (%d)", cost["spr"], cost["tourtree"])
+	}
+	if cost["spr"] >= cost["quickselect"] {
+		t.Errorf("SPR (%d) not cheaper than QuickSelect (%d)", cost["spr"], cost["quickselect"])
+	}
+	// At paper scale the PBR/SPR gap is 10-20×; at this test scale assert
+	// the direction only (the full-scale gap is exercised by the Table 7
+	// bench).
+	if cost["pbr"] <= cost["spr"] {
+		t.Errorf("PBR (%d) not above SPR (%d)", cost["pbr"], cost["spr"])
+	}
+}
+
+func TestHeapSortLatencyWorstQuickSelectBest(t *testing.T) {
+	// §5.5's latency ordering at test scale.
+	const n, k = 120, 10
+	rounds := map[string]int64{}
+	for _, alg := range []Algorithm{NewSPR(), HeapSort{}, QuickSelect{}} {
+		src := dataset.NewSynthetic(n, 0.3, 700)
+		eng := crowd.NewEngine(src, rand.New(rand.NewSource(701)))
+		r := compare.NewRunner(eng, compare.NewStudent(0.02), compare.Params{B: 500, I: 30, Step: 30})
+		rounds[alg.Name()] = Run(alg, r, k).Rounds
+	}
+	if rounds["heapsort"] <= rounds["spr"] {
+		t.Errorf("heap sort rounds (%d) not above SPR (%d)", rounds["heapsort"], rounds["spr"])
+	}
+	if rounds["heapsort"] <= rounds["quickselect"] {
+		t.Errorf("heap sort rounds (%d) not above quickselect (%d)", rounds["heapsort"], rounds["quickselect"])
+	}
+}

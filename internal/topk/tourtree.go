@@ -1,0 +1,82 @@
+package topk
+
+import "crowdtopk/internal/compare"
+
+// TourTree answers top-k queries with a tournament tree over a random
+// permutation of the items (§4.1, after Davidson et al.): winners of
+// paired comparisons are promoted level by level until the best item
+// reaches the root; the next best item is then recovered among the items
+// that lost directly to an already-extracted champion. Expected cost is
+// O(Nw + kw·logN); matches of one level run in parallel (§5.5).
+type TourTree struct{}
+
+// Name implements Algorithm.
+func (TourTree) Name() string { return "tourtree" }
+
+// TopK implements Algorithm.
+func (TourTree) TopK(r *compare.Runner, k int) []int {
+	validateK(r, k)
+	n := r.Engine().NumItems()
+	perm := r.Engine().Rand().Perm(n)
+
+	// lostTo[c] accumulates the items that lost a match directly against
+	// c; the (j+1)-th best item always lost to one of the j best, so it is
+	// found among their direct losers.
+	lostTo := make(map[int][]int, n)
+
+	champion := tournamentMax(r, perm, lostTo)
+	result := make([]int, 0, k)
+	result = append(result, champion)
+
+	// candidates of the next extraction: direct losers of all extracted
+	// champions, minus the extracted ones.
+	for len(result) < k {
+		var cands []int
+		skip := make(map[int]bool, len(result))
+		for _, c := range result {
+			skip[c] = true
+		}
+		for _, c := range result {
+			for _, l := range lostTo[c] {
+				if !skip[l] {
+					skip[l] = true // dedupe: replayed matches record losers again
+					cands = append(cands, l)
+				}
+			}
+		}
+		next := tournamentMax(r, cands, lostTo)
+		result = append(result, next)
+	}
+	return result
+}
+
+// tournamentMax runs a single-elimination tournament recording direct
+// losers, one parallel wave per level.
+func tournamentMax(r *compare.Runner, items []int, lostTo map[int][]int) int {
+	if len(items) == 0 {
+		panic("topk: tournamentMax on empty slice")
+	}
+	cur := append([]int(nil), items...)
+	for len(cur) > 1 {
+		var pairs [][2]int
+		for i := 0; i+1 < len(cur); i += 2 {
+			pairs = append(pairs, [2]int{cur[i], cur[i+1]})
+		}
+		outs := compareAll(r, pairs)
+		next := cur[:0]
+		for pi, p := range pairs {
+			if resolve(r, p[0], p[1], outs[pi]) == compare.FirstWins {
+				next = append(next, p[0])
+				lostTo[p[0]] = append(lostTo[p[0]], p[1])
+			} else {
+				next = append(next, p[1])
+				lostTo[p[1]] = append(lostTo[p[1]], p[0])
+			}
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}

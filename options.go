@@ -1,0 +1,174 @@
+package crowdtopk
+
+import "fmt"
+
+// Algorithm selects a top-k query processor.
+type Algorithm string
+
+// The available query processors.
+const (
+	// SPR is the paper's Select-Partition-Rank framework — the default,
+	// and the cheapest confidence-aware method on every evaluated dataset.
+	SPR Algorithm = "spr"
+	// TourTree is the tournament-tree baseline (§4.1).
+	TourTree Algorithm = "tourtree"
+	// HeapSort is the crowd heap-sort baseline (§4.2).
+	HeapSort Algorithm = "heapsort"
+	// QuickSelect is the crowd quick-selection baseline (§4.3).
+	QuickSelect Algorithm = "quickselect"
+	// PBR is preference-based racing on binary judgments (Busa-Fekete et
+	// al.), included for completeness; it is far more expensive.
+	PBR Algorithm = "pbr"
+)
+
+// Estimator selects the statistical stopping rule of the comparison
+// process.
+type Estimator string
+
+// The available estimators.
+const (
+	// Student is Algorithm 1 (STUDENTCOMP): Student-t confidence
+	// intervals on preference means. The default.
+	Student Estimator = "student"
+	// Stein is Algorithm 5 (STEINCOMP): Stein's estimation, recast
+	// progressively. Its stopping rule is algebraically equivalent to
+	// Student's; both are offered as in the paper.
+	Stein Estimator = "stein"
+	// StudentOneSided uses half-closed (one-sided) intervals, the §3.1
+	// extension: ~20% cheaper than Student at the same per-direction
+	// error guarantee.
+	StudentOneSided Estimator = "student-onesided"
+	// HoeffdingBinary judges from the signs of the preferences only,
+	// with anytime Hoeffding intervals. Distribution-free but several
+	// times more expensive (Table 3).
+	HoeffdingBinary Estimator = "hoeffding"
+	// HoeffdingPreference applies distribution-free intervals to the raw
+	// preference magnitudes (footnote 3 of the paper) — for preference
+	// distributions that are not normal. On well-behaved rating data it
+	// is dominated by both Student and HoeffdingBinary.
+	HoeffdingPreference Estimator = "hoeffding-pref"
+)
+
+// Options configures a Query or a Judge call. The zero value of every
+// field selects the paper's default (Table 6).
+type Options struct {
+	// K is the number of items to return (default 10).
+	K int
+	// Algorithm picks the query processor (default SPR).
+	Algorithm Algorithm
+	// Estimator picks the comparison stopping rule (default Student).
+	Estimator Estimator
+	// Confidence is the per-comparison confidence level 1−α in (0, 1)
+	// (default 0.98).
+	Confidence float64
+	// Budget is the maximum number of microtasks one pairwise comparison
+	// may consume (default 1000). Budget < 0 means unlimited.
+	Budget int
+	// TotalBudget, when positive, caps the whole query's (or session's)
+	// monetary cost: once the cap is reached no more microtasks are
+	// purchased and the answer is computed best-effort from the evidence
+	// at hand. 0 means unlimited.
+	TotalBudget int64
+	// MinWorkload is the initial sample size that overcomes cold start
+	// (default 30, the usual statistical floor).
+	MinWorkload int
+	// BatchSize is η, the number of microtasks distributed per batch
+	// round; it trades latency for money (§5.5; default 30).
+	BatchSize int
+	// SweetSpot is SPR's sweet-spot constant c > 1 (default 1.5).
+	SweetSpot float64
+	// MaxRefChanges caps SPR's reference upgrades (default 2, the
+	// optimum of Table 4).
+	MaxRefChanges int
+	// Seed fixes all randomness — sampling, shuffles, simulated workers —
+	// making runs reproducible (default 1).
+	Seed int64
+	// PriorScores, when non-nil, supplies prior quality estimates (one
+	// per item, higher is better) that SPR uses to pick its reference at
+	// zero crowd cost — the paper's §7 future-work extension. Priors only
+	// steer efficiency; result quality is still guarded by the
+	// confidence-aware comparisons. Ignored by the other algorithms.
+	PriorScores []float64
+}
+
+// withDefaults resolves zero values to the paper's defaults.
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 10
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = SPR
+	}
+	if o.Estimator == "" {
+		o.Estimator = Student
+	}
+	if o.Confidence == 0 {
+		o.Confidence = 0.98
+	}
+	if o.Budget == 0 {
+		o.Budget = 1000
+	}
+	if o.Budget < 0 {
+		o.Budget = 0 // internal convention: 0 = unlimited
+	}
+	if o.MinWorkload == 0 {
+		o.MinWorkload = 30
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 30
+	}
+	if o.SweetSpot == 0 {
+		o.SweetSpot = 1.5
+	}
+	if o.MaxRefChanges == 0 {
+		o.MaxRefChanges = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) validate(n int) error {
+	if o.K < 1 || o.K > n {
+		return fmt.Errorf("crowdtopk: K=%d out of range [1,%d]", o.K, n)
+	}
+	switch o.Algorithm {
+	case SPR, TourTree, HeapSort, QuickSelect, PBR:
+	default:
+		return fmt.Errorf("crowdtopk: unknown algorithm %q", o.Algorithm)
+	}
+	switch o.Estimator {
+	case Student, Stein, StudentOneSided, HoeffdingBinary, HoeffdingPreference:
+	default:
+		return fmt.Errorf("crowdtopk: unknown estimator %q", o.Estimator)
+	}
+	if o.Estimator == StudentOneSided && o.Confidence <= 0.5 {
+		return fmt.Errorf("crowdtopk: one-sided estimation requires confidence > 0.5, got %v", o.Confidence)
+	}
+	if o.PriorScores != nil && len(o.PriorScores) != n {
+		return fmt.Errorf("crowdtopk: PriorScores has %d entries for %d items", len(o.PriorScores), n)
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		return fmt.Errorf("crowdtopk: confidence %v outside (0,1)", o.Confidence)
+	}
+	if o.MinWorkload < 2 {
+		return fmt.Errorf("crowdtopk: MinWorkload %d below 2", o.MinWorkload)
+	}
+	if o.BatchSize < 1 {
+		return fmt.Errorf("crowdtopk: BatchSize %d below 1", o.BatchSize)
+	}
+	if o.Budget != 0 && o.Budget < o.MinWorkload {
+		return fmt.Errorf("crowdtopk: Budget %d below MinWorkload %d", o.Budget, o.MinWorkload)
+	}
+	if o.SweetSpot <= 1 {
+		return fmt.Errorf("crowdtopk: SweetSpot %v must exceed 1", o.SweetSpot)
+	}
+	if o.MaxRefChanges < 0 {
+		return fmt.Errorf("crowdtopk: MaxRefChanges %d negative", o.MaxRefChanges)
+	}
+	if o.TotalBudget < 0 {
+		return fmt.Errorf("crowdtopk: TotalBudget %d negative", o.TotalBudget)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package crowdtopk
+
+import "crowdtopk/internal/crowd"
+
+// CrowdTask is one pairwise microtask to publish on a platform: "compare
+// item I with item J".
+type CrowdTask = crowd.Task
+
+// CrowdAnswer is a worker's response to a published task.
+type CrowdAnswer = crowd.Answer
+
+// Platform is the asynchronous interface real crowd markets expose:
+// batches of microtasks are posted, workers answer on their own schedule,
+// and the requester collects the batch. Implement it against your
+// platform's API and wrap it with WrapPlatform; the library then posts
+// each comparison's batch of η microtasks in one call, matching the §5.5
+// batch model.
+type Platform = crowd.Platform
+
+// WrapPlatform adapts a Platform over n items to the Oracle interface
+// every query entry point accepts. Platform errors surface as panics —
+// there is no money-safe way to continue a query on a failing platform.
+func WrapPlatform(n int, p Platform) Oracle {
+	return crowd.NewPlatformOracle(n, p)
+}
+
+// SimulatedPlatform returns an in-process Platform answering from a base
+// oracle with the given worker parallelism — the test double for platform
+// integrations. The base oracle's Preference must be safe for concurrent
+// readers (all datasets in this package are).
+func SimulatedPlatform(base Oracle, workers int, seed int64) Platform {
+	return crowd.NewSimPlatform(base, workers, seed)
+}

@@ -1,0 +1,117 @@
+package crowdtopk
+
+import (
+	"fmt"
+	"io"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/topk"
+)
+
+// TaskRecord is one purchased microtask in a session's audit log: the
+// compared pair (J = -1 for graded tasks), the worker's answer, and the
+// batch round it arrived in.
+type TaskRecord = crowd.Record
+
+// Session is a long-lived query context over one oracle. Unlike the
+// one-shot Query, a session keeps every purchased judgment, so subsequent
+// queries, judgments and partial rankings reuse the evidence already paid
+// for (the paper's §5.3 reuse property, surfaced as API). A session can
+// also record an audit log of every microtask for replay and offline
+// analysis. Sessions are not safe for concurrent use.
+type Session struct {
+	opts   Options
+	runner *compare.Runner
+}
+
+// NewSession opens a session over the oracle with the given options
+// (Options.K is ignored here; each TopK call has its own k).
+func NewSession(o Oracle, opts Options) (*Session, error) {
+	opts = opts.withDefaults()
+	opts.K = 1 // per-call parameter; keep option validation independent of it
+	if err := opts.validate(o.NumItems()); err != nil {
+		return nil, err
+	}
+	r, err := newRunner(o, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{opts: opts, runner: r}, nil
+}
+
+// EnableAuditLog turns on microtask recording for the rest of the
+// session.
+func (s *Session) EnableAuditLog() { s.runner.Engine().EnableLog() }
+
+// AuditLog returns the recorded microtasks in purchase order (empty
+// unless EnableAuditLog was called). The slice is shared; do not modify.
+func (s *Session) AuditLog() []TaskRecord { return s.runner.Engine().Log() }
+
+// WriteAuditLog serializes the audit log as JSON.
+func (s *Session) WriteAuditLog(w io.Writer) error { return s.runner.Engine().WriteLog(w) }
+
+// ReadAuditLog parses a JSON audit log written by WriteAuditLog.
+func ReadAuditLog(r io.Reader) ([]TaskRecord, error) { return crowd.ReadLog(r) }
+
+// ReplayOracle builds an Oracle over n items that serves the answers of a
+// recorded audit log instead of asking a crowd: re-running a query against
+// it spends no new (real) money. It panics when asked for judgments the
+// log does not contain.
+func ReplayOracle(n int, log []TaskRecord) Oracle { return crowd.NewReplay(n, log) }
+
+// TMC returns the session's total monetary cost so far.
+func (s *Session) TMC() int64 { return s.runner.Engine().TMC() }
+
+// Rounds returns the session's latency clock in batch rounds.
+func (s *Session) Rounds() int64 { return s.runner.Engine().Rounds() }
+
+// TopK answers a top-k query within the session, reusing all previously
+// purchased judgments. The result's TMC and Rounds are the *incremental*
+// cost of this call.
+func (s *Session) TopK(k int) (Result, error) {
+	n := s.runner.Engine().NumItems()
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("crowdtopk: k=%d out of range [1,%d]", k, n)
+	}
+	opts := s.opts
+	opts.K = k
+	alg, err := newAlgorithm(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res := topk.Run(alg, s.runner, k)
+	return Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}, nil
+}
+
+// Judge runs (or re-reads) one confidence-aware comparison within the
+// session.
+func (s *Session) Judge(i, j int) (Judgment, error) {
+	n := s.runner.Engine().NumItems()
+	if i < 0 || i >= n || j < 0 || j >= n || i == j {
+		return Judgment{}, fmt.Errorf("crowdtopk: invalid pair (%d, %d) over %d items", i, j, n)
+	}
+	out := s.runner.Compare(i, j)
+	v := s.runner.Engine().View(i, j)
+	return Judgment{Outcome: Outcome(out), Workload: v.N, Mean: v.Mean, SD: v.SD}, nil
+}
+
+// Tiers infers a partial ranking of the given items from the confidence
+// intervals of their preference means against the reference item, using
+// only judgments already purchased in this session (zero cost). Tiers are
+// returned best-first; consecutive tiers are separated at the session's
+// confidence level, items within a tier are statistically
+// indistinguishable on current evidence. This is the paper's §7
+// "partial ranking from distinguishable intervals" extension.
+func (s *Session) Tiers(items []int, ref int) ([][]int, error) {
+	n := s.runner.Engine().NumItems()
+	if ref < 0 || ref >= n {
+		return nil, fmt.Errorf("crowdtopk: reference %d out of range [0,%d)", ref, n)
+	}
+	for _, o := range items {
+		if o < 0 || o >= n {
+			return nil, fmt.Errorf("crowdtopk: item %d out of range [0,%d)", o, n)
+		}
+	}
+	return topk.IntervalGroups(s.runner.Engine(), items, ref, 1-s.opts.Confidence), nil
+}
