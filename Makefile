@@ -1,0 +1,31 @@
+# Developer entry points. CI runs the same targets (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test race vet bench fuzz all
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency suite under the race detector: the engine's striped
+# locks, the runner's memo, and the parallel comparison waves.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Wall-clock impact of the comparison-wave worker pool, plus the existing
+# algorithm cost benchmarks.
+bench:
+	$(GO) test ./internal/topk/ -run '^$$' -bench BenchmarkCompareAllParallel -benchtime 3x
+	$(GO) test ./internal/crowd/ -run '^$$' -bench . -benchtime 100x
+
+# A short fuzzing session over compareAll's duplicate/orientation grouping.
+fuzz:
+	$(GO) test ./internal/topk/ -run '^$$' -fuzz FuzzCompareAllGrouping -fuzztime 30s
+
+all: build vet test race

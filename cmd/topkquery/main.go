@@ -27,6 +27,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		n      = flag.Int("n", 200, "item count for the synthetic dataset")
 		noise  = flag.Float64("noise", 0.3, "worker noise for the synthetic dataset")
+		par    = flag.Int("parallelism", 0, "comparison-wave worker pool (0 = GOMAXPROCS, 1 = sequential; any value gives identical results)")
 		trace  = flag.Bool("trace", false, "print SPR's per-phase cost breakdown")
 	)
 	flag.Parse()
@@ -52,12 +53,13 @@ func main() {
 
 	started := time.Now()
 	res, err := crowdtopk.Query(data, crowdtopk.Options{
-		K:          *k,
-		Algorithm:  crowdtopk.Algorithm(*alg),
-		Estimator:  crowdtopk.Estimator(*est),
-		Confidence: *conf,
-		Budget:     *budget,
-		Seed:       *seed + 1,
+		K:           *k,
+		Algorithm:   crowdtopk.Algorithm(*alg),
+		Estimator:   crowdtopk.Estimator(*est),
+		Confidence:  *conf,
+		Budget:      *budget,
+		Parallelism: *par,
+		Seed:        *seed + 1,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -173,6 +173,7 @@ func newRunner(o Oracle, opts Options) (*compare.Runner, error) {
 	}
 	return compare.NewRunner(eng, policy, compare.Params{
 		B: opts.Budget, I: opts.MinWorkload, Step: opts.BatchSize,
+		Parallelism: opts.Parallelism,
 	}), nil
 }
 

@@ -1,0 +1,170 @@
+package compare
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"crowdtopk/internal/crowd"
+)
+
+// waveOracle is an n-item latent oracle for the interleaving tests: item i
+// has score n−i, preferences are the score gap plus Gaussian noise, clipped.
+type waveOracle struct {
+	n     int
+	sigma float64
+}
+
+func (o waveOracle) NumItems() int { return o.n }
+
+func (o waveOracle) Preference(rng *rand.Rand, i, j int) float64 {
+	v := float64(j-i)/float64(o.n) + rng.NormFloat64()*o.sigma
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+// waveRunner builds a runner over a fresh engine for the interleaving
+// tests. Parallelism stays at the caller's choice via Params.
+func waveRunner(n int, seed int64, p Params) *Runner {
+	eng := crowd.NewEngine(waveOracle{n: n, sigma: 0.3}, rand.New(rand.NewSource(seed)))
+	return NewRunner(eng, NewStudent(0.05), p)
+}
+
+// TestConcurrentAdvanceMatchesSequential drives the same wave schedule —
+// every undecided pair advances exactly once per wave — once sequentially
+// and once with the per-wave advances fanned across goroutines. Outcomes,
+// per-pair workloads and total cost must be identical: the engine's
+// per-pair streams make the fan-out invisible.
+func TestConcurrentAdvanceMatchesSequential(t *testing.T) {
+	const n = 20
+	params := Params{B: 200, I: 10, Step: 10}
+	var pairs [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < i+4 && j < n; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+
+	run := func(parallel bool) (*Runner, []Outcome) {
+		r := waveRunner(n, 77, params)
+		out := make([]Outcome, len(pairs))
+		done := make([]bool, len(pairs))
+		remaining := len(pairs)
+		for remaining > 0 {
+			if parallel {
+				var wg sync.WaitGroup
+				for idx := range pairs {
+					if done[idx] {
+						continue
+					}
+					wg.Add(1)
+					go func(idx int) {
+						defer wg.Done()
+						out[idx], done[idx] = r.Advance(pairs[idx][0], pairs[idx][1])
+					}(idx)
+				}
+				wg.Wait()
+			} else {
+				for idx := range pairs {
+					if done[idx] {
+						continue
+					}
+					out[idx], done[idx] = r.Advance(pairs[idx][0], pairs[idx][1])
+				}
+			}
+			remaining = 0
+			for idx := range pairs {
+				if !done[idx] {
+					remaining++
+				}
+			}
+			r.Engine().Tick(1)
+		}
+		return r, out
+	}
+
+	rSeq, outSeq := run(false)
+	rPar, outPar := run(true)
+	for idx, p := range pairs {
+		if outSeq[idx] != outPar[idx] {
+			t.Errorf("pair %v outcome diverged: %v vs %v", p, outSeq[idx], outPar[idx])
+		}
+		if ws, wp := rSeq.Workload(p[0], p[1]), rPar.Workload(p[0], p[1]); ws != wp {
+			t.Errorf("pair %v workload diverged: %d vs %d", p, ws, wp)
+		}
+	}
+	if rSeq.Engine().TMC() != rPar.Engine().TMC() {
+		t.Errorf("TMC diverged: %d vs %d", rSeq.Engine().TMC(), rPar.Engine().TMC())
+	}
+}
+
+// TestConcludedOutcomeStable verifies outcome immutability: once a pair
+// concludes, further Advance calls — concurrent ones included — return the
+// same verdict and purchase nothing.
+func TestConcludedOutcomeStable(t *testing.T) {
+	r := waveRunner(10, 78, Params{B: 500, I: 30, Step: 30})
+	want := r.Compare(0, 9)
+	if _, ok := r.Concluded(0, 9); !ok {
+		t.Fatal("pair did not conclude")
+	}
+	spent := r.Workload(0, 9)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				if o, done := r.Advance(0, 9); !done || o != want {
+					t.Errorf("concluded pair re-opened: done=%v o=%v want %v", done, o, want)
+					return
+				}
+				if o, ok := r.Concluded(9, 0); !ok || o != want.Flip() {
+					t.Errorf("flipped conclusion unstable: ok=%v o=%v", ok, o)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Workload(0, 9); got != spent {
+		t.Errorf("concluded pair kept buying: workload %d -> %d", spent, got)
+	}
+}
+
+// TestRememberFirstWriteWins pins the memo's write-once contract directly:
+// a second, conflicting write is ignored, so concurrent workers that race
+// to conclude the same pair cannot flip a published verdict.
+func TestRememberFirstWriteWins(t *testing.T) {
+	r := waveRunner(10, 79, DefaultParams())
+	r.remember(3, 4, FirstWins)
+	r.remember(3, 4, SecondWins) // ignored
+	r.remember(4, 3, FirstWins)  // flipped orientation, also ignored
+	if o, ok := r.Concluded(3, 4); !ok || o != FirstWins {
+		t.Errorf("memo overwritten: ok=%v o=%v", ok, o)
+	}
+	r.ForgetConclusions()
+	if _, ok := r.Concluded(3, 4); ok {
+		t.Error("ForgetConclusions kept the memo")
+	}
+	r.remember(3, 4, SecondWins) // now the slot is free again
+	if o, _ := r.Concluded(3, 4); o != SecondWins {
+		t.Errorf("fresh memo not recorded, got %v", o)
+	}
+}
+
+// TestParallelismResolution covers the Params plumbing: explicit values
+// pass through, zero resolves to a positive machine-wide default.
+func TestParallelismResolution(t *testing.T) {
+	if got := waveRunner(5, 80, Params{B: 100, I: 10, Step: 10, Parallelism: 3}).Parallelism(); got != 3 {
+		t.Errorf("explicit Parallelism = %d, want 3", got)
+	}
+	if got := waveRunner(5, 81, Params{B: 100, I: 10, Step: 10}).Parallelism(); got < 1 {
+		t.Errorf("default Parallelism = %d, want >= 1", got)
+	}
+}

@@ -2,6 +2,8 @@ package compare
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"crowdtopk/internal/crowd"
 )
@@ -20,6 +22,12 @@ type Params struct {
 	// at a time and the stopping rule is tested after each batch. Step = 1
 	// reproduces the one-at-a-time Algorithm 1.
 	Step int
+	// Parallelism bounds the worker pool that executes the undecided
+	// pairs of one comparison wave concurrently (§5.5 made physical).
+	// 1 runs waves sequentially; 0 selects GOMAXPROCS. Thanks to the
+	// engine's per-pair sample streams, any value produces byte-identical
+	// results for a fixed seed — Parallelism trades wall-clock only.
+	Parallelism int
 }
 
 // DefaultParams returns the paper's default execution parameters:
@@ -36,18 +44,29 @@ func (p Params) validate() {
 	if p.B > 0 && p.B < p.I {
 		panic(fmt.Sprintf("compare: Params.B (%d) must be >= Params.I (%d) or unlimited", p.B, p.I))
 	}
+	if p.Parallelism < 0 {
+		panic(fmt.Sprintf("compare: Params.Parallelism must be >= 0, got %d", p.Parallelism))
+	}
 }
 
 // Runner executes comparison processes over a crowd engine: it purchases
 // sample batches, applies the policy's stopping rule, advances the latency
 // clock, and memoizes conclusions so the rest of the query can reuse them
 // for free.
+//
+// Concluded, Advance, TestOnly, Leaning and Workload are safe for
+// concurrent use on distinct pairs — the shape parallel comparison waves
+// need. Concurrent Advance calls on the *same* pair are the caller's
+// responsibility to avoid (waves deduplicate pairs before fanning out);
+// the runner itself stays race-free either way, but duplicate calls would
+// buy duplicate batches. A conclusion, once memoized, is immutable.
 type Runner struct {
 	eng    *crowd.Engine
 	policy Policy
 	params Params
 
-	memo map[[2]int]Outcome // canonical pair (lo, hi) -> outcome toward lo
+	memoMu sync.RWMutex
+	memo   map[[2]int]Outcome // canonical pair (lo, hi) -> outcome toward lo
 }
 
 // NewRunner binds a policy to an engine.
@@ -76,6 +95,15 @@ func (r *Runner) Policy() Policy { return r.policy }
 // Params returns the execution parameters.
 func (r *Runner) Params() Params { return r.params }
 
+// Parallelism returns the resolved worker-pool bound for parallel
+// comparison waves: Params.Parallelism, with 0 meaning GOMAXPROCS.
+func (r *Runner) Parallelism() int {
+	if p := r.params.Parallelism; p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func canonical(i, j int) ([2]int, bool) {
 	if i < j {
 		return [2]int{i, j}, false
@@ -86,7 +114,9 @@ func canonical(i, j int) ([2]int, bool) {
 // Concluded reports the memoized outcome for (i, j), if any.
 func (r *Runner) Concluded(i, j int) (Outcome, bool) {
 	k, flip := canonical(i, j)
+	r.memoMu.RLock()
 	o, ok := r.memo[k]
+	r.memoMu.RUnlock()
 	if !ok {
 		return Tie, false
 	}
@@ -96,12 +126,19 @@ func (r *Runner) Concluded(i, j int) (Outcome, bool) {
 	return o, true
 }
 
+// remember memoizes a conclusion. The first writer wins: a concluded
+// outcome never changes afterwards, so concurrent readers always observe
+// a stable verdict.
 func (r *Runner) remember(i, j int, o Outcome) {
 	k, flip := canonical(i, j)
 	if flip {
 		o = o.Flip()
 	}
-	r.memo[k] = o
+	r.memoMu.Lock()
+	if _, ok := r.memo[k]; !ok {
+		r.memo[k] = o
+	}
+	r.memoMu.Unlock()
 }
 
 // budgetLeft returns how many more samples the pair may consume.
@@ -225,7 +262,9 @@ func (r *Runner) Workload(i, j int) int { return r.eng.View(i, j).N }
 
 // ForgetConclusions clears the outcome memo while keeping all purchased
 // samples, letting a caller re-judge pairs under a different policy or
-// budget against the same bags.
+// budget against the same bags. It must not race with in-flight waves.
 func (r *Runner) ForgetConclusions() {
+	r.memoMu.Lock()
 	r.memo = make(map[[2]int]Outcome)
+	r.memoMu.Unlock()
 }

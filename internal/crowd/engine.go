@@ -3,30 +3,74 @@ package crowd
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
+
+// numShards stripes the pair-state map so concurrent purchases of distinct
+// pairs rarely contend on the same lock. Must be a power of two.
+const numShards = 64
+
+// shard guards one stripe of the pair-state map.
+type shard struct {
+	mu    sync.Mutex
+	pairs map[pairKey]*pairState
+}
+
+// pairState holds one unordered pair's sample bag together with the pair's
+// private random stream. The per-pair stream is what makes parallel
+// execution deterministic: the t-th sample of a pair depends only on the
+// engine seed and the pair identity, never on how purchases of different
+// pairs interleave across goroutines.
+type pairState struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	bag bag
+}
 
 // Engine mediates every microtask purchase of a query. It accumulates the
 // per-pair sample bags (reused across query phases), the total monetary
-// cost, and the latency clock measured in batch rounds. An Engine is not
-// safe for concurrent use; a query is a single logical thread of control.
+// cost, and the latency clock measured in batch rounds.
+//
+// An Engine is safe for concurrent use: the pair bags live behind striped
+// mutexes, the cost and latency counters are atomic, and the spending cap
+// is enforced by atomic reservation, so concurrent purchases never
+// overshoot it. Each pair samples from its own deterministic random stream
+// derived from the engine seed and the pair key, so a fixed seed yields
+// identical samples for every pair regardless of goroutine interleaving —
+// a parallel run is byte-identical to a sequential one.
+//
+// Concurrency contract for collaborators: the Oracle (and Grader) must be
+// safe for concurrent calls when the engine is driven from several
+// goroutines; every oracle in this repository is. Rand() returns the
+// control-thread generator and is NOT safe for concurrent use — it belongs
+// to the query's single logical thread of control (shuffles, sampling
+// plans), never to sampling workers.
 type Engine struct {
-	oracle Oracle
-	rng    *rand.Rand
+	oracle   Oracle
+	rng      *rand.Rand // control-thread randomness, exposed via Rand()
+	baseSeed int64      // root of the per-pair and per-item sample streams
 
-	bags map[pairKey]*bag
+	shards [numShards]shard
 
-	tmc     int64 // microtasks purchased (pairwise + graded)
-	rounds  int64 // latency clock, in batch rounds
-	pairCmp int64 // pairwise microtasks only
-	graded  int64 // graded microtasks only
-	cap     int64 // global spending cap; 0 = unlimited
+	tmc     atomic.Int64 // microtasks purchased (pairwise + graded)
+	rounds  atomic.Int64 // latency clock, in batch rounds
+	pairCmp atomic.Int64 // pairwise microtasks only
+	graded  atomic.Int64 // graded microtasks only
+	cap     atomic.Int64 // global spending cap; 0 = unlimited
 
-	logging bool
+	logging atomic.Bool
+	logMu   sync.Mutex
 	log     []Record
+
+	gradeMu  sync.Mutex
+	gradeRng map[int]*rand.Rand // per-item graded sample streams
 }
 
-// NewEngine returns an engine over the given oracle. rng drives all sample
-// generation; pass a seeded source for reproducible experiments.
+// NewEngine returns an engine over the given oracle. rng seeds all sample
+// generation; pass a seeded source for reproducible experiments. The
+// engine draws one value from rng to root its per-pair sample streams, so
+// the same seeded rng always produces the same engine behaviour.
 func NewEngine(o Oracle, rng *rand.Rand) *Engine {
 	if o == nil {
 		panic("crowd: NewEngine requires a non-nil oracle")
@@ -34,11 +78,69 @@ func NewEngine(o Oracle, rng *rand.Rand) *Engine {
 	if rng == nil {
 		panic("crowd: NewEngine requires a non-nil rng")
 	}
-	return &Engine{
-		oracle: o,
-		rng:    rng,
-		bags:   make(map[pairKey]*bag),
+	e := &Engine{
+		oracle:   o,
+		rng:      rng,
+		baseSeed: rng.Int63(),
+		gradeRng: make(map[int]*rand.Rand),
 	}
+	for s := range e.shards {
+		e.shards[s].pairs = make(map[pairKey]*pairState)
+	}
+	return e
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche so that nearby
+// pair keys land on unrelated shards and unrelated sample streams.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// pairHash mixes a pair key into a well-spread 64-bit value.
+func pairHash(k pairKey) uint64 {
+	return mix64(uint64(uint32(k.lo))<<32 | uint64(uint32(k.hi)))
+}
+
+// pairSeed derives the pair's private stream seed: engine seed ⊕ pair
+// identity. Deterministic per (seed, pair), independent of purchase order.
+func (e *Engine) pairSeed(k pairKey) int64 {
+	return e.baseSeed ^ int64(pairHash(k)>>1)
+}
+
+// gradeSeed derives the per-item graded stream seed; the constant keeps
+// graded streams disjoint from pairwise streams of pairs involving i.
+const gradeTag = 0x9e3779b97f4a7c15
+
+func (e *Engine) gradeSeed(i int) int64 {
+	return e.baseSeed ^ int64(mix64(uint64(uint32(i))^gradeTag)>>1)
+}
+
+// pair returns the pair's state, creating it under the shard lock on first
+// touch.
+func (e *Engine) pair(k pairKey) *pairState {
+	s := &e.shards[pairHash(k)&(numShards-1)]
+	s.mu.Lock()
+	ps, ok := s.pairs[k]
+	if !ok {
+		ps = &pairState{rng: rand.New(rand.NewSource(e.pairSeed(k)))}
+		s.pairs[k] = ps
+	}
+	s.mu.Unlock()
+	return ps
+}
+
+// lookup returns the pair's state without creating it.
+func (e *Engine) lookup(k pairKey) *pairState {
+	s := &e.shards[pairHash(k)&(numShards-1)]
+	s.mu.Lock()
+	ps := s.pairs[k]
+	s.mu.Unlock()
+	return ps
 }
 
 // Oracle returns the oracle the engine draws from.
@@ -47,48 +149,71 @@ func (e *Engine) Oracle() Oracle { return e.oracle }
 // NumItems returns the size of the item set.
 func (e *Engine) NumItems() int { return e.oracle.NumItems() }
 
-// Rand returns the engine's random source, shared with algorithms that need
-// randomization (sampling, shuffles) so a single seed fixes a whole run.
+// Rand returns the engine's control-thread random source, shared with
+// algorithms that need randomization (sampling, shuffles) so a single seed
+// fixes a whole run. It is not safe for concurrent use; only the query's
+// control goroutine may touch it. Sample generation does not consume from
+// it — samples come from per-pair streams — so control-flow randomness is
+// identical whether comparison waves execute sequentially or in parallel.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // SetSpendingCap limits the engine's total monetary cost: once TMC
-// reaches the cap, further pairwise purchases are silently truncated and
-// queries complete best-effort on the evidence at hand. cap <= 0 removes
-// the limit. The cap compares against the TMC already spent, so it can be
-// set (or tightened) mid-session.
+// reaches the cap, further purchases are truncated and queries complete
+// best-effort on the evidence at hand. cap <= 0 removes the limit. The cap
+// compares against the TMC already spent, so it can be set (or tightened)
+// mid-session, from any goroutine.
 func (e *Engine) SetSpendingCap(cap int64) {
 	if cap <= 0 {
-		e.cap = 0
+		e.cap.Store(0)
 		return
 	}
-	e.cap = cap
+	e.cap.Store(cap)
 }
 
 // Remaining returns how many more microtasks the cap allows, or a negative
 // value when the engine is uncapped.
 func (e *Engine) Remaining() int64 {
-	if e.cap <= 0 {
+	c := e.cap.Load()
+	if c <= 0 {
 		return -1
 	}
-	if left := e.cap - e.tmc; left > 0 {
+	if left := c - e.tmc.Load(); left > 0 {
 		return left
 	}
 	return 0
 }
 
-// allow truncates a requested purchase to the cap.
-func (e *Engine) allow(n int) int {
-	if e.cap <= 0 {
-		return n
-	}
-	left := e.cap - e.tmc
-	if left <= 0 {
+// reserve atomically claims up to n units of TMC against the cap and
+// returns how many were granted. Because the claim and the counter bump
+// are one compare-and-swap, concurrent purchases can never overshoot the
+// cap between check and increment.
+func (e *Engine) reserve(n int) int {
+	if n <= 0 {
 		return 0
 	}
-	if int64(n) > left {
-		return int(left)
+	for {
+		cur := e.tmc.Load()
+		m := int64(n)
+		if c := e.cap.Load(); c > 0 {
+			left := c - cur
+			if left <= 0 {
+				return 0
+			}
+			if m > left {
+				m = left
+			}
+		}
+		if e.tmc.CompareAndSwap(cur, cur+m) {
+			return int(m)
+		}
 	}
-	return n
+}
+
+// appendLog records one microtask if logging is enabled.
+func (e *Engine) appendLog(r Record) {
+	e.logMu.Lock()
+	e.log = append(e.log, r)
+	e.logMu.Unlock()
 }
 
 // Draw purchases up to n more preference microtasks for the pair (i, j) —
@@ -102,36 +227,33 @@ func (e *Engine) Draw(i, j, n int) BagView {
 	if n < 0 {
 		panic(fmt.Sprintf("crowd: Draw with negative count %d", n))
 	}
-	n = e.allow(n)
 	k := keyOf(i, j)
-	b := e.bags[k]
-	if b == nil {
-		b = &bag{}
-		e.bags[k] = b
-	}
+	ps := e.pair(k)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	n = e.reserve(n)
 	record := func(v float64) {
 		if v < -1 || v > 1 {
 			panic(fmt.Sprintf("crowd: oracle returned preference %v outside [-1,1] for pair (%d,%d)", v, k.lo, k.hi))
 		}
-		b.add(v)
-		if e.logging {
-			e.log = append(e.log, Record{Round: e.rounds, I: k.lo, J: k.hi, Value: v})
+		ps.bag.add(v)
+		if e.logging.Load() {
+			e.appendLog(Record{Round: e.rounds.Load(), I: k.lo, J: k.hi, Value: v})
 		}
 	}
 	// Oracles backed by asynchronous platforms answer whole batches in
 	// one exchange; everyone else is sampled one microtask at a time.
 	if bo, ok := e.oracle.(BatchOracle); ok && n > 1 {
-		for _, v := range bo.Preferences(e.rng, k.lo, k.hi, n) {
+		for _, v := range bo.Preferences(ps.rng, k.lo, k.hi, n) {
 			record(v)
 		}
 	} else {
 		for t := 0; t < n; t++ {
-			record(e.oracle.Preference(e.rng, k.lo, k.hi))
+			record(e.oracle.Preference(ps.rng, k.lo, k.hi))
 		}
 	}
-	e.tmc += int64(n)
-	e.pairCmp += int64(n)
-	return b.view(i != k.lo)
+	e.pairCmp.Add(int64(n))
+	return ps.bag.view(i != k.lo)
 }
 
 // DrawOne purchases a single preference microtask for the pair (i, j) and
@@ -143,25 +265,22 @@ func (e *Engine) DrawOne(i, j int) (float64, bool) {
 	if i == j {
 		panic(fmt.Sprintf("crowd: DrawOne on identical items %d", i))
 	}
-	if e.allow(1) == 0 {
+	k := keyOf(i, j)
+	ps := e.pair(k)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if e.reserve(1) == 0 {
 		return 0, false
 	}
-	k := keyOf(i, j)
-	b := e.bags[k]
-	if b == nil {
-		b = &bag{}
-		e.bags[k] = b
-	}
-	v := e.oracle.Preference(e.rng, k.lo, k.hi)
+	v := e.oracle.Preference(ps.rng, k.lo, k.hi)
 	if v < -1 || v > 1 {
 		panic(fmt.Sprintf("crowd: oracle returned preference %v outside [-1,1] for pair (%d,%d)", v, k.lo, k.hi))
 	}
-	b.add(v)
-	if e.logging {
-		e.log = append(e.log, Record{Round: e.rounds, I: k.lo, J: k.hi, Value: v})
+	ps.bag.add(v)
+	if e.logging.Load() {
+		e.appendLog(Record{Round: e.rounds.Load(), I: k.lo, J: k.hi, Value: v})
 	}
-	e.tmc++
-	e.pairCmp++
+	e.pairCmp.Add(1)
 	if i != k.lo {
 		return -v, true
 	}
@@ -175,61 +294,99 @@ func (e *Engine) View(i, j int) BagView {
 		panic(fmt.Sprintf("crowd: View on identical items %d", i))
 	}
 	k := keyOf(i, j)
-	b := e.bags[k]
-	if b == nil {
+	ps := e.lookup(k)
+	if ps == nil {
 		return BagView{}
 	}
-	return b.view(i != k.lo)
+	ps.mu.Lock()
+	v := ps.bag.view(i != k.lo)
+	ps.mu.Unlock()
+	return v
 }
 
 // Grade purchases one graded microtask for item i and returns the grade.
-// It costs one unit of TMC, like a pairwise microtask (Appendix B). The
-// oracle must implement Grader.
-func (e *Engine) Grade(i int) float64 {
+// It costs one unit of TMC, like a pairwise microtask (Appendix B), and
+// respects the spending cap: the second result is false — and nothing is
+// purchased — when the cap is exhausted. The oracle must implement Grader.
+func (e *Engine) Grade(i int) (float64, bool) {
 	g, ok := e.oracle.(Grader)
 	if !ok {
 		panic("crowd: oracle does not support graded judgments")
 	}
-	e.tmc++
-	e.graded++
-	v := g.Grade(e.rng, i)
-	if e.logging {
-		e.log = append(e.log, Record{Round: e.rounds, I: i, J: -1, Value: v})
+	e.gradeMu.Lock()
+	defer e.gradeMu.Unlock()
+	if e.reserve(1) == 0 {
+		return 0, false
 	}
-	return v
+	rng := e.gradeRng[i]
+	if rng == nil {
+		rng = rand.New(rand.NewSource(e.gradeSeed(i)))
+		e.gradeRng[i] = rng
+	}
+	v := g.Grade(rng, i)
+	e.graded.Add(1)
+	if e.logging.Load() {
+		e.appendLog(Record{Round: e.rounds.Load(), I: i, J: -1, Value: v})
+	}
+	return v, true
 }
 
 // Tick advances the latency clock by n batch rounds. Algorithms call it
-// once per wave of parallel batches (§5.5).
+// once per wave of parallel batches (§5.5), from the wave's control
+// goroutine.
 func (e *Engine) Tick(n int) {
 	if n < 0 {
 		panic(fmt.Sprintf("crowd: Tick with negative rounds %d", n))
 	}
-	e.rounds += int64(n)
+	e.rounds.Add(int64(n))
 }
 
 // TMC returns the total monetary cost so far: the number of microtasks
-// purchased, pairwise and graded combined.
-func (e *Engine) TMC() int64 { return e.tmc }
+// purchased, pairwise and graded combined. At quiescence (no purchase in
+// flight) TMC equals PairwiseTasks + GradedTasks; mid-purchase the total
+// is reserved before the per-kind counter is bumped.
+func (e *Engine) TMC() int64 { return e.tmc.Load() }
 
 // PairwiseTasks returns the number of pairwise microtasks purchased.
-func (e *Engine) PairwiseTasks() int64 { return e.pairCmp }
+func (e *Engine) PairwiseTasks() int64 { return e.pairCmp.Load() }
 
 // GradedTasks returns the number of graded microtasks purchased.
-func (e *Engine) GradedTasks() int64 { return e.graded }
+func (e *Engine) GradedTasks() int64 { return e.graded.Load() }
 
 // Rounds returns the latency clock: the number of batch rounds elapsed.
-func (e *Engine) Rounds() int64 { return e.rounds }
+func (e *Engine) Rounds() int64 { return e.rounds.Load() }
 
-// PairsTouched returns how many distinct pairs have at least one purchased
-// sample; useful for diagnostics and tests.
-func (e *Engine) PairsTouched() int { return len(e.bags) }
+// PairsTouched returns how many distinct pairs have a sample bag; useful
+// for diagnostics and tests.
+func (e *Engine) PairsTouched() int {
+	n := 0
+	for s := range e.shards {
+		e.shards[s].mu.Lock()
+		n += len(e.shards[s].pairs)
+		e.shards[s].mu.Unlock()
+	}
+	return n
+}
 
 // Reset discards all purchased samples, zeroes the cost and latency
-// counters, and clears the audit log, keeping the oracle and random
-// source.
+// counters, and clears the audit log, keeping the oracle, the seed and
+// the control random source. Per-pair sample streams restart from the
+// engine seed, so a reset engine replays the same samples for the same
+// draws. Reset must not race with in-flight purchases.
 func (e *Engine) Reset() {
-	e.bags = make(map[pairKey]*bag)
-	e.tmc, e.rounds, e.pairCmp, e.graded = 0, 0, 0, 0
+	for s := range e.shards {
+		e.shards[s].mu.Lock()
+		e.shards[s].pairs = make(map[pairKey]*pairState)
+		e.shards[s].mu.Unlock()
+	}
+	e.gradeMu.Lock()
+	e.gradeRng = make(map[int]*rand.Rand)
+	e.gradeMu.Unlock()
+	e.tmc.Store(0)
+	e.rounds.Store(0)
+	e.pairCmp.Store(0)
+	e.graded.Store(0)
+	e.logMu.Lock()
 	e.log = nil
+	e.logMu.Unlock()
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 )
 
 // Record is one purchased microtask in an engine's audit log: which pair
@@ -31,14 +32,23 @@ func (r Record) IsGraded() bool { return r.J < 0 }
 
 // EnableLog switches on microtask recording. Recording costs one slice
 // append per microtask; it is off by default.
-func (e *Engine) EnableLog() { e.logging = true }
+func (e *Engine) EnableLog() { e.logging.Store(true) }
 
 // Log returns the recorded microtasks in purchase order. The slice is
-// shared; callers must not modify it.
-func (e *Engine) Log() []Record { return e.log }
+// shared; callers must not modify it, and must not call Log while
+// purchases are in flight. Under parallel comparison waves the order of
+// records from different pairs follows the actual interleaving; records of
+// one pair are always in purchase order, which is all replay needs.
+func (e *Engine) Log() []Record {
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	return e.log
+}
 
 // WriteLog serializes the audit log as a JSON array.
 func (e *Engine) WriteLog(w io.Writer) error {
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
 	enc := json.NewEncoder(w)
 	return enc.Encode(e.log)
 }
@@ -55,9 +65,13 @@ func ReadLog(r io.Reader) ([]Record, error) {
 // Replay is an Oracle that serves the answers of a recorded audit log:
 // each Preference call pops the next recorded answer for that pair. It
 // lets a query (or a cheaper variant of it) be re-run against the exact
-// judgments a real crowd already gave, without spending again.
+// judgments a real crowd already gave, without spending again. Replay is
+// safe for concurrent use, so a recorded run can be replayed under
+// parallel comparison waves; answers are grouped per pair, so the
+// cross-pair interleaving of the original run does not matter.
 type Replay struct {
 	n       int
+	mu      sync.Mutex
 	pending map[pairKey][]float64
 	grades  map[int][]float64
 }
@@ -89,19 +103,26 @@ func (rp *Replay) NumItems() int { return rp.n }
 
 // Remaining returns how many unused pairwise answers the replay still
 // holds for the pair (i, j).
-func (rp *Replay) Remaining(i, j int) int { return len(rp.pending[keyOf(i, j)]) }
+func (rp *Replay) Remaining(i, j int) int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return len(rp.pending[keyOf(i, j)])
+}
 
 // Preference implements Oracle. It panics when the log holds no more
 // answers for the pair — a replayed run that demands judgments the
 // original never bought is a logic error the caller must see.
 func (rp *Replay) Preference(_ *rand.Rand, i, j int) float64 {
 	k := keyOf(i, j)
+	rp.mu.Lock()
 	q := rp.pending[k]
 	if len(q) == 0 {
+		rp.mu.Unlock()
 		panic(fmt.Sprintf("crowd: replay exhausted for pair (%d,%d)", k.lo, k.hi))
 	}
 	v := q[0]
 	rp.pending[k] = q[1:]
+	rp.mu.Unlock()
 	if i != k.lo {
 		return -v
 	}
@@ -110,6 +131,8 @@ func (rp *Replay) Preference(_ *rand.Rand, i, j int) float64 {
 
 // Grade implements Grader by replaying recorded grades for the item.
 func (rp *Replay) Grade(_ *rand.Rand, i int) float64 {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
 	q := rp.grades[i]
 	if len(q) == 0 {
 		panic(fmt.Sprintf("crowd: replay exhausted for grades of item %d", i))

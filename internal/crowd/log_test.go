@@ -81,7 +81,7 @@ func TestReplayServesRecordedAnswers(t *testing.T) {
 	e := newTestEngine(6, 44)
 	e.EnableLog()
 	v1 := e.Draw(2, 4, 50)
-	g1 := e.Grade(1)
+	g1, _ := e.Grade(1)
 
 	rp := NewReplay(6, e.Log())
 	if rp.NumItems() != 6 {
@@ -95,7 +95,7 @@ func TestReplayServesRecordedAnswers(t *testing.T) {
 	if v1.Mean != v2.Mean || v1.SD != v2.SD || v1.N != v2.N {
 		t.Errorf("replayed bag differs: %+v vs %+v", v2, v1)
 	}
-	if g2 := e2.Grade(1); g2 != g1 {
+	if g2, _ := e2.Grade(1); g2 != g1 {
 		t.Errorf("replayed grade %v != original %v", g2, g1)
 	}
 	if got := rp.Remaining(2, 4); got != 0 {

@@ -4,6 +4,12 @@ import "math/rand"
 
 // Oracle simulates the crowd for one dataset: each call is one microtask
 // answered by one independent worker.
+//
+// Implementations must be safe for concurrent calls on different pairs:
+// the engine executes comparison waves on several goroutines, each passing
+// its own pair-private rng. Stateless oracles (every dataset in this
+// repository) are trivially safe; stateful ones (Replay) synchronize
+// internally.
 type Oracle interface {
 	// NumItems returns the number of items the oracle can judge.
 	NumItems() int

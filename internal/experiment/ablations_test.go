@@ -69,7 +69,11 @@ func TestAblationJudgmentShape(t *testing.T) {
 }
 
 func TestAblationWorkersShape(t *testing.T) {
-	tb := AblationWorkers(quickCfg())[0]
+	// The spam penalty is noisy at a single run; three runs separate it
+	// from the run-to-run TMC variance.
+	cfg := quickCfg()
+	cfg.Runs = 3
+	tb := AblationWorkers(cfg)[0]
 	clean := tb.Cell("TMC", "spam=0%")
 	spam := tb.Cell("TMC", "spam=30%")
 	if spam <= clean {

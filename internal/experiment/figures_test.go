@@ -59,7 +59,9 @@ func TestScalabilityShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep shapes")
 	}
-	cfg := Config{Runs: 1, Seed: 4}.withDefaults()
+	// The infimum is an expected-cost floor, so a single lucky SPR
+	// realization can dip below it; three runs keep the average above.
+	cfg := Config{Runs: 3, Seed: 4}.withDefaults()
 
 	// Budget sweep on Jester: TMC grows with B for every method, and the
 	// infimum floors SPR at every point.

@@ -177,10 +177,20 @@ func gradeFilter(r *compare.Runner, items []int, keep int, budget int64, eta int
 	mean := make(map[int]float64, len(items))
 	for _, o := range items {
 		s := 0.0
+		bought := 0
 		for g := 0; g < per; g++ {
-			s += e.Grade(o)
+			v, ok := e.Grade(o)
+			if !ok {
+				break // global spending cap exhausted: grade on what we have
+			}
+			s += v
+			bought++
 		}
-		mean[o] = s / float64(per)
+		if bought == 0 {
+			mean[o] = 0
+			continue
+		}
+		mean[o] = s / float64(bought)
 	}
 	// All items are graded in parallel; rounds follow the batch model.
 	e.Tick((per + eta - 1) / eta)

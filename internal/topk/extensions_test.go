@@ -24,14 +24,20 @@ func TestPriorReferenceSkipsSamplingCost(t *testing.T) {
 		r := compare.NewRunner(eng, compare.NewStudent(0.02), compare.Params{B: 500, I: 30, Step: 30})
 		return Run(s, r, k)
 	}
-	vanilla := run(NewSPR(), 901)
-	informed := run(&SPR{C: 1.5, MaxRefChanges: 2, PriorScores: prior}, 901)
-
-	if informed.TMC >= vanilla.TMC {
-		t.Errorf("prior-informed TMC %d not below vanilla %d", informed.TMC, vanilla.TMC)
+	// The saving (the skipped selection sampling) is small relative to the
+	// run-to-run TMC noise, so compare totals over several seeds rather
+	// than a single lucky one.
+	var vanilla, informed int64
+	for seed := int64(901); seed <= 905; seed++ {
+		vanilla += run(NewSPR(), seed).TMC
+		inf := run(&SPR{C: 1.5, MaxRefChanges: 2, PriorScores: prior}, seed)
+		informed += inf.TMC
+		if p := metrics.PrecisionAtK(inf.TopK, src.TrueRank); p < 0.7 {
+			t.Errorf("seed %d: prior-informed precision %v too low", seed, p)
+		}
 	}
-	if p := metrics.PrecisionAtK(informed.TopK, src.TrueRank); p < 0.7 {
-		t.Errorf("prior-informed precision %v too low", p)
+	if informed >= vanilla {
+		t.Errorf("prior-informed total TMC %d not below vanilla %d", informed, vanilla)
 	}
 }
 

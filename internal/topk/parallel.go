@@ -1,6 +1,12 @@
 package topk
 
-import "crowdtopk/internal/compare"
+import (
+	"sync"
+	"sync/atomic"
+
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/crowd"
+)
 
 // compareAll drives the comparison processes of all given pairs to
 // completion in parallel batch waves: every still-undecided pair advances
@@ -8,6 +14,13 @@ import "crowdtopk/internal/compare"
 // It returns the outcome of every pair, oriented toward the pair's first
 // item. Pairs already concluded complete immediately at zero cost, and
 // duplicate pairs (in either orientation) are advanced only once per wave.
+//
+// Waves execute on a bounded worker pool sized by the runner's
+// Parallelism: each distinct undecided pair is advanced by exactly one
+// worker per wave, and the wave barrier plus the engine's per-pair sample
+// streams make the result byte-identical to the sequential execution
+// (Parallelism = 1) for a fixed seed. The latency accounting is untouched:
+// one Tick per wave, issued by the control goroutine at the barrier.
 func compareAll(r *compare.Runner, pairs [][2]int) []compare.Outcome {
 	out := make([]compare.Outcome, len(pairs))
 
@@ -59,20 +72,123 @@ func compareAll(r *compare.Runner, pairs [][2]int) []compare.Outcome {
 	}
 	pending = live
 
+	workers := r.Parallelism()
+	outs := make([]compare.Outcome, len(pending))
+	dones := make([]bool, len(pending))
 	for len(pending) > 0 {
-		next := pending[:0]
-		for _, g := range pending {
-			o, done := r.Advance(g.i, g.j)
-			if done {
-				assign(g, o)
+		outs, dones = outs[:len(pending)], dones[:len(pending)]
+		if workers > 1 && len(pending) > 1 {
+			// Fan the wave's distinct pairs across the pool; the WaitGroup
+			// is the wave barrier of §5.5.
+			w := workers
+			if w > len(pending) {
+				w = len(pending)
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for t := 0; t < w; t++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						gi := int(next.Add(1)) - 1
+						if gi >= len(pending) {
+							return
+						}
+						g := pending[gi]
+						outs[gi], dones[gi] = r.Advance(g.i, g.j)
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for gi, g := range pending {
+				outs[gi], dones[gi] = r.Advance(g.i, g.j)
+			}
+		}
+		// Conclusions are applied in input order on the control goroutine,
+		// keeping the caller's view deterministic.
+		nextPending := pending[:0]
+		for gi, g := range pending {
+			if dones[gi] {
+				assign(g, outs[gi])
 			} else {
-				next = append(next, g)
+				nextPending = append(nextPending, g)
 			}
 		}
 		r.Engine().Tick(1)
-		pending = next
+		pending = nextPending
 	}
 	return out
+}
+
+// drawResult is one answer of a drawAll wave.
+type drawResult struct {
+	v  float64
+	ok bool
+}
+
+// drawAll purchases one preference microtask per request — the wave shape
+// of racing algorithms (PBR) — on a bounded worker pool. Requests are
+// grouped by canonical pair: groups run concurrently, requests within a
+// group run sequentially in input order, so every request receives exactly
+// the sample it would have received under sequential execution (the
+// engine's per-pair streams make the group order irrelevant). ok is false
+// for requests truncated by a spending cap. drawAll does not Tick; callers
+// account latency at their wave boundaries.
+func drawAll(e *crowd.Engine, reqs [][2]int, workers int) []drawResult {
+	res := make([]drawResult, len(reqs))
+	if len(reqs) == 0 {
+		return res
+	}
+	if workers <= 1 || len(reqs) == 1 {
+		for idx, q := range reqs {
+			v, ok := e.DrawOne(q[0], q[1])
+			res[idx] = drawResult{v, ok}
+		}
+		return res
+	}
+
+	byKey := make(map[[2]int]int, len(reqs)) // canonical pair -> groups index
+	var groups [][]int
+	for idx, q := range reqs {
+		key := [2]int{q[0], q[1]}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(groups)
+			byKey[key] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], idx)
+	}
+
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(groups) {
+					return
+				}
+				for _, idx := range groups[gi] {
+					q := reqs[idx]
+					v, ok := e.DrawOne(q[0], q[1])
+					res[idx] = drawResult{v, ok}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return res
 }
 
 // resolve turns a possibly tied outcome for (i, j) into a usable direction:

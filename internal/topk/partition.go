@@ -64,8 +64,11 @@ func partition(r *compare.Runner, items []int, k, ref, maxRefChanges int) partit
 			if len(winners) == k && changes < maxRefChanges {
 				// Lines 9-12: the estimated k-th best winner r' satisfies
 				// o_k* ⪰ r' ≻ r, a strictly better reference (Lemma 4).
+				newRef, ok := estimatedKth(r, winners, ref)
+				if !ok {
+					continue // no winner has evidence against this ref yet
+				}
 				changes++
-				newRef := estimatedKth(r, winners, ref)
 				losers = append(losers, ref)
 				winners = removeItem(winners, newRef)
 				ref = newRef
@@ -99,15 +102,39 @@ func partition(r *compare.Runner, items []int, k, ref, maxRefChanges int) partit
 // estimatedKth returns the winner with the k-th best (here: smallest,
 // since all winners beat the reference) estimated preference mean against
 // the current reference — the paper's r', satisfying o_k* ⪰ r' ≻ r.
-func estimatedKth(r *compare.Runner, winners []int, ref int) int {
-	best := winners[0]
-	bestMean := r.Engine().View(best, ref).Mean
-	for _, w := range winners[1:] {
-		if m := r.Engine().View(w, ref).Mean; m < bestMean {
-			best, bestMean = w, m
+// Two guards keep the upgrade honest. Only winners with purchased evidence
+// against the current reference are candidates: after an earlier upgrade
+// the winner set mixes items concluded against older references, and an
+// unsampled pair's zero mean would otherwise always win the argmin and
+// promote an item whose relation to the current reference is unknown,
+// breaking the r' ≻ r chain. And the candidate means must discriminate:
+// when every candidate shows the same mean (e.g. exactly +1 on noiseless
+// data) the argmin carries no ranking information and an arbitrary upgrade
+// could overshoot past o_k*, so the upgrade is skipped. The second result
+// is false when no informative candidate exists.
+func estimatedKth(r *compare.Runner, winners []int, ref int) (int, bool) {
+	best := -1
+	var bestMean, maxMean float64
+	for _, w := range winners {
+		v := r.Engine().View(w, ref)
+		if v.N == 0 {
+			continue
+		}
+		if best < 0 {
+			best, bestMean, maxMean = w, v.Mean, v.Mean
+			continue
+		}
+		if v.Mean < bestMean {
+			best, bestMean = w, v.Mean
+		}
+		if v.Mean > maxMean {
+			maxMean = v.Mean
 		}
 	}
-	return best
+	if best < 0 || bestMean == maxMean {
+		return ref, false
+	}
+	return best, true
 }
 
 func removeItem(items []int, x int) []int {

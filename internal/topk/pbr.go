@@ -75,7 +75,10 @@ func (p *PBR) TopK(r *compare.Runner, k int) []int {
 	for nSelected < k && n-nDiscarded > k {
 		// One wave: every racing item buys one binary vote against a
 		// uniformly random opponent; all purchases share one round.
-		progressed := false
+		// Opponents are drawn on the control goroutine (deterministic),
+		// then the wave's purchases fan out across the worker pool.
+		var reqs [][2]int
+		var who []int
 		for i := 0; i < n; i++ {
 			if state[i] != 0 || count[i] >= limit {
 				continue
@@ -84,10 +87,16 @@ func (p *PBR) TopK(r *compare.Runner, k int) []int {
 			if j >= i {
 				j++
 			}
-			v, ok := e.DrawOne(i, j)
-			if !ok {
+			reqs = append(reqs, [2]int{i, j})
+			who = append(who, i)
+		}
+		results := drawAll(e, reqs, r.Parallelism())
+		progressed := false
+		for t, i := range who {
+			if !results[t].ok {
 				continue // global spending cap exhausted
 			}
+			v := results[t].v
 			count[i]++
 			switch {
 			case v > 0:

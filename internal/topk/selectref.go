@@ -178,6 +178,7 @@ func (s *SPR) selectReference(r *compare.Runner, items []int, k int) int {
 	}
 	selR := compare.NewRunner(r.Engine(), r.Policy(), compare.Params{
 		B: selB, I: r.Params().I, Step: r.Params().Step,
+		Parallelism: r.Params().Parallelism,
 	})
 
 	samples := make([][]int, plan.m)

@@ -1,6 +1,9 @@
 package crowdtopk
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Algorithm selects a top-k query processor.
 type Algorithm string
@@ -75,6 +78,14 @@ type Options struct {
 	// BatchSize is η, the number of microtasks distributed per batch
 	// round; it trades latency for money (§5.5; default 30).
 	BatchSize int
+	// Parallelism bounds the worker pool that executes each comparison
+	// wave's undecided pairs concurrently (default GOMAXPROCS; 1 runs
+	// waves sequentially). Results are byte-identical for a fixed seed at
+	// any parallelism — the engine samples every pair from its own
+	// deterministic stream — so the knob trades wall-clock time only,
+	// never reproducibility. Latency accounting is unaffected: a wave
+	// still costs one batch round.
+	Parallelism int
 	// SweetSpot is SPR's sweet-spot constant c > 1 (default 1.5).
 	SweetSpot float64
 	// MaxRefChanges caps SPR's reference upgrades (default 2, the
@@ -117,6 +128,9 @@ func (o Options) withDefaults() Options {
 	if o.BatchSize == 0 {
 		o.BatchSize = 30
 	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if o.SweetSpot == 0 {
 		o.SweetSpot = 1.5
 	}
@@ -157,6 +171,9 @@ func (o Options) validate(n int) error {
 	}
 	if o.BatchSize < 1 {
 		return fmt.Errorf("crowdtopk: BatchSize %d below 1", o.BatchSize)
+	}
+	if o.Parallelism < 1 {
+		return fmt.Errorf("crowdtopk: Parallelism %d below 1", o.Parallelism)
 	}
 	if o.Budget != 0 && o.Budget < o.MinWorkload {
 		return fmt.Errorf("crowdtopk: Budget %d below MinWorkload %d", o.Budget, o.MinWorkload)

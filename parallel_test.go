@@ -1,0 +1,98 @@
+package crowdtopk
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestQueryParallelismEquivalence is the public-API determinism guarantee:
+// for a fixed Seed, Query returns the identical Result — answer order,
+// cost, latency, phase breakdown — at any Parallelism, across algorithms,
+// datasets and k. The worker pool trades wall-clock time only.
+func TestQueryParallelismEquivalence(t *testing.T) {
+	datasets := []struct {
+		name string
+		d    Dataset
+	}{
+		{"easy", SyntheticDataset(45, 0.2, 21)},
+		{"noisy", SyntheticDataset(80, 0.35, 22)},
+	}
+	for _, ds := range datasets {
+		for _, alg := range []Algorithm{SPR, HeapSort, PBR} {
+			for _, k := range []int{4, 9} {
+				for _, seed := range []int64{11, 12} {
+					base := Options{
+						Algorithm:  alg,
+						K:          k,
+						Seed:       seed,
+						Confidence: 0.95,
+						Budget:     300,
+					}
+					seqOpts, parOpts := base, base
+					seqOpts.Parallelism = 1
+					parOpts.Parallelism = 8
+					seq, err := Query(ds.d, seqOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					par, err := Query(ds.d, parOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(seq, par) {
+						t.Errorf("%s/%s k=%d seed=%d: results diverged\n p=1: %+v\n p=8: %+v",
+							ds.name, alg, k, seed, seq, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSessionParallelismEquivalence extends the guarantee to stateful
+// sessions: a sequence of queries reusing judgments stays identical at any
+// parallelism, and a total-budget cap is never overshot by the pool.
+func TestSessionParallelismEquivalence(t *testing.T) {
+	d := SyntheticDataset(60, 0.25, 23)
+	run := func(parallelism int) []Result {
+		s, err := NewSession(d, Options{
+			Confidence:  0.95,
+			Budget:      300,
+			Seed:        24,
+			Parallelism: parallelism,
+			TotalBudget: 30_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Result
+		for _, k := range []int{5, 5, 12} {
+			res, err := s.TopK(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		if s.TMC() > 30_000 {
+			t.Errorf("parallelism %d: session spent %d beyond the total budget", parallelism, s.TMC())
+		}
+		return out
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("session histories diverged\n p=1: %+v\n p=8: %+v", seq, par)
+	}
+}
+
+// TestOptionsParallelismValidation pins the knob's contract: zero resolves
+// to a machine default, negatives are rejected.
+func TestOptionsParallelismValidation(t *testing.T) {
+	d := SyntheticDataset(10, 0.1, 25)
+	if _, err := Query(d, Options{K: 2, Parallelism: -1}); err == nil {
+		t.Error("negative Parallelism accepted")
+	}
+	if _, err := Query(d, Options{K: 2}); err != nil {
+		t.Errorf("default Parallelism rejected: %v", err)
+	}
+}

@@ -19,7 +19,13 @@ type TaskRecord = crowd.Record
 // queries, judgments and partial rankings reuse the evidence already paid
 // for (the paper's §5.3 reuse property, surfaced as API). A session can
 // also record an audit log of every microtask for replay and offline
-// analysis. Sessions are not safe for concurrent use.
+// analysis.
+//
+// A session runs one query at a time: its methods are not safe for
+// concurrent use. Inside each query, however, comparison waves execute on
+// a worker pool bounded by Options.Parallelism (default GOMAXPROCS), and
+// the underlying crowd engine is fully concurrency-safe; a fixed Seed
+// yields identical answers, costs and rounds at any parallelism.
 type Session struct {
 	opts   Options
 	runner *compare.Runner
