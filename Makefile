@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench fuzz all
+.PHONY: build test race vet bench bench-hot bench-json fuzz all
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,23 @@ vet:
 bench:
 	$(GO) test ./internal/topk/ -run '^$$' -bench BenchmarkCompareAllParallel -benchtime 3x
 	$(GO) test ./internal/crowd/ -run '^$$' -bench . -benchtime 100x
+
+# The microtask hot-path benchmarks behind the perf trajectory: batched
+# draw kernels, parallel snapshot reads, and one end-to-end SPR query.
+# -count 5 lets perfcheck (and benchstat) take medians over noise.
+BENCH_HOT = -run '^$$' -bench 'BenchmarkDrawHotPath|BenchmarkViewParallel' -benchtime 0.5s -count 5
+BENCH_E2E = -run '^$$' -bench 'BenchmarkSPREndToEnd' -benchtime 2x -count 5
+
+bench-hot:
+	$(GO) test ./internal/crowd/ $(BENCH_HOT)
+	$(GO) test ./internal/topk/ $(BENCH_E2E)
+
+# Refresh the machine-readable perf trajectory artifact. BENCH_RAW keeps
+# the raw `go test -bench` text for benchstat comparisons.
+bench-json:
+	$(GO) test ./internal/crowd/ $(BENCH_HOT) > bench-raw.txt
+	$(GO) test ./internal/topk/ $(BENCH_E2E) >> bench-raw.txt
+	$(GO) run ./cmd/perfcheck -current bench-raw.txt -json BENCH_PR2.json
 
 # A short fuzzing session over compareAll's duplicate/orientation grouping.
 fuzz:

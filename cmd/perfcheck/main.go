@@ -1,0 +1,201 @@
+// Command perfcheck turns `go test -bench` output into the repository's
+// machine-readable perf trajectory and gates regressions against a
+// committed baseline, with no dependency outside the standard library (CI
+// additionally runs benchstat for human-readable statistics).
+//
+// Emit a trajectory artifact:
+//
+//	go test ./internal/crowd/ -run '^$' -bench . -count 5 | perfcheck -json BENCH_PR2.json
+//
+// Gate a candidate run against a baseline (fails the build on >10%
+// slowdown of any shared benchmark):
+//
+//	perfcheck -baseline BENCH_BASELINE.txt -current bench.txt -max-regress 0.10
+//
+// Multiple -count runs of one benchmark are reduced to their median ns/op,
+// so one noisy run does not flip the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkDrawHotPath/batch30-8   572666   704.2 ns/op   48 B/op   1 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+type result struct {
+	Name        string   `json:"name"`
+	Runs        int      `json:"runs"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries custom b.ReportMetric values (e.g. microtasks/s).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parse reduces bench output to one result per benchmark name: the median
+// ns/op over repeated -count runs, with secondary metrics from the median
+// run's line.
+func parse(r io.Reader) ([]result, error) {
+	type sample struct {
+		ns   float64
+		rest string
+	}
+	samples := make(map[string][]sample)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		name := m[1]
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], sample{ns: ns, rest: m[4]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var out []result
+	for _, name := range order {
+		ss := samples[name]
+		sort.Slice(ss, func(a, b int) bool { return ss[a].ns < ss[b].ns })
+		med := ss[len(ss)/2]
+		res := result{Name: name, Runs: len(ss), NsPerOp: med.ns}
+		// Secondary columns come in "value unit" pairs.
+		fields := strings.Fields(med.rest)
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b := v
+				res.BPerOp = &b
+			case "allocs/op":
+				a := v
+				res.AllocsPerOp = &a
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func parseFile(path string) ([]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+// gate compares current against baseline and returns the verdict lines
+// for shared benchmarks, plus whether any regressed beyond maxRegress.
+func gate(baseline, current []result, maxRegress float64) (lines []string, failed bool) {
+	base := make(map[string]result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	for _, cur := range current {
+		b, ok := base[cur.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		delta := cur.NsPerOp/b.NsPerOp - 1
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("%-55s %12.1f -> %12.1f ns/op  %+6.1f%%  %s",
+			cur.Name, b.NsPerOp, cur.NsPerOp, 100*delta, verdict))
+	}
+	return lines, failed
+}
+
+func main() {
+	var (
+		jsonOut    = flag.String("json", "", "write parsed results as JSON to this file")
+		baseline   = flag.String("baseline", "", "baseline bench output to gate against")
+		current    = flag.String("current", "", "candidate bench output (default: stdin)")
+		maxRegress = flag.Float64("max-regress", 0.10, "maximum tolerated ns/op slowdown fraction")
+	)
+	flag.Parse()
+
+	var cur []result
+	var err error
+	if *current != "" {
+		cur, err = parseFile(*current)
+	} else {
+		cur, err = parse(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: parsing current results: %v\n", err)
+		os.Exit(1)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "perfcheck: no benchmark results found in input")
+		os.Exit(1)
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfcheck: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perfcheck: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("perfcheck: wrote %d benchmark results to %s\n", len(cur), *jsonOut)
+	}
+
+	if *baseline != "" {
+		base, err := parseFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfcheck: parsing baseline: %v\n", err)
+			os.Exit(1)
+		}
+		lines, failed := gate(base, cur, *maxRegress)
+		if len(lines) == 0 {
+			fmt.Fprintln(os.Stderr, "perfcheck: baseline and current share no benchmarks")
+			os.Exit(1)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if failed {
+			fmt.Fprintf(os.Stderr, "perfcheck: benchmarks regressed more than %.0f%%\n", 100**maxRegress)
+			os.Exit(1)
+		}
+		fmt.Printf("perfcheck: %d benchmarks within %.0f%% of baseline\n", len(lines), 100**maxRegress)
+	}
+}

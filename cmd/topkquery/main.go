@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"crowdtopk"
@@ -29,8 +31,24 @@ func main() {
 		noise  = flag.Float64("noise", 0.3, "worker noise for the synthetic dataset")
 		par    = flag.Int("parallelism", 0, "comparison-wave worker pool (0 = GOMAXPROCS, 1 = sequential; any value gives identical results)")
 		trace  = flag.Bool("trace", false, "print SPR's per-phase cost breakdown")
+		cpup   = flag.String("cpuprofile", "", "write a CPU profile of the query to this file")
+		memp   = flag.String("memprofile", "", "write a heap profile taken after the query to this file")
 	)
 	flag.Parse()
+
+	if *cpup != "" {
+		f, err := os.Create(*cpup)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var data crowdtopk.Dataset
 	switch *ds {
@@ -82,6 +100,20 @@ func main() {
 			p := res.Phases
 			fmt.Printf("trace:      select %d tasks / %d rounds, partition %d / %d, rank %d / %d, ref changes %d\n",
 				p.SelectTMC, p.SelectRounds, p.PartitionTMC, p.PartitionRounds, p.RankTMC, p.RankRounds, p.RefChanges)
+		}
+	}
+
+	if *memp != "" {
+		f, err := os.Create(*memp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating mem profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // report live allocations, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "writing mem profile: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

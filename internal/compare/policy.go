@@ -171,6 +171,7 @@ func anytimeAlpha(alpha float64, n int) float64 {
 // (Algorithm 1) and pay no such premium.
 type Hoeffding struct {
 	alpha float64
+	half  *stats.F64Cache // anytime half-width keyed by vote count
 }
 
 // NewHoeffding returns the Hoeffding policy at significance level alpha.
@@ -178,7 +179,16 @@ func NewHoeffding(alpha float64) *Hoeffding {
 	if alpha <= 0 || alpha >= 1 {
 		panic("compare: NewHoeffding requires alpha in (0,1)")
 	}
-	return &Hoeffding{alpha: alpha}
+	return &Hoeffding{alpha: alpha, half: newHalfWidthCache(alpha)}
+}
+
+// newHalfWidthCache memoizes the anytime-corrected Hoeffding half-width by
+// sample size, mirroring stats.TTable: the log/sqrt pair and the epoch
+// bookkeeping leave the per-test hot path after the first visit to each n.
+func newHalfWidthCache(alpha float64) *stats.F64Cache {
+	return stats.NewF64Cache(func(n int) float64 {
+		return stats.HoeffdingHalfWidth(n, 2, anytimeAlpha(alpha, n))
+	})
 }
 
 // Name implements Policy.
@@ -192,7 +202,7 @@ func (h *Hoeffding) Test(v crowd.BagView) Outcome {
 	if v.BinN < 1 {
 		return Tie
 	}
-	half := stats.HoeffdingHalfWidth(v.BinN, 2, anytimeAlpha(h.alpha, v.BinN))
+	half := h.half.Get(v.BinN)
 	switch {
 	case v.BinMean-half > 0:
 		return FirstWins
@@ -218,6 +228,7 @@ func (h *Hoeffding) Test(v crowd.BagView) Outcome {
 // distributions that are asymmetric or unclipped.
 type HoeffdingPref struct {
 	alpha float64
+	half  *stats.F64Cache
 }
 
 // NewHoeffdingPref returns the distribution-free preference policy at
@@ -226,7 +237,7 @@ func NewHoeffdingPref(alpha float64) *HoeffdingPref {
 	if alpha <= 0 || alpha >= 1 {
 		panic("compare: NewHoeffdingPref requires alpha in (0,1)")
 	}
-	return &HoeffdingPref{alpha: alpha}
+	return &HoeffdingPref{alpha: alpha, half: newHalfWidthCache(alpha)}
 }
 
 // Name implements Policy.
@@ -240,7 +251,7 @@ func (h *HoeffdingPref) Test(v crowd.BagView) Outcome {
 	if v.N < 1 {
 		return Tie
 	}
-	half := stats.HoeffdingHalfWidth(v.N, 2, anytimeAlpha(h.alpha, v.N))
+	half := h.half.Get(v.N)
 	switch {
 	case v.Mean-half > 0:
 		return FirstWins

@@ -65,8 +65,31 @@ type Runner struct {
 	policy Policy
 	params Params
 
-	memoMu sync.RWMutex
-	memo   map[[2]int]Outcome // canonical pair (lo, hi) -> outcome toward lo
+	// memo stripes the conclusion table: each canonical pair hashes to one
+	// of memoStripes independently locked maps, so SPR's inner loops —
+	// which call Concluded for every candidate pair of a wave — stop
+	// serializing on one global RWMutex. Within a stripe reads take an
+	// RLock (allocation-free); a conclusion, once written, is immutable
+	// (first writer wins), so readers always observe a stable verdict.
+	memo [memoStripes]memoStripe
+}
+
+// memoStripes must be a power of two.
+const memoStripes = 64
+
+type memoStripe struct {
+	mu sync.RWMutex
+	m  map[[2]int]Outcome // canonical pair (lo, hi) -> outcome toward lo
+}
+
+// stripeOf picks the memo stripe of a canonical pair, mixing both indices
+// so pairs sharing a low item spread across stripes.
+func stripeOf(k [2]int) uint64 {
+	x := uint64(uint32(k[0]))<<32 | uint64(uint32(k[1]))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x & (memoStripes - 1)
 }
 
 // NewRunner binds a policy to an engine.
@@ -82,7 +105,6 @@ func NewRunner(e *crowd.Engine, policy Policy, p Params) *Runner {
 		eng:    e,
 		policy: policy,
 		params: p,
-		memo:   make(map[[2]int]Outcome),
 	}
 }
 
@@ -114,9 +136,10 @@ func canonical(i, j int) ([2]int, bool) {
 // Concluded reports the memoized outcome for (i, j), if any.
 func (r *Runner) Concluded(i, j int) (Outcome, bool) {
 	k, flip := canonical(i, j)
-	r.memoMu.RLock()
-	o, ok := r.memo[k]
-	r.memoMu.RUnlock()
+	s := &r.memo[stripeOf(k)]
+	s.mu.RLock()
+	o, ok := s.m[k]
+	s.mu.RUnlock()
 	if !ok {
 		return Tie, false
 	}
@@ -134,11 +157,15 @@ func (r *Runner) remember(i, j int, o Outcome) {
 	if flip {
 		o = o.Flip()
 	}
-	r.memoMu.Lock()
-	if _, ok := r.memo[k]; !ok {
-		r.memo[k] = o
+	s := &r.memo[stripeOf(k)]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[[2]int]Outcome)
 	}
-	r.memoMu.Unlock()
+	if _, ok := s.m[k]; !ok {
+		s.m[k] = o
+	}
+	s.mu.Unlock()
 }
 
 // budgetLeft returns how many more samples the pair may consume.
@@ -160,17 +187,21 @@ func (r *Runner) Compare(i, j int) Outcome {
 	v := r.eng.View(i, j)
 	for {
 		if need := r.params.I - v.N; need > 0 {
-			// Cold start: the initial I samples arrive in ceil(I/Step)
-			// batch rounds.
-			rounds := (need + r.params.Step - 1) / r.params.Step
+			// Cold start: the initial I samples arrive Step at a time, so
+			// the granted samples cost ceil(granted/Step) batch rounds.
+			// Rounds are counted from what the engine actually granted: a
+			// spending cap may truncate the draw, and the ungranted
+			// remainder never occupied a round (nor must it be re-counted
+			// if the loop re-enters this branch).
 			before := v.N
 			v = r.eng.Draw(i, j, need)
-			r.eng.Tick(rounds)
-			if v.N == before {
+			granted := v.N - before
+			if granted == 0 {
 				// A global spending cap ran dry: best-effort tie, not
 				// memoized — the pair itself is not statistically spent.
 				return Tie
 			}
+			r.eng.Tick((granted + r.params.Step - 1) / r.params.Step)
 		}
 		if o := r.policy.Test(v); o != Tie {
 			r.remember(i, j, o)
@@ -187,10 +218,10 @@ func (r *Runner) Compare(i, j int) Outcome {
 		}
 		before := v.N
 		v = r.eng.Draw(i, j, n)
-		r.eng.Tick(1)
 		if v.N == before {
-			return Tie // spending cap exhausted mid-comparison
+			return Tie // spending cap exhausted mid-comparison: no round ran
 		}
+		r.eng.Tick(1)
 	}
 }
 
@@ -264,7 +295,9 @@ func (r *Runner) Workload(i, j int) int { return r.eng.View(i, j).N }
 // samples, letting a caller re-judge pairs under a different policy or
 // budget against the same bags. It must not race with in-flight waves.
 func (r *Runner) ForgetConclusions() {
-	r.memoMu.Lock()
-	r.memo = make(map[[2]int]Outcome)
-	r.memoMu.Unlock()
+	for s := range r.memo {
+		r.memo[s].mu.Lock()
+		r.memo[s].m = nil
+		r.memo[s].mu.Unlock()
+	}
 }

@@ -53,6 +53,14 @@ func (b *bag) view(flip bool) BagView {
 	return v
 }
 
+// flipped returns the view with the orientation reversed. Only the means
+// change sign; counts and spread are orientation-free.
+func (v BagView) flipped() BagView {
+	v.Mean = -v.Mean
+	v.BinMean = -v.BinMean
+	return v
+}
+
 // add records one preference sample already oriented as v(lo, hi).
 func (b *bag) add(v float64) {
 	b.pref.Add(v)
@@ -62,5 +70,21 @@ func (b *bag) add(v float64) {
 	case v < 0:
 		b.bin.Add(-1)
 		// v == 0: the binary judgment model drops unidentifiable votes.
+	}
+}
+
+// addAll records a batch of samples in order. It folds each sample into
+// the same Welford recurrences as add, in the same per-sample order, so a
+// batched purchase produces bit-identical statistics to sample-at-a-time
+// ingestion — the determinism contract the equivalence suites pin down.
+func (b *bag) addAll(vs []float64) {
+	b.pref.AddAll(vs)
+	for _, v := range vs {
+		switch {
+		case v > 0:
+			b.bin.Add(1)
+		case v < 0:
+			b.bin.Add(-1)
+		}
 	}
 }

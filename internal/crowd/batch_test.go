@@ -1,0 +1,103 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scalarOnly hides an oracle's BatchOracle facet so tests (and benchmarks)
+// can force the engine's per-sample fallback path.
+type scalarOnly struct{ Oracle }
+
+// noisyOracle is a cheap deterministic test oracle with a batch kernel.
+type noisyOracle struct{ n int }
+
+func (o noisyOracle) NumItems() int { return o.n }
+
+func (o noisyOracle) Preference(rng *rand.Rand, i, j int) float64 {
+	v := float64(j-i)/float64(o.n) + rng.NormFloat64()*0.25
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+func (o noisyOracle) Preferences(rng *rand.Rand, i, j int, dst []float64) {
+	for t := range dst {
+		dst[t] = o.Preference(rng, i, j)
+	}
+}
+
+// TestDrawBatchMatchesScalarFallback pins the tentpole's determinism
+// contract at the engine level: the batched hot path and the per-sample
+// fallback must produce byte-identical bags, views, logs and counters.
+func TestDrawBatchMatchesScalarFallback(t *testing.T) {
+	const seed = 5
+	run := func(o Oracle) *Engine {
+		e := NewEngine(o, rand.New(rand.NewSource(seed)))
+		e.EnableLog()
+		e.Draw(0, 1, 40)
+		e.Draw(3, 2, 17) // flipped orientation
+		e.Draw(0, 1, 1)  // batch of one
+		e.Tick(3)
+		return e
+	}
+	batched := run(noisyOracle{n: 8})
+	scalar := run(scalarOnly{noisyOracle{n: 8}})
+
+	for _, p := range [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 2}} {
+		b, s := batched.View(p[0], p[1]), scalar.View(p[0], p[1])
+		if b != s {
+			t.Fatalf("view(%d,%d): batch %+v != scalar %+v", p[0], p[1], b, s)
+		}
+	}
+	if b, s := batched.TMC(), scalar.TMC(); b != s {
+		t.Fatalf("TMC: batch %d != scalar %d", b, s)
+	}
+	bl, sl := batched.Log(), scalar.Log()
+	if len(bl) != len(sl) {
+		t.Fatalf("log length: batch %d != scalar %d", len(bl), len(sl))
+	}
+	for r := range bl {
+		if bl[r] != sl[r] {
+			t.Fatalf("log[%d]: batch %+v != scalar %+v", r, bl[r], sl[r])
+		}
+	}
+}
+
+// TestViewSeesLatestDraw checks the published snapshot is refreshed by
+// every mutation, including single draws and cap-truncated batches.
+func TestViewSeesLatestDraw(t *testing.T) {
+	e := NewEngine(noisyOracle{n: 4}, rand.New(rand.NewSource(1)))
+	if got := e.View(0, 1); got != (BagView{}) {
+		t.Fatalf("view before any draw = %+v, want zero", got)
+	}
+	want := e.Draw(0, 1, 10)
+	if got := e.View(0, 1); got != want {
+		t.Fatalf("view after Draw = %+v, want %+v", got, want)
+	}
+	if v, ok := e.DrawOne(1, 0); !ok {
+		t.Fatal("DrawOne failed")
+	} else if flipped := e.View(1, 0); flipped.Mean == want.Mean && v != 0 {
+		// Mean should have moved with the 11th sample (almost surely).
+		_ = flipped
+	}
+	if got, want := e.View(0, 1).N, 11; got != want {
+		t.Fatalf("view N = %d, want %d", got, want)
+	}
+	if got := e.View(0, 1).Mean; got != -e.View(1, 0).Mean {
+		t.Fatalf("orientation flip broken: %v vs %v", got, -e.View(1, 0).Mean)
+	}
+
+	// A cap-exhausted draw publishes nothing new but must not corrupt the
+	// snapshot either.
+	e.SetSpendingCap(e.TMC())
+	before := e.View(0, 1)
+	e.Draw(0, 1, 5)
+	if got := e.View(0, 1); got != before {
+		t.Fatalf("cap-truncated draw changed view: %+v -> %+v", before, got)
+	}
+}

@@ -11,34 +11,58 @@ import (
 // pairs rarely contend on the same lock. Must be a power of two.
 const numShards = 64
 
-// shard guards one stripe of the pair-state map.
-type shard struct {
-	mu    sync.Mutex
-	pairs map[pairKey]*pairState
-}
-
 // pairState holds one unordered pair's sample bag together with the pair's
 // private random stream. The per-pair stream is what makes parallel
 // execution deterministic: the t-th sample of a pair depends only on the
 // engine seed and the pair identity, never on how purchases of different
 // pairs interleave across goroutines.
+//
+// view is the pair's atomically published BagView snapshot in canonical
+// (lo, hi) orientation. There is a single writer per pair — whoever holds
+// mu — so publication is a plain pointer store; readers load the pointer
+// and never touch the mutex. Snapshots are immutable once published.
 type pairState struct {
-	mu  sync.Mutex
-	rng *rand.Rand
-	bag bag
+	mu   sync.Mutex
+	rng  *rand.Rand
+	bag  bag
+	view atomic.Pointer[BagView]
+}
+
+// publishLocked snapshots the bag in canonical orientation and publishes
+// it for lock-free readers. Callers must hold ps.mu.
+func (ps *pairState) publishLocked() {
+	v := ps.bag.view(false)
+	ps.view.Store(&v)
+}
+
+// drawBufPool recycles the per-batch sample scratch buffers so the Draw
+// hot path allocates nothing for the samples themselves.
+var drawBufPool = sync.Pool{
+	New: func() any {
+		s := make([]float64, 0, 256)
+		return &s
+	},
 }
 
 // Engine mediates every microtask purchase of a query. It accumulates the
 // per-pair sample bags (reused across query phases), the total monetary
 // cost, and the latency clock measured in batch rounds.
 //
-// An Engine is safe for concurrent use: the pair bags live behind striped
-// mutexes, the cost and latency counters are atomic, and the spending cap
-// is enforced by atomic reservation, so concurrent purchases never
-// overshoot it. Each pair samples from its own deterministic random stream
-// derived from the engine seed and the pair key, so a fixed seed yields
-// identical samples for every pair regardless of goroutine interleaving —
-// a parallel run is byte-identical to a sequential one.
+// An Engine is safe for concurrent use: the pair index is a striped
+// read-mostly map whose hot lookups are lock-free, the cost and latency
+// counters are atomic, and the spending cap is enforced by atomic
+// reservation, so concurrent purchases never overshoot it. Each pair
+// samples from its own deterministic random stream derived from the engine
+// seed and the pair key, so a fixed seed yields identical samples for
+// every pair regardless of goroutine interleaving — a parallel run is
+// byte-identical to a sequential one.
+//
+// Reads are mutex-free: View loads the pair's atomically published bag
+// snapshot, so observers (stopping-rule tests, leanings, workload probes)
+// never contend with purchases. Writes batch: a Draw of n microtasks costs
+// one dynamic oracle dispatch (via BatchOracle when implemented), one
+// pooled scratch buffer, and — when logging — one audit-log flush, instead
+// of n of each.
 //
 // Concurrency contract for collaborators: the Oracle (and Grader) must be
 // safe for concurrent calls when the engine is driven from several
@@ -48,8 +72,9 @@ type pairState struct {
 // plans), never to sampling workers.
 type Engine struct {
 	oracle   Oracle
-	rng      *rand.Rand // control-thread randomness, exposed via Rand()
-	baseSeed int64      // root of the per-pair and per-item sample streams
+	batch    BatchOracle // oracle's batch kernel, cached once at construction
+	rng      *rand.Rand  // control-thread randomness, exposed via Rand()
+	baseSeed int64       // root of the per-pair and per-item sample streams
 
 	shards [numShards]shard
 
@@ -84,9 +109,9 @@ func NewEngine(o Oracle, rng *rand.Rand) *Engine {
 		baseSeed: rng.Int63(),
 		gradeRng: make(map[int]*rand.Rand),
 	}
-	for s := range e.shards {
-		e.shards[s].pairs = make(map[pairKey]*pairState)
-	}
+	// The batch kernel is resolved once so the Draw hot path pays no type
+	// assertion per call.
+	e.batch, _ = o.(BatchOracle)
 	return e
 }
 
@@ -120,27 +145,17 @@ func (e *Engine) gradeSeed(i int) int64 {
 	return e.baseSeed ^ int64(mix64(uint64(uint32(i))^gradeTag)>>1)
 }
 
-// pair returns the pair's state, creating it under the shard lock on first
-// touch.
+// pair returns the pair's state, creating it on first touch.
 func (e *Engine) pair(k pairKey) *pairState {
 	s := &e.shards[pairHash(k)&(numShards-1)]
-	s.mu.Lock()
-	ps, ok := s.pairs[k]
-	if !ok {
-		ps = &pairState{rng: rand.New(rand.NewSource(e.pairSeed(k)))}
-		s.pairs[k] = ps
-	}
-	s.mu.Unlock()
-	return ps
+	return s.loadOrCreate(k, func() *pairState {
+		return &pairState{rng: rand.New(rand.NewSource(e.pairSeed(k)))}
+	})
 }
 
 // lookup returns the pair's state without creating it.
 func (e *Engine) lookup(k pairKey) *pairState {
-	s := &e.shards[pairHash(k)&(numShards-1)]
-	s.mu.Lock()
-	ps := s.pairs[k]
-	s.mu.Unlock()
-	return ps
+	return e.shards[pairHash(k)&(numShards-1)].load(k)
 }
 
 // Oracle returns the oracle the engine draws from.
@@ -209,6 +224,19 @@ func (e *Engine) reserve(n int) int {
 	}
 }
 
+// flushLog appends one pair's batch of samples to the audit log under a
+// single logMu acquisition — the per-sample lock round trip the scalar
+// path used to pay is gone. Per-pair record order is preserved because
+// callers still hold the pair mutex, which serializes batches of one pair.
+func (e *Engine) flushLog(k pairKey, vs []float64) {
+	round := e.rounds.Load()
+	e.logMu.Lock()
+	for _, v := range vs {
+		e.log = append(e.log, Record{Round: round, I: k.lo, J: k.hi, Value: v})
+	}
+	e.logMu.Unlock()
+}
+
 // appendLog records one microtask if logging is enabled.
 func (e *Engine) appendLog(r Record) {
 	e.logMu.Lock()
@@ -220,6 +248,12 @@ func (e *Engine) appendLog(r Record) {
 // fewer if a spending cap is about to be hit — and returns the updated bag
 // view oriented toward i. Each microtask costs one unit of TMC. Draw does
 // not advance the latency clock; callers Tick at their batch boundaries.
+//
+// The whole batch is sampled through one dynamic dispatch: oracles
+// implementing BatchOracle fill a pooled scratch buffer in a single call,
+// everyone else falls back to n direct Preference calls. Both paths
+// consume the pair's private stream identically (BatchOracle's contract),
+// so batching never changes the samples a pair receives.
 func (e *Engine) Draw(i, j, n int) BagView {
 	if i == j {
 		panic(fmt.Sprintf("crowd: Draw on identical items %d", i))
@@ -231,28 +265,35 @@ func (e *Engine) Draw(i, j, n int) BagView {
 	ps := e.pair(k)
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	n = e.reserve(n)
-	record := func(v float64) {
-		if v < -1 || v > 1 {
-			panic(fmt.Sprintf("crowd: oracle returned preference %v outside [-1,1] for pair (%d,%d)", v, k.lo, k.hi))
+	if n = e.reserve(n); n > 0 {
+		bufp := drawBufPool.Get().(*[]float64)
+		buf := *bufp
+		if cap(buf) < n {
+			buf = make([]float64, n)
 		}
-		ps.bag.add(v)
+		buf = buf[:n]
+		if e.batch != nil {
+			e.batch.Preferences(ps.rng, k.lo, k.hi, buf)
+		} else {
+			o := e.oracle
+			for t := range buf {
+				buf[t] = o.Preference(ps.rng, k.lo, k.hi)
+			}
+		}
+		for _, v := range buf {
+			if v < -1 || v > 1 {
+				panic(fmt.Sprintf("crowd: oracle returned preference %v outside [-1,1] for pair (%d,%d)", v, k.lo, k.hi))
+			}
+		}
+		ps.bag.addAll(buf)
 		if e.logging.Load() {
-			e.appendLog(Record{Round: e.rounds.Load(), I: k.lo, J: k.hi, Value: v})
+			e.flushLog(k, buf)
 		}
+		*bufp = buf[:0]
+		drawBufPool.Put(bufp)
+		e.pairCmp.Add(int64(n))
+		ps.publishLocked()
 	}
-	// Oracles backed by asynchronous platforms answer whole batches in
-	// one exchange; everyone else is sampled one microtask at a time.
-	if bo, ok := e.oracle.(BatchOracle); ok && n > 1 {
-		for _, v := range bo.Preferences(ps.rng, k.lo, k.hi, n) {
-			record(v)
-		}
-	} else {
-		for t := 0; t < n; t++ {
-			record(e.oracle.Preference(ps.rng, k.lo, k.hi))
-		}
-	}
-	e.pairCmp.Add(int64(n))
 	return ps.bag.view(i != k.lo)
 }
 
@@ -281,6 +322,7 @@ func (e *Engine) DrawOne(i, j int) (float64, bool) {
 		e.appendLog(Record{Round: e.rounds.Load(), I: k.lo, J: k.hi, Value: v})
 	}
 	e.pairCmp.Add(1)
+	ps.publishLocked()
 	if i != k.lo {
 		return -v, true
 	}
@@ -289,6 +331,10 @@ func (e *Engine) DrawOne(i, j int) (float64, bool) {
 
 // View returns the current bag view for pair (i, j) oriented toward i,
 // without purchasing anything. A pair never drawn has a zero view.
+//
+// View is mutex-free and allocation-free: it loads the pair's atomically
+// published snapshot, so it never contends with in-flight purchases of the
+// same pair. The snapshot is the state as of the last completed purchase.
 func (e *Engine) View(i, j int) BagView {
 	if i == j {
 		panic(fmt.Sprintf("crowd: View on identical items %d", i))
@@ -298,10 +344,16 @@ func (e *Engine) View(i, j int) BagView {
 	if ps == nil {
 		return BagView{}
 	}
-	ps.mu.Lock()
-	v := ps.bag.view(i != k.lo)
-	ps.mu.Unlock()
-	return v
+	p := ps.view.Load()
+	if p == nil {
+		// Pair created but nothing purchased yet (e.g. a cap-exhausted
+		// draw): indistinguishable from never drawn.
+		return BagView{}
+	}
+	if i != k.lo {
+		return p.flipped()
+	}
+	return *p
 }
 
 // Grade purchases one graded microtask for item i and returns the grade.
@@ -361,9 +413,7 @@ func (e *Engine) Rounds() int64 { return e.rounds.Load() }
 func (e *Engine) PairsTouched() int {
 	n := 0
 	for s := range e.shards {
-		e.shards[s].mu.Lock()
-		n += len(e.shards[s].pairs)
-		e.shards[s].mu.Unlock()
+		n += e.shards[s].count()
 	}
 	return n
 }
@@ -375,9 +425,7 @@ func (e *Engine) PairsTouched() int {
 // draws. Reset must not race with in-flight purchases.
 func (e *Engine) Reset() {
 	for s := range e.shards {
-		e.shards[s].mu.Lock()
-		e.shards[s].pairs = make(map[pairKey]*pairState)
-		e.shards[s].mu.Unlock()
+		e.shards[s].reset()
 	}
 	e.gradeMu.Lock()
 	e.gradeRng = make(map[int]*rand.Rand)

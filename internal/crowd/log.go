@@ -129,6 +129,27 @@ func (rp *Replay) Preference(_ *rand.Rand, i, j int) float64 {
 	return v
 }
 
+// Preferences implements BatchOracle: the whole batch pops under one lock
+// acquisition instead of len(dst). Replay ignores rng (the answers are
+// recorded), so the stream-equivalence contract holds trivially.
+func (rp *Replay) Preferences(_ *rand.Rand, i, j int, dst []float64) {
+	k := keyOf(i, j)
+	rp.mu.Lock()
+	q := rp.pending[k]
+	if len(q) < len(dst) {
+		rp.mu.Unlock()
+		panic(fmt.Sprintf("crowd: replay exhausted for pair (%d,%d)", k.lo, k.hi))
+	}
+	copy(dst, q[:len(dst)])
+	rp.pending[k] = q[len(dst):]
+	rp.mu.Unlock()
+	if i != k.lo {
+		for t := range dst {
+			dst[t] = -dst[t]
+		}
+	}
+}
+
 // Grade implements Grader by replaying recorded grades for the item.
 func (rp *Replay) Grade(_ *rand.Rand, i int) float64 {
 	rp.mu.Lock()

@@ -60,16 +60,18 @@ func (po *PlatformOracle) NumItems() int { return po.n }
 
 // Preference implements Oracle: one task posted, one answer awaited.
 func (po *PlatformOracle) Preference(_ *rand.Rand, i, j int) float64 {
-	vs := po.preferences(i, j, 1)
-	return vs[0]
+	var v [1]float64
+	po.preferences(i, j, v[:])
+	return v[0]
 }
 
 // Preferences implements BatchOracle: the whole batch is posted at once.
-func (po *PlatformOracle) Preferences(_ *rand.Rand, i, j, n int) []float64 {
-	return po.preferences(i, j, n)
+func (po *PlatformOracle) Preferences(_ *rand.Rand, i, j int, dst []float64) {
+	po.preferences(i, j, dst)
 }
 
-func (po *PlatformOracle) preferences(i, j, n int) []float64 {
+func (po *PlatformOracle) preferences(i, j int, dst []float64) {
+	n := len(dst)
 	tasks := make([]Task, n)
 	for t := range tasks {
 		tasks[t] = Task{I: i, J: j}
@@ -85,22 +87,29 @@ func (po *PlatformOracle) preferences(i, j, n int) []float64 {
 	if len(answers) != n {
 		panic(fmt.Sprintf("crowd: batch %d returned %d answers, want %d", batch, len(answers), n))
 	}
-	out := make([]float64, n)
 	for t, a := range answers {
 		v := a.Value
 		if a.Task.I == j && a.Task.J == i {
 			v = -v // platform may report in flipped orientation
 		}
-		out[t] = v
+		dst[t] = v
 	}
-	return out
 }
 
 // BatchOracle is implemented by oracles that can answer many microtasks
 // for the same pair in one exchange — the natural shape for asynchronous
-// platforms. The engine prefers it over n sequential Preference calls.
+// platforms, and the fast path for simulated ones. The engine prefers one
+// Preferences call over len(dst) sequential Preference calls; dst is a
+// caller-owned scratch buffer, so implementations fill it rather than
+// allocate.
+//
+// Contract: Preferences(rng, i, j, dst) must leave rng in exactly the
+// state len(dst) sequential Preference(rng, i, j) calls would, and fill
+// dst with exactly the values those calls would return. This is what lets
+// the engine mix batch and scalar purchases of one pair (and replay audit
+// logs) without perturbing the sample stream.
 type BatchOracle interface {
-	Preferences(rng *rand.Rand, i, j, n int) []float64
+	Preferences(rng *rand.Rand, i, j int, dst []float64)
 }
 
 // SimPlatform is an in-process Platform backed by a pool of worker

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/crowd"
+)
+
+// batchSources returns every built-in source family, each of which must
+// implement crowd.BatchOracle with a kernel that is stream- and
+// value-equivalent to scalar sampling.
+func batchSources(t *testing.T) map[string]Source {
+	t.Helper()
+	return map[string]Source{
+		"latent":     NewSynthetic(40, 0.3, 7),
+		"peopleage":  NewPeopleAge(7),
+		"histogram":  NewBook(7),
+		"matrix":     NewJester(7),
+		"judgmentdb": NewPhoto(7),
+		"subset":     RandomSubset(NewBook(7), 25, newRand(11)),
+	}
+}
+
+// TestBatchKernelsMatchScalar pins the BatchOracle contract for every
+// built-in source: Preferences(rng, i, j, dst) must return exactly the
+// values — and leave rng in exactly the state — of len(dst) sequential
+// Preference calls. The engine relies on this to mix batched and scalar
+// purchases of one pair without perturbing the sample stream.
+func TestBatchKernelsMatchScalar(t *testing.T) {
+	for name, src := range batchSources(t) {
+		t.Run(name, func(t *testing.T) {
+			bo, ok := any(src).(crowd.BatchOracle)
+			if !ok {
+				t.Fatalf("%s does not implement crowd.BatchOracle", name)
+			}
+			n := src.NumItems()
+			pairs := [][2]int{{0, 1}, {1, 0}, {2, n - 1}, {n - 1, 2}, {n / 2, n/2 + 1}}
+			for _, p := range pairs {
+				const batch = 33
+				scalarRng := rand.New(rand.NewSource(42))
+				batchRng := rand.New(rand.NewSource(42))
+
+				want := make([]float64, batch)
+				for t := range want {
+					want[t] = src.Preference(scalarRng, p[0], p[1])
+				}
+				got := make([]float64, batch)
+				bo.Preferences(batchRng, p[0], p[1], got)
+
+				for s := range want {
+					if got[s] != want[s] {
+						t.Fatalf("pair %v sample %d: batch %v != scalar %v", p, s, got[s], want[s])
+					}
+				}
+				// The two generators must be in identical states afterwards:
+				// the next draws agree.
+				if a, b := scalarRng.Int63(), batchRng.Int63(); a != b {
+					t.Fatalf("pair %v: rng state diverged after batch (%d vs %d)", p, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchKernelSplitInvariance checks that slicing one logical stream
+// into arbitrary batch sizes does not change the values: 1+5+27 batched
+// samples equal one batch of 33.
+func TestBatchKernelSplitInvariance(t *testing.T) {
+	for name, src := range batchSources(t) {
+		t.Run(name, func(t *testing.T) {
+			bo := any(src).(crowd.BatchOracle)
+			i, j := 1, src.NumItems()-1
+
+			oneRng := rand.New(rand.NewSource(99))
+			one := make([]float64, 33)
+			bo.Preferences(oneRng, i, j, one)
+
+			splitRng := rand.New(rand.NewSource(99))
+			var split []float64
+			for _, sz := range []int{1, 5, 27} {
+				part := make([]float64, sz)
+				bo.Preferences(splitRng, i, j, part)
+				split = append(split, part...)
+			}
+			for s := range one {
+				if one[s] != split[s] {
+					t.Fatalf("sample %d: whole %v != split %v", s, one[s], split[s])
+				}
+			}
+		})
+	}
+}

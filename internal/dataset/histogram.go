@@ -189,10 +189,16 @@ func (h *Histogram) NumItems() int { return len(h.hist) }
 
 // sampleRating draws one rating for item i by inverse-CDF sampling.
 func (h *Histogram) sampleRating(rng *randSource, i int) float64 {
+	return sampleCDF(rng, h.cum[i])
+}
+
+// sampleCDF draws one rating from a cumulative distribution row: one
+// uniform, one binary search.
+func sampleCDF(rng *randSource, cum []float64) float64 {
 	u := rng.Float64()
-	b := sort.SearchFloat64s(h.cum[i], u)
-	if b >= h.scale {
-		b = h.scale - 1
+	b := sort.SearchFloat64s(cum, u)
+	if b >= len(cum) {
+		b = len(cum) - 1
 	}
 	return float64(b + 1)
 }
@@ -202,6 +208,20 @@ func (h *Histogram) Preference(rng *randSource, i, j int) float64 {
 	si := h.sampleRating(rng, i)
 	sj := h.sampleRating(rng, j)
 	return (si - sj) / float64(h.scale-1)
+}
+
+// Preferences implements crowd.BatchOracle. The CDF rows and the scale
+// divisor are resolved once per batch; each slot still draws the same two
+// uniforms in the same order as one Preference call, through the same
+// inverse-CDF search, so the sample stream is unchanged.
+func (h *Histogram) Preferences(rng *randSource, i, j int, dst []float64) {
+	ci, cj := h.cum[i], h.cum[j]
+	d := float64(h.scale - 1)
+	for t := range dst {
+		si := sampleCDF(rng, ci)
+		sj := sampleCDF(rng, cj)
+		dst[t] = (si - sj) / d
+	}
 }
 
 // Grade implements crowd.Grader: one rating sampled from the item's

@@ -154,6 +154,22 @@ func (db *JudgmentDB) Preference(rng *randSource, i, j int) float64 {
 	return v
 }
 
+// Preferences implements crowd.BatchOracle: the pair's record set is
+// resolved once, then each slot draws one uniform index — the identical
+// stream consumption of len(dst) Preference calls.
+func (db *JudgmentDB) Preferences(rng *randSource, i, j int, dst []float64) {
+	recs := db.records[db.pairIndex(i, j)]
+	if i > j {
+		for t := range dst {
+			dst[t] = -recs[rng.Intn(len(recs))]
+		}
+		return
+	}
+	for t := range dst {
+		dst[t] = recs[rng.Intn(len(recs))]
+	}
+}
+
 // TrueRank implements crowd.TruthOracle.
 func (db *JudgmentDB) TrueRank(i int) int { return db.rank[i] }
 

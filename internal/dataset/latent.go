@@ -115,6 +115,17 @@ func (l *Latent) Preference(rng *randSource, i, j int) float64 {
 	return clamp(mu+rng.NormFloat64()*sd, -1, 1)
 }
 
+// Preferences implements crowd.BatchOracle: the pair's Gaussian parameters
+// are computed once for the whole batch, and each slot consumes exactly
+// one NormFloat64 — the same stream and the same arithmetic as len(dst)
+// Preference calls.
+func (l *Latent) Preferences(rng *randSource, i, j int, dst []float64) {
+	mu, sd := l.rawMoments(i, j)
+	for t := range dst {
+		dst[t] = clamp(mu+rng.NormFloat64()*sd, -1, 1)
+	}
+}
+
 // Grade implements crowd.Grader: the latent score plus one item's worth of
 // perception noise.
 func (l *Latent) Grade(rng *randSource, i int) float64 {

@@ -110,6 +110,18 @@ func (m *Matrix) Preference(rng *randSource, i, j int) float64 {
 	return (m.ratings[u][i] - m.ratings[u][j]) / (m.hi - m.lo)
 }
 
+// Preferences implements crowd.BatchOracle: one Intn per slot, same stream
+// and same normalized difference as Preference, with the slice header and
+// scale width hoisted out of the loop.
+func (m *Matrix) Preferences(rng *randSource, i, j int, dst []float64) {
+	ratings := m.ratings
+	d := m.hi - m.lo
+	for t := range dst {
+		row := ratings[rng.Intn(len(ratings))]
+		dst[t] = (row[i] - row[j]) / d
+	}
+}
+
 // Grade implements crowd.Grader: a random user's rating of the item.
 func (m *Matrix) Grade(rng *randSource, i int) float64 {
 	return m.ratings[rng.Intn(len(m.ratings))][i]

@@ -74,6 +74,7 @@ func WeightedRank(mean float64, votes int, k, c float64) float64 {
 // (Figure 9) and the 30-movie study of Table 3 are built.
 type Subset struct {
 	base  Source
+	batch crowd.BatchOracle // base's batch kernel, cached at construction
 	items []int
 	rank  []int
 	name  string
@@ -97,12 +98,14 @@ func NewSubset(base Source, items []int) *Subset {
 	for t, it := range items {
 		scores[t] = -float64(base.TrueRank(it))
 	}
-	return &Subset{
+	s := &Subset{
 		base:  base,
 		items: items,
 		rank:  ranksFromScores(scores),
 		name:  fmt.Sprintf("%s[%d]", base.Name(), len(items)),
 	}
+	s.batch, _ = base.(crowd.BatchOracle)
+	return s
 }
 
 // Name implements Source.
@@ -114,6 +117,21 @@ func (s *Subset) NumItems() int { return len(s.items) }
 // Preference implements crowd.Oracle.
 func (s *Subset) Preference(rng *randSource, i, j int) float64 {
 	return s.base.Preference(rng, s.items[i], s.items[j])
+}
+
+// Preferences implements crowd.BatchOracle by delegating to the base
+// source's batch kernel (resolved once at construction), falling back to
+// per-sample delegation for bases without one. Either way the base
+// consumes rng exactly as len(dst) Preference calls would.
+func (s *Subset) Preferences(rng *randSource, i, j int, dst []float64) {
+	bi, bj := s.items[i], s.items[j]
+	if s.batch != nil {
+		s.batch.Preferences(rng, bi, bj, dst)
+		return
+	}
+	for t := range dst {
+		dst[t] = s.base.Preference(rng, bi, bj)
+	}
 }
 
 // Grade implements crowd.Grader when the base source does.

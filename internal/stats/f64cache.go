@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// F64Cache memoizes a positive function of a small non-negative integer —
+// critical values keyed by degrees of freedom, interval half-widths keyed
+// by sample size. The stopping rules evaluate such functions millions of
+// times per simulated query over a tiny set of dense keys, so the cache is
+// built for that shape:
+//
+//   - storage is a dense []uint64 of math.Float64bits values, indexed by
+//     key, published through an atomic pointer;
+//   - a zero cell means "not computed yet" (the cached function must be
+//     strictly positive, so 0 is never a legal value's bit pattern);
+//   - hits are two atomic loads and no locks, no map hashing, and no
+//     allocation — warm lookups are safe to call from allocation-free
+//     hot paths;
+//   - misses compute under a mutex and store the bits into the cell in
+//     place with an atomic store. Growth copies into a doubled slice and
+//     republishes the pointer; readers of the old slice still see valid
+//     (possibly slightly stale-empty) cells and simply take the miss path.
+type F64Cache struct {
+	fn func(int) float64
+
+	mu    sync.Mutex
+	cells atomic.Pointer[[]uint64]
+}
+
+// NewF64Cache returns a cache over fn, which must be deterministic and
+// strictly positive for every key it is asked for.
+func NewF64Cache(fn func(int) float64) *F64Cache {
+	if fn == nil {
+		panic("stats: NewF64Cache requires a function")
+	}
+	return &F64Cache{fn: fn}
+}
+
+// Get returns fn(n), computing and caching it on first use.
+func (c *F64Cache) Get(n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("stats: F64Cache.Get requires n >= 0, got %d", n))
+	}
+	if p := c.cells.Load(); p != nil && n < len(*p) {
+		if bits := atomic.LoadUint64(&(*p)[n]); bits != 0 {
+			return math.Float64frombits(bits)
+		}
+	}
+	return c.fill(n)
+}
+
+// fill computes, stores and returns fn(n); the slow path of Get.
+func (c *F64Cache) fill(n int) float64 {
+	v := c.fn(n)
+	if !(v > 0) || math.IsInf(v, 1) {
+		panic(fmt.Sprintf("stats: F64Cache function returned %v for %d; must be positive and finite", v, n))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cells := c.cells.Load()
+	if cells == nil || n >= len(*cells) {
+		size := 64
+		if cells != nil {
+			size = 2 * len(*cells)
+		}
+		for size <= n {
+			size *= 2
+		}
+		grown := make([]uint64, size)
+		if cells != nil {
+			copy(grown, *cells) // no concurrent writers: all stores hold mu
+		}
+		c.cells.Store(&grown)
+		cells = &grown
+	}
+	atomic.StoreUint64(&(*cells)[n], math.Float64bits(v))
+	return v
+}

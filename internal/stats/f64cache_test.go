@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestF64CacheReturnsFunctionValues(t *testing.T) {
+	var calls atomic.Int64
+	c := NewF64Cache(func(n int) float64 {
+		calls.Add(1)
+		return float64(n) + 0.5
+	})
+	for round := 0; round < 3; round++ {
+		for n := 0; n < 200; n++ {
+			if got, want := c.Get(n), float64(n)+0.5; got != want {
+				t.Fatalf("Get(%d) = %v, want %v", n, got, want)
+			}
+		}
+	}
+	if got := calls.Load(); got != 200 {
+		t.Errorf("function called %d times for 200 distinct keys, want 200", got)
+	}
+}
+
+func TestF64CacheGrowthPreservesEntries(t *testing.T) {
+	c := NewF64Cache(func(n int) float64 { return math.Sqrt(float64(n) + 1) })
+	small := c.Get(3)
+	// Force several doublings past the initial capacity.
+	big := c.Get(5000)
+	if got := c.Get(3); got != small {
+		t.Errorf("Get(3) after growth = %v, want %v", got, small)
+	}
+	if want := math.Sqrt(5001); big != want {
+		t.Errorf("Get(5000) = %v, want %v", big, want)
+	}
+}
+
+func TestF64CacheWarmLookupsAllocationFree(t *testing.T) {
+	c := NewF64Cache(func(n int) float64 { return float64(n) + 1 })
+	c.Get(40)
+	if allocs := testing.AllocsPerRun(100, func() { c.Get(40) }); allocs != 0 {
+		t.Errorf("warm Get allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestF64CachePanicsOnNonPositive(t *testing.T) {
+	c := NewF64Cache(func(n int) float64 { return float64(n) }) // 0 at n=0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(0) on a zero-valued function did not panic")
+		}
+	}()
+	c.Get(0)
+}
+
+// TestF64CacheConcurrent hammers one cache from many goroutines with
+// overlapping keys spanning several growth boundaries; run under -race
+// this pins the publication safety of the in-place stores and COW growth.
+func TestF64CacheConcurrent(t *testing.T) {
+	c := NewF64Cache(func(n int) float64 { return 1 / (float64(n) + 1) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < 2000; n++ {
+				k := (n*7 + g*13) % 1500
+				if got, want := c.Get(k), 1/(float64(k)+1); got != want {
+					t.Errorf("Get(%d) = %v, want %v", k, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

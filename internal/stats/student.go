@@ -3,7 +3,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sync"
 )
 
 // TCDF returns the cumulative distribution function of the Student-t
@@ -128,12 +127,11 @@ func TCritical(alpha float64, df int) float64 {
 // TTable memoizes two-sided critical values t_{α/2, df} for a fixed α.
 // The comparison processes request the same (α, df) pairs millions of times
 // during a simulated query, so the cache keeps the quantile inversion off
-// the hot path. TTable is safe for concurrent use.
+// the hot path. TTable is safe for concurrent use; warm lookups are
+// lock-free and allocation-free (see F64Cache).
 type TTable struct {
 	alpha float64
-
-	mu   sync.RWMutex
-	crit map[int]float64
+	crit  *F64Cache
 }
 
 // NewTTable returns a critical-value cache for significance level alpha.
@@ -141,7 +139,9 @@ func NewTTable(alpha float64) *TTable {
 	if alpha <= 0 || alpha >= 1 {
 		panic(fmt.Sprintf("stats: NewTTable requires alpha in (0,1), got %v", alpha))
 	}
-	return &TTable{alpha: alpha, crit: make(map[int]float64)}
+	tt := &TTable{alpha: alpha}
+	tt.crit = NewF64Cache(func(df int) float64 { return TCritical(alpha, df) })
+	return tt
 }
 
 // Alpha returns the significance level the table was built for.
@@ -149,15 +149,5 @@ func (tt *TTable) Alpha() float64 { return tt.alpha }
 
 // Critical returns t_{α/2, df}, computing and caching it on first use.
 func (tt *TTable) Critical(df int) float64 {
-	tt.mu.RLock()
-	c, ok := tt.crit[df]
-	tt.mu.RUnlock()
-	if ok {
-		return c
-	}
-	c = TCritical(tt.alpha, df)
-	tt.mu.Lock()
-	tt.crit[df] = c
-	tt.mu.Unlock()
-	return c
+	return tt.crit.Get(df)
 }

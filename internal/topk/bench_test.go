@@ -28,6 +28,23 @@ func benchAlgorithm(b *testing.B, alg Algorithm) {
 }
 
 func BenchmarkSPR(b *testing.B)         { benchAlgorithm(b, NewSPR()) }
+
+// BenchmarkSPREndToEnd is the perf-trajectory headline number: one full
+// SPR top-10 query over the 200-item synthetic instance, CPU-bound on the
+// microtask hot path (batched kernels, snapshot reads, memo lookups, and
+// the stopping rules' cached statistics). Unlike BenchmarkSPR it reports
+// per-microtask cost, so the number is comparable across instances.
+func BenchmarkSPREndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	var tasks int64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(i)
+		tasks += Run(NewSPR(), r, 10).TMC
+	}
+	if tasks > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(tasks), "ns/microtask")
+	}
+}
 func BenchmarkTourTree(b *testing.B)    { benchAlgorithm(b, TourTree{}) }
 func BenchmarkHeapSort(b *testing.B)    { benchAlgorithm(b, HeapSort{}) }
 func BenchmarkQuickSelect(b *testing.B) { benchAlgorithm(b, QuickSelect{}) }

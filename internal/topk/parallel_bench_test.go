@@ -38,13 +38,11 @@ func (o slowOracle) Preference(rng *rand.Rand, i, j int) float64 {
 }
 
 // Preferences implements crowd.BatchOracle: one round trip per batch.
-func (o slowOracle) Preferences(rng *rand.Rand, i, j, n int) []float64 {
+func (o slowOracle) Preferences(rng *rand.Rand, i, j int, dst []float64) {
 	time.Sleep(o.delay)
-	out := make([]float64, n)
-	for t := range out {
-		out[t] = o.sample(rng, i, j)
+	for t := range dst {
+		dst[t] = o.sample(rng, i, j)
 	}
-	return out
 }
 
 // benchCompareAll measures one full compareAll batch — 200 pairs of a
