@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-hot bench-json fuzz all
+.PHONY: build test race vet bench bench-hot bench-json fuzz chaos all
 
 build:
 	$(GO) build ./...
@@ -41,8 +41,19 @@ bench-json:
 	$(GO) test ./internal/topk/ $(BENCH_E2E) >> bench-raw.txt
 	$(GO) run ./cmd/perfcheck -current bench-raw.txt -json BENCH_PR2.json
 
-# A short fuzzing session over compareAll's duplicate/orientation grouping.
+# Short fuzzing sessions: compareAll's duplicate/orientation grouping, and
+# randomized platform fault schedules against the resilience layer. Go
+# runs one -fuzz target per invocation, hence two commands.
 fuzz:
 	$(GO) test ./internal/topk/ -run '^$$' -fuzz FuzzCompareAllGrouping -fuzztime 30s
+	$(GO) test ./internal/topk/ -run '^$$' -fuzz FuzzFaultSchedule -fuzztime 30s
+
+# The deterministic chaos suite under the race detector: seeded fault
+# schedules (drops, stragglers, duplicates, corruption, transient and
+# permanent errors) against the resilient platform stack.
+chaos:
+	$(GO) test -race ./internal/crowd/ -run 'TestResilient|TestFaulty|TestEngine(Refunds|Latch|FirstFailure|DrawOne|Reset|CapAndFailure)|TestReplayThenLive|TestReadLog' -count 1
+	$(GO) test -race ./internal/topk/ -run 'TestChaos' -count 1
+	$(GO) test -race . -run 'TestQueryPartial|TestQueryResilience|TestSessionExactSpend|TestResumeOracle' -count 1
 
 all: build vet test race

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,6 +35,14 @@ func main() {
 		trace  = flag.Bool("trace", false, "print SPR's per-phase cost breakdown")
 		cpup   = flag.String("cpuprofile", "", "write a CPU profile of the query to this file")
 		memp   = flag.String("memprofile", "", "write a heap profile taken after the query to this file")
+
+		platform   = flag.Bool("platform", false, "run through a simulated crowd platform instead of the dataset oracle")
+		workers    = flag.Int("workers", 8, "simulated platform worker pool (with -platform)")
+		retries    = flag.Int("retries", 0, "max post+collect attempts per batch (0 = library default; with -platform)")
+		timeout    = flag.Duration("collect-timeout", 0, "per-attempt batch collection deadline (0 = none; with -platform)")
+		faultDrop  = flag.Float64("fault-drop", 0, "chaos: per-answer drop probability (with -platform)")
+		faultErr   = flag.Float64("fault-error", 0, "chaos: per-batch transient error probability (with -platform)")
+		faultAfter = flag.Int("fault-after", 0, "chaos: platform fails permanently after this many posted batches (0 = never; with -platform)")
 	)
 	flag.Parse()
 
@@ -69,8 +79,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	started := time.Now()
-	res, err := crowdtopk.Query(data, crowdtopk.Options{
+	opts := crowdtopk.Options{
 		K:           *k,
 		Algorithm:   crowdtopk.Algorithm(*alg),
 		Estimator:   crowdtopk.Estimator(*est),
@@ -78,8 +87,43 @@ func main() {
 		Budget:      *budget,
 		Parallelism: *par,
 		Seed:        *seed + 1,
-	})
-	if err != nil {
+	}
+
+	// With -platform the query runs through the asynchronous platform
+	// stack — simulated workers, optional chaos faults, and the resilience
+	// layer — instead of calling the dataset oracle directly.
+	oracle := crowdtopk.Oracle(data)
+	if *platform {
+		var p crowdtopk.Platform = crowdtopk.SimulatedPlatform(data, *workers, *seed+2)
+		if closer, ok := p.(io.Closer); ok {
+			defer closer.Close()
+		}
+		if *faultDrop > 0 || *faultErr > 0 || *faultAfter > 0 {
+			p = crowdtopk.InjectFaults(p, crowdtopk.FaultSchedule{
+				Seed:           *seed + 3,
+				Drop:           *faultDrop,
+				PostError:      *faultErr,
+				CollectError:   *faultErr,
+				FailAfterPosts: *faultAfter,
+			})
+		}
+		oracle = crowdtopk.WrapPlatform(data.NumItems(), p)
+		opts.Resilience = &crowdtopk.ResilienceOptions{
+			MaxAttempts:    *retries,
+			CollectTimeout: *timeout,
+		}
+	}
+
+	started := time.Now()
+	res, err := crowdtopk.Query(oracle, opts)
+	var partial *crowdtopk.PartialResultError
+	if errors.As(err, &partial) {
+		fmt.Fprintf(os.Stderr, "warning: platform failed mid-query; reporting best-effort result (%d failure events)\n",
+			len(partial.Failures))
+		for _, ev := range partial.Failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", ev)
+		}
+	} else if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -22,6 +22,54 @@ type Oracle = crowd.Oracle
 // two-phase methods.
 type Grader = crowd.Grader
 
+// PlatformFailure is one entry of the platform failure log: a timeout,
+// transient error, quarantined answer, re-post, or circuit-breaker event
+// observed while talking to a crowd platform.
+type PlatformFailure = crowd.FailureEvent
+
+// PartialResultError reports a query that could not buy all the evidence
+// it wanted because the crowd platform failed mid-flight. The query does
+// not lose the money already spent: Result holds the best-effort top-k
+// computed from every judgment purchased before the failure, TMC is
+// exact (only delivered answers were charged), and Failures is the
+// platform failure log explaining what went wrong.
+//
+// Detect it with errors.As:
+//
+//	res, err := crowdtopk.Query(oracle, opts)
+//	var partial *crowdtopk.PartialResultError
+//	if errors.As(err, &partial) {
+//		// partial.Result is usable, partial.Failures says why it is partial
+//	}
+type PartialResultError struct {
+	// Result is the best-effort answer: the k most plausible items on the
+	// evidence purchased so far, with exact cost accounting.
+	Result Result
+	// Failures is the platform failure log, oldest first.
+	Failures []PlatformFailure
+	// Err is the underlying platform error that degraded the query.
+	Err error
+}
+
+// Error implements error.
+func (e *PartialResultError) Error() string {
+	return fmt.Sprintf("crowdtopk: partial result (spent %d microtasks, %d failure events): %v",
+		e.Result.TMC, len(e.Failures), e.Err)
+}
+
+// Unwrap exposes the underlying platform error to errors.Is/As.
+func (e *PartialResultError) Unwrap() error { return e.Err }
+
+// partialError wraps a degraded run's outcome in a PartialResultError,
+// attaching the oracle's failure log when it keeps one.
+func partialError(res Result, o Oracle, err error) *PartialResultError {
+	pe := &PartialResultError{Result: res, Err: err}
+	if fr, ok := o.(crowd.FailureReporter); ok {
+		pe.Failures = fr.Failures()
+	}
+	return pe
+}
+
 // Result is the outcome of a top-k query.
 type Result struct {
 	// TopK holds the k best items, best first.
@@ -88,6 +136,12 @@ type Judgment struct {
 // total monetary cost subject to per-comparison confidence (the paper's
 // problem statement, §4). The default configuration runs SPR with
 // Student-t comparisons at confidence 0.98 and budget 1000.
+//
+// When the oracle is backed by a crowd platform that fails mid-query
+// (after retries, see Options.Resilience), Query does not discard the
+// evidence already paid for: it returns the best-effort Result computed
+// from it together with a *PartialResultError carrying the platform
+// failure log.
 func Query(o Oracle, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(o.NumItems()); err != nil {
@@ -119,6 +173,9 @@ func Query(o Oracle, opts Options) (Result, error) {
 			RefChanges:      trace.RefChanges,
 		}
 	}
+	if res.Err != nil {
+		return out, partialError(out, r.Engine().Oracle(), res.Err)
+	}
 	return out, nil
 }
 
@@ -142,12 +199,18 @@ func Judge(o Oracle, i, j int, opts Options) (Judgment, error) {
 	}
 	out := r.Compare(i, j)
 	v := r.Engine().View(i, j)
-	return Judgment{
+	jm := Judgment{
 		Outcome:  Outcome(out),
 		Workload: v.N,
 		Mean:     v.Mean,
 		SD:       v.SD,
-	}, nil
+	}
+	if ferr := r.Err(); ferr != nil {
+		// The verdict rests on whatever evidence arrived before the
+		// platform failed; report both.
+		return jm, ferr
+	}
+	return jm, nil
 }
 
 func newRunner(o Oracle, opts Options) (*compare.Runner, error) {
@@ -166,6 +229,11 @@ func newRunner(o Oracle, opts Options) (*compare.Runner, error) {
 		policy = compare.NewHoeffdingPref(alpha)
 	default:
 		return nil, fmt.Errorf("crowdtopk: unknown estimator %q", opts.Estimator)
+	}
+	if opts.Resilience != nil {
+		if po, ok := o.(*crowd.PlatformOracle); ok {
+			o = po.WithResilience(opts.Resilience.policy())
+		}
 	}
 	eng := crowd.NewEngine(o, rand.New(rand.NewSource(opts.Seed)))
 	if opts.TotalBudget > 0 {

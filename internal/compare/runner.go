@@ -111,6 +111,13 @@ func NewRunner(e *crowd.Engine, policy Policy, p Params) *Runner {
 // Engine returns the underlying crowd engine.
 func (r *Runner) Engine() *crowd.Engine { return r.eng }
 
+// Err reports the platform failure that degraded the engine, or nil while
+// it is healthy. Once non-nil, every comparison concludes best-effort on
+// the evidence already purchased — exactly like an exhausted spending
+// cap — and the caller should surface the partial result together with
+// this error.
+func (r *Runner) Err() error { return r.eng.Err() }
+
 // Policy returns the decision policy in use.
 func (r *Runner) Policy() Policy { return r.policy }
 

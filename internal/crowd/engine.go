@@ -72,9 +72,10 @@ var drawBufPool = sync.Pool{
 // plans), never to sampling workers.
 type Engine struct {
 	oracle   Oracle
-	batch    BatchOracle // oracle's batch kernel, cached once at construction
-	rng      *rand.Rand  // control-thread randomness, exposed via Rand()
-	baseSeed int64       // root of the per-pair and per-item sample streams
+	batch    BatchOracle         // oracle's batch kernel, cached once at construction
+	fallible FallibleBatchOracle // oracle's error-aware kernel, preferred when present
+	rng      *rand.Rand          // control-thread randomness, exposed via Rand()
+	baseSeed int64               // root of the per-pair and per-item sample streams
 
 	shards [numShards]shard
 
@@ -83,6 +84,15 @@ type Engine struct {
 	pairCmp atomic.Int64 // pairwise microtasks only
 	graded  atomic.Int64 // graded microtasks only
 	cap     atomic.Int64 // global spending cap; 0 = unlimited
+
+	// The failure latch: once the oracle reports an unrecoverable platform
+	// error the engine degrades — every further purchase is declined (like
+	// a spent cap), so in-flight queries conclude from the evidence already
+	// bought and no more money is sent to a failing platform. failed is the
+	// lock-free fast check; failCause holds the first error.
+	failed    atomic.Bool
+	failMu    sync.Mutex
+	failCause error
 
 	logging atomic.Bool
 	logMu   sync.Mutex
@@ -109,10 +119,36 @@ func NewEngine(o Oracle, rng *rand.Rand) *Engine {
 		baseSeed: rng.Int63(),
 		gradeRng: make(map[int]*rand.Rand),
 	}
-	// The batch kernel is resolved once so the Draw hot path pays no type
-	// assertion per call.
+	// The batch kernels are resolved once so the Draw hot path pays no
+	// type assertion per call. The fallible kernel wins when both exist:
+	// it is the only path that can decline part of a purchase instead of
+	// panicking.
 	e.batch, _ = o.(BatchOracle)
+	e.fallible, _ = o.(FallibleBatchOracle)
 	return e
+}
+
+// fail latches the engine into degraded mode; the first cause wins.
+func (e *Engine) fail(cause error) {
+	e.failMu.Lock()
+	if e.failCause == nil {
+		e.failCause = fmt.Errorf("%w: %w", ErrPlatformFailure, cause)
+	}
+	e.failMu.Unlock()
+	e.failed.Store(true)
+}
+
+// Err returns the error that degraded the engine, or nil while healthy.
+// A degraded engine declines every further purchase: queries over it
+// conclude best-effort from the evidence already bought, exactly like a
+// spent global cap, and the caller surfaces Err as a PartialResultError.
+func (e *Engine) Err() error {
+	if !e.failed.Load() {
+		return nil
+	}
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failCause
 }
 
 // mix64 is the SplitMix64 finalizer: a bijective avalanche so that nearby
@@ -250,10 +286,17 @@ func (e *Engine) appendLog(r Record) {
 // not advance the latency clock; callers Tick at their batch boundaries.
 //
 // The whole batch is sampled through one dynamic dispatch: oracles
-// implementing BatchOracle fill a pooled scratch buffer in a single call,
-// everyone else falls back to n direct Preference calls. Both paths
-// consume the pair's private stream identically (BatchOracle's contract),
-// so batching never changes the samples a pair receives.
+// implementing FallibleBatchOracle (preferred) or BatchOracle fill a
+// pooled scratch buffer in a single call, everyone else falls back to n
+// direct Preference calls. All paths consume the pair's private stream
+// identically (BatchOracle's contract), so batching never changes the
+// samples a pair receives.
+//
+// The fallible path may decline part of the purchase: only the answers
+// actually delivered are charged (the reservation for undelivered slots
+// is refunded), and a reported error latches the engine into degraded
+// mode — this and every later Draw grant nothing more, so TMC always
+// equals the answers accepted into bags, even mid-failure.
 func (e *Engine) Draw(i, j, n int) BagView {
 	if i == j {
 		panic(fmt.Sprintf("crowd: Draw on identical items %d", i))
@@ -265,6 +308,9 @@ func (e *Engine) Draw(i, j, n int) BagView {
 	ps := e.pair(k)
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	if e.failed.Load() {
+		return ps.bag.view(i != k.lo)
+	}
 	if n = e.reserve(n); n > 0 {
 		bufp := drawBufPool.Get().(*[]float64)
 		buf := *bufp
@@ -272,27 +318,48 @@ func (e *Engine) Draw(i, j, n int) BagView {
 			buf = make([]float64, n)
 		}
 		buf = buf[:n]
-		if e.batch != nil {
+		filled := n
+		switch {
+		case e.fallible != nil:
+			var err error
+			filled, err = e.fallible.PreferencesPartial(ps.rng, k.lo, k.hi, buf)
+			if filled < 0 {
+				filled = 0
+			} else if filled > n {
+				filled = n
+			}
+			if err != nil {
+				e.fail(err)
+			}
+		case e.batch != nil:
 			e.batch.Preferences(ps.rng, k.lo, k.hi, buf)
-		} else {
+		default:
 			o := e.oracle
 			for t := range buf {
 				buf[t] = o.Preference(ps.rng, k.lo, k.hi)
 			}
 		}
+		if filled < n {
+			// Refund the reservation for answers that never arrived: TMC
+			// charges only what was delivered and accepted.
+			e.tmc.Add(int64(filled - n))
+		}
+		buf = buf[:filled]
 		for _, v := range buf {
 			if v < -1 || v > 1 {
 				panic(fmt.Sprintf("crowd: oracle returned preference %v outside [-1,1] for pair (%d,%d)", v, k.lo, k.hi))
 			}
 		}
-		ps.bag.addAll(buf)
-		if e.logging.Load() {
-			e.flushLog(k, buf)
+		if filled > 0 {
+			ps.bag.addAll(buf)
+			if e.logging.Load() {
+				e.flushLog(k, buf)
+			}
+			e.pairCmp.Add(int64(filled))
+			ps.publishLocked()
 		}
 		*bufp = buf[:0]
 		drawBufPool.Put(bufp)
-		e.pairCmp.Add(int64(n))
-		ps.publishLocked()
 	}
 	return ps.bag.view(i != k.lo)
 }
@@ -301,7 +368,7 @@ func (e *Engine) Draw(i, j, n int) BagView {
 // returns the sampled value oriented toward i (positive favors i). Like
 // Draw it costs one unit of TMC and records the sample in the pair's bag.
 // The second result is false — and nothing is purchased — when a spending
-// cap is exhausted.
+// cap is exhausted or the engine has degraded after a platform failure.
 func (e *Engine) DrawOne(i, j int) (float64, bool) {
 	if i == j {
 		panic(fmt.Sprintf("crowd: DrawOne on identical items %d", i))
@@ -310,10 +377,27 @@ func (e *Engine) DrawOne(i, j int) (float64, bool) {
 	ps := e.pair(k)
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	if e.failed.Load() {
+		return 0, false
+	}
 	if e.reserve(1) == 0 {
 		return 0, false
 	}
-	v := e.oracle.Preference(ps.rng, k.lo, k.hi)
+	var v float64
+	if e.fallible != nil {
+		var one [1]float64
+		filled, err := e.fallible.PreferencesPartial(ps.rng, k.lo, k.hi, one[:])
+		if err != nil {
+			e.fail(err)
+		}
+		if filled <= 0 {
+			e.tmc.Add(-1) // nothing delivered, nothing charged
+			return 0, false
+		}
+		v = one[0]
+	} else {
+		v = e.oracle.Preference(ps.rng, k.lo, k.hi)
+	}
 	if v < -1 || v > 1 {
 		panic(fmt.Sprintf("crowd: oracle returned preference %v outside [-1,1] for pair (%d,%d)", v, k.lo, k.hi))
 	}
@@ -359,7 +443,8 @@ func (e *Engine) View(i, j int) BagView {
 // Grade purchases one graded microtask for item i and returns the grade.
 // It costs one unit of TMC, like a pairwise microtask (Appendix B), and
 // respects the spending cap: the second result is false — and nothing is
-// purchased — when the cap is exhausted. The oracle must implement Grader.
+// purchased — when the cap is exhausted or the engine has degraded after
+// a platform failure. The oracle must implement Grader.
 func (e *Engine) Grade(i int) (float64, bool) {
 	g, ok := e.oracle.(Grader)
 	if !ok {
@@ -367,6 +452,9 @@ func (e *Engine) Grade(i int) (float64, bool) {
 	}
 	e.gradeMu.Lock()
 	defer e.gradeMu.Unlock()
+	if e.failed.Load() {
+		return 0, false
+	}
 	if e.reserve(1) == 0 {
 		return 0, false
 	}
@@ -437,4 +525,8 @@ func (e *Engine) Reset() {
 	e.logMu.Lock()
 	e.log = nil
 	e.logMu.Unlock()
+	e.failed.Store(false)
+	e.failMu.Lock()
+	e.failCause = nil
+	e.failMu.Unlock()
 }

@@ -1,0 +1,70 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The error taxonomy of the platform layer. Every failure a crowd market
+// can inflict on a query maps onto one of these sentinels, so callers can
+// branch with errors.Is regardless of how many wrapping layers (retry,
+// circuit breaker, oracle adapter, engine) the error climbed through.
+var (
+	// ErrPlatformClosed reports an operation on a platform after Close.
+	ErrPlatformClosed = errors.New("crowd: platform closed")
+	// ErrBatchTimeout reports a batch whose collection exceeded the
+	// per-attempt deadline.
+	ErrBatchTimeout = errors.New("crowd: batch collection timed out")
+	// ErrCircuitOpen reports a platform whose circuit breaker has opened:
+	// too many consecutive batches failed, and no more money will be sent
+	// to the platform until the breaker is reset.
+	ErrCircuitOpen = errors.New("crowd: platform circuit breaker open")
+	// ErrBatchIncomplete reports a batch that stayed short of its posted
+	// task count after all retries: some microtasks were never answered
+	// (or answered only with invalid values).
+	ErrBatchIncomplete = errors.New("crowd: batch incomplete after retries")
+	// ErrPlatformFailure reports an unrecoverable platform error — the
+	// degraded-query cause recorded by the engine's failure latch.
+	ErrPlatformFailure = errors.New("crowd: platform failure")
+)
+
+// FailureEvent is one entry of a platform failure log: what went wrong,
+// on which batch, at which attempt. Events deliberately carry no wall
+// clock — under a fixed fault schedule the log is deterministic, which is
+// what lets chaos tests compare runs byte for byte.
+type FailureEvent struct {
+	// Batch is the (outer) batch id the event belongs to; -1 when the
+	// failure is not attributable to one batch (e.g. a post rejected by an
+	// open circuit breaker before an id was assigned).
+	Batch int `json:"batch"`
+	// Attempt is the 1-based attempt number within the batch's retry loop.
+	Attempt int `json:"attempt"`
+	// Kind classifies the event: "post-error", "collect-error", "timeout",
+	// "partial", "quarantine", "exhausted", "breaker-open".
+	Kind string `json:"kind"`
+	// Missing is how many of the batch's tasks were still unanswered when
+	// the event was recorded.
+	Missing int `json:"missing"`
+	// Err is the rendered underlying error, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// String renders the event for logs and error messages.
+func (ev FailureEvent) String() string {
+	s := fmt.Sprintf("batch %d attempt %d: %s", ev.Batch, ev.Attempt, ev.Kind)
+	if ev.Missing > 0 {
+		s += fmt.Sprintf(" (%d missing)", ev.Missing)
+	}
+	if ev.Err != "" {
+		s += ": " + ev.Err
+	}
+	return s
+}
+
+// FailureReporter is implemented by platform-layer components that keep a
+// failure log: the resilient platform adapter, and the platform oracle
+// that aggregates its own quarantine events with the platform's log. The
+// returned slice is a copy; callers may keep it.
+type FailureReporter interface {
+	Failures() []FailureEvent
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sync"
 )
@@ -53,13 +54,53 @@ func (e *Engine) WriteLog(w io.Writer) error {
 	return enc.Encode(e.log)
 }
 
-// ReadLog parses a JSON audit log previously written by WriteLog.
+// ReadLog parses a JSON audit log previously written by WriteLog. The log
+// is untrusted input — it may have been truncated by a crash or corrupted
+// at rest — so ReadLog rejects malformed JSON, trailing garbage after the
+// record array, and records whose values could poison a replay: NaN or
+// infinite values, pairwise preferences outside [-1, 1], self-pairs,
+// negative item indices, or negative rounds.
 func ReadLog(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
 	var recs []Record
-	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+	if err := dec.Decode(&recs); err != nil {
 		return nil, fmt.Errorf("crowd: decoding audit log: %w", err)
 	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("crowd: audit log has trailing data after the record array")
+	}
+	for idx, rec := range recs {
+		if err := validateRecord(rec); err != nil {
+			return nil, fmt.Errorf("crowd: audit log record %d: %w", idx, err)
+		}
+	}
 	return recs, nil
+}
+
+// validateRecord checks one audit-log record's invariants.
+func validateRecord(rec Record) error {
+	if rec.Round < 0 {
+		return fmt.Errorf("negative round %d", rec.Round)
+	}
+	if rec.I < 0 {
+		return fmt.Errorf("negative item index %d", rec.I)
+	}
+	if math.IsNaN(rec.Value) || math.IsInf(rec.Value, 0) {
+		return fmt.Errorf("non-finite value %v", rec.Value)
+	}
+	if rec.IsGraded() {
+		if rec.J != -1 {
+			return fmt.Errorf("graded record has J=%d, want -1", rec.J)
+		}
+		return nil
+	}
+	if rec.I == rec.J {
+		return fmt.Errorf("pairwise record compares item %d with itself", rec.I)
+	}
+	if rec.Value < -1 || rec.Value > 1 {
+		return fmt.Errorf("pairwise value %v outside [-1,1]", rec.Value)
+	}
+	return nil
 }
 
 // Replay is an Oracle that serves the answers of a recorded audit log:
@@ -152,13 +193,55 @@ func (rp *Replay) Preferences(_ *rand.Rand, i, j int, dst []float64) {
 
 // Grade implements Grader by replaying recorded grades for the item.
 func (rp *Replay) Grade(_ *rand.Rand, i int) float64 {
+	v, ok := rp.takeGrade(i)
+	if !ok {
+		panic(fmt.Sprintf("crowd: replay exhausted for grades of item %d", i))
+	}
+	return v
+}
+
+// take pops up to n recorded answers for (i, j), oriented toward i, into
+// a fresh slice; ok is false when the log holds none. It is the
+// non-panicking primitive ReplayThenLive resumes from.
+func (rp *Replay) take(i, j, n int) ([]float64, bool) {
+	buf := make([]float64, n)
+	got := rp.takeUpTo(i, j, buf)
+	if got == 0 {
+		return nil, false
+	}
+	return buf[:got], true
+}
+
+// takeUpTo fills a prefix of dst with recorded answers for (i, j),
+// oriented toward i, and returns how many it supplied.
+func (rp *Replay) takeUpTo(i, j int, dst []float64) int {
+	k := keyOf(i, j)
+	rp.mu.Lock()
+	q := rp.pending[k]
+	n := len(dst)
+	if n > len(q) {
+		n = len(q)
+	}
+	copy(dst[:n], q[:n])
+	rp.pending[k] = q[n:]
+	rp.mu.Unlock()
+	if i != k.lo {
+		for t := range dst[:n] {
+			dst[t] = -dst[t]
+		}
+	}
+	return n
+}
+
+// takeGrade pops one recorded grade for item i; ok is false when the log
+// holds none.
+func (rp *Replay) takeGrade(i int) (float64, bool) {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
 	q := rp.grades[i]
 	if len(q) == 0 {
-		panic(fmt.Sprintf("crowd: replay exhausted for grades of item %d", i))
+		return 0, false
 	}
-	v := q[0]
 	rp.grades[i] = q[1:]
-	return v
+	return q[0], true
 }

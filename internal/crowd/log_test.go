@@ -75,6 +75,50 @@ func TestReadLogRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestReadLogRejectsCorruptInput(t *testing.T) {
+	// Audit logs are untrusted: crashes truncate them, storage corrupts
+	// them. Every malformed shape must be rejected, never replayed.
+	cases := []struct {
+		name  string
+		input string
+		ok    bool
+	}{
+		{"valid empty", `[]`, true},
+		{"valid pairwise", `[{"round":0,"i":0,"j":1,"value":0.5}]`, true},
+		{"valid graded", `[{"round":2,"i":3,"j":-1,"value":4.2}]`, true},
+		{"valid boundary values", `[{"round":0,"i":0,"j":1,"value":-1},{"round":0,"i":0,"j":1,"value":1}]`, true},
+		{"truncated mid-record", `[{"round":0,"i":0,"j":1,"va`, false},
+		{"truncated mid-array", `[{"round":0,"i":0,"j":1,"value":0.5},`, false},
+		{"trailing garbage", `[] {"more":"data"}`, false},
+		{"trailing second array", `[][]`, false},
+		{"object not array", `{"round":0}`, false},
+		{"value above range", `[{"round":0,"i":0,"j":1,"value":1.5}]`, false},
+		{"value below range", `[{"round":0,"i":0,"j":1,"value":-1.01}]`, false},
+		{"self pair", `[{"round":0,"i":2,"j":2,"value":0.5}]`, false},
+		{"negative round", `[{"round":-1,"i":0,"j":1,"value":0.5}]`, false},
+		{"negative item", `[{"round":0,"i":-3,"j":1,"value":0.5}]`, false},
+		{"graded bad sentinel", `[{"round":0,"i":0,"j":-2,"value":1}]`, false},
+		{"string value", `[{"round":0,"i":0,"j":1,"value":"0.5"}]`, false},
+		{"corrupt record after valid ones", `[{"round":0,"i":0,"j":1,"value":0.5},{"round":0,"i":0,"j":0,"value":0.5}]`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, err := ReadLog(strings.NewReader(tc.input))
+			if tc.ok && err != nil {
+				t.Fatalf("valid log rejected: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("corrupt log accepted: %v", recs)
+				}
+				if recs != nil {
+					t.Fatalf("corrupt log returned records alongside the error")
+				}
+			}
+		})
+	}
+}
+
 func TestReplayServesRecordedAnswers(t *testing.T) {
 	// Record a run, then replay it: the same draws yield the same bags at
 	// zero oracle involvement.

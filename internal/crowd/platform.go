@@ -1,7 +1,9 @@
 package crowd
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 )
@@ -22,78 +24,41 @@ type Answer struct {
 // Platform is the asynchronous interface real crowd markets expose:
 // batches of microtasks are published, workers answer on their own
 // schedule, and the requester collects the answers later. Post must not
-// block on workers; Collect blocks until every answer of the posted batch
-// is in. Implementations must be safe for use from one goroutine at a
-// time (the engine is single-threaded).
+// block on workers; Collect blocks until the batch is answered (or the
+// platform gives up). Implementations must be safe for concurrent use on
+// distinct batches: parallel comparison waves post and collect several
+// pairs' batches at once, with exactly one collector per batch.
+//
+// Real markets misbehave: Collect may return fewer answers than were
+// posted, duplicate answers, answers for tasks that were never posted, or
+// values outside [-1, 1]. The PlatformOracle adapter validates and
+// quarantines such answers, and the ResilientPlatform wrapper adds
+// deadlines, retries and a circuit breaker on top of any Platform.
 type Platform interface {
 	// Post publishes the batch and returns a handle for collection.
 	Post(tasks []Task) (batch int, err error)
-	// Collect blocks until the batch is fully answered.
+	// Collect blocks until the batch is answered. It may return a partial
+	// answer set together with a nil error (stragglers the platform gave
+	// up on) or with a non-nil error (collection failed midway).
 	Collect(batch int) ([]Answer, error)
 }
 
-// PlatformOracle adapts a Platform to the Oracle interface the engine
-// consumes. Each Preference call publishes one task and waits for its
-// answer; the engine's batch purchases (Draw with n > 1) post the whole
-// batch at once and collect it together, so a platform serving answers
-// concurrently is exercised with real parallelism per batch. Posting or
-// collection errors are surfaced as panics: the engine has no money-safe
-// way to continue a query whose platform is failing.
-type PlatformOracle struct {
-	n        int
-	platform Platform
+// ContextPlatform is optionally implemented by platforms whose collection
+// honors cancellation. The resilient layer uses it to enforce per-batch
+// deadlines without leaking a blocked goroutine per timed-out collect.
+type ContextPlatform interface {
+	// CollectContext behaves like Collect but returns ctx.Err() promptly
+	// once the context is done. A batch whose collection was cancelled
+	// remains collectable later.
+	CollectContext(ctx context.Context, batch int) ([]Answer, error)
 }
 
-// NewPlatformOracle wraps a platform over n items.
-func NewPlatformOracle(n int, p Platform) *PlatformOracle {
-	if n < 2 {
-		panic(fmt.Sprintf("crowd: NewPlatformOracle requires n >= 2, got %d", n))
-	}
-	if p == nil {
-		panic("crowd: NewPlatformOracle requires a platform")
-	}
-	return &PlatformOracle{n: n, platform: p}
-}
-
-// NumItems implements Oracle.
-func (po *PlatformOracle) NumItems() int { return po.n }
-
-// Preference implements Oracle: one task posted, one answer awaited.
-func (po *PlatformOracle) Preference(_ *rand.Rand, i, j int) float64 {
-	var v [1]float64
-	po.preferences(i, j, v[:])
-	return v[0]
-}
-
-// Preferences implements BatchOracle: the whole batch is posted at once.
-func (po *PlatformOracle) Preferences(_ *rand.Rand, i, j int, dst []float64) {
-	po.preferences(i, j, dst)
-}
-
-func (po *PlatformOracle) preferences(i, j int, dst []float64) {
-	n := len(dst)
-	tasks := make([]Task, n)
-	for t := range tasks {
-		tasks[t] = Task{I: i, J: j}
-	}
-	batch, err := po.platform.Post(tasks)
-	if err != nil {
-		panic(fmt.Sprintf("crowd: posting %d tasks: %v", n, err))
-	}
-	answers, err := po.platform.Collect(batch)
-	if err != nil {
-		panic(fmt.Sprintf("crowd: collecting batch %d: %v", batch, err))
-	}
-	if len(answers) != n {
-		panic(fmt.Sprintf("crowd: batch %d returned %d answers, want %d", batch, len(answers), n))
-	}
-	for t, a := range answers {
-		v := a.Value
-		if a.Task.I == j && a.Task.J == i {
-			v = -v // platform may report in flipped orientation
-		}
-		dst[t] = v
-	}
+// Closer is optionally implemented by platforms holding background
+// resources (worker goroutines, connections). Closing cancels in-flight
+// batches; Post and Collect fail with ErrPlatformClosed afterwards.
+// It matches io.Closer.
+type Closer interface {
+	Close() error
 }
 
 // BatchOracle is implemented by oracles that can answer many microtasks
@@ -112,10 +77,205 @@ type BatchOracle interface {
 	Preferences(rng *rand.Rand, i, j int, dst []float64)
 }
 
+// FallibleBatchOracle is the error-aware sibling of BatchOracle,
+// implemented by oracles whose answers come from systems that can fail —
+// above all PlatformOracle. PreferencesPartial fills dst with up to
+// len(dst) validated preferences for the pair and returns how many were
+// filled; filled may fall short of len(dst) when the backend lost tasks,
+// and err is non-nil when the backend failed outright (the engine then
+// latches into degraded mode and stops purchasing).
+//
+// The engine prefers this path over BatchOracle when both are available:
+// it is the only way an oracle can decline part of a purchase without
+// panicking, and the engine refunds every unfilled slot so the monetary
+// accounting stays exact.
+type FallibleBatchOracle interface {
+	PreferencesPartial(rng *rand.Rand, i, j int, dst []float64) (filled int, err error)
+}
+
+// PlatformOracle adapts a Platform to the Oracle interface the engine
+// consumes: each batch purchase posts the whole batch at once and
+// collects it together, so a platform serving answers concurrently is
+// exercised with real parallelism per batch.
+//
+// The adapter is the validation boundary of the system. Every collected
+// answer is checked before it may enter a preference bag: its task must
+// match the posted pair (in either orientation — flipped answers are
+// re-oriented), and its value must be a real number in [-1, 1]. Answers
+// failing validation are quarantined, counted, and recorded in the
+// failure log; they never pollute the statistics. Platform errors are
+// returned through the FallibleBatchOracle path — never panics — so the
+// engine can degrade the query gracefully instead of crashing it.
+type PlatformOracle struct {
+	n        int
+	platform Platform
+
+	mu          sync.Mutex
+	quarantined []Answer
+	events      []FailureEvent
+}
+
+// NewPlatformOracle wraps a platform over n items.
+func NewPlatformOracle(n int, p Platform) *PlatformOracle {
+	if n < 2 {
+		panic(fmt.Sprintf("crowd: NewPlatformOracle requires n >= 2, got %d", n))
+	}
+	if p == nil {
+		panic("crowd: NewPlatformOracle requires a platform")
+	}
+	return &PlatformOracle{n: n, platform: p}
+}
+
+// WithResilience returns a platform oracle over the same item count whose
+// platform is wrapped in a ResilientPlatform with the given policy. If
+// the platform is already resilient it is returned unchanged.
+func (po *PlatformOracle) WithResilience(policy RetryPolicy) *PlatformOracle {
+	if _, ok := po.platform.(*ResilientPlatform); ok {
+		return po
+	}
+	return NewPlatformOracle(po.n, NewResilientPlatform(po.platform, policy))
+}
+
+// Platform returns the wrapped platform.
+func (po *PlatformOracle) Platform() Platform { return po.platform }
+
+// NumItems implements Oracle.
+func (po *PlatformOracle) NumItems() int { return po.n }
+
+// Preference implements Oracle: one task posted, one answer awaited.
+// It panics on platform failure — this legacy scalar path exists only
+// for direct use outside the engine; the engine always purchases through
+// PreferencesPartial, which reports errors instead.
+func (po *PlatformOracle) Preference(_ *rand.Rand, i, j int) float64 {
+	var v [1]float64
+	filled, err := po.PreferencesPartial(nil, i, j, v[:])
+	if err != nil {
+		panic(fmt.Sprintf("crowd: platform failure on pair (%d,%d): %v", i, j, err))
+	}
+	if filled == 0 {
+		panic(fmt.Sprintf("crowd: platform returned no valid answer for pair (%d,%d)", i, j))
+	}
+	return v[0]
+}
+
+// Preferences implements BatchOracle for callers that cannot tolerate a
+// short batch; like Preference it panics on failure and exists for direct
+// use only. The engine uses PreferencesPartial.
+func (po *PlatformOracle) Preferences(_ *rand.Rand, i, j int, dst []float64) {
+	filled, err := po.PreferencesPartial(nil, i, j, dst)
+	if err != nil {
+		panic(fmt.Sprintf("crowd: platform failure on pair (%d,%d): %v", i, j, err))
+	}
+	if filled != len(dst) {
+		panic(fmt.Sprintf("crowd: platform answered %d of %d tasks for pair (%d,%d)", filled, len(dst), i, j))
+	}
+}
+
+// PreferencesPartial implements FallibleBatchOracle: the batch is posted
+// in one call, collected in one call, and every answer validated before
+// it reaches the caller. Invalid answers (mis-paired tasks, NaN or
+// out-of-range values, surplus duplicates) are quarantined and simply
+// reduce the filled count — with a ResilientPlatform underneath, the
+// missing tasks have already been re-posted and retried before the
+// shortfall becomes visible here.
+func (po *PlatformOracle) PreferencesPartial(_ *rand.Rand, i, j int, dst []float64) (int, error) {
+	n := len(dst)
+	if n == 0 {
+		return 0, nil
+	}
+	tasks := make([]Task, n)
+	for t := range tasks {
+		tasks[t] = Task{I: i, J: j}
+	}
+	batch, err := po.platform.Post(tasks)
+	if err != nil {
+		return 0, fmt.Errorf("posting %d tasks for pair (%d,%d): %w", n, i, j, err)
+	}
+	answers, collectErr := po.platform.Collect(batch)
+
+	filled := 0
+	for _, a := range answers {
+		if filled == n {
+			// Surplus answers (platform duplicates): paid for n, keep n.
+			po.quarantine(batch, a, "surplus answer")
+			continue
+		}
+		v, ok := validPairAnswer(a, i, j)
+		if !ok {
+			po.quarantine(batch, a, "invalid answer")
+			continue
+		}
+		dst[filled] = v
+		filled++
+	}
+	if collectErr != nil {
+		return filled, fmt.Errorf("collecting batch %d for pair (%d,%d): %w", batch, i, j, collectErr)
+	}
+	return filled, nil
+}
+
+// validPairAnswer validates one collected answer against the posted pair
+// (i, j): the task must match the pair in either orientation (flipped
+// answers are negated back) and the value must be a real number in
+// [-1, 1]. The second result is false for answers that must not enter a
+// preference bag.
+func validPairAnswer(a Answer, i, j int) (float64, bool) {
+	v := a.Value
+	switch {
+	case a.Task.I == i && a.Task.J == j:
+		// canonical orientation
+	case a.Task.I == j && a.Task.J == i:
+		v = -v // platform may report in flipped orientation
+	default:
+		return 0, false // mis-paired: belongs to neither orientation
+	}
+	if math.IsNaN(v) || v < -1 || v > 1 {
+		return 0, false
+	}
+	return v, true
+}
+
+// quarantine records an invalid answer and its failure event.
+func (po *PlatformOracle) quarantine(batch int, a Answer, why string) {
+	po.mu.Lock()
+	po.quarantined = append(po.quarantined, a)
+	po.events = append(po.events, FailureEvent{
+		Batch: batch, Attempt: 1, Kind: "quarantine",
+		Err: fmt.Sprintf("%s: task (%d,%d) value %v", why, a.Task.I, a.Task.J, a.Value),
+	})
+	po.mu.Unlock()
+}
+
+// Quarantined returns a copy of the answers rejected by validation, for
+// audit and debugging.
+func (po *PlatformOracle) Quarantined() []Answer {
+	po.mu.Lock()
+	defer po.mu.Unlock()
+	return append([]Answer(nil), po.quarantined...)
+}
+
+// Failures implements FailureReporter: the oracle's own quarantine events
+// followed by the wrapped platform's failure log, when it keeps one.
+func (po *PlatformOracle) Failures() []FailureEvent {
+	po.mu.Lock()
+	out := append([]FailureEvent(nil), po.events...)
+	po.mu.Unlock()
+	if fr, ok := po.platform.(FailureReporter); ok {
+		out = append(out, fr.Failures()...)
+	}
+	return out
+}
+
 // SimPlatform is an in-process Platform backed by a pool of worker
 // goroutines answering from a base oracle — the test double for platform
 // integrations, and a demonstration that the adapter tolerates real
 // concurrency and out-of-order completion within a batch.
+//
+// SimPlatform supports cancellation: CollectContext returns promptly when
+// its context is done (the batch stays collectable), and Close cancels
+// all in-flight batches, stops their workers at task granularity, and
+// releases every batch entry — no goroutine or map entry outlives the
+// platform.
 type SimPlatform struct {
 	base    Oracle
 	workers int
@@ -124,6 +284,10 @@ type SimPlatform struct {
 	nextID  int
 	batches map[int]chan []Answer
 	seed    int64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // NewSimPlatform returns a simulated platform with the given worker
@@ -137,25 +301,41 @@ func NewSimPlatform(base Oracle, workers int, seed int64) *SimPlatform {
 		workers: workers,
 		batches: make(map[int]chan []Answer),
 		seed:    seed,
+		closed:  make(chan struct{}),
 	}
 }
 
 // Post implements Platform: it fans the batch out to worker goroutines
 // and returns immediately.
 func (sp *SimPlatform) Post(tasks []Task) (int, error) {
+	select {
+	case <-sp.closed:
+		return 0, ErrPlatformClosed
+	default:
+	}
 	sp.mu.Lock()
 	id := sp.nextID
 	sp.nextID++
 	done := make(chan []Answer, 1)
 	sp.batches[id] = done
 	seed := sp.seed + int64(id)
+	sp.wg.Add(1)
 	sp.mu.Unlock()
 
 	go func() {
+		defer sp.wg.Done()
 		answers := make([]Answer, len(tasks))
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, sp.workers)
+	fanout:
 		for t := range tasks {
+			select {
+			case <-sp.closed:
+				// Cancelled: stop spawning work; unstarted tasks stay
+				// zero-valued and are dropped below.
+				break fanout
+			default:
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(t int) {
@@ -170,19 +350,65 @@ func (sp *SimPlatform) Post(tasks []Task) (int, error) {
 			}(t)
 		}
 		wg.Wait()
-		done <- answers
+		// Drop never-started tasks so a cancelled batch does not emit
+		// zero-valued answers for work no worker performed.
+		out := answers[:0]
+		for t, a := range answers {
+			if a.Task == tasks[t] {
+				out = append(out, a)
+			}
+		}
+		done <- out
 	}()
 	return id, nil
 }
 
 // Collect implements Platform.
 func (sp *SimPlatform) Collect(batch int) ([]Answer, error) {
+	return sp.CollectContext(context.Background(), batch)
+}
+
+// CollectContext implements ContextPlatform: it returns once the batch is
+// answered, the context is done, or the platform is closed. On context
+// cancellation the batch remains registered and can be collected later.
+func (sp *SimPlatform) CollectContext(ctx context.Context, batch int) ([]Answer, error) {
 	sp.mu.Lock()
 	done, ok := sp.batches[batch]
-	delete(sp.batches, batch)
 	sp.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("crowd: unknown or already collected batch %d", batch)
 	}
-	return <-done, nil
+	select {
+	case answers := <-done:
+		sp.mu.Lock()
+		delete(sp.batches, batch)
+		sp.mu.Unlock()
+		return answers, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("crowd: collecting batch %d: %w (%w)", batch, ErrBatchTimeout, ctx.Err())
+	case <-sp.closed:
+		return nil, ErrPlatformClosed
+	}
+}
+
+// Close implements Closer: it cancels in-flight batches, waits for their
+// workers to stop, and releases every batch entry. Post and Collect fail
+// with ErrPlatformClosed afterwards. Close is idempotent.
+func (sp *SimPlatform) Close() error {
+	sp.closeOnce.Do(func() {
+		close(sp.closed)
+		sp.wg.Wait()
+		sp.mu.Lock()
+		sp.batches = make(map[int]chan []Answer)
+		sp.mu.Unlock()
+	})
+	return nil
+}
+
+// PendingBatches returns the number of posted but uncollected batches —
+// a leak diagnostic for tests.
+func (sp *SimPlatform) PendingBatches() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.batches)
 }

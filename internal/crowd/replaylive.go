@@ -1,0 +1,86 @@
+package crowd
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// ReplayThenLive is the checkpoint/resume oracle: it serves answers from
+// a recorded audit log for as long as the log has them, then falls
+// through to a live oracle. Re-driving a crashed query from its WriteLog
+// output re-purchases nothing — every judgment the crashed run already
+// paid for is replayed for free, and only demand beyond the checkpoint
+// reaches the live crowd (counted by LiveTasks, the real money).
+//
+// Because a query's purchase pattern is deterministic for a fixed seed,
+// the resumed query demands exactly the per-pair sample prefixes the
+// crashed one bought; the log covers them and the live oracle only
+// answers the remainder. Replayed answers do not consume the live
+// oracle's random streams, so the post-checkpoint samples are fresh live
+// draws — the resumed query is a valid (and typically identical-cost)
+// continuation, though not guaranteed bit-identical to the run the crash
+// interrupted.
+type ReplayThenLive struct {
+	replay *Replay
+	live   Oracle
+	tasks  atomic.Int64
+}
+
+// NewReplayThenLive builds the resume oracle from an audit log and the
+// live oracle to continue on. The item count comes from the live oracle.
+func NewReplayThenLive(log []Record, live Oracle) *ReplayThenLive {
+	if live == nil {
+		panic("crowd: NewReplayThenLive requires a live oracle")
+	}
+	return &ReplayThenLive{replay: NewReplay(live.NumItems(), log), live: live}
+}
+
+// NumItems implements Oracle.
+func (rl *ReplayThenLive) NumItems() int { return rl.live.NumItems() }
+
+// LiveTasks returns how many microtasks reached the live oracle — the
+// spend beyond the replayed checkpoint.
+func (rl *ReplayThenLive) LiveTasks() int64 { return rl.tasks.Load() }
+
+// ReplayedRemaining returns how many recorded pairwise answers are still
+// unused for the pair.
+func (rl *ReplayThenLive) ReplayedRemaining(i, j int) int { return rl.replay.Remaining(i, j) }
+
+// Preference implements Oracle: recorded answers first, then live.
+func (rl *ReplayThenLive) Preference(rng *rand.Rand, i, j int) float64 {
+	if v, ok := rl.replay.take(i, j, 1); ok {
+		return v[0]
+	}
+	rl.tasks.Add(1)
+	return rl.live.Preference(rng, i, j)
+}
+
+// Preferences implements BatchOracle: the prefix of the batch comes from
+// the log, the remainder from the live oracle. Replayed answers ignore
+// rng (they are recorded), live answers consume it exactly as sequential
+// Preference calls would, so the stream-equivalence contract holds.
+func (rl *ReplayThenLive) Preferences(rng *rand.Rand, i, j int, dst []float64) {
+	replayed := rl.replay.takeUpTo(i, j, dst)
+	rest := dst[replayed:]
+	if len(rest) == 0 {
+		return
+	}
+	rl.tasks.Add(int64(len(rest)))
+	if b, ok := rl.live.(BatchOracle); ok {
+		b.Preferences(rng, i, j, rest)
+		return
+	}
+	for t := range rest {
+		rest[t] = rl.live.Preference(rng, i, j)
+	}
+}
+
+// Grade implements Grader: recorded grades first, then the live oracle,
+// which must implement Grader once the log runs dry.
+func (rl *ReplayThenLive) Grade(rng *rand.Rand, i int) float64 {
+	if v, ok := rl.replay.takeGrade(i); ok {
+		return v
+	}
+	rl.tasks.Add(1)
+	return rl.live.(Grader).Grade(rng, i)
+}

@@ -1,0 +1,418 @@
+package crowd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy configures the resilient platform adapter: how long one
+// collection attempt may take, how often a batch is retried, how the
+// backoff between attempts grows, and when the circuit breaker opens.
+type RetryPolicy struct {
+	// MaxAttempts bounds post+collect cycles per batch (default 4). Each
+	// attempt re-posts only the tasks still missing.
+	MaxAttempts int
+	// BaseBackoff is the delay before the second attempt (default 50ms);
+	// it doubles per attempt up to MaxBackoff (default 2s). The actual
+	// delay is jittered deterministically in [0.5, 1.0) of the nominal
+	// value, from a stream seeded by JitterSeed and the batch id.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// CollectTimeout is the per-attempt deadline of one collection
+	// (context-based). 0 disables the deadline — then a straggling batch
+	// blocks forever, as with a bare platform.
+	CollectTimeout time.Duration
+	// FailureThreshold is how many consecutive batches must exhaust their
+	// retries before the circuit breaker opens (default 3). An open
+	// breaker fails every Post fast with ErrCircuitOpen — no more money
+	// is sent to a platform that is down — until Reset is called.
+	FailureThreshold int
+	// JitterSeed roots the deterministic backoff jitter (default 1).
+	JitterSeed int64
+	// Sleep is the delay function, overridable so chaos tests run the
+	// full retry machinery without wall-clock waits. nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// withDefaults resolves zero fields to the defaults above.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.FailureThreshold <= 0 {
+		p.FailureThreshold = 3
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// resBatch is the per-batch state of the resilient adapter: the expected
+// task multiset, the valid answers accepted so far, and the inner batch
+// ids still awaiting collection.
+type resBatch struct {
+	tasks    []Task
+	answers  []Answer
+	pending  []int // inner batch ids not yet successfully collected
+	jitter   *rand.Rand
+	attempts int
+}
+
+// ResilientPlatform makes any Platform survivable: it enforces a
+// per-attempt collection deadline, validates and deduplicates collected
+// answers against the posted task multiset, re-posts only the tasks still
+// missing, retries with exponential backoff and deterministic jitter, and
+// opens a circuit breaker after too many consecutive batch failures so a
+// dead platform stops consuming money immediately instead of timing out
+// purchase after purchase.
+//
+// The adapter is transparent on the happy path: a healthy platform sees
+// exactly one Post and one Collect per batch. It is safe for concurrent
+// use on distinct batches, like the Platform contract requires.
+type ResilientPlatform struct {
+	inner  Platform
+	cctx   ContextPlatform // inner's context-aware collection, if any
+	policy RetryPolicy
+
+	mu          sync.Mutex
+	nextID      int
+	batches     map[int]*resBatch
+	consecFails int
+	open        bool
+	failures    []FailureEvent
+	reposts     int64
+}
+
+// NewResilientPlatform wraps the platform with the given policy.
+func NewResilientPlatform(inner Platform, policy RetryPolicy) *ResilientPlatform {
+	if inner == nil {
+		panic("crowd: NewResilientPlatform requires a platform")
+	}
+	rp := &ResilientPlatform{
+		inner:   inner,
+		policy:  policy.withDefaults(),
+		batches: make(map[int]*resBatch),
+	}
+	rp.cctx, _ = inner.(ContextPlatform)
+	return rp
+}
+
+// Post implements Platform. A post rejected by the open circuit breaker
+// costs nothing and fails fast with ErrCircuitOpen.
+func (rp *ResilientPlatform) Post(tasks []Task) (int, error) {
+	rp.mu.Lock()
+	if rp.open {
+		rp.failures = append(rp.failures, FailureEvent{
+			Batch: -1, Attempt: 1, Kind: "breaker-open",
+			Missing: len(tasks), Err: ErrCircuitOpen.Error(),
+		})
+		rp.mu.Unlock()
+		return 0, ErrCircuitOpen
+	}
+	id := rp.nextID
+	rp.nextID++
+	b := &resBatch{
+		tasks:  append([]Task(nil), tasks...),
+		jitter: rand.New(rand.NewSource(rp.policy.JitterSeed + int64(id)*0x9e37)),
+	}
+	rp.batches[id] = b
+	rp.mu.Unlock()
+
+	inner, err := rp.inner.Post(tasks)
+	if err != nil {
+		// The very first post failed; Collect will retry it from scratch.
+		rp.record(FailureEvent{Batch: id, Attempt: 1, Kind: "post-error",
+			Missing: len(tasks), Err: err.Error()})
+		return id, nil
+	}
+	b.pending = append(b.pending, inner)
+	return id, nil
+}
+
+// Collect implements Platform: it drives the batch's retry loop to
+// completion. On success the full, validated answer set is returned. On
+// exhaustion the answers gathered so far are returned together with an
+// error wrapping ErrBatchIncomplete (or the final attempt's error), so
+// callers can keep the partial evidence — every answer was paid for.
+func (rp *ResilientPlatform) Collect(batch int) ([]Answer, error) {
+	rp.mu.Lock()
+	b, ok := rp.batches[batch]
+	delete(rp.batches, batch)
+	rp.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("crowd: unknown or already collected batch %d", batch)
+	}
+
+	var lastErr error
+	for b.attempts < rp.policy.MaxAttempts {
+		b.attempts++
+		if b.attempts > 1 {
+			rp.policy.Sleep(rp.backoff(b))
+		}
+
+		// Ensure the missing tasks are in flight: the first attempt may
+		// have to re-post after a failed Post, later attempts re-post only
+		// the shortfall.
+		if missing := rp.missing(b); len(b.pending) == 0 && len(missing) > 0 {
+			inner, err := rp.inner.Post(missing)
+			if err != nil {
+				lastErr = err
+				rp.record(FailureEvent{Batch: batch, Attempt: b.attempts,
+					Kind: "post-error", Missing: len(missing), Err: err.Error()})
+				continue
+			}
+			rp.reportRepost()
+			b.pending = append(b.pending, inner)
+		}
+
+		// Collect every in-flight inner batch of this attempt.
+		stillPending := b.pending[:0]
+		attemptErr := error(nil)
+		for _, inner := range b.pending {
+			answers, err := rp.collectInner(inner)
+			if err != nil {
+				attemptErr = err
+				kind := "collect-error"
+				if isTimeout(err) {
+					kind = "timeout"
+					// A timed-out inner batch may still complete later;
+					// keep it pending so a retry can pick it up without
+					// re-buying if the platform supports late collection.
+					if rp.cctx != nil {
+						stillPending = append(stillPending, inner)
+					}
+				}
+				rp.record(FailureEvent{Batch: batch, Attempt: b.attempts,
+					Kind: kind, Missing: len(rp.missing(b)), Err: err.Error()})
+				continue
+			}
+			rp.accept(batch, b, answers)
+		}
+		b.pending = stillPending
+
+		missing := rp.missing(b)
+		if len(missing) == 0 {
+			rp.settle(true)
+			return b.answers, nil
+		}
+		if attemptErr == nil {
+			// Clean collection, short batch: the platform silently lost
+			// tasks. Record and retry the shortfall.
+			rp.record(FailureEvent{Batch: batch, Attempt: b.attempts,
+				Kind: "partial", Missing: len(missing)})
+		} else {
+			lastErr = attemptErr
+		}
+		// Re-post the shortfall for the next attempt. A straggling inner
+		// batch may still be pending alongside the re-post; whichever
+		// answers first fills the gap, and surplus answers from the other
+		// are quarantined by accept — the engine is never double-charged.
+		if b.attempts < rp.policy.MaxAttempts {
+			inner, err := rp.inner.Post(missing)
+			if err != nil {
+				lastErr = err
+				rp.record(FailureEvent{Batch: batch, Attempt: b.attempts,
+					Kind: "post-error", Missing: len(missing), Err: err.Error()})
+				continue
+			}
+			rp.reportRepost()
+			b.pending = append(b.pending, inner)
+		}
+	}
+
+	rp.settle(false)
+	missing := len(rp.missing(b))
+	rp.record(FailureEvent{Batch: batch, Attempt: b.attempts, Kind: "exhausted",
+		Missing: missing, Err: errText(lastErr)})
+	err := fmt.Errorf("crowd: batch %d: %d of %d tasks unanswered after %d attempts: %w",
+		batch, missing, len(b.tasks), b.attempts, ErrBatchIncomplete)
+	if lastErr != nil {
+		err = fmt.Errorf("%w (last error: %v)", err, lastErr)
+	}
+	return b.answers, err
+}
+
+// collectInner collects one inner batch under the per-attempt deadline.
+func (rp *ResilientPlatform) collectInner(inner int) ([]Answer, error) {
+	if rp.policy.CollectTimeout <= 0 {
+		return rp.inner.Collect(inner)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rp.policy.CollectTimeout)
+	defer cancel()
+	if rp.cctx != nil {
+		return rp.cctx.CollectContext(ctx, inner)
+	}
+	// Fallback for context-unaware platforms: collect on a goroutine and
+	// abandon it at the deadline. The goroutine drains into a buffered
+	// channel, so it terminates as soon as the inner Collect returns.
+	type res struct {
+		a   []Answer
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		a, err := rp.inner.Collect(inner)
+		ch <- res{a, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.a, r.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("crowd: collecting inner batch %d: %w", inner, ErrBatchTimeout)
+	}
+}
+
+// accept merges valid answers into the batch, capped by the expected task
+// multiset; surplus and mis-paired answers are quarantined as events.
+func (rp *ResilientPlatform) accept(batch int, b *resBatch, answers []Answer) {
+	// Count how many answers each pair still needs, orientation-free.
+	need := make(map[pairKey]int, len(b.tasks))
+	for _, t := range b.tasks {
+		need[keyOf(t.I, t.J)]++
+	}
+	for _, a := range b.answers {
+		need[keyOf(a.Task.I, a.Task.J)]--
+	}
+	for _, a := range answers {
+		k := keyOf(a.Task.I, a.Task.J)
+		n, expected := need[k]
+		if _, okv := validPairAnswer(a, a.Task.I, a.Task.J); !okv || !expected || a.Task.I == a.Task.J {
+			rp.record(FailureEvent{Batch: batch, Attempt: b.attempts, Kind: "quarantine",
+				Err: fmt.Sprintf("invalid answer: task (%d,%d) value %v", a.Task.I, a.Task.J, a.Value)})
+			continue
+		}
+		if n <= 0 {
+			rp.record(FailureEvent{Batch: batch, Attempt: b.attempts, Kind: "quarantine",
+				Err: fmt.Sprintf("surplus answer: task (%d,%d)", a.Task.I, a.Task.J)})
+			continue
+		}
+		need[k] = n - 1
+		b.answers = append(b.answers, a)
+	}
+}
+
+// missing returns the tasks not yet covered by accepted answers.
+func (rp *ResilientPlatform) missing(b *resBatch) []Task {
+	have := make(map[pairKey]int, len(b.tasks))
+	for _, a := range b.answers {
+		have[keyOf(a.Task.I, a.Task.J)]++
+	}
+	var out []Task
+	for _, t := range b.tasks {
+		k := keyOf(t.I, t.J)
+		if have[k] > 0 {
+			have[k]--
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// backoff returns the jittered exponential delay before the next attempt.
+func (rp *ResilientPlatform) backoff(b *resBatch) time.Duration {
+	d := rp.policy.BaseBackoff << uint(b.attempts-2)
+	if d > rp.policy.MaxBackoff || d <= 0 {
+		d = rp.policy.MaxBackoff
+	}
+	// Deterministic jitter in [0.5, 1.0): same seed, same batch, same
+	// attempt — same delay, so fault schedules replay identically.
+	return time.Duration((0.5 + 0.5*b.jitter.Float64()) * float64(d))
+}
+
+// settle updates the circuit breaker after a batch completes: success
+// closes the failure streak, failure lengthens it and may open the
+// breaker.
+func (rp *ResilientPlatform) settle(success bool) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if success {
+		rp.consecFails = 0
+		return
+	}
+	rp.consecFails++
+	if rp.consecFails >= rp.policy.FailureThreshold && !rp.open {
+		rp.open = true
+		rp.failures = append(rp.failures, FailureEvent{
+			Batch: -1, Kind: "breaker-open",
+			Err: fmt.Sprintf("%d consecutive batch failures", rp.consecFails),
+		})
+	}
+}
+
+// BreakerOpen reports whether the circuit breaker is open.
+func (rp *ResilientPlatform) BreakerOpen() bool {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.open
+}
+
+// Reset closes the circuit breaker and zeroes the failure streak, e.g.
+// after the operator confirmed the platform recovered.
+func (rp *ResilientPlatform) Reset() {
+	rp.mu.Lock()
+	rp.open = false
+	rp.consecFails = 0
+	rp.mu.Unlock()
+}
+
+// Failures implements FailureReporter.
+func (rp *ResilientPlatform) Failures() []FailureEvent {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return append([]FailureEvent(nil), rp.failures...)
+}
+
+// Reposts returns how many shortfall re-posts the adapter issued — the
+// retry traffic a flaky platform caused.
+func (rp *ResilientPlatform) Reposts() int64 {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.reposts
+}
+
+// Close implements Closer by closing the inner platform, when it can be
+// closed.
+func (rp *ResilientPlatform) Close() error {
+	if c, ok := rp.inner.(Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+func (rp *ResilientPlatform) record(ev FailureEvent) {
+	rp.mu.Lock()
+	rp.failures = append(rp.failures, ev)
+	rp.mu.Unlock()
+}
+
+func (rp *ResilientPlatform) reportRepost() {
+	rp.mu.Lock()
+	rp.reposts++
+	rp.mu.Unlock()
+}
+
+func isTimeout(err error) bool {
+	return errors.Is(err, ErrBatchTimeout) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,348 @@
+package crowd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptStep describes how one posted batch behaves: how its Post call
+// fails, how many of its tasks get answered, and whether collection
+// errors or blocks until cancellation.
+type scriptStep struct {
+	postErr    error
+	collectErr error
+	serve      int // answers to deliver; -1 = all posted tasks
+	dupFirst   bool
+	block      bool
+}
+
+// scriptPlatform is a hand-scripted Platform: each Post consumes the next
+// step of the script, so tests can choreograph exact failure sequences.
+type scriptPlatform struct {
+	mu       sync.Mutex
+	steps    []scriptStep
+	next     int
+	nextID   int
+	batches  map[int][]Task
+	plan     map[int]scriptStep
+	posts    [][]Task
+	collects int
+}
+
+func newScriptPlatform(steps ...scriptStep) *scriptPlatform {
+	return &scriptPlatform{
+		steps:   steps,
+		batches: make(map[int][]Task),
+		plan:    make(map[int]scriptStep),
+	}
+}
+
+func (sp *scriptPlatform) step() scriptStep {
+	if sp.next < len(sp.steps) {
+		s := sp.steps[sp.next]
+		sp.next++
+		return s
+	}
+	return scriptStep{serve: -1} // script over: behave perfectly
+}
+
+func (sp *scriptPlatform) Post(tasks []Task) (int, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	s := sp.step()
+	sp.posts = append(sp.posts, append([]Task(nil), tasks...))
+	if s.postErr != nil {
+		return 0, s.postErr
+	}
+	id := sp.nextID
+	sp.nextID++
+	sp.batches[id] = append([]Task(nil), tasks...)
+	sp.plan[id] = s
+	return id, nil
+}
+
+func (sp *scriptPlatform) Collect(batch int) ([]Answer, error) {
+	return sp.CollectContext(context.Background(), batch)
+}
+
+func (sp *scriptPlatform) CollectContext(ctx context.Context, batch int) ([]Answer, error) {
+	sp.mu.Lock()
+	tasks, ok := sp.batches[batch]
+	s := sp.plan[batch]
+	sp.collects++
+	sp.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown batch %d", batch)
+	}
+	if s.block {
+		<-ctx.Done()
+		return nil, fmt.Errorf("batch %d: %w", batch, ErrBatchTimeout)
+	}
+	sp.mu.Lock()
+	delete(sp.batches, batch)
+	sp.mu.Unlock()
+	if s.collectErr != nil {
+		return nil, s.collectErr
+	}
+	serve := s.serve
+	if serve < 0 || serve > len(tasks) {
+		serve = len(tasks)
+	}
+	answers := make([]Answer, 0, serve+1)
+	for _, t := range tasks[:serve] {
+		answers = append(answers, Answer{Task: t, Value: 0.5})
+	}
+	if s.dupFirst && len(answers) > 0 {
+		answers = append(answers, answers[0])
+	}
+	return answers, nil
+}
+
+// noSleep is the policy Sleep hook for tests: full retry machinery, no
+// wall-clock waits.
+func noSleep(time.Duration) {}
+
+func testPolicy(maxAttempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: maxAttempts, FailureThreshold: 3, Sleep: noSleep}
+}
+
+func tasksFor(n int) []Task {
+	tasks := make([]Task, n)
+	for t := range tasks {
+		tasks[t] = Task{I: 1, J: 2}
+	}
+	return tasks
+}
+
+func TestResilientHappyPathTransparent(t *testing.T) {
+	inner := newScriptPlatform(scriptStep{serve: -1})
+	rp := NewResilientPlatform(inner, testPolicy(4))
+	id, err := rp.Post(tasksFor(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := rp.Collect(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 5 {
+		t.Fatalf("got %d answers, want 5", len(answers))
+	}
+	if len(inner.posts) != 1 {
+		t.Errorf("healthy platform saw %d posts, want exactly 1", len(inner.posts))
+	}
+	if n := rp.Reposts(); n != 0 {
+		t.Errorf("reposts = %d on the happy path", n)
+	}
+	if f := rp.Failures(); len(f) != 0 {
+		t.Errorf("failure log not empty: %v", f)
+	}
+}
+
+func TestResilientRepostsOnlyMissing(t *testing.T) {
+	// First collection is short by 2; the adapter must re-post exactly the
+	// 2 missing tasks, not the whole batch.
+	inner := newScriptPlatform(scriptStep{serve: 3}, scriptStep{serve: -1})
+	rp := NewResilientPlatform(inner, testPolicy(4))
+	id, _ := rp.Post(tasksFor(5))
+	answers, err := rp.Collect(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 5 {
+		t.Fatalf("got %d answers, want 5", len(answers))
+	}
+	if len(inner.posts) != 2 {
+		t.Fatalf("saw %d posts, want 2", len(inner.posts))
+	}
+	if got := len(inner.posts[1]); got != 2 {
+		t.Errorf("re-post carried %d tasks, want only the 2 missing", got)
+	}
+	if n := rp.Reposts(); n != 1 {
+		t.Errorf("reposts = %d, want 1", n)
+	}
+	if !hasEventKind(rp.Failures(), "partial") {
+		t.Errorf("failure log misses the partial event: %v", rp.Failures())
+	}
+}
+
+func TestResilientSurvivesTransientPostError(t *testing.T) {
+	wantErr := errors.New("market hiccup")
+	inner := newScriptPlatform(scriptStep{postErr: wantErr}, scriptStep{serve: -1})
+	rp := NewResilientPlatform(inner, testPolicy(4))
+	id, err := rp.Post(tasksFor(4))
+	if err != nil {
+		t.Fatalf("transient post error must not surface from Post: %v", err)
+	}
+	answers, err := rp.Collect(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 4 {
+		t.Fatalf("got %d answers, want 4", len(answers))
+	}
+	if !hasEventKind(rp.Failures(), "post-error") {
+		t.Errorf("failure log misses the post error: %v", rp.Failures())
+	}
+}
+
+func TestResilientSurvivesTransientCollectError(t *testing.T) {
+	inner := newScriptPlatform(scriptStep{collectErr: errors.New("flaky fetch")}, scriptStep{serve: -1})
+	rp := NewResilientPlatform(inner, testPolicy(4))
+	id, _ := rp.Post(tasksFor(4))
+	answers, err := rp.Collect(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 4 {
+		t.Fatalf("got %d answers, want 4", len(answers))
+	}
+	if !hasEventKind(rp.Failures(), "collect-error") {
+		t.Errorf("failure log misses the collect error: %v", rp.Failures())
+	}
+}
+
+func TestResilientQuarantinesSurplusDuplicates(t *testing.T) {
+	inner := newScriptPlatform(scriptStep{serve: -1, dupFirst: true})
+	rp := NewResilientPlatform(inner, testPolicy(4))
+	id, _ := rp.Post(tasksFor(3))
+	answers, err := rp.Collect(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 3 {
+		t.Fatalf("duplicate leaked: got %d answers, want 3", len(answers))
+	}
+	if !hasEventKind(rp.Failures(), "quarantine") {
+		t.Errorf("failure log misses the quarantine event: %v", rp.Failures())
+	}
+}
+
+func TestResilientExhaustionReturnsPartialEvidence(t *testing.T) {
+	// Two attempts, both short: the collected answers must still come back
+	// (they were paid for) together with ErrBatchIncomplete.
+	inner := newScriptPlatform(scriptStep{serve: 2}, scriptStep{serve: 1}, scriptStep{serve: 0})
+	rp := NewResilientPlatform(inner, testPolicy(2))
+	id, _ := rp.Post(tasksFor(5))
+	answers, err := rp.Collect(id)
+	if err == nil {
+		t.Fatal("exhausted batch reported success")
+	}
+	if !errors.Is(err, ErrBatchIncomplete) {
+		t.Errorf("error %v does not wrap ErrBatchIncomplete", err)
+	}
+	if len(answers) != 3 {
+		t.Errorf("got %d partial answers, want the 3 delivered", len(answers))
+	}
+	if !hasEventKind(rp.Failures(), "exhausted") {
+		t.Errorf("failure log misses the exhaustion event: %v", rp.Failures())
+	}
+}
+
+func TestResilientCircuitBreaker(t *testing.T) {
+	// Every batch fails outright; after FailureThreshold consecutive
+	// exhaustions the breaker opens and posts fail fast.
+	steps := make([]scriptStep, 0, 16)
+	for range [16]int{} {
+		steps = append(steps, scriptStep{serve: 0})
+	}
+	inner := newScriptPlatform(steps...)
+	rp := NewResilientPlatform(inner, RetryPolicy{MaxAttempts: 1, FailureThreshold: 2, Sleep: noSleep})
+	for b := 0; b < 2; b++ {
+		id, err := rp.Post(tasksFor(2))
+		if err != nil {
+			t.Fatalf("post %d failed before the breaker opened: %v", b, err)
+		}
+		if _, err := rp.Collect(id); err == nil {
+			t.Fatalf("collect %d succeeded unexpectedly", b)
+		}
+	}
+	if !rp.BreakerOpen() {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	if _, err := rp.Post(tasksFor(2)); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker returned %v, want ErrCircuitOpen", err)
+	}
+	rp.Reset()
+	if rp.BreakerOpen() {
+		t.Fatal("Reset left the breaker open")
+	}
+	if _, err := rp.Post(tasksFor(2)); err != nil {
+		t.Fatalf("post after Reset failed: %v", err)
+	}
+}
+
+func TestResilientTimeoutThenRecovery(t *testing.T) {
+	// The first inner batch straggles past the deadline; the re-post is
+	// answered, so the outer batch still completes.
+	inner := newScriptPlatform(scriptStep{block: true}, scriptStep{serve: -1})
+	rp := NewResilientPlatform(inner, RetryPolicy{
+		MaxAttempts: 3, FailureThreshold: 3,
+		CollectTimeout: 5 * time.Millisecond, Sleep: noSleep,
+	})
+	id, _ := rp.Post(tasksFor(4))
+	answers, err := rp.Collect(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 4 {
+		t.Fatalf("got %d answers, want 4", len(answers))
+	}
+	if !hasEventKind(rp.Failures(), "timeout") {
+		t.Errorf("failure log misses the timeout: %v", rp.Failures())
+	}
+}
+
+func TestResilientBackoffDeterministicJitter(t *testing.T) {
+	delays := func() []time.Duration {
+		var ds []time.Duration
+		inner := newScriptPlatform(
+			scriptStep{serve: 0}, scriptStep{serve: 0}, scriptStep{serve: 0}, scriptStep{serve: -1})
+		rp := NewResilientPlatform(inner, RetryPolicy{
+			MaxAttempts: 4, FailureThreshold: 10, JitterSeed: 7,
+			BaseBackoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond,
+			Sleep: func(d time.Duration) { ds = append(ds, d) },
+		})
+		id, _ := rp.Post(tasksFor(3))
+		if _, err := rp.Collect(id); err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	a, b := delays(), delays()
+	if len(a) != 3 {
+		t.Fatalf("saw %d backoff sleeps, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter not deterministic: run1 %v vs run2 %v", a, b)
+		}
+		nominal := 10 * time.Millisecond << uint(i)
+		if nominal > 40*time.Millisecond {
+			nominal = 40 * time.Millisecond
+		}
+		if a[i] < nominal/2 || a[i] >= nominal {
+			t.Errorf("delay %d = %v outside [%v, %v)", i, a[i], nominal/2, nominal)
+		}
+	}
+}
+
+func TestResilientCollectUnknownBatch(t *testing.T) {
+	rp := NewResilientPlatform(newScriptPlatform(), testPolicy(2))
+	if _, err := rp.Collect(42); err == nil {
+		t.Error("collecting an unknown batch succeeded")
+	}
+}
+
+func hasEventKind(events []FailureEvent, kind string) bool {
+	for _, ev := range events {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}

@@ -27,6 +27,11 @@ type Result struct {
 	TMC int64
 	// Rounds is the query latency in batch rounds.
 	Rounds int64
+	// Err is the platform failure that degraded the engine during the
+	// run, if any. When non-nil, TopK is a best-effort answer computed
+	// from the evidence purchased before (and during) the failure, and
+	// TMC is still exact — only delivered answers were charged.
+	Err error
 }
 
 // Run executes alg on a fresh accounting window of the runner's engine and
@@ -44,6 +49,7 @@ func Run(alg Algorithm, r *compare.Runner, k int) Result {
 		TopK:      items,
 		TMC:       e.TMC() - tmc0,
 		Rounds:    e.Rounds() - rounds0,
+		Err:       e.Err(),
 	}
 }
 

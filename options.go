@@ -100,6 +100,14 @@ type Options struct {
 	// steer efficiency; result quality is still guarded by the
 	// confidence-aware comparisons. Ignored by the other algorithms.
 	PriorScores []float64
+	// Resilience, when non-nil, wraps the query's platform (oracles built
+	// with WrapPlatform) in the fault-tolerance layer: per-batch
+	// collection deadlines, bounded retries of only the missing tasks,
+	// exponential backoff with deterministic jitter, and a circuit
+	// breaker. A query whose platform fails permanently then returns its
+	// best-effort answer as a *PartialResultError instead of hanging or
+	// crashing. Ignored for oracles that are not platform-backed.
+	Resilience *ResilienceOptions
 }
 
 // withDefaults resolves zero values to the paper's defaults.

@@ -1,6 +1,10 @@
 package crowdtopk
 
-import "crowdtopk/internal/crowd"
+import (
+	"time"
+
+	"crowdtopk/internal/crowd"
+)
 
 // CrowdTask is one pairwise microtask to publish on a platform: "compare
 // item I with item J".
@@ -15,19 +19,90 @@ type CrowdAnswer = crowd.Answer
 // platform's API and wrap it with WrapPlatform; the library then posts
 // each comparison's batch of η microtasks in one call, matching the §5.5
 // batch model.
+//
+// Real platforms misbehave: they lose tasks, duplicate answers, return
+// garbage, and go down mid-query. The adapter validates and quarantines
+// every collected answer, and WrapPlatformResilient (or
+// Options.Resilience) adds deadlines, retries, and a circuit breaker on
+// top, so a failing platform degrades the query into a best-effort
+// *PartialResultError instead of a panic or a hang.
 type Platform = crowd.Platform
 
+// ResilienceOptions configures the fault-tolerance layer between the
+// query engine and a crowd platform. The zero value of every field
+// selects a sensible default.
+type ResilienceOptions struct {
+	// MaxAttempts bounds post+collect cycles per batch (default 4); each
+	// retry re-posts only the tasks still missing, so nothing already
+	// answered is paid for twice.
+	MaxAttempts int
+	// BaseBackoff is the delay before the second attempt (default 50ms);
+	// it doubles per attempt up to MaxBackoff (default 2s), jittered
+	// deterministically so retry storms do not synchronize.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// CollectTimeout is the per-attempt deadline of one collection.
+	// 0 disables the deadline — then a straggling batch blocks forever,
+	// exactly as with a bare platform.
+	CollectTimeout time.Duration
+	// FailureThreshold is how many consecutive batches must exhaust
+	// their retries before the circuit breaker opens (default 3). An
+	// open breaker fails every post fast, so no more money is sent to a
+	// platform that is down.
+	FailureThreshold int
+}
+
+// policy converts the public options to the internal retry policy.
+func (r ResilienceOptions) policy() crowd.RetryPolicy {
+	return crowd.RetryPolicy{
+		MaxAttempts:      r.MaxAttempts,
+		BaseBackoff:      r.BaseBackoff,
+		MaxBackoff:       r.MaxBackoff,
+		CollectTimeout:   r.CollectTimeout,
+		FailureThreshold: r.FailureThreshold,
+	}
+}
+
 // WrapPlatform adapts a Platform over n items to the Oracle interface
-// every query entry point accepts. Platform errors surface as panics —
-// there is no money-safe way to continue a query on a failing platform.
+// every query entry point accepts. Collected answers are validated before
+// they enter any statistic — mis-paired tasks, NaN and out-of-range
+// values are quarantined, flipped orientations normalized — and platform
+// errors degrade the query gracefully: the affected Query returns its
+// best-effort result as a *PartialResultError rather than panicking.
+// Combine with Options.Resilience (or WrapPlatformResilient) to add
+// deadlines, retries, and a circuit breaker in front of a flaky market.
 func WrapPlatform(n int, p Platform) Oracle {
 	return crowd.NewPlatformOracle(n, p)
+}
+
+// WrapPlatformResilient is WrapPlatform with the fault-tolerance layer
+// already applied: per-batch deadlines, partial-batch re-posts, bounded
+// retries with jittered exponential backoff, and a circuit breaker, per
+// the given options.
+func WrapPlatformResilient(n int, p Platform, r ResilienceOptions) Oracle {
+	return crowd.NewPlatformOracle(n, p).WithResilience(r.policy())
 }
 
 // SimulatedPlatform returns an in-process Platform answering from a base
 // oracle with the given worker parallelism — the test double for platform
 // integrations. The base oracle's Preference must be safe for concurrent
-// readers (all datasets in this package are).
+// readers (all datasets in this package are). The returned platform
+// implements io.Closer; Close cancels in-flight batches and releases all
+// worker goroutines.
 func SimulatedPlatform(base Oracle, workers int, seed int64) Platform {
 	return crowd.NewSimPlatform(base, workers, seed)
+}
+
+// FaultSchedule configures InjectFaults: seeded, per-answer and per-batch
+// probabilities of drops, duplicates, flipped orientations, mis-paired
+// tasks, malformed values, stragglers, transient errors, and a permanent
+// failure cliff. A fixed Seed yields the same faults for the same pairs
+// under any concurrency — chaos runs are replayable.
+type FaultSchedule = crowd.FaultConfig
+
+// InjectFaults wraps a platform with deterministic fault injection — the
+// adversary for chaos-testing a platform integration end to end without
+// a real outage. See FaultSchedule for the available fault classes.
+func InjectFaults(p Platform, cfg FaultSchedule) Platform {
+	return crowd.NewFaultyPlatform(p, cfg)
 }

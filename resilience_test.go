@@ -1,0 +1,175 @@
+package crowdtopk_test
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"crowdtopk"
+)
+
+func resilientOpts(k int) crowdtopk.Options {
+	return crowdtopk.Options{
+		K: k, Budget: 200, MinWorkload: 10, BatchSize: 10, Seed: 5,
+		Confidence: 0.95,
+		Resilience: &crowdtopk.ResilienceOptions{
+			MaxAttempts:    4,
+			BaseBackoff:    time.Microsecond, // retry instantly in tests
+			MaxBackoff:     time.Microsecond,
+			CollectTimeout: time.Second,
+		},
+	}
+}
+
+func TestQueryPartialResultOnPermanentPlatformFailure(t *testing.T) {
+	data := crowdtopk.SyntheticDataset(30, 0.2, 1)
+	var p crowdtopk.Platform = crowdtopk.SimulatedPlatform(data, 4, 2)
+	p = crowdtopk.InjectFaults(p, crowdtopk.FaultSchedule{Seed: 3, FailAfterPosts: 15})
+	oracle := crowdtopk.WrapPlatform(data.NumItems(), p)
+
+	const k = 5
+	res, err := crowdtopk.Query(oracle, resilientOpts(k))
+	if err == nil {
+		t.Fatal("permanent platform failure reported no error")
+	}
+	var partial *crowdtopk.PartialResultError
+	if !errors.As(err, &partial) {
+		t.Fatalf("error %v is not a *PartialResultError", err)
+	}
+	if len(res.TopK) != k || len(partial.Result.TopK) != k {
+		t.Fatalf("best-effort result has %d/%d items, want %d", len(res.TopK), len(partial.Result.TopK), k)
+	}
+	if partial.Result.TMC != res.TMC || res.TMC == 0 {
+		t.Errorf("spend mismatch: returned %d, error carries %d", res.TMC, partial.Result.TMC)
+	}
+	if len(partial.Failures) == 0 {
+		t.Error("failure log empty despite a platform outage")
+	}
+	if partial.Unwrap() == nil {
+		t.Error("no underlying cause exposed")
+	}
+}
+
+func TestQueryResilienceSurvivesFlakyPlatform(t *testing.T) {
+	data := crowdtopk.SyntheticDataset(20, 0.2, 7)
+	var p crowdtopk.Platform = crowdtopk.SimulatedPlatform(data, 4, 8)
+	p = crowdtopk.InjectFaults(p, crowdtopk.FaultSchedule{
+		Seed: 9, Drop: 0.2, Duplicate: 0.1, Flip: 0.2, PostError: 0.1, CollectError: 0.1,
+	})
+	oracle := crowdtopk.WrapPlatform(data.NumItems(), p)
+
+	const k = 4
+	opts := resilientOpts(k)
+	opts.Resilience.MaxAttempts = 10 // generous retries absorb this fault mix
+	res, err := crowdtopk.Query(oracle, opts)
+	if err != nil {
+		t.Fatalf("resilience layer failed to absorb transient faults: %v", err)
+	}
+	if len(res.TopK) != k {
+		t.Fatalf("got %d items, want %d", len(res.TopK), k)
+	}
+	if got := overlapCount(res.TopK, crowdtopk.TrueTopK(data, k)); got < k-1 {
+		t.Errorf("recall %d/%d under transient faults", got, k)
+	}
+}
+
+func TestSessionExactSpendUnderPlatformFailure(t *testing.T) {
+	// The hard money guarantee end to end: even when the platform dies
+	// mid-query, the session's TMC equals the audit-log length exactly —
+	// every charged microtask is an accepted, recorded answer.
+	data := crowdtopk.SyntheticDataset(24, 0.2, 11)
+	var p crowdtopk.Platform = crowdtopk.SimulatedPlatform(data, 4, 12)
+	p = crowdtopk.InjectFaults(p, crowdtopk.FaultSchedule{Seed: 13, Drop: 0.1, FailAfterPosts: 20})
+	oracle := crowdtopk.WrapPlatform(data.NumItems(), p)
+
+	sess, err := crowdtopk.NewSession(oracle, resilientOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.EnableAuditLog()
+
+	res, err := sess.TopK(4)
+	var partial *crowdtopk.PartialResultError
+	if !errors.As(err, &partial) {
+		t.Fatalf("expected a partial result, got err=%v", err)
+	}
+	if len(res.TopK) != 4 {
+		t.Fatalf("best-effort result has %d items", len(res.TopK))
+	}
+	if sess.TMC() != int64(len(sess.AuditLog())) {
+		t.Errorf("spend drift: TMC %d != %d logged microtasks", sess.TMC(), len(sess.AuditLog()))
+	}
+	if sess.Err() == nil {
+		t.Error("session does not expose the degradation")
+	}
+	if len(sess.PlatformFailures()) == 0 {
+		t.Error("session failure log empty")
+	}
+}
+
+func TestResumeOracleRecoversCrashedQuery(t *testing.T) {
+	// Simulate crash/resume through the public API: record an audit log,
+	// then re-run the same query over ResumeOracle — zero new spend, same
+	// answer.
+	data := crowdtopk.SyntheticDataset(16, 0.2, 21)
+	opts := crowdtopk.Options{K: 3, Budget: 200, MinWorkload: 10, BatchSize: 10, Seed: 6, Confidence: 0.95, Parallelism: 1}
+
+	sess, err := crowdtopk.NewSession(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.EnableAuditLog()
+	first, err := sess.TopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := crowdtopk.ResumeOracle(sess.AuditLog(), data)
+	sess2, err := crowdtopk.NewSession(resumed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sess2.TopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.LiveTasks() != 0 {
+		t.Errorf("resume bought %d live microtasks, want 0", resumed.LiveTasks())
+	}
+	for i := range first.TopK {
+		if first.TopK[i] != second.TopK[i] {
+			t.Fatalf("resume changed the answer: %v vs %v", second.TopK, first.TopK)
+		}
+	}
+}
+
+func TestSimulatedPlatformCloses(t *testing.T) {
+	data := crowdtopk.SyntheticDataset(8, 0.2, 31)
+	p := crowdtopk.SimulatedPlatform(data, 2, 32)
+	c, ok := p.(io.Closer)
+	if !ok {
+		t.Fatal("simulated platform does not implement io.Closer")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Post([]crowdtopk.CrowdTask{{I: 0, J: 1}}); err == nil {
+		t.Error("closed platform accepted a post")
+	}
+}
+
+func overlapCount(a, b []int) int {
+	in := make(map[int]bool, len(b))
+	for _, x := range b {
+		in[x] = true
+	}
+	n := 0
+	for _, x := range a {
+		if in[x] {
+			n++
+		}
+	}
+	return n
+}

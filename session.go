@@ -66,8 +66,54 @@ func ReadAuditLog(r io.Reader) ([]TaskRecord, error) { return crowd.ReadLog(r) }
 // log does not contain.
 func ReplayOracle(n int, log []TaskRecord) Oracle { return crowd.NewReplay(n, log) }
 
+// ResumedOracle replays a recorded audit log and falls through to a live
+// oracle once the log runs dry — the checkpoint/resume primitive. Its
+// LiveTasks method reports how many microtasks reached the live crowd,
+// i.e. the real spend beyond the replayed checkpoint.
+type ResumedOracle = crowd.ReplayThenLive
+
+// ResumeOracle builds the checkpoint/resume oracle: re-driving a crashed
+// query from its audit log replays every already-purchased judgment for
+// free and buys only the demand beyond the checkpoint from the live
+// oracle. Because a query's purchase pattern is deterministic for a fixed
+// seed, a resumed run whose log covers the whole query spends nothing.
+func ResumeOracle(log []TaskRecord, live Oracle) *ResumedOracle {
+	return crowd.NewReplayThenLive(log, live)
+}
+
 // TMC returns the session's total monetary cost so far.
 func (s *Session) TMC() int64 { return s.runner.Engine().TMC() }
+
+// Err reports the platform failure that degraded the session, or nil
+// while it is healthy. A degraded session stops purchasing: further
+// queries and judgments conclude best-effort on the evidence already
+// paid for, and TopK returns *PartialResultError.
+func (s *Session) Err() error { return s.runner.Err() }
+
+// PlatformFailures returns the failure log of the session's platform
+// (timeouts, retries, quarantined answers, breaker events), or nil when
+// the oracle is not platform-backed or nothing failed.
+func (s *Session) PlatformFailures() []PlatformFailure {
+	if fr, ok := s.runner.Engine().Oracle().(crowd.FailureReporter); ok {
+		return fr.Failures()
+	}
+	return nil
+}
+
+// Close releases the resources of a platform-backed session (worker
+// goroutines, connections) by closing the underlying platform when it
+// supports closing. It is a no-op for dataset-backed sessions.
+func (s *Session) Close() error {
+	o := s.runner.Engine().Oracle()
+	po, ok := o.(*crowd.PlatformOracle)
+	if !ok {
+		return nil
+	}
+	if c, ok := po.Platform().(crowd.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
 
 // Rounds returns the session's latency clock in batch rounds.
 func (s *Session) Rounds() int64 { return s.runner.Engine().Rounds() }
@@ -87,7 +133,11 @@ func (s *Session) TopK(k int) (Result, error) {
 		return Result{}, err
 	}
 	res := topk.Run(alg, s.runner, k)
-	return Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}, nil
+	out := Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}
+	if res.Err != nil {
+		return out, partialError(out, s.runner.Engine().Oracle(), res.Err)
+	}
+	return out, nil
 }
 
 // Judge runs (or re-reads) one confidence-aware comparison within the
@@ -99,7 +149,11 @@ func (s *Session) Judge(i, j int) (Judgment, error) {
 	}
 	out := s.runner.Compare(i, j)
 	v := s.runner.Engine().View(i, j)
-	return Judgment{Outcome: Outcome(out), Workload: v.N, Mean: v.Mean, SD: v.SD}, nil
+	jm := Judgment{Outcome: Outcome(out), Workload: v.N, Mean: v.Mean, SD: v.SD}
+	if ferr := s.runner.Err(); ferr != nil {
+		return jm, ferr
+	}
+	return jm, nil
 }
 
 // Tiers infers a partial ranking of the given items from the confidence
