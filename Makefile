@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-hot bench-json fuzz chaos all
+.PHONY: build test race vet bench bench-hot bench-json fuzz chaos serve-metrics smoke-metrics all
 
 build:
 	$(GO) build ./...
@@ -34,12 +34,25 @@ bench-hot:
 	$(GO) test ./internal/crowd/ $(BENCH_HOT)
 	$(GO) test ./internal/topk/ $(BENCH_E2E)
 
-# Refresh the machine-readable perf trajectory artifact. BENCH_RAW keeps
-# the raw `go test -bench` text for benchstat comparisons.
+# Refresh the machine-readable perf trajectory artifact: benchmark medians
+# plus one instrumented end-to-end query's QueryStats, in one JSON file.
+# bench-raw.txt keeps the raw `go test -bench` text for benchstat.
 bench-json:
 	$(GO) test ./internal/crowd/ $(BENCH_HOT) > bench-raw.txt
 	$(GO) test ./internal/topk/ $(BENCH_E2E) >> bench-raw.txt
-	$(GO) run ./cmd/perfcheck -current bench-raw.txt -json BENCH_PR2.json
+	$(GO) run ./cmd/topkquery -n 200 -k 10 -stats-out query-stats.json > /dev/null
+	$(GO) run ./cmd/perfcheck -current bench-raw.txt -stats query-stats.json -json BENCH_PR4.json
+
+# Run one query with the live telemetry endpoint up: Prometheus metrics on
+# /metrics, expvar JSON on /debug/vars, the span trace on /trace, and live
+# pprof profiles on /debug/pprof/ (go tool pprof http://ADDR/debug/pprof/profile).
+serve-metrics:
+	$(GO) run ./cmd/topkquery -n 200 -k 10 -metrics-addr 127.0.0.1:9090 -serve-wait 10m
+
+# End-to-end telemetry smoke test: scrape /metrics and /debug/vars of a
+# live chaos query and assert the TMC counter matches the reported cost.
+smoke-metrics:
+	./scripts/metrics_smoke.sh
 
 # Short fuzzing sessions: compareAll's duplicate/orientation grouping, and
 # randomized platform fault schedules against the resilience layer. Go

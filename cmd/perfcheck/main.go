@@ -14,6 +14,13 @@
 //
 // Multiple -count runs of one benchmark are reduced to their median ns/op,
 // so one noisy run does not flip the gate.
+//
+// With -stats, a QueryStats JSON file (written by topkquery -stats-out) is
+// folded into the artifact next to the benchmark medians, so one JSON file
+// tracks both microbenchmark latency and end-to-end query cost:
+//
+//	topkquery -stats-out query-stats.json ...
+//	go test ./... -bench . | perfcheck -json BENCH_PR4.json -stats query-stats.json
 package main
 
 import (
@@ -27,6 +34,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"crowdtopk"
 )
 
 // benchLine matches one result line of `go test -bench` output, e.g.
@@ -145,8 +154,33 @@ func main() {
 		baseline   = flag.String("baseline", "", "baseline bench output to gate against")
 		current    = flag.String("current", "", "candidate bench output (default: stdin)")
 		maxRegress = flag.Float64("max-regress", 0.10, "maximum tolerated ns/op slowdown fraction")
+		statsIn    = flag.String("stats", "", "QueryStats JSON (topkquery -stats-out) to fold into the -json artifact")
 	)
 	flag.Parse()
+
+	var stats *crowdtopk.QueryStats
+	if *statsIn != "" {
+		data, err := os.ReadFile(*statsIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfcheck: reading stats: %v\n", err)
+			os.Exit(1)
+		}
+		stats = &crowdtopk.QueryStats{}
+		if err := json.Unmarshal(data, stats); err != nil {
+			fmt.Fprintf(os.Stderr, "perfcheck: parsing stats %s: %v\n", *statsIn, err)
+			os.Exit(1)
+		}
+		fmt.Printf("perfcheck: query stats: %d microtasks, %d rounds, %.1fms wall",
+			stats.TMC, stats.Rounds, float64(stats.WallTimeNs)/1e6)
+		if len(stats.Phases) > 0 {
+			fmt.Printf(" (select %d / partition %d / rank %d tasks)",
+				stats.Phases["select"].TMC, stats.Phases["partition"].TMC, stats.Phases["rank"].TMC)
+		}
+		if stats.Retries > 0 || stats.Quarantined > 0 {
+			fmt.Printf(", resilience: %d retries, %d quarantined", stats.Retries, stats.Quarantined)
+		}
+		fmt.Println()
+	}
 
 	var cur []result
 	var err error
@@ -165,7 +199,16 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(cur, "", "  ")
+		// Without -stats the artifact stays the historical plain array, so
+		// older trajectory files and their consumers keep parsing.
+		var payload any = cur
+		if stats != nil {
+			payload = struct {
+				Benchmarks []result              `json:"benchmarks"`
+				QueryStats *crowdtopk.QueryStats `json:"query_stats"`
+			}{cur, stats}
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "perfcheck: encoding JSON: %v\n", err)
 			os.Exit(1)

@@ -5,13 +5,24 @@
 // Usage:
 //
 //	topkquery -dataset imdb -algorithm spr -k 10 -confidence 0.98 -budget 1000
+//
+// Observability: -metrics-addr serves the query's live telemetry —
+// Prometheus metrics on /metrics, an expvar-style snapshot on /debug/vars,
+// the span trace on /trace, and the standard Go profiles on /debug/pprof/
+// (so CPU and heap profiles are taken live with `go tool pprof
+// http://ADDR/debug/pprof/profile` instead of post-hoc files; the
+// -cpuprofile/-memprofile flags remain for offline runs). -trace-out saves
+// the replayable JSONL trace, -stats-out the structured QueryStats JSON.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,8 +44,13 @@ func main() {
 		noise  = flag.Float64("noise", 0.3, "worker noise for the synthetic dataset")
 		par    = flag.Int("parallelism", 0, "comparison-wave worker pool (0 = GOMAXPROCS, 1 = sequential; any value gives identical results)")
 		trace  = flag.Bool("trace", false, "print SPR's per-phase cost breakdown")
-		cpup   = flag.String("cpuprofile", "", "write a CPU profile of the query to this file")
-		memp   = flag.String("memprofile", "", "write a heap profile taken after the query to this file")
+		cpup   = flag.String("cpuprofile", "", "write a CPU profile to this file (prefer -metrics-addr + /debug/pprof/profile for live profiling)")
+		memp   = flag.String("memprofile", "", "write a post-query heap profile to this file (prefer -metrics-addr + /debug/pprof/heap for live profiling)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /debug/vars, /trace, /debug/pprof/) on this address; use :0 for an ephemeral port")
+		traceOut    = flag.String("trace-out", "", "write the query's span trace as replayable JSONL to this file")
+		statsOut    = flag.String("stats-out", "", "write the query's structured stats as JSON to this file (- for stdout)")
+		serveWait   = flag.Duration("serve-wait", 0, "keep the telemetry endpoint up this long after the query finishes (with -metrics-addr)")
 
 		platform   = flag.Bool("platform", false, "run through a simulated crowd platform instead of the dataset oracle")
 		workers    = flag.Int("workers", 8, "simulated platform worker pool (with -platform)")
@@ -87,6 +103,27 @@ func main() {
 		Budget:      *budget,
 		Parallelism: *par,
 		Seed:        *seed + 1,
+	}
+
+	// Any observability flag enables the telemetry bundle; the endpoint
+	// comes up before the query so scrapers can watch the run live.
+	var tel *crowdtopk.Telemetry
+	if *metricsAddr != "" || *traceOut != "" || *statsOut != "" {
+		tel = crowdtopk.NewTelemetry()
+		opts.Telemetry = tel
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listening on %s: %v\n", *metricsAddr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics:    http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, tel.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry server: %v\n", err)
+			}
+		}()
 	}
 
 	// With -platform the query runs through the asynchronous platform
@@ -147,6 +184,48 @@ func main() {
 		}
 	}
 
+	if st := res.Stats; st != nil {
+		fmt.Printf("telemetry:  %d comparisons (%d concluded, %d memo hits), %d waves, %d retries, %d quarantined\n",
+			st.Comparisons, st.Concluded, st.MemoHits, st.Waves, st.Retries, st.Quarantined)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating trace file: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tel.WriteTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace file: %s\n", *traceOut)
+	}
+	if *statsOut != "" {
+		w := os.Stdout
+		if *statsOut != "-" {
+			f, err := os.Create(*statsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating stats file: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Stats); err != nil {
+			fmt.Fprintf(os.Stderr, "writing stats: %v\n", err)
+			os.Exit(1)
+		}
+		if *statsOut != "-" {
+			fmt.Printf("stats file: %s\n", *statsOut)
+		}
+	}
+
 	if *memp != "" {
 		f, err := os.Create(*memp)
 		if err != nil {
@@ -159,5 +238,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "writing mem profile: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *metricsAddr != "" && *serveWait > 0 {
+		fmt.Printf("serving:    telemetry stays up for %v (ctrl-c to stop)\n", *serveWait)
+		time.Sleep(*serveWait)
 	}
 }

@@ -3,6 +3,7 @@ package crowdtopk
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"crowdtopk/internal/compare"
 	"crowdtopk/internal/crowd"
@@ -82,6 +83,10 @@ type Result struct {
 	// Phases breaks the cost down by SPR framework phase. It is nil for
 	// the non-SPR algorithms.
 	Phases *PhaseBreakdown
+	// Stats is the structured telemetry snapshot of this run — cost,
+	// comparison, wave and resilience counters, incremental to the query.
+	// It is nil unless Options.Telemetry was set.
+	Stats *QueryStats
 }
 
 // PhaseBreakdown attributes an SPR query's cost to the framework's three
@@ -160,8 +165,11 @@ func Query(o Oracle, opts Options) (Result, error) {
 		trace = &topk.PhaseTrace{}
 		spr.Trace = trace
 	}
+	before := opts.Telemetry.snapshot()
+	start := time.Now()
 	res := topk.Run(alg, r, opts.K)
 	out := Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}
+	out.Stats = opts.Telemetry.statsSince(before, time.Since(start))
 	if trace != nil {
 		out.Phases = &PhaseBreakdown{
 			SelectTMC:       trace.Select.TMC,
@@ -239,10 +247,14 @@ func newRunner(o Oracle, opts Options) (*compare.Runner, error) {
 	if opts.TotalBudget > 0 {
 		eng.SetSpendingCap(opts.TotalBudget)
 	}
-	return compare.NewRunner(eng, policy, compare.Params{
+	r := compare.NewRunner(eng, policy, compare.Params{
 		B: opts.Budget, I: opts.MinWorkload, Step: opts.BatchSize,
 		Parallelism: opts.Parallelism,
-	}), nil
+	})
+	if opts.Telemetry != nil {
+		r.SetTelemetry(opts.Telemetry.tel)
+	}
+	return r, nil
 }
 
 func newAlgorithm(opts Options) (topk.Algorithm, error) {

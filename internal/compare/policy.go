@@ -88,12 +88,21 @@ func (s *Student) Name() string { return s.name }
 // practical minimum of 30.
 func (s *Student) MinSamples() int { return 2 }
 
+// HalfWidth implements HalfWidther: the Student-t confidence-interval
+// half-width at the current sample size (infinite below two samples).
+func (s *Student) HalfWidth(v crowd.BagView) float64 {
+	if v.N < 2 {
+		return math.Inf(1)
+	}
+	return s.tt.Critical(v.N-1) * v.SD / math.Sqrt(float64(v.N))
+}
+
 // Test implements Policy.
 func (s *Student) Test(v crowd.BagView) Outcome {
 	if v.N < 2 {
 		return Tie
 	}
-	half := s.tt.Critical(v.N-1) * v.SD / math.Sqrt(float64(v.N))
+	half := s.HalfWidth(v)
 	switch {
 	case v.Mean-half > 0:
 		return FirstWins
@@ -122,6 +131,17 @@ func NewStein(alpha float64) *Stein {
 
 // Name implements Policy.
 func (s *Stein) Name() string { return "stein" }
+
+// HalfWidth implements HalfWidther. Stein's rule targets a data-dependent
+// width L rather than a fixed one; the reported trajectory is the plain
+// t-interval half-width of the current bag, the quantity the rule is
+// racing against |x̄|.
+func (s *Stein) HalfWidth(v crowd.BagView) float64 {
+	if v.N < 2 {
+		return math.Inf(1)
+	}
+	return s.tt.Critical(v.N-1) * v.SD / math.Sqrt(float64(v.N))
+}
 
 // MinSamples implements Policy.
 func (s *Stein) MinSamples() int { return 2 }
@@ -194,6 +214,15 @@ func newHalfWidthCache(alpha float64) *stats.F64Cache {
 // Name implements Policy.
 func (h *Hoeffding) Name() string { return "hoeffding" }
 
+// HalfWidth implements HalfWidther: the anytime-corrected Hoeffding
+// half-width at the current vote count (infinite before the first vote).
+func (h *Hoeffding) HalfWidth(v crowd.BagView) float64 {
+	if v.BinN < 1 {
+		return math.Inf(1)
+	}
+	return h.half.Get(v.BinN)
+}
+
 // MinSamples implements Policy.
 func (h *Hoeffding) MinSamples() int { return 1 }
 
@@ -242,6 +271,14 @@ func NewHoeffdingPref(alpha float64) *HoeffdingPref {
 
 // Name implements Policy.
 func (h *HoeffdingPref) Name() string { return "hoeffding-pref" }
+
+// HalfWidth implements HalfWidther.
+func (h *HoeffdingPref) HalfWidth(v crowd.BagView) float64 {
+	if v.N < 1 {
+		return math.Inf(1)
+	}
+	return h.half.Get(v.N)
+}
 
 // MinSamples implements Policy.
 func (h *HoeffdingPref) MinSamples() int { return 1 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/obs"
 )
 
 // Params configures the execution of comparison processes.
@@ -65,6 +67,18 @@ type Runner struct {
 	policy Policy
 	params Params
 
+	// Telemetry wiring (SetTelemetry). tel/ins/hw are written once at
+	// wiring time; nil means the corresponding instrumentation is off and
+	// costs one nil check. parent is the span comparison spans nest under,
+	// updated by the algorithm layer as phases change. active tracks the
+	// open span and round count of each in-flight wave-mode comparison.
+	tel    *obs.Telemetry
+	ins    *Instruments
+	hw     HalfWidther
+	parent atomic.Uint64
+	spanMu sync.Mutex
+	active map[[2]int]*compState
+
 	// memo stripes the conclusion table: each canonical pair hashes to one
 	// of memoStripes independently locked maps, so SPR's inner loops —
 	// which call Concluded for every candidate pair of a wave — stop
@@ -101,11 +115,15 @@ func NewRunner(e *crowd.Engine, policy Policy, p Params) *Runner {
 		panic("compare: NewRunner requires a non-nil policy")
 	}
 	p.validate()
-	return &Runner{
+	r := &Runner{
 		eng:    e,
 		policy: policy,
 		params: p,
 	}
+	// Cache the half-width reporter once so comparison spans can record
+	// confidence trajectories without a type assertion per round.
+	r.hw, _ = policy.(HalfWidther)
+	return r
 }
 
 // Engine returns the underlying crowd engine.
@@ -189,7 +207,12 @@ func (r *Runner) budgetLeft(n int) int {
 // pairs are memoized; calling Compare again costs nothing.
 func (r *Runner) Compare(i, j int) Outcome {
 	if o, ok := r.Concluded(i, j); ok {
+		r.memoHit()
 		return o
+	}
+	var st *compState
+	if r.enabled() {
+		st = r.beginComp(i, j)
 	}
 	v := r.eng.View(i, j)
 	for {
@@ -206,17 +229,22 @@ func (r *Runner) Compare(i, j int) Outcome {
 			if granted == 0 {
 				// A global spending cap ran dry: best-effort tie, not
 				// memoized — the pair itself is not statistically spent.
+				r.finishComp(st, v, Tie, false)
 				return Tie
 			}
-			r.eng.Tick((granted + r.params.Step - 1) / r.params.Step)
+			rounds := (granted + r.params.Step - 1) / r.params.Step
+			r.eng.Tick(rounds)
+			r.observeRound(st, v, rounds)
 		}
 		if o := r.policy.Test(v); o != Tie {
 			r.remember(i, j, o)
+			r.finishComp(st, v, o, true)
 			return o
 		}
 		left := r.budgetLeft(v.N)
 		if left <= 0 {
 			r.remember(i, j, Tie)
+			r.finishComp(st, v, Tie, true)
 			return Tie
 		}
 		n := r.params.Step
@@ -226,9 +254,12 @@ func (r *Runner) Compare(i, j int) Outcome {
 		before := v.N
 		v = r.eng.Draw(i, j, n)
 		if v.N == before {
-			return Tie // spending cap exhausted mid-comparison: no round ran
+			// Spending cap exhausted mid-comparison: no round ran.
+			r.finishComp(st, v, Tie, false)
+			return Tie
 		}
 		r.eng.Tick(1)
+		r.observeRound(st, v, 1)
 	}
 }
 
@@ -240,7 +271,12 @@ func (r *Runner) Compare(i, j int) Outcome {
 // Tick the engine once per wave.
 func (r *Runner) Advance(i, j int) (Outcome, bool) {
 	if o, ok := r.Concluded(i, j); ok {
+		r.memoHit()
 		return o, true
+	}
+	var st *compState
+	if r.enabled() {
+		st = r.compStateOf(i, j)
 	}
 	v := r.eng.View(i, j)
 	var n int
@@ -258,15 +294,29 @@ func (r *Runner) Advance(i, j int) (Outcome, bool) {
 		if v.N == before {
 			// Global spending cap exhausted: report the pair finished
 			// (best effort) without memoizing a statistical conclusion.
-			return r.policy.Test(v), true
+			o := r.policy.Test(v)
+			if st != nil {
+				r.finishComp(st, v, o, false)
+				r.dropCompState(i, j)
+			}
+			return o, true
 		}
+		r.observeRound(st, v, 1)
 	}
 	if o := r.policy.Test(v); o != Tie {
 		r.remember(i, j, o)
+		if st != nil {
+			r.finishComp(st, v, o, true)
+			r.dropCompState(i, j)
+		}
 		return o, true
 	}
 	if r.budgetLeft(v.N) <= 0 {
 		r.remember(i, j, Tie)
+		if st != nil {
+			r.finishComp(st, v, Tie, true)
+			r.dropCompState(i, j)
+		}
 		return Tie, true
 	}
 	return Tie, false

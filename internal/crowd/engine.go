@@ -98,6 +98,10 @@ type Engine struct {
 	logMu   sync.Mutex
 	log     []Record
 
+	// ins is the pre-resolved metric bundle; nil when telemetry is off.
+	// Hot paths pay one nil check, then plain atomic adds.
+	ins *EngineInstruments
+
 	gradeMu  sync.Mutex
 	gradeRng map[int]*rand.Rand // per-item graded sample streams
 }
@@ -311,7 +315,12 @@ func (e *Engine) Draw(i, j, n int) BagView {
 	if e.failed.Load() {
 		return ps.bag.view(i != k.lo)
 	}
-	if n = e.reserve(n); n > 0 {
+	req := n
+	n = e.reserve(n)
+	if ins := e.ins; ins != nil && n < req {
+		ins.CapDenied.Add(int64(req - n))
+	}
+	if n > 0 {
 		bufp := drawBufPool.Get().(*[]float64)
 		buf := *bufp
 		if cap(buf) < n {
@@ -358,6 +367,15 @@ func (e *Engine) Draw(i, j, n int) BagView {
 			e.pairCmp.Add(int64(filled))
 			ps.publishLocked()
 		}
+		if ins := e.ins; ins != nil {
+			ins.Batches.Inc()
+			ins.Samples.Add(int64(filled))
+			ins.TMC.Add(int64(filled))
+			if filled < n {
+				ins.Refunds.Add(int64(n - filled))
+			}
+			ins.BagSize.Observe(int64(ps.bag.pref.N()))
+		}
 		*bufp = buf[:0]
 		drawBufPool.Put(bufp)
 	}
@@ -381,6 +399,9 @@ func (e *Engine) DrawOne(i, j int) (float64, bool) {
 		return 0, false
 	}
 	if e.reserve(1) == 0 {
+		if ins := e.ins; ins != nil {
+			ins.CapDenied.Inc()
+		}
 		return 0, false
 	}
 	var v float64
@@ -392,6 +413,10 @@ func (e *Engine) DrawOne(i, j int) (float64, bool) {
 		}
 		if filled <= 0 {
 			e.tmc.Add(-1) // nothing delivered, nothing charged
+			if ins := e.ins; ins != nil {
+				ins.Batches.Inc()
+				ins.Refunds.Inc()
+			}
 			return 0, false
 		}
 		v = one[0]
@@ -407,6 +432,12 @@ func (e *Engine) DrawOne(i, j int) (float64, bool) {
 	}
 	e.pairCmp.Add(1)
 	ps.publishLocked()
+	if ins := e.ins; ins != nil {
+		ins.Batches.Inc()
+		ins.Samples.Inc()
+		ins.TMC.Inc()
+		ins.BagSize.Observe(int64(ps.bag.pref.N()))
+	}
 	if i != k.lo {
 		return -v, true
 	}
@@ -456,6 +487,9 @@ func (e *Engine) Grade(i int) (float64, bool) {
 		return 0, false
 	}
 	if e.reserve(1) == 0 {
+		if ins := e.ins; ins != nil {
+			ins.CapDenied.Inc()
+		}
 		return 0, false
 	}
 	rng := e.gradeRng[i]
@@ -468,6 +502,10 @@ func (e *Engine) Grade(i int) (float64, bool) {
 	if e.logging.Load() {
 		e.appendLog(Record{Round: e.rounds.Load(), I: i, J: -1, Value: v})
 	}
+	if ins := e.ins; ins != nil {
+		ins.Graded.Inc()
+		ins.TMC.Inc()
+	}
 	return v, true
 }
 
@@ -479,6 +517,9 @@ func (e *Engine) Tick(n int) {
 		panic(fmt.Sprintf("crowd: Tick with negative rounds %d", n))
 	}
 	e.rounds.Add(int64(n))
+	if ins := e.ins; ins != nil {
+		ins.Rounds.Add(int64(n))
+	}
 }
 
 // TMC returns the total monetary cost so far: the number of microtasks

@@ -1,0 +1,82 @@
+package crowd
+
+import (
+	"sync"
+
+	"crowdtopk/internal/obs"
+)
+
+// DefaultFailureLogLimit bounds a failure log's in-memory event ring.
+// Under sustained platform trouble a long session could otherwise grow its
+// failure log without limit; the ring keeps the most recent events and
+// counts what it had to evict.
+const DefaultFailureLogLimit = 1024
+
+// failureLog is a bounded ring of FailureEvents: appends beyond the limit
+// overwrite the oldest entry and are tallied as dropped. limit < 0 removes
+// the bound (the pre-ring behaviour, for callers that need every event);
+// limit == 0 means DefaultFailureLogLimit.
+type failureLog struct {
+	mu      sync.Mutex
+	limit   int
+	buf     []FailureEvent
+	head    int // next overwrite position once the ring is full
+	full    bool
+	dropped int64
+	drops   *obs.Counter // optional metric mirror of dropped
+}
+
+// newFailureLog returns a log bounded to limit events (0 = default,
+// negative = unbounded).
+func newFailureLog(limit int) *failureLog {
+	if limit == 0 {
+		limit = DefaultFailureLogLimit
+	}
+	return &failureLog{limit: limit}
+}
+
+// instrument mirrors future drops onto the counter (nil-safe).
+func (fl *failureLog) instrument(drops *obs.Counter) {
+	fl.mu.Lock()
+	fl.drops = drops
+	fl.mu.Unlock()
+}
+
+// append records one event, evicting the oldest when the ring is full.
+func (fl *failureLog) append(ev FailureEvent) {
+	fl.mu.Lock()
+	switch {
+	case fl.limit < 0 || len(fl.buf) < fl.limit:
+		fl.buf = append(fl.buf, ev)
+	default:
+		fl.buf[fl.head] = ev
+		fl.head++
+		if fl.head == fl.limit {
+			fl.head = 0
+		}
+		fl.full = true
+		fl.dropped++
+		fl.drops.Inc()
+	}
+	fl.mu.Unlock()
+}
+
+// snapshot returns the retained events oldest-first.
+func (fl *failureLog) snapshot() []FailureEvent {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if !fl.full {
+		return append([]FailureEvent(nil), fl.buf...)
+	}
+	out := make([]FailureEvent, 0, len(fl.buf))
+	out = append(out, fl.buf[fl.head:]...)
+	out = append(out, fl.buf[:fl.head]...)
+	return out
+}
+
+// droppedCount returns how many events the ring evicted.
+func (fl *failureLog) droppedCount() int64 {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.dropped
+}

@@ -1,0 +1,129 @@
+package crowd
+
+import (
+	"fmt"
+	"testing"
+
+	"crowdtopk/internal/obs"
+)
+
+// TestFailureLogRing pins the bounded-log semantics: the newest events are
+// retained oldest-first, evictions are counted, and the telemetry mirror
+// sees every drop.
+func TestFailureLogRing(t *testing.T) {
+	reg := obs.NewRegistry()
+	drops := reg.Counter(obs.MFailuresDropped)
+	fl := newFailureLog(3)
+	fl.instrument(drops)
+	for i := 0; i < 5; i++ {
+		fl.append(FailureEvent{Batch: i, Kind: "partial"})
+	}
+	got := fl.snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d events, want 3", len(got))
+	}
+	for i, ev := range got {
+		if ev.Batch != i+2 {
+			t.Fatalf("event %d is batch %d, want %d (oldest-first)", i, ev.Batch, i+2)
+		}
+	}
+	if d := fl.droppedCount(); d != 2 {
+		t.Fatalf("dropped = %d, want 2", d)
+	}
+	if v := drops.Value(); v != 2 {
+		t.Fatalf("drop counter = %d, want 2", v)
+	}
+}
+
+// TestFailureLogDefaultAndUnbounded checks the limit resolution: 0 means
+// the default bound, negative disables the bound.
+func TestFailureLogDefaultAndUnbounded(t *testing.T) {
+	if fl := newFailureLog(0); fl.limit != DefaultFailureLogLimit {
+		t.Fatalf("limit = %d, want %d", fl.limit, DefaultFailureLogLimit)
+	}
+	fl := newFailureLog(-1)
+	for i := 0; i < 2*DefaultFailureLogLimit; i++ {
+		fl.append(FailureEvent{Batch: i})
+	}
+	if n, d := len(fl.snapshot()), fl.droppedCount(); n != 2*DefaultFailureLogLimit || d != 0 {
+		t.Fatalf("unbounded log kept %d dropped %d, want all and none", n, d)
+	}
+}
+
+// TestResilientFailureLogBounded drives a resilient platform through more
+// failures than its configured log limit and checks the log stays bounded
+// while the drop accounting and the event counters keep the full tally.
+func TestResilientFailureLogBounded(t *testing.T) {
+	var steps []scriptStep
+	for i := 0; i < 10; i++ {
+		steps = append(steps, scriptStep{postErr: fmt.Errorf("down %d", i)})
+	}
+	sp := newScriptPlatform(steps...)
+	policy := testPolicy(2)
+	policy.FailureLogLimit = 4
+	rp := NewResilientPlatform(sp, policy)
+	reg := obs.NewRegistry()
+	rp.Instrument(NewPlatformInstruments(reg))
+
+	for b := 0; b < 5; b++ {
+		id, err := rp.Post(tasksFor(2))
+		if err != nil {
+			break // breaker opened; later posts fail fast
+		}
+		rp.Collect(id)
+	}
+
+	if n := len(rp.Failures()); n > 4 {
+		t.Fatalf("failure log holds %d events, want <= 4", n)
+	}
+	dropped := rp.DroppedFailures()
+	if dropped == 0 {
+		t.Fatal("expected the bounded log to evict events")
+	}
+	s := reg.Snapshot()
+	recorded := s.Counter(obs.MFailureEvents)
+	if recorded != int64(len(rp.Failures()))+dropped {
+		t.Fatalf("event counter %d != retained %d + dropped %d",
+			recorded, len(rp.Failures()), dropped)
+	}
+	if s.Counter(obs.MFailuresDropped) != dropped {
+		t.Fatalf("drop counter %d != DroppedFailures %d",
+			s.Counter(obs.MFailuresDropped), dropped)
+	}
+}
+
+// TestPlatformInstrumentsClassify checks the failure-kind routing and the
+// breaker gauge transitions on a scripted outage.
+func TestPlatformInstrumentsClassify(t *testing.T) {
+	var steps []scriptStep
+	for i := 0; i < 12; i++ {
+		steps = append(steps, scriptStep{postErr: fmt.Errorf("down")})
+	}
+	sp := newScriptPlatform(steps...)
+	rp := NewResilientPlatform(sp, testPolicy(2))
+	reg := obs.NewRegistry()
+	rp.Instrument(NewPlatformInstruments(reg))
+
+	for b := 0; b < 4 && !rp.BreakerOpen(); b++ {
+		if id, err := rp.Post(tasksFor(1)); err == nil {
+			rp.Collect(id)
+		}
+	}
+	if !rp.BreakerOpen() {
+		t.Fatal("breaker should have opened")
+	}
+	s := reg.Snapshot()
+	if s.Counter(obs.MPostErrors) == 0 || s.Counter(obs.MExhausted) == 0 {
+		t.Fatalf("kind counters not routed: %+v", s.Counters)
+	}
+	if s.Counter(obs.MBreakerOpens) != 1 {
+		t.Fatalf("breaker opens = %d, want 1", s.Counter(obs.MBreakerOpens))
+	}
+	if s.Gauges[obs.MBreakerOpen] != 1 {
+		t.Fatal("breaker gauge should read 1 while open")
+	}
+	rp.Reset()
+	if v := reg.Snapshot().Gauges[obs.MBreakerOpen]; v != 0 {
+		t.Fatalf("breaker gauge after Reset = %d, want 0", v)
+	}
+}

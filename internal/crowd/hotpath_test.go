@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+
+	"crowdtopk/internal/obs"
 )
 
 // replayOracle answers from a fixed ring of precomputed values — the
@@ -67,6 +69,36 @@ func TestDrawHotPathSingleAllocation(t *testing.T) {
 	}
 }
 
+// TestDrawHotPathDisabledTelemetryAllocationFree pins the observability
+// overhead contract on the purchase path: an engine that was explicitly
+// wired for telemetry-off (nil registry resolves to a nil instrument
+// bundle) allocates exactly what the uninstrumented engine does — the one
+// published snapshot — and nothing for the disabled instruments.
+func TestDrawHotPathDisabledTelemetryAllocationFree(t *testing.T) {
+	e := NewEngine(newReplayOracle(8, 512, 4), rand.New(rand.NewSource(4)))
+	e.SetInstruments(NewEngineInstruments(nil)) // disabled: resolves to nil
+	e.Draw(0, 1, 64)
+	if allocs := testing.AllocsPerRun(100, func() { e.Draw(0, 1, 30) }); allocs > 1 {
+		t.Errorf("disabled-telemetry Draw(30) allocates %.1f objects/op, want <= 1", allocs)
+	}
+	e.DrawOne(0, 1)
+	if allocs := testing.AllocsPerRun(100, func() { e.DrawOne(0, 1) }); allocs > 1 {
+		t.Errorf("disabled-telemetry DrawOne allocates %.1f objects/op, want <= 1", allocs)
+	}
+}
+
+// TestDrawHotPathEnabledTelemetryAllocationFree asserts that even enabled
+// metrics add no allocations to a purchase: counters and histograms update
+// atomics in place, so the published snapshot stays the only allocation.
+func TestDrawHotPathEnabledTelemetryAllocationFree(t *testing.T) {
+	e := NewEngine(newReplayOracle(8, 512, 4), rand.New(rand.NewSource(4)))
+	e.SetInstruments(NewEngineInstruments(obs.NewRegistry()))
+	e.Draw(0, 1, 64)
+	if allocs := testing.AllocsPerRun(100, func() { e.Draw(0, 1, 30) }); allocs > 1 {
+		t.Errorf("enabled-telemetry Draw(30) allocates %.1f objects/op, want <= 1", allocs)
+	}
+}
+
 // benchDraw measures Draw throughput per microtask at the given batch
 // size, forcing the scalar fallback when batched is false.
 func benchDraw(b *testing.B, batch int, batched bool) {
@@ -106,6 +138,27 @@ func BenchmarkDrawHotPath(b *testing.B) {
 	b.Run("onebyone100", func(b *testing.B) { benchDrawOne(b, 100) })
 	b.Run("scalar100", func(b *testing.B) { benchDraw(b, 100, false) })
 	b.Run("batch100", func(b *testing.B) { benchDraw(b, 100, true) })
+}
+
+// BenchmarkDrawHotPathInstrumented measures the telemetry overhead on the
+// η = 30 batch path directly: "off" is the baseline engine, "disabled" has
+// instrumentation wired but resolved to nil (the production telemetry-off
+// shape — the <2% contract), "enabled" updates live atomic instruments.
+func BenchmarkDrawHotPathInstrumented(b *testing.B) {
+	run := func(b *testing.B, ins *EngineInstruments) {
+		e := NewEngine(newReplayOracle(16, 1024, 7), rand.New(rand.NewSource(7)))
+		e.SetInstruments(ins)
+		e.Draw(0, 1, 30)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for it := 0; it < b.N; it++ {
+			e.Draw(0, 1, 30)
+		}
+		b.ReportMetric(float64(b.N*30)/b.Elapsed().Seconds(), "microtasks/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("disabled", func(b *testing.B) { run(b, NewEngineInstruments(nil)) })
+	b.Run("enabled", func(b *testing.B) { run(b, NewEngineInstruments(obs.NewRegistry())) })
 }
 
 // benchDrawOne purchases batch samples one microtask at a time, so one

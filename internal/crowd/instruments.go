@@ -1,0 +1,105 @@
+package crowd
+
+import "crowdtopk/internal/obs"
+
+// EngineInstruments is the engine's pre-resolved bundle of metrics: every
+// instrument is looked up from the registry exactly once, at wiring time,
+// so the Draw/Grade hot paths pay one nil check on the bundle and then
+// plain atomic adds — no map lookups, no allocation, no locks.
+type EngineInstruments struct {
+	Samples   *obs.Counter   // pairwise microtasks delivered into bags
+	Graded    *obs.Counter   // graded microtasks delivered
+	TMC       *obs.Counter   // total monetary cost charged (net of refunds)
+	Refunds   *obs.Counter   // reserved-but-undelivered microtasks refunded
+	CapDenied *obs.Counter   // requested microtasks declined by the cap/latch
+	Batches   *obs.Counter   // Draw batch purchases dispatched
+	Rounds    *obs.Counter   // latency clock ticks
+	BagSize   *obs.Histogram // bag size after each batch purchase
+}
+
+// NewEngineInstruments resolves the engine's instruments from the
+// registry; nil registry (telemetry disabled) yields nil, which the
+// engine treats as "record nothing".
+func NewEngineInstruments(reg *obs.Registry) *EngineInstruments {
+	if reg == nil {
+		return nil
+	}
+	return &EngineInstruments{
+		Samples:   reg.Counter(obs.MSamples),
+		Graded:    reg.Counter(obs.MGraded),
+		TMC:       reg.Counter(obs.MTMC),
+		Refunds:   reg.Counter(obs.MRefunds),
+		CapDenied: reg.Counter(obs.MCapDenied),
+		Batches:   reg.Counter(obs.MDrawBatches),
+		Rounds:    reg.Counter(obs.MRounds),
+		BagSize:   reg.Histogram(obs.MBagSize, obs.BagSizeBuckets),
+	}
+}
+
+// SetInstruments attaches (or detaches, with nil) the engine's metric
+// bundle. Call before the engine is shared across goroutines; purchases
+// observe either the old bundle or the new one.
+func (e *Engine) SetInstruments(ins *EngineInstruments) { e.ins = ins }
+
+// PlatformInstruments is the resilience stack's metric bundle, shared by
+// the platform oracle (quarantine) and the resilient adapter (retries,
+// backoff, breaker). Resolved once from the registry, like the engine's.
+type PlatformInstruments struct {
+	Reposts        *obs.Counter // shortfall re-posts issued by the retry loop
+	BackoffNs      *obs.Counter // nanoseconds of backoff delay requested
+	PartialBatches *obs.Counter // clean-but-short collections detected
+	Quarantined    *obs.Counter // answers rejected by validation
+	PostErrors     *obs.Counter // failed Post calls
+	Timeouts       *obs.Counter // collection attempts past their deadline
+	Exhausted      *obs.Counter // batches that ran out of retry attempts
+	BreakerOpens   *obs.Counter // circuit-breaker open transitions
+	BreakerOpen    *obs.Gauge   // 1 while the breaker is open, else 0
+	FailureEvents  *obs.Counter // failure-log entries recorded (incl. dropped)
+	FailuresDrop   *obs.Counter // failure-log entries evicted by the ring
+}
+
+// NewPlatformInstruments resolves the resilience instruments from the
+// registry; nil registry yields nil.
+func NewPlatformInstruments(reg *obs.Registry) *PlatformInstruments {
+	if reg == nil {
+		return nil
+	}
+	return &PlatformInstruments{
+		Reposts:        reg.Counter(obs.MReposts),
+		BackoffNs:      reg.Counter(obs.MBackoffNs),
+		PartialBatches: reg.Counter(obs.MPartialBatches),
+		Quarantined:    reg.Counter(obs.MQuarantined),
+		PostErrors:     reg.Counter(obs.MPostErrors),
+		Timeouts:       reg.Counter(obs.MTimeouts),
+		Exhausted:      reg.Counter(obs.MExhausted),
+		BreakerOpens:   reg.Counter(obs.MBreakerOpens),
+		BreakerOpen:    reg.Gauge(obs.MBreakerOpen),
+		FailureEvents:  reg.Counter(obs.MFailureEvents),
+		FailuresDrop:   reg.Counter(obs.MFailuresDropped),
+	}
+}
+
+// classify routes one failure event onto its kind-specific counter. All
+// counters are nil-safe, so a nil bundle records nothing.
+func (pi *PlatformInstruments) classify(kind string) {
+	if pi == nil {
+		return
+	}
+	pi.FailureEvents.Inc()
+	switch kind {
+	case "post-error":
+		pi.PostErrors.Inc()
+	case "timeout":
+		pi.Timeouts.Inc()
+	case "partial":
+		pi.PartialBatches.Inc()
+	case "quarantine":
+		pi.Quarantined.Inc()
+	case "exhausted":
+		pi.Exhausted.Inc()
+		// "breaker-open" events are counted as failure events only; the
+		// open/close transition itself is instrumented where it happens
+		// (settle and Reset), so rejected posts don't inflate the count
+		// of opens.
+	}
+}

@@ -109,13 +109,17 @@ type FallibleBatchOracle interface {
 type PlatformOracle struct {
 	n        int
 	platform Platform
+	limit    int // retention bound for quarantined answers
 
 	mu          sync.Mutex
 	quarantined []Answer
-	events      []FailureEvent
+	events      *failureLog          // bounded quarantine-event ring
+	ins         *PlatformInstruments // metric bundle; nil = telemetry off
 }
 
-// NewPlatformOracle wraps a platform over n items.
+// NewPlatformOracle wraps a platform over n items. The oracle's failure
+// log and quarantine store are bounded to DefaultFailureLogLimit entries;
+// use WithResilience's FailureLogLimit to change the bound.
 func NewPlatformOracle(n int, p Platform) *PlatformOracle {
 	if n < 2 {
 		panic(fmt.Sprintf("crowd: NewPlatformOracle requires n >= 2, got %d", n))
@@ -123,17 +127,42 @@ func NewPlatformOracle(n int, p Platform) *PlatformOracle {
 	if p == nil {
 		panic("crowd: NewPlatformOracle requires a platform")
 	}
-	return &PlatformOracle{n: n, platform: p}
+	return &PlatformOracle{
+		n: n, platform: p,
+		limit:  DefaultFailureLogLimit,
+		events: newFailureLog(0),
+	}
 }
 
 // WithResilience returns a platform oracle over the same item count whose
 // platform is wrapped in a ResilientPlatform with the given policy. If
-// the platform is already resilient it is returned unchanged.
+// the platform is already resilient it is returned unchanged. The
+// policy's FailureLogLimit bounds the new oracle's own log too.
 func (po *PlatformOracle) WithResilience(policy RetryPolicy) *PlatformOracle {
 	if _, ok := po.platform.(*ResilientPlatform); ok {
 		return po
 	}
-	return NewPlatformOracle(po.n, NewResilientPlatform(po.platform, policy))
+	out := NewPlatformOracle(po.n, NewResilientPlatform(po.platform, policy))
+	out.events = newFailureLog(policy.FailureLogLimit)
+	if policy.FailureLogLimit != 0 {
+		out.limit = policy.FailureLogLimit
+	}
+	return out
+}
+
+// Instrument attaches the resilience metric bundle (nil detaches) and
+// propagates it to the wrapped ResilientPlatform, when there is one. Call
+// before concurrent use.
+func (po *PlatformOracle) Instrument(ins *PlatformInstruments) {
+	po.ins = ins
+	if ins != nil {
+		po.events.instrument(ins.FailuresDrop)
+	} else {
+		po.events.instrument(nil)
+	}
+	if rp, ok := po.platform.(*ResilientPlatform); ok {
+		rp.Instrument(ins)
+	}
 }
 
 // Platform returns the wrapped platform.
@@ -235,19 +264,24 @@ func validPairAnswer(a Answer, i, j int) (float64, bool) {
 	return v, true
 }
 
-// quarantine records an invalid answer and its failure event.
+// quarantine records an invalid answer and its failure event. The answer
+// store honors the retention bound; the event goes through the bounded
+// ring, which counts anything it evicts.
 func (po *PlatformOracle) quarantine(batch int, a Answer, why string) {
 	po.mu.Lock()
-	po.quarantined = append(po.quarantined, a)
-	po.events = append(po.events, FailureEvent{
+	if po.limit < 0 || len(po.quarantined) < po.limit {
+		po.quarantined = append(po.quarantined, a)
+	}
+	po.mu.Unlock()
+	po.events.append(FailureEvent{
 		Batch: batch, Attempt: 1, Kind: "quarantine",
 		Err: fmt.Sprintf("%s: task (%d,%d) value %v", why, a.Task.I, a.Task.J, a.Value),
 	})
-	po.mu.Unlock()
+	po.ins.classify("quarantine")
 }
 
 // Quarantined returns a copy of the answers rejected by validation, for
-// audit and debugging.
+// audit and debugging. Retention is bounded like the failure log.
 func (po *PlatformOracle) Quarantined() []Answer {
 	po.mu.Lock()
 	defer po.mu.Unlock()
@@ -255,15 +289,24 @@ func (po *PlatformOracle) Quarantined() []Answer {
 }
 
 // Failures implements FailureReporter: the oracle's own quarantine events
-// followed by the wrapped platform's failure log, when it keeps one.
+// followed by the wrapped platform's failure log, when it keeps one. Both
+// logs are bounded rings; DroppedFailures counts what they evicted.
 func (po *PlatformOracle) Failures() []FailureEvent {
-	po.mu.Lock()
-	out := append([]FailureEvent(nil), po.events...)
-	po.mu.Unlock()
+	out := po.events.snapshot()
 	if fr, ok := po.platform.(FailureReporter); ok {
 		out = append(out, fr.Failures()...)
 	}
 	return out
+}
+
+// DroppedFailures returns how many failure events the bounded logs (the
+// oracle's own and the wrapped resilient platform's) evicted in total.
+func (po *PlatformOracle) DroppedFailures() int64 {
+	d := po.events.droppedCount()
+	if rp, ok := po.platform.(*ResilientPlatform); ok {
+		d += rp.DroppedFailures()
+	}
+	return d
 }
 
 // SimPlatform is an in-process Platform backed by a pool of worker

@@ -33,6 +33,11 @@ type RetryPolicy struct {
 	FailureThreshold int
 	// JitterSeed roots the deterministic backoff jitter (default 1).
 	JitterSeed int64
+	// FailureLogLimit bounds the in-memory failure-event log: once full,
+	// new events evict the oldest and the eviction count is reported via
+	// DroppedFailures (and the telemetry drop counter). 0 means
+	// DefaultFailureLogLimit; negative removes the bound.
+	FailureLogLimit int
 	// Sleep is the delay function, overridable so chaos tests run the
 	// full retry machinery without wall-clock waits. nil means time.Sleep.
 	Sleep func(time.Duration)
@@ -93,8 +98,10 @@ type ResilientPlatform struct {
 	batches     map[int]*resBatch
 	consecFails int
 	open        bool
-	failures    []FailureEvent
 	reposts     int64
+
+	failures *failureLog          // bounded event ring, own lock
+	ins      *PlatformInstruments // metric bundle; nil = telemetry off
 }
 
 // NewResilientPlatform wraps the platform with the given policy.
@@ -107,8 +114,20 @@ func NewResilientPlatform(inner Platform, policy RetryPolicy) *ResilientPlatform
 		policy:  policy.withDefaults(),
 		batches: make(map[int]*resBatch),
 	}
+	rp.failures = newFailureLog(rp.policy.FailureLogLimit)
 	rp.cctx, _ = inner.(ContextPlatform)
 	return rp
+}
+
+// Instrument attaches the resilience metric bundle (nil detaches). Call
+// before concurrent use; events observe either the old bundle or the new.
+func (rp *ResilientPlatform) Instrument(ins *PlatformInstruments) {
+	rp.ins = ins
+	if ins != nil {
+		rp.failures.instrument(ins.FailuresDrop)
+	} else {
+		rp.failures.instrument(nil)
+	}
 }
 
 // Post implements Platform. A post rejected by the open circuit breaker
@@ -116,11 +135,11 @@ func NewResilientPlatform(inner Platform, policy RetryPolicy) *ResilientPlatform
 func (rp *ResilientPlatform) Post(tasks []Task) (int, error) {
 	rp.mu.Lock()
 	if rp.open {
-		rp.failures = append(rp.failures, FailureEvent{
+		rp.mu.Unlock()
+		rp.record(FailureEvent{
 			Batch: -1, Attempt: 1, Kind: "breaker-open",
 			Missing: len(tasks), Err: ErrCircuitOpen.Error(),
 		})
-		rp.mu.Unlock()
 		return 0, ErrCircuitOpen
 	}
 	id := rp.nextID
@@ -161,7 +180,11 @@ func (rp *ResilientPlatform) Collect(batch int) ([]Answer, error) {
 	for b.attempts < rp.policy.MaxAttempts {
 		b.attempts++
 		if b.attempts > 1 {
-			rp.policy.Sleep(rp.backoff(b))
+			d := rp.backoff(b)
+			if pi := rp.ins; pi != nil {
+				pi.BackoffNs.Add(int64(d))
+			}
+			rp.policy.Sleep(d)
 		}
 
 		// Ensure the missing tasks are in flight: the first attempt may
@@ -347,10 +370,15 @@ func (rp *ResilientPlatform) settle(success bool) {
 	rp.consecFails++
 	if rp.consecFails >= rp.policy.FailureThreshold && !rp.open {
 		rp.open = true
-		rp.failures = append(rp.failures, FailureEvent{
+		rp.failures.append(FailureEvent{
 			Batch: -1, Kind: "breaker-open",
 			Err: fmt.Sprintf("%d consecutive batch failures", rp.consecFails),
 		})
+		if pi := rp.ins; pi != nil {
+			pi.FailureEvents.Inc()
+			pi.BreakerOpens.Inc()
+			pi.BreakerOpen.Set(1)
+		}
 	}
 }
 
@@ -368,13 +396,21 @@ func (rp *ResilientPlatform) Reset() {
 	rp.open = false
 	rp.consecFails = 0
 	rp.mu.Unlock()
+	if pi := rp.ins; pi != nil {
+		pi.BreakerOpen.Set(0)
+	}
 }
 
-// Failures implements FailureReporter.
+// Failures implements FailureReporter. The log is a bounded ring: when
+// more than the configured limit of events occurred, the oldest were
+// evicted (see DroppedFailures).
 func (rp *ResilientPlatform) Failures() []FailureEvent {
-	rp.mu.Lock()
-	defer rp.mu.Unlock()
-	return append([]FailureEvent(nil), rp.failures...)
+	return rp.failures.snapshot()
+}
+
+// DroppedFailures returns how many failure events the bounded log evicted.
+func (rp *ResilientPlatform) DroppedFailures() int64 {
+	return rp.failures.droppedCount()
 }
 
 // Reposts returns how many shortfall re-posts the adapter issued — the
@@ -395,15 +431,17 @@ func (rp *ResilientPlatform) Close() error {
 }
 
 func (rp *ResilientPlatform) record(ev FailureEvent) {
-	rp.mu.Lock()
-	rp.failures = append(rp.failures, ev)
-	rp.mu.Unlock()
+	rp.failures.append(ev)
+	rp.ins.classify(ev.Kind)
 }
 
 func (rp *ResilientPlatform) reportRepost() {
 	rp.mu.Lock()
 	rp.reposts++
 	rp.mu.Unlock()
+	if pi := rp.ins; pi != nil {
+		pi.Reposts.Inc()
+	}
 }
 
 func isTimeout(err error) bool {

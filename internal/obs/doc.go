@@ -1,0 +1,26 @@
+// Package obs is the repository's zero-dependency telemetry subsystem: an
+// atomic metrics registry (counters, gauges, fixed-bucket histograms), a
+// span-based tracer with JSONL export and offline replay, and an HTTP
+// handler exposing both in Prometheus text and expvar-style JSON alongside
+// net/http/pprof.
+//
+// The paper's entire contribution is a cost model — TMC, comparison
+// counts, confidence evolution per COMP(o_i, o_j) — and this package is
+// how that model becomes visible at runtime instead of being reconstructed
+// from audit logs after the fact. Every layer of the query stack (engine,
+// comparison runner, SPR phases, wave workers, resilient platform) holds
+// pre-resolved instrument pointers into one Registry and emits spans into
+// one Tracer.
+//
+// # Overhead contract
+//
+// Telemetry is strictly opt-in and compiles down to a nil check when
+// disabled: every exported method of Counter, Gauge, Histogram, Registry,
+// Tracer and ActiveSpan is safe to call on a nil receiver and returns
+// immediately, so instrumentation sites are written once and pay a single
+// predictable branch when the subsystem is off. When enabled, counter and
+// gauge updates are single atomic adds, histogram observations are one
+// atomic add into a fixed bucket, and none of them allocate. Span creation
+// allocates (a span is a durable record); spans are therefore created at
+// comparison and phase granularity, never per microtask.
+package obs

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerEndpoints drives every route of the telemetry handler.
+func TestHandlerEndpoints(t *testing.T) {
+	tel := New()
+	tel.Metrics.Counter(MTMC).Add(321)
+	tel.Trace.Start("query", 0).End()
+
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "crowdtopk_tmc_total 321") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, `"crowdtopk_tmc_total": 321`) {
+		t.Errorf("/debug/vars = %d %q", code, body)
+	}
+	if code, body := get("/trace"); code != 200 || !strings.Contains(body, `"name":"query"`) {
+		t.Errorf("/trace = %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get("/debug/pprof/symbol"); code != 200 {
+		t.Errorf("/debug/pprof/symbol = %d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic metric. The zero value is
+// ready to use; a nil *Counter is a no-op, which is how disabled telemetry
+// costs only the nil check at every instrumentation site.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// SetMax raises the gauge to n if n exceeds the current value — a running
+// maximum safe under concurrent observers. No-op on a nil receiver.
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value; 0 on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: bounds are ascending upper
+// bounds, with an implicit +Inf bucket at the end. Observations are one
+// atomic add; nothing allocates. A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observations; 0 on a nil receiver.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra entry for
+	// the +Inf bucket. Counts are per-bucket, not cumulative.
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Registry is a named collection of metrics. Lookups are mutex-guarded and
+// meant for construction time: instrumented layers resolve their counters
+// once and keep the pointers, so hot paths never touch the registry. A nil
+// *Registry returns nil metrics from every lookup, which in turn are
+// no-ops — disabled telemetry needs no special-casing anywhere.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil on a
+// nil receiver.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil on a nil
+// receiver.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (later calls keep the original bounds). Nil on a nil
+// receiver.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, the
+// currency of QueryStats accounting: snapshot before and after a query,
+// and the counter differences are the query's exact incremental cost.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Counter returns the snapshotted value of the named counter (0 when
+// absent), tolerating snapshots taken from a nil registry.
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// CounterDiff returns the named counter's increase since the earlier
+// snapshot.
+func (s Snapshot) CounterDiff(earlier Snapshot, name string) int64 {
+	return s.Counters[name] - earlier.Counters[name]
+}
+
+// Snapshot copies the current state of every metric. A nil registry yields
+// a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Counters = make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	s.Gauges = make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, names sorted for deterministic scrapes. Labeled counters (e.g.
+// the per-phase cost counters) carry their labels in the registered name;
+// the # TYPE line uses the base name and is emitted once per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	typed := make(map[string]bool)
+	emitType := func(name, kind string) string {
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !typed[base] {
+			typed[base] = true
+			return fmt.Sprintf("# TYPE %s %s\n", base, kind)
+		}
+		return ""
+	}
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		b.WriteString(emitType(name, "counter"))
+		fmt.Fprintf(&b, "%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		b.WriteString(emitType(name, "gauge"))
+		fmt.Fprintf(&b, "%s %d\n", name, s.Gauges[name])
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		b.WriteString(emitType(name, "histogram"))
+		cum := int64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteVars renders the registry snapshot as one JSON object — the
+// expvar-style /debug/vars view.
+func (r *Registry) WriteVars(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

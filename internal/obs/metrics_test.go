@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety pins the disabled-telemetry contract: every operation on
+// nil receivers is a no-op, never a panic, so instrumentation sites need
+// only one nil check (or none).
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []int64{1, 2})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil metrics")
+	}
+	c.Add(3)
+	c.Inc()
+	g.Set(5)
+	g.SetMax(9)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	s := r.Snapshot()
+	if s.Counter("x") != 0 {
+		t.Fatal("nil registry snapshot must read as zero")
+	}
+
+	var tr *Tracer
+	sp := tr.Start("comp", 0)
+	if sp != nil {
+		t.Fatal("nil tracer must return a nil span")
+	}
+	sp.SetAttr("tmc", 1)
+	sp.SetLabel("verdict", "tie")
+	sp.Observe(0.5)
+	sp.End()
+	if sp.ID() != 0 {
+		t.Fatal("nil span must have id 0")
+	}
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans = %v, want nil", got)
+	}
+
+	var tel *Telemetry
+	if tel.Registry() != nil || tel.Tracer() != nil {
+		t.Fatal("nil telemetry accessors must return nil")
+	}
+}
+
+// TestCounterGaugeHistogram exercises the basic semantics, including the
+// running-maximum gauge and histogram bucketing.
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name must return the same counter")
+	}
+
+	g := r.Gauge("g")
+	g.SetMax(4)
+	g.SetMax(2)
+	g.SetMax(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge max = %d, want 7", g.Value())
+	}
+
+	h := r.Histogram("h", []int64{10, 100})
+	for _, v := range []int64{5, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["h"]
+	want := []int64{2, 1, 1} // (-inf,10], (10,100], (100,+inf)
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+	if hs.Sum != 1026 || hs.Count != 4 {
+		t.Fatalf("sum/count = %d/%d, want 1026/4", hs.Sum, hs.Count)
+	}
+}
+
+// TestSnapshotDiff pins the accounting primitive QueryStats is built on.
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(MTMC)
+	c.Add(10)
+	before := r.Snapshot()
+	c.Add(32)
+	after := r.Snapshot()
+	if d := after.CounterDiff(before, MTMC); d != 32 {
+		t.Fatalf("diff = %d, want 32", d)
+	}
+	if d := after.CounterDiff(before, "never-registered"); d != 0 {
+		t.Fatalf("missing-counter diff = %d, want 0", d)
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines; run
+// under -race this is the concurrency contract.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").SetMax(int64(i))
+				r.Histogram("h", WaveWidthBuckets).Observe(int64(i % 300))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("c").Value(); v != 8000 {
+		t.Fatalf("counter = %d, want 8000", v)
+	}
+	if v := r.Histogram("h", nil).Count(); v != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", v)
+	}
+}
+
+// TestWritePrometheus checks the exposition format: sorted, typed once per
+// family, integer-rendered, labeled names passed through.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MTMC).Add(123)
+	r.Counter(PhaseTMC("select")).Add(40)
+	r.Counter(PhaseTMC("rank")).Add(83)
+	r.Gauge(MWaveWidthMax).Set(17)
+	r.Histogram(MWaveWidth, []int64{2, 8}).Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE crowdtopk_tmc_total counter\n",
+		"crowdtopk_tmc_total 123\n",
+		`crowdtopk_phase_tmc_total{phase="select"} 40` + "\n",
+		`crowdtopk_phase_tmc_total{phase="rank"} 83` + "\n",
+		"crowdtopk_wave_width_max 17\n",
+		`crowdtopk_wave_width_bucket{le="2"} 0` + "\n",
+		`crowdtopk_wave_width_bucket{le="8"} 1` + "\n",
+		`crowdtopk_wave_width_bucket{le="+Inf"} 1` + "\n",
+		"crowdtopk_wave_width_sum 5\n",
+		"crowdtopk_wave_width_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with two labeled series.
+	if n := strings.Count(out, "# TYPE crowdtopk_phase_tmc_total"); n != 1 {
+		t.Errorf("phase family typed %d times, want 1", n)
+	}
+}
+
+// TestPhaseNames round-trips the labeled phase-counter naming scheme.
+func TestPhaseNames(t *testing.T) {
+	for _, phase := range []string{"select", "partition", "rank"} {
+		name := PhaseTMC(phase)
+		p, isTMC, ok := PhaseOf(name)
+		if !ok || !isTMC || p != phase {
+			t.Errorf("PhaseOf(%q) = %q, %v, %v", name, p, isTMC, ok)
+		}
+		name = PhaseRounds(phase)
+		p, isTMC, ok = PhaseOf(name)
+		if !ok || isTMC || p != phase {
+			t.Errorf("PhaseOf(%q) = %q, %v, %v", name, p, isTMC, ok)
+		}
+	}
+	if _, _, ok := PhaseOf(MTMC); ok {
+		t.Error("PhaseOf must reject non-phase metrics")
+	}
+}
+
+// TestUpdateAllocationFree asserts the hot-path contract directly: enabled
+// metric updates allocate nothing.
+func TestUpdateAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", BagSizeBuckets)
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		g.SetMax(5)
+		h.Observe(42)
+	}); allocs != 0 {
+		t.Errorf("metric updates allocate %.1f objects/op, want 0", allocs)
+	}
+}

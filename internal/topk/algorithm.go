@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crowdtopk/internal/compare"
+	"crowdtopk/internal/obs"
 )
 
 // Algorithm is a crowdsourced top-k query processor: given a comparison
@@ -35,22 +36,45 @@ type Result struct {
 }
 
 // Run executes alg on a fresh accounting window of the runner's engine and
-// returns the result with cost deltas attributed to this run.
+// returns the result with cost deltas attributed to this run. When the
+// runner carries a tracer, the whole run is recorded under one "query"
+// root span: phases nest under it, comparison spans under the phases.
 func Run(alg Algorithm, r *compare.Runner, k int) Result {
 	validateK(r, k)
 	e := r.Engine()
 	tmc0, rounds0 := e.TMC(), e.Rounds()
+
+	var span *obs.ActiveSpan
+	var prevParent obs.SpanID
+	if tr := r.Tracer(); tr != nil {
+		prevParent = r.ParentSpan()
+		span = tr.Start("query", prevParent)
+		span.SetLabel("algorithm", alg.Name())
+		span.SetAttr("k", float64(k))
+		r.SetParentSpan(span.ID())
+	}
+
 	items := alg.TopK(r, k)
 	if len(items) != k {
 		panic(fmt.Sprintf("topk: %s returned %d items, want %d", alg.Name(), len(items), k))
 	}
-	return Result{
+	res := Result{
 		Algorithm: alg.Name(),
 		TopK:      items,
 		TMC:       e.TMC() - tmc0,
 		Rounds:    e.Rounds() - rounds0,
 		Err:       e.Err(),
 	}
+	if span != nil {
+		// Close the spans of comparisons the algorithm abandoned mid-wave
+		// (reference upgrades) so the trace covers every process started.
+		r.FlushOpenComparisons()
+		span.SetAttr("tmc", float64(res.TMC))
+		span.SetAttr("rounds", float64(res.Rounds))
+		span.End()
+		r.SetParentSpan(prevParent)
+	}
+	return res
 }
 
 func validateK(r *compare.Runner, k int) {

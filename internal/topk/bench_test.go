@@ -27,7 +27,7 @@ func benchAlgorithm(b *testing.B, alg Algorithm) {
 	b.ReportMetric(float64(tmc), "tasks")
 }
 
-func BenchmarkSPR(b *testing.B)         { benchAlgorithm(b, NewSPR()) }
+func BenchmarkSPR(b *testing.B) { benchAlgorithm(b, NewSPR()) }
 
 // BenchmarkSPREndToEnd is the perf-trajectory headline number: one full
 // SPR top-10 query over the 200-item synthetic instance, CPU-bound on the

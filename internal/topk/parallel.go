@@ -3,6 +3,7 @@ package topk
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"crowdtopk/internal/compare"
 	"crowdtopk/internal/crowd"
@@ -73,10 +74,18 @@ func compareAll(r *compare.Runner, pairs [][2]int) []compare.Outcome {
 	pending = live
 
 	workers := r.Parallelism()
+	ins := r.Instruments()
 	outs := make([]compare.Outcome, len(pending))
 	dones := make([]bool, len(pending))
 	for len(pending) > 0 {
 		outs, dones = outs[:len(pending)], dones[:len(pending)]
+		var waveStart time.Time
+		if ins != nil {
+			ins.Waves.Inc()
+			ins.WaveWidth.Observe(int64(len(pending)))
+			ins.WaveWidthMax.SetMax(int64(len(pending)))
+			waveStart = time.Now()
+		}
 		if workers > 1 && len(pending) > 1 {
 			// Fan the wave's distinct pairs across the pool; the WaitGroup
 			// is the wave barrier of §5.5.
@@ -95,6 +104,11 @@ func compareAll(r *compare.Runner, pairs [][2]int) []compare.Outcome {
 						if gi >= len(pending) {
 							return
 						}
+						if ins != nil {
+							// Time from wave start to worker pickup: how
+							// long the pair sat queued for a pool slot.
+							ins.QueueWaitNs.Add(time.Since(waveStart).Nanoseconds())
+						}
 						g := pending[gi]
 						outs[gi], dones[gi] = r.Advance(g.i, g.j)
 					}
@@ -105,6 +119,9 @@ func compareAll(r *compare.Runner, pairs [][2]int) []compare.Outcome {
 			for gi, g := range pending {
 				outs[gi], dones[gi] = r.Advance(g.i, g.j)
 			}
+		}
+		if ins != nil {
+			ins.WaveNs.Add(time.Since(waveStart).Nanoseconds())
 		}
 		// Conclusions are applied in input order on the control goroutine,
 		// keeping the caller's view deterministic.

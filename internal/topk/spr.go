@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"crowdtopk/internal/compare"
+	"crowdtopk/internal/obs"
 )
 
 // SPR is the paper's Select-Partition-Rank framework (§5): select a
@@ -95,23 +96,43 @@ func (s *SPR) TopKSubset(r *compare.Runner, items []int, k int) []int {
 	return s.topK(r, items, k)
 }
 
-// phaseSpan snapshots engine counters so phases can attribute their cost.
+// phaseSpan snapshots engine counters so phases can attribute their cost,
+// and — when the runner carries telemetry — holds the phase's open trace
+// span and the parent span to restore once the phase ends.
 type phaseSpan struct {
+	name        string
 	tmc, rounds int64
+	span        *obs.ActiveSpan
+	prevParent  obs.SpanID
 }
 
-func (s *SPR) beginPhase(r *compare.Runner) phaseSpan {
+func (s *SPR) beginPhase(r *compare.Runner, name string) phaseSpan {
 	e := r.Engine()
-	return phaseSpan{tmc: e.TMC(), rounds: e.Rounds()}
-}
-
-func (s *SPR) endPhase(r *compare.Runner, span phaseSpan, into *PhaseCost) {
-	if s.Trace == nil {
-		return
+	ps := phaseSpan{name: name, tmc: e.TMC(), rounds: e.Rounds()}
+	if tr := r.Tracer(); tr != nil {
+		ps.prevParent = r.ParentSpan()
+		ps.span = tr.Start("phase:"+name, ps.prevParent)
+		r.SetParentSpan(ps.span.ID())
 	}
+	return ps
+}
+
+func (s *SPR) endPhase(r *compare.Runner, ps phaseSpan, into *PhaseCost) {
 	e := r.Engine()
-	into.TMC += e.TMC() - span.tmc
-	into.Rounds += e.Rounds() - span.rounds
+	dTMC := e.TMC() - ps.tmc
+	dRounds := e.Rounds() - ps.rounds
+	into.TMC += dTMC
+	into.Rounds += dRounds
+	if reg := r.Registry(); reg != nil {
+		reg.Counter(obs.PhaseTMC(ps.name)).Add(dTMC)
+		reg.Counter(obs.PhaseRounds(ps.name)).Add(dRounds)
+	}
+	if ps.span != nil {
+		ps.span.SetAttr("tmc", float64(dTMC))
+		ps.span.SetAttr("rounds", float64(dRounds))
+		ps.span.End()
+		r.SetParentSpan(ps.prevParent)
+	}
 }
 
 // topK is Algorithm 2 (SPR) on an item subset.
@@ -122,17 +143,17 @@ func (s *SPR) topK(r *compare.Runner, items []int, k int) []int {
 func (s *SPR) topKTraced(r *compare.Runner, items []int, k int, outermost bool) []int {
 	if k >= len(items) {
 		// Nothing to prune; rank everything.
-		span := s.beginPhase(r)
+		span := s.beginPhase(r, "rank")
 		out := s.rank(r, items, -1)[:k]
 		s.endPhase(r, span, s.traceRank())
 		return out
 	}
 
-	span := s.beginPhase(r)
+	span := s.beginPhase(r, "select")
 	ref := s.selectReference(r, items, k) // §5.1
 	s.endPhase(r, span, s.traceSelect())
 
-	span = s.beginPhase(r)
+	span = s.beginPhase(r, "partition")
 	part := partition(r, items, k, ref, s.MaxRefChanges)
 	s.endPhase(r, span, s.tracePartition())
 	if s.Trace != nil {
@@ -150,7 +171,7 @@ func (s *SPR) topKTraced(r *compare.Runner, items []int, k int, outermost bool) 
 	switch {
 	case len(w) >= k:
 		// Line 10: enough confirmed winners; rank them.
-		span = s.beginPhase(r)
+		span = s.beginPhase(r, "rank")
 		out := s.rank(r, w, sortRef)[:k]
 		s.endPhase(r, span, s.traceRank())
 		return out
@@ -160,7 +181,7 @@ func (s *SPR) topKTraced(r *compare.Runner, items []int, k int, outermost bool) 
 		rng := r.Engine().Rand()
 		rng.Shuffle(len(t), func(a, b int) { t[a], t[b] = t[b], t[a] })
 		cands := append(append([]int{}, w...), t[:need]...)
-		span = s.beginPhase(r)
+		span = s.beginPhase(r, "rank")
 		out := s.rank(r, cands, sortRef)[:k]
 		s.endPhase(r, span, s.traceRank())
 		return out
@@ -172,7 +193,7 @@ func (s *SPR) topKTraced(r *compare.Runner, items []int, k int, outermost bool) 
 		cands := append(append([]int{}, w...), t...)
 		rest := s.topKTraced(r, part.losers, k-len(cands), false)
 		cands = append(cands, rest...)
-		span = s.beginPhase(r)
+		span = s.beginPhase(r, "rank")
 		out := s.rank(r, cands, sortRef)[:k]
 		s.endPhase(r, span, s.traceRank())
 		return out

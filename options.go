@@ -108,6 +108,15 @@ type Options struct {
 	// best-effort answer as a *PartialResultError instead of hanging or
 	// crashing. Ignored for oracles that are not platform-backed.
 	Resilience *ResilienceOptions
+	// Telemetry, when non-nil, instruments the whole execution stack of
+	// the query (or session): engine purchases, comparison processes and
+	// their confidence trajectories, parallel waves, SPR phases, and
+	// platform resilience events all feed the bundle's metrics registry
+	// and span tracer, and every Result carries a structured QueryStats
+	// snapshot. nil (the default) disables instrumentation entirely; the
+	// disabled path costs one predictable nil check per site and zero
+	// allocations.
+	Telemetry *Telemetry
 }
 
 // withDefaults resolves zero values to the paper's defaults.

@@ -50,6 +50,13 @@ type ResilienceOptions struct {
 	// open breaker fails every post fast, so no more money is sent to a
 	// platform that is down.
 	FailureThreshold int
+	// FailureLogLimit bounds the failure log's memory: only the newest
+	// FailureLogLimit events are retained, older ones are evicted (and
+	// counted — see Session.DroppedPlatformFailures and the
+	// crowdtopk_platform_failures_dropped_total metric). 0 selects the
+	// default of 1024; a negative value keeps every event, restoring the
+	// unbounded pre-limit behavior.
+	FailureLogLimit int
 }
 
 // policy converts the public options to the internal retry policy.
@@ -60,6 +67,7 @@ func (r ResilienceOptions) policy() crowd.RetryPolicy {
 		MaxBackoff:       r.MaxBackoff,
 		CollectTimeout:   r.CollectTimeout,
 		FailureThreshold: r.FailureThreshold,
+		FailureLogLimit:  r.FailureLogLimit,
 	}
 }
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# metrics_smoke.sh — end-to-end telemetry smoke test.
+#
+# Runs one topkquery through the simulated platform with mild chaos and a
+# live telemetry endpoint, then scrapes /metrics and /debug/vars and
+# asserts the crowdtopk_tmc_total counter equals the TMC the query itself
+# reported. This is the acceptance check that the metrics pipeline and the
+# query's own accounting never drift.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+out="$workdir/topkquery.out"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/topkquery" ./cmd/topkquery
+
+"$workdir/topkquery" \
+    -n 40 -k 5 -seed 7 \
+    -platform -workers 8 -fault-drop 0.05 -retries 8 \
+    -metrics-addr 127.0.0.1:0 -serve-wait 60s \
+    -trace-out "$workdir/trace.jsonl" -stats-out "$workdir/stats.json" \
+    >"$out" 2>"$workdir/topkquery.err" &
+pid=$!
+
+# Wait for the query to finish (the cost line appears) while the endpoint
+# stays up under -serve-wait.
+for _ in $(seq 1 120); do
+    grep -q '^cost:' "$out" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || { echo "topkquery died:"; cat "$out" "$workdir/topkquery.err"; exit 1; }
+    sleep 0.5
+done
+grep -q '^cost:' "$out" || { echo "query never reported its cost:"; cat "$out"; exit 1; }
+
+addr=$(sed -n 's|^metrics: *http://\([^/]*\)/metrics$|\1|p' "$out")
+reported=$(sed -n 's/^cost: *\([0-9]*\) microtasks.*/\1/p' "$out")
+[ -n "$addr" ] || { echo "no metrics address in output:"; cat "$out"; exit 1; }
+[ -n "$reported" ] || { echo "no cost line in output:"; cat "$out"; exit 1; }
+
+scraped=$(curl -fsS "http://$addr/metrics" | awk '$1 == "crowdtopk_tmc_total" { print $2 }')
+[ -n "$scraped" ] || { echo "crowdtopk_tmc_total absent from /metrics scrape"; exit 1; }
+
+if [ "$scraped" != "$reported" ]; then
+    echo "FAIL: /metrics crowdtopk_tmc_total=$scraped but query reported cost=$reported"
+    exit 1
+fi
+
+curl -fsS "http://$addr/debug/vars" | grep -q '"crowdtopk_tmc_total": *'"$reported" \
+    || { echo "FAIL: /debug/vars disagrees with reported TMC $reported"; exit 1; }
+
+# The structured stats and the replayable trace must exist and agree too.
+stats_tmc=$(sed -n 's/^ *"tmc": *\([0-9]*\),*$/\1/p' "$workdir/stats.json" | head -1)
+if [ "$stats_tmc" != "$reported" ]; then
+    echo "FAIL: stats.json tmc=$stats_tmc but query reported cost=$reported"
+    exit 1
+fi
+[ -s "$workdir/trace.jsonl" ] || { echo "FAIL: trace JSONL empty"; exit 1; }
+
+echo "OK: TMC agrees across query output, /metrics, /debug/vars and stats.json ($reported microtasks)"

@@ -3,6 +3,7 @@ package crowdtopk
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"crowdtopk/internal/compare"
 	"crowdtopk/internal/crowd"
@@ -100,6 +101,20 @@ func (s *Session) PlatformFailures() []PlatformFailure {
 	return nil
 }
 
+// DroppedPlatformFailures reports how many failure events were evicted
+// from the bounded failure log (see ResilienceOptions.FailureLogLimit) —
+// the count by which PlatformFailures under-reports a long chaos run.
+func (s *Session) DroppedPlatformFailures() int64 {
+	if dr, ok := s.runner.Engine().Oracle().(interface{ DroppedFailures() int64 }); ok {
+		return dr.DroppedFailures()
+	}
+	return 0
+}
+
+// Telemetry returns the telemetry bundle the session was opened with, nil
+// when observability is off.
+func (s *Session) Telemetry() *Telemetry { return s.opts.Telemetry }
+
 // Close releases the resources of a platform-backed session (worker
 // goroutines, connections) by closing the underlying platform when it
 // supports closing. It is a no-op for dataset-backed sessions.
@@ -132,8 +147,11 @@ func (s *Session) TopK(k int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	before := s.opts.Telemetry.snapshot()
+	start := time.Now()
 	res := topk.Run(alg, s.runner, k)
 	out := Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}
+	out.Stats = s.opts.Telemetry.statsSince(before, time.Since(start))
 	if res.Err != nil {
 		return out, partialError(out, s.runner.Engine().Oracle(), res.Err)
 	}
