@@ -29,6 +29,10 @@ bench:
 # -count 5 lets perfcheck (and benchstat) take medians over noise.
 BENCH_HOT = -run '^$$' -bench 'BenchmarkDrawHotPath|BenchmarkViewParallel' -benchtime 0.5s -count 5
 BENCH_E2E = -run '^$$' -bench 'BenchmarkSPREndToEnd' -benchtime 2x -count 5
+# The scheduler utilization benchmark: one straggler pair among 200 on a
+# simulated-latency crowd, wave vs async. perfcheck gates the ordering of
+# the reported "util" metric (async must keep the pool busier than waves).
+BENCH_SCHED = -run '^$$' -bench 'BenchmarkSchedulerStraggler' -benchtime 3x -count 3
 
 bench-hot:
 	$(GO) test ./internal/crowd/ $(BENCH_HOT)
@@ -40,8 +44,10 @@ bench-hot:
 bench-json:
 	$(GO) test ./internal/crowd/ $(BENCH_HOT) > bench-raw.txt
 	$(GO) test ./internal/topk/ $(BENCH_E2E) >> bench-raw.txt
+	$(GO) test ./internal/topk/ $(BENCH_SCHED) >> bench-raw.txt
 	$(GO) run ./cmd/topkquery -n 200 -k 10 -stats-out query-stats.json > /dev/null
-	$(GO) run ./cmd/perfcheck -current bench-raw.txt -stats query-stats.json -json BENCH_PR4.json
+	$(GO) run ./cmd/perfcheck -current bench-raw.txt -stats query-stats.json -json BENCH_PR5.json \
+		-metric-gate 'util:BenchmarkSchedulerStraggler/async>BenchmarkSchedulerStraggler/wave'
 
 # Run one query with the live telemetry endpoint up: Prometheus metrics on
 # /metrics, expvar JSON on /debug/vars, the span trace on /trace, and live
@@ -67,6 +73,6 @@ fuzz:
 chaos:
 	$(GO) test -race ./internal/crowd/ -run 'TestResilient|TestFaulty|TestEngine(Refunds|Latch|FirstFailure|DrawOne|Reset|CapAndFailure)|TestReplayThenLive|TestReadLog' -count 1
 	$(GO) test -race ./internal/topk/ -run 'TestChaos' -count 1
-	$(GO) test -race . -run 'TestQueryPartial|TestQueryResilience|TestSessionExactSpend|TestResumeOracle' -count 1
+	$(GO) test -race . -run 'TestQueryPartial|TestQueryResilience|TestSessionExactSpend|TestSessionConcurrent|TestResumeOracle' -count 1
 
 all: build vet test race

@@ -21,6 +21,13 @@
 //
 //	topkquery -stats-out query-stats.json ...
 //	go test ./... -bench . | perfcheck -json BENCH_PR4.json -stats query-stats.json
+//
+// With -metric-gate, custom b.ReportMetric values are compared *within*
+// the current run — the right gate for machine-dependent ratios such as
+// scheduler pool utilization, where the claim is an ordering:
+//
+//	perfcheck -current bench.txt \
+//	  -metric-gate 'util:BenchmarkSchedulerStraggler/async>BenchmarkSchedulerStraggler/wave'
 package main
 
 import (
@@ -148,6 +155,54 @@ func gate(baseline, current []result, maxRegress float64) (lines []string, faile
 	return lines, failed
 }
 
+// gateMetrics enforces -metric-gate assertions of the form
+// "metric:benchA>benchB": benchA's custom metric (a b.ReportMetric unit)
+// must strictly exceed benchB's in the current run. It compares within
+// one run rather than against a baseline because custom metrics like pool
+// utilization are machine-dependent ratios — the claim worth pinning is
+// the ordering, not the absolute value.
+func gateMetrics(current []result, spec string) error {
+	byName := make(map[string]result, len(current))
+	for _, r := range current {
+		byName[r.Name] = r
+	}
+	lookup := func(name, metric string) (float64, error) {
+		r, ok := byName[name]
+		if !ok {
+			return 0, fmt.Errorf("metric gate: benchmark %q not in current results", name)
+		}
+		v, ok := r.Metrics[metric]
+		if !ok {
+			return 0, fmt.Errorf("metric gate: benchmark %q reports no %q metric", name, metric)
+		}
+		return v, nil
+	}
+	for _, g := range strings.Split(spec, ",") {
+		metric, rest, ok := strings.Cut(g, ":")
+		if !ok {
+			return fmt.Errorf("metric gate %q: want 'metric:benchA>benchB'", g)
+		}
+		a, b, ok := strings.Cut(rest, ">")
+		if !ok {
+			return fmt.Errorf("metric gate %q: want 'metric:benchA>benchB'", g)
+		}
+		va, err := lookup(a, metric)
+		if err != nil {
+			return err
+		}
+		vb, err := lookup(b, metric)
+		if err != nil {
+			return err
+		}
+		if va <= vb {
+			return fmt.Errorf("metric gate failed: %s %s=%.4f is not above %s %s=%.4f",
+				a, metric, va, b, metric, vb)
+		}
+		fmt.Printf("perfcheck: metric gate ok: %s %s=%.4f > %s %s=%.4f\n", a, metric, va, b, metric, vb)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		jsonOut    = flag.String("json", "", "write parsed results as JSON to this file")
@@ -155,6 +210,7 @@ func main() {
 		current    = flag.String("current", "", "candidate bench output (default: stdin)")
 		maxRegress = flag.Float64("max-regress", 0.10, "maximum tolerated ns/op slowdown fraction")
 		statsIn    = flag.String("stats", "", "QueryStats JSON (topkquery -stats-out) to fold into the -json artifact")
+		metricGate = flag.String("metric-gate", "", "comma-separated 'metric:benchA>benchB' assertions on the current run: benchA's custom metric must strictly exceed benchB's (e.g. 'util:BenchmarkX/async>BenchmarkX/wave')")
 	)
 	flag.Parse()
 
@@ -219,6 +275,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("perfcheck: wrote %d benchmark results to %s\n", len(cur), *jsonOut)
+	}
+
+	if *metricGate != "" {
+		if err := gateMetrics(cur, *metricGate); err != nil {
+			fmt.Fprintf(os.Stderr, "perfcheck: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *baseline != "" {

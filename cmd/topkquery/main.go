@@ -42,7 +42,8 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		n      = flag.Int("n", 200, "item count for the synthetic dataset")
 		noise  = flag.Float64("noise", 0.3, "worker noise for the synthetic dataset")
-		par    = flag.Int("parallelism", 0, "comparison-wave worker pool (0 = GOMAXPROCS, 1 = sequential; any value gives identical results)")
+		par    = flag.Int("parallelism", 0, "comparison worker pool (0 = GOMAXPROCS, 1 = sequential; any value gives identical results with -sched deterministic)")
+		sched  = flag.String("sched", "deterministic", "comparison scheduling: deterministic (lockstep waves, reproducible) or async (free-running chains, better pool utilization)")
 		trace  = flag.Bool("trace", false, "print SPR's per-phase cost breakdown")
 		cpup   = flag.String("cpuprofile", "", "write a CPU profile to this file (prefer -metrics-addr + /debug/pprof/profile for live profiling)")
 		memp   = flag.String("memprofile", "", "write a post-query heap profile to this file (prefer -metrics-addr + /debug/pprof/heap for live profiling)")
@@ -102,6 +103,7 @@ func main() {
 		Confidence:  *conf,
 		Budget:      *budget,
 		Parallelism: *par,
+		Scheduling:  crowdtopk.SchedulingMode(*sched),
 		Seed:        *seed + 1,
 	}
 

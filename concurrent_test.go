@@ -1,0 +1,155 @@
+package crowdtopk_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"crowdtopk"
+)
+
+// TestSessionConcurrentChaosExactSpend is the multi-tenancy money
+// guarantee under fire: N goroutines run Session.TopK concurrently over
+// one flaky platform, one spending cap, one audit log and one telemetry
+// bundle, and the books still balance exactly — every charged microtask
+// is an accepted, recorded answer attributed to exactly one query.
+func TestSessionConcurrentChaosExactSpend(t *testing.T) {
+	data := crowdtopk.SyntheticDataset(24, 0.2, 17)
+	var p crowdtopk.Platform = crowdtopk.SimulatedPlatform(data, 4, 18)
+	p = crowdtopk.InjectFaults(p, crowdtopk.FaultSchedule{
+		Seed: 19, Drop: 0.15, Duplicate: 0.05, PostError: 0.05, CollectError: 0.05,
+	})
+	oracle := crowdtopk.WrapPlatform(data.NumItems(), p)
+
+	tel := crowdtopk.NewTelemetry()
+	opts := resilientOpts(1)
+	opts.Resilience.MaxAttempts = 10 // absorb the transient fault mix
+	opts.TotalBudget = 20_000        // shared cap: late queries run best-effort
+	opts.Telemetry = tel
+	sess, err := crowdtopk.NewSession(oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.EnableAuditLog()
+
+	const queries = 6
+	results := make([]crowdtopk.Result, queries)
+	errs := make([]error, queries)
+	var wg sync.WaitGroup
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			results[q], errs[q] = sess.TopK(3 + q%3)
+		}(q)
+	}
+	wg.Wait()
+
+	var sumTMC, sumRounds int64
+	for q, res := range results {
+		if errs[q] != nil {
+			// Transient faults are absorbed by retries; only a genuine
+			// degradation may surface, and then as a partial result.
+			var partial *crowdtopk.PartialResultError
+			if !errors.As(errs[q], &partial) {
+				t.Fatalf("query %d: unexpected error %v", q, errs[q])
+			}
+		}
+		if want := 3 + q%3; len(res.TopK) != want {
+			t.Errorf("query %d returned %d items, want %d", q, len(res.TopK), want)
+		}
+		if res.Stats == nil {
+			t.Fatalf("query %d: telemetry enabled but Stats is nil", q)
+		}
+		if res.Stats.TMC != res.TMC || res.Stats.Rounds != res.Rounds {
+			t.Errorf("query %d: Stats (tmc %d, rounds %d) disagrees with Result (tmc %d, rounds %d)",
+				q, res.Stats.TMC, res.Stats.Rounds, res.TMC, res.Rounds)
+		}
+		sumTMC += res.TMC
+		sumRounds += res.Rounds
+	}
+
+	// Per-query meters partition the session totals exactly.
+	if sumTMC != sess.TMC() {
+		t.Errorf("per-query TMC sums to %d, session spent %d", sumTMC, sess.TMC())
+	}
+	if sumRounds != sess.Rounds() {
+		t.Errorf("per-query rounds sum to %d, session clock says %d", sumRounds, sess.Rounds())
+	}
+	// The hard money invariant: TMC == accepted answers == audit-log
+	// length == the telemetry registry's lifetime counter. Refunded
+	// reservations and cap denials were never charged anywhere.
+	if sess.TMC() != int64(len(sess.AuditLog())) {
+		t.Errorf("spend drift: TMC %d != %d logged microtasks", sess.TMC(), len(sess.AuditLog()))
+	}
+	if got := tel.Stats().TMC; got != sess.TMC() {
+		t.Errorf("registry TMC %d != session TMC %d", got, sess.TMC())
+	}
+	if opts.TotalBudget > 0 && sess.TMC() > opts.TotalBudget {
+		t.Errorf("session spent %d beyond the shared cap %d", sess.TMC(), opts.TotalBudget)
+	}
+}
+
+// TestSessionConcurrentQueriesHealthyPlatform runs the same concurrent
+// workload without faults: every query must succeed outright, answers
+// must be correct, and the exact-attribution invariants must hold on the
+// happy path too (the chaos test alone could mask an accounting bug
+// behind cap denials).
+func TestSessionConcurrentQueriesHealthyPlatform(t *testing.T) {
+	data := crowdtopk.SyntheticDataset(30, 0.15, 41)
+	tel := crowdtopk.NewTelemetry()
+	sess, err := crowdtopk.NewSession(data, crowdtopk.Options{
+		Confidence: 0.95, Budget: 300, MinWorkload: 10, BatchSize: 10,
+		Seed: 42, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const queries = 5
+	const k = 5
+	truth := crowdtopk.TrueTopK(data, k)
+	results := make([]crowdtopk.Result, queries)
+	var wg sync.WaitGroup
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			res, err := sess.TopK(k)
+			if err != nil {
+				t.Errorf("query %d: %v", q, err)
+				return
+			}
+			results[q] = res
+		}(q)
+	}
+	wg.Wait()
+
+	var sumTMC int64
+	for q, res := range results {
+		if got := overlapCount(res.TopK, truth); got < k-1 {
+			t.Errorf("query %d: recall %d/%d", q, got, k)
+		}
+		sumTMC += res.TMC
+	}
+	if sumTMC != sess.TMC() {
+		t.Errorf("per-query TMC sums to %d, session spent %d", sumTMC, sess.TMC())
+	}
+	if got := tel.Stats().TMC; got != sess.TMC() {
+		t.Errorf("registry TMC %d != session TMC %d", got, sess.TMC())
+	}
+	// Evidence reuse across concurrent queries: later queries answer
+	// partly from the shared bags and memo, so the total spend must be
+	// well below queries times the cost of a cold query.
+	cold, err := crowdtopk.Query(data, crowdtopk.Options{
+		K: k, Confidence: 0.95, Budget: 300, MinWorkload: 10, BatchSize: 10, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.TMC() >= queries*cold.TMC {
+		t.Errorf("no evidence reuse: %d concurrent queries spent %d, %d cold queries would spend %d",
+			queries, sess.TMC(), queries, queries*cold.TMC)
+	}
+}

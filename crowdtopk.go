@@ -170,6 +170,13 @@ func Query(o Oracle, opts Options) (Result, error) {
 	res := topk.Run(alg, r, opts.K)
 	out := Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}
 	out.Stats = opts.Telemetry.statsSince(before, time.Since(start))
+	if out.Stats != nil {
+		// A telemetry bundle may serve concurrent queries; the registry
+		// diff would then fold their traffic into this query's window.
+		// Cost and latency come from the per-query meter instead.
+		out.Stats.TMC = res.TMC
+		out.Stats.Rounds = res.Rounds
+	}
 	if trace != nil {
 		out.Phases = &PhaseBreakdown{
 			SelectTMC:       trace.Select.TMC,
@@ -250,6 +257,7 @@ func newRunner(o Oracle, opts Options) (*compare.Runner, error) {
 	r := compare.NewRunner(eng, policy, compare.Params{
 		B: opts.Budget, I: opts.MinWorkload, Step: opts.BatchSize,
 		Parallelism: opts.Parallelism,
+		Async:       opts.Scheduling == Async,
 	})
 	if opts.Telemetry != nil {
 		r.SetTelemetry(opts.Telemetry.tel)

@@ -6,6 +6,7 @@ import (
 
 	"crowdtopk/internal/crowd"
 	"crowdtopk/internal/obs"
+	"crowdtopk/internal/sched"
 )
 
 // HalfWidther is optionally implemented by policies that can report the
@@ -59,6 +60,7 @@ func (r *Runner) SetTelemetry(t *obs.Telemetry) {
 	r.tel = t
 	r.ins = NewInstruments(t.Registry())
 	r.eng.SetInstruments(crowd.NewEngineInstruments(t.Registry()))
+	r.sch.SetInstruments(sched.NewInstruments(t.Registry()))
 	if po, ok := r.eng.Oracle().(*crowd.PlatformOracle); ok {
 		po.Instrument(crowd.NewPlatformInstruments(t.Registry()))
 	}

@@ -8,6 +8,7 @@ import (
 
 	"crowdtopk/internal/crowd"
 	"crowdtopk/internal/obs"
+	"crowdtopk/internal/sched"
 )
 
 // Params configures the execution of comparison processes.
@@ -24,12 +25,23 @@ type Params struct {
 	// at a time and the stopping rule is tested after each batch. Step = 1
 	// reproduces the one-at-a-time Algorithm 1.
 	Step int
-	// Parallelism bounds the worker pool that executes the undecided
-	// pairs of one comparison wave concurrently (§5.5 made physical).
-	// 1 runs waves sequentially; 0 selects GOMAXPROCS. Thanks to the
-	// engine's per-pair sample streams, any value produces byte-identical
-	// results for a fixed seed — Parallelism trades wall-clock only.
+	// Parallelism bounds the shared scheduler pool that executes the
+	// undecided pairs of comparison waves concurrently (§5.5 made
+	// physical). 1 runs comparisons inline on the control goroutine;
+	// 0 selects GOMAXPROCS. Thanks to the engine's per-pair sample
+	// streams, any value produces byte-identical results for a fixed
+	// seed in the default (deterministic) scheduling mode — Parallelism
+	// trades wall-clock only.
 	Parallelism int
+	// Async switches algorithms from deterministic wave barriers to
+	// free-running comparison chains on the shared scheduler: a decided
+	// pair immediately frees its worker instead of waiting for the
+	// wave's slowest straggler. Results remain correct (per-pair sample
+	// streams are schedule-independent) but control-flow decisions that
+	// depend on completion order may differ run to run; latency rounds
+	// become a high-water mark rather than an exact wave count. Async is
+	// ignored when the resolved Parallelism is 1.
+	Async bool
 }
 
 // DefaultParams returns the paper's default execution parameters:
@@ -79,21 +91,57 @@ type Runner struct {
 	spanMu sync.Mutex
 	active map[[2]int]*compState
 
-	// memo stripes the conclusion table: each canonical pair hashes to one
-	// of memoStripes independently locked maps, so SPR's inner loops —
-	// which call Concluded for every candidate pair of a wave — stop
-	// serializing on one global RWMutex. Within a stripe reads take an
-	// RLock (allocation-free); a conclusion, once written, is immutable
-	// (first writer wins), so readers always observe a stable verdict.
-	memo [memoStripes]memoStripe
+	// sch is the shared comparison scheduler: one pool serving every
+	// query forked off this runner. acct is this runner's (this query's)
+	// slice of it — exact microtask/round attribution plus the
+	// ref-counted scheduler handle. Fork gives each concurrent query its
+	// own acct over the same sch; Derive shares both.
+	sch  *sched.Scheduler
+	acct *queryAcct
+
+	// memo points at the conclusion table so forked runners share
+	// verdicts while derived sub-phase runners (whose budget-exhausted
+	// ties must not pollute the main query) get a private one. The table
+	// stripes canonical pairs over independently locked maps, so SPR's
+	// inner loops — which call Concluded for every candidate pair of a
+	// wave — do not serialize on one global RWMutex. Within a stripe
+	// reads take an RLock (allocation-free); a conclusion, once written,
+	// is immutable (first writer wins), so readers always observe a
+	// stable verdict.
+	memo *memoTable
 }
 
 // memoStripes must be a power of two.
 const memoStripes = 64
 
+type memoTable struct {
+	stripes [memoStripes]memoStripe
+}
+
 type memoStripe struct {
 	mu sync.RWMutex
 	m  map[[2]int]Outcome // canonical pair (lo, hi) -> outcome toward lo
+}
+
+// queryAcct is one query's accounting slice of the shared execution
+// stack: exact counts of the microtasks and latency rounds this query
+// (and only this query) consumed, plus the ref-counted scheduler handle
+// its drivers submit through.
+type queryAcct struct {
+	tmc    atomic.Int64 // microtasks charged via this runner's draws
+	rounds atomic.Int64 // latency rounds ticked via this runner
+
+	mu   sync.Mutex
+	q    *sched.Query // open handle while refs > 0
+	refs int
+}
+
+// handle returns the open scheduler handle, nil when nothing is borrowed.
+func (a *queryAcct) handle() *sched.Query {
+	a.mu.Lock()
+	q := a.q
+	a.mu.Unlock()
+	return q
 }
 
 // stripeOf picks the memo stripe of a canonical pair, mixing both indices
@@ -119,11 +167,170 @@ func NewRunner(e *crowd.Engine, policy Policy, p Params) *Runner {
 		eng:    e,
 		policy: policy,
 		params: p,
+		memo:   &memoTable{},
+		acct:   &queryAcct{},
 	}
+	r.sch = sched.New(r.Parallelism())
 	// Cache the half-width reporter once so comparison spans can record
 	// confidence trajectories without a type assertion per round.
 	r.hw, _ = policy.(HalfWidther)
 	return r
+}
+
+// Fork returns a runner for one more concurrent query on the same
+// execution stack: it shares the engine, policy, scheduler, conclusion
+// memo and telemetry wiring, but starts a fresh accounting slice — so
+// QueryTMC/QueryRounds on the fork report exactly what that query
+// consumed — and fresh span state. Forks may run TopK concurrently.
+func (r *Runner) Fork() *Runner {
+	f := &Runner{
+		eng:    r.eng,
+		policy: r.policy,
+		params: r.params,
+		tel:    r.tel,
+		ins:    r.ins,
+		hw:     r.hw,
+		sch:    r.sch,
+		acct:   &queryAcct{},
+		memo:   r.memo,
+	}
+	f.parent.Store(r.parent.Load())
+	return f
+}
+
+// Derive returns a sub-phase runner with different execution parameters
+// but the same engine, policy, scheduler handle and accounting slice —
+// its purchases count toward the parent query. The derived runner gets a
+// PRIVATE conclusion memo: sub-phases like reference selection conclude
+// pairs under a tighter budget, and those budget-exhausted ties must not
+// leak into the main query's verdict table.
+func (r *Runner) Derive(p Params) *Runner {
+	p.validate()
+	d := &Runner{
+		eng:    r.eng,
+		policy: r.policy,
+		params: p,
+		tel:    r.tel,
+		ins:    r.ins,
+		hw:     r.hw,
+		sch:    r.sch,
+		acct:   r.acct,
+		memo:   &memoTable{},
+	}
+	d.parent.Store(r.parent.Load())
+	return d
+}
+
+// Borrow opens (or joins) this query's handle on the shared scheduler
+// and returns it with a release func. The handle is ref-counted: the
+// pool workers spin up with the first outstanding borrow on the
+// scheduler and wind down when the last is released, so sessions that
+// are idle hold no goroutines. topk.Run borrows for the whole query;
+// nested borrows (sub-phases) join the same handle.
+func (r *Runner) Borrow() (*sched.Query, func()) {
+	a := r.acct
+	a.mu.Lock()
+	if a.refs == 0 {
+		a.q = r.sch.Open()
+	}
+	a.refs++
+	q := a.q
+	a.mu.Unlock()
+	return q, func() {
+		a.mu.Lock()
+		a.refs--
+		if a.refs == 0 {
+			a.q.Close()
+			a.q = nil
+		}
+		a.mu.Unlock()
+	}
+}
+
+// Sched returns the shared comparison scheduler.
+func (r *Runner) Sched() *sched.Scheduler { return r.sch }
+
+// AsyncMode reports whether algorithms should drive free-running
+// comparison chains instead of deterministic waves. Inline pools cannot
+// overlap work, so Async degrades gracefully to deterministic there.
+func (r *Runner) AsyncMode() bool { return r.params.Async && r.sch.Workers() > 1 }
+
+// Tick advances the engine's latency clock by n batch rounds and
+// attributes them to this runner's query.
+func (r *Runner) Tick(n int) {
+	r.eng.Tick(n)
+	r.acct.rounds.Add(int64(n))
+}
+
+// DrawOne purchases a single microtask for (i, j), attributing its cost
+// to this runner's query. It reports the sampled preference and whether
+// the purchase was granted (cap and platform permitting).
+func (r *Runner) DrawOne(i, j int) (float64, bool) {
+	v, ok := r.eng.DrawOne(i, j)
+	if ok {
+		r.acct.tmc.Add(1)
+	}
+	return v, ok
+}
+
+// draw purchases a batch for (i, j) and attributes exactly the charged
+// count to this query — the engine reports it per call, because a view
+// diff would misattribute cost when another query draws the same pair
+// concurrently.
+func (r *Runner) draw(i, j, n int) crowd.BagView {
+	v, charged := r.eng.DrawN(i, j, n)
+	if charged != 0 {
+		r.acct.tmc.Add(int64(charged))
+	}
+	return v
+}
+
+// Draw purchases a batch of up to n preference microtasks for (i, j),
+// attributing the charged cost to this runner's query. It is the
+// budget-driven purchase path of algorithms that spend fixed workloads
+// instead of running confidence-aware comparison processes (HYBRID).
+func (r *Runner) Draw(i, j, n int) crowd.BagView { return r.draw(i, j, n) }
+
+// Grade purchases one graded (absolute rating) microtask for item i,
+// attributing its cost to this runner's query. It reports the rating and
+// whether the purchase was granted.
+func (r *Runner) Grade(i int) (float64, bool) {
+	v, ok := r.eng.Grade(i)
+	if ok {
+		r.acct.tmc.Add(1)
+	}
+	return v, ok
+}
+
+// QueryTMC returns the microtasks charged through this runner (this
+// query), exact even while other queries share the engine.
+func (r *Runner) QueryTMC() int64 { return r.acct.tmc.Load() }
+
+// QueryRounds returns the latency rounds ticked through this runner.
+func (r *Runner) QueryRounds() int64 { return r.acct.rounds.Load() }
+
+// Rand returns the concurrency-safe control random source shared by
+// every query on the engine. Control-flow randomness (shuffles, pivot
+// picks) must come from here, never from Engine.Rand, once a session may
+// run queries concurrently.
+func (r *Runner) Rand() *crowd.ControlRand { return r.eng.Control() }
+
+// execStep runs one blocking comparison step. While the query has a
+// scheduler handle open, the step is routed through the pool so
+// sequential Compare calls share fairly with other queries and count
+// toward pool utilization; otherwise it runs directly. Only the query's
+// control goroutine may reach here (never a pool task — tasks must not
+// submit), and never with chain completions outstanding.
+func (r *Runner) execStep(fn func()) {
+	q := r.acct.handle()
+	if q == nil {
+		fn()
+		return
+	}
+	q.Submit(sched.Task{Tag: -1, Run: fn})
+	if tag := q.Next(); tag != -1 {
+		panic("compare: execStep consumed a foreign completion; Compare must not run with chain tasks in flight")
+	}
 }
 
 // Engine returns the underlying crowd engine.
@@ -161,7 +368,7 @@ func canonical(i, j int) ([2]int, bool) {
 // Concluded reports the memoized outcome for (i, j), if any.
 func (r *Runner) Concluded(i, j int) (Outcome, bool) {
 	k, flip := canonical(i, j)
-	s := &r.memo[stripeOf(k)]
+	s := &r.memo.stripes[stripeOf(k)]
 	s.mu.RLock()
 	o, ok := s.m[k]
 	s.mu.RUnlock()
@@ -182,7 +389,7 @@ func (r *Runner) remember(i, j int, o Outcome) {
 	if flip {
 		o = o.Flip()
 	}
-	s := &r.memo[stripeOf(k)]
+	s := &r.memo.stripes[stripeOf(k)]
 	s.mu.Lock()
 	if s.m == nil {
 		s.m = make(map[[2]int]Outcome)
@@ -224,7 +431,7 @@ func (r *Runner) Compare(i, j int) Outcome {
 			// remainder never occupied a round (nor must it be re-counted
 			// if the loop re-enters this branch).
 			before := v.N
-			v = r.eng.Draw(i, j, need)
+			r.execStep(func() { v = r.draw(i, j, need) })
 			granted := v.N - before
 			if granted == 0 {
 				// A global spending cap ran dry: best-effort tie, not
@@ -233,7 +440,7 @@ func (r *Runner) Compare(i, j int) Outcome {
 				return Tie
 			}
 			rounds := (granted + r.params.Step - 1) / r.params.Step
-			r.eng.Tick(rounds)
+			r.Tick(rounds)
 			r.observeRound(st, v, rounds)
 		}
 		if o := r.policy.Test(v); o != Tie {
@@ -252,13 +459,13 @@ func (r *Runner) Compare(i, j int) Outcome {
 			n = left
 		}
 		before := v.N
-		v = r.eng.Draw(i, j, n)
+		r.execStep(func() { v = r.draw(i, j, n) })
 		if v.N == before {
 			// Spending cap exhausted mid-comparison: no round ran.
 			r.finishComp(st, v, Tie, false)
 			return Tie
 		}
-		r.eng.Tick(1)
+		r.Tick(1)
 		r.observeRound(st, v, 1)
 	}
 }
@@ -290,7 +497,7 @@ func (r *Runner) Advance(i, j int) (Outcome, bool) {
 	}
 	if n > 0 {
 		before := v.N
-		v = r.eng.Draw(i, j, n)
+		v = r.draw(i, j, n)
 		if v.N == before {
 			// Global spending cap exhausted: report the pair finished
 			// (best effort) without memoizing a statistical conclusion.
@@ -352,9 +559,9 @@ func (r *Runner) Workload(i, j int) int { return r.eng.View(i, j).N }
 // samples, letting a caller re-judge pairs under a different policy or
 // budget against the same bags. It must not race with in-flight waves.
 func (r *Runner) ForgetConclusions() {
-	for s := range r.memo {
-		r.memo[s].mu.Lock()
-		r.memo[s].m = nil
-		r.memo[s].mu.Unlock()
+	for s := range r.memo.stripes {
+		r.memo.stripes[s].mu.Lock()
+		r.memo.stripes[s].m = nil
+		r.memo.stripes[s].mu.Unlock()
 	}
 }

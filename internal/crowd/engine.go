@@ -75,6 +75,7 @@ type Engine struct {
 	batch    BatchOracle         // oracle's batch kernel, cached once at construction
 	fallible FallibleBatchOracle // oracle's error-aware kernel, preferred when present
 	rng      *rand.Rand          // control-thread randomness, exposed via Rand()
+	control  *ControlRand        // mutex-guarded view of rng for concurrent sessions
 	baseSeed int64               // root of the per-pair and per-item sample streams
 
 	shards [numShards]shard
@@ -123,6 +124,7 @@ func NewEngine(o Oracle, rng *rand.Rand) *Engine {
 		baseSeed: rng.Int63(),
 		gradeRng: make(map[int]*rand.Rand),
 	}
+	e.control = &ControlRand{r: rng}
 	// The batch kernels are resolved once so the Draw hot path pays no
 	// type assertion per call. The fallible kernel wins when both exist:
 	// it is the only path that can decline part of a purchase instead of
@@ -212,6 +214,44 @@ func (e *Engine) NumItems() int { return e.oracle.NumItems() }
 // identical whether comparison waves execute sequentially or in parallel.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// ControlRand is a mutex-guarded view over the engine's control-thread
+// random source for sessions running several query control goroutines at
+// once. Each call consumes from the same underlying stream as Rand(), so
+// a single-query run that switches to ControlRand draws the identical
+// sequence — only the cross-query interleaving is serialized.
+type ControlRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// Intn is rand.Rand.Intn under the control mutex.
+func (c *ControlRand) Intn(n int) int {
+	c.mu.Lock()
+	v := c.r.Intn(n)
+	c.mu.Unlock()
+	return v
+}
+
+// Perm is rand.Rand.Perm under the control mutex.
+func (c *ControlRand) Perm(n int) []int {
+	c.mu.Lock()
+	p := c.r.Perm(n)
+	c.mu.Unlock()
+	return p
+}
+
+// Shuffle is rand.Rand.Shuffle under the control mutex.
+func (c *ControlRand) Shuffle(n int, swap func(i, j int)) {
+	c.mu.Lock()
+	c.r.Shuffle(n, swap)
+	c.mu.Unlock()
+}
+
+// Control returns the engine's concurrency-safe control random source.
+// Use it instead of Rand() wherever more than one query may be running on
+// the engine.
+func (e *Engine) Control() *ControlRand { return e.control }
+
 // SetSpendingCap limits the engine's total monetary cost: once TMC
 // reaches the cap, further purchases are truncated and queries complete
 // best-effort on the evidence at hand. cap <= 0 removes the limit. The cap
@@ -289,6 +329,12 @@ func (e *Engine) appendLog(r Record) {
 // view oriented toward i. Each microtask costs one unit of TMC. Draw does
 // not advance the latency clock; callers Tick at their batch boundaries.
 //
+// DrawN is Draw plus the exact charge: the second result is how many
+// microtasks were actually delivered and charged for this call, after cap
+// truncation and platform-shortfall refunds. Callers attributing cost to
+// one of several concurrent queries need the per-call count — a view diff
+// would misattribute when another query draws the same pair concurrently.
+//
 // The whole batch is sampled through one dynamic dispatch: oracles
 // implementing FallibleBatchOracle (preferred) or BatchOracle fill a
 // pooled scratch buffer in a single call, everyone else falls back to n
@@ -302,24 +348,32 @@ func (e *Engine) appendLog(r Record) {
 // mode — this and every later Draw grant nothing more, so TMC always
 // equals the answers accepted into bags, even mid-failure.
 func (e *Engine) Draw(i, j, n int) BagView {
+	v, _ := e.DrawN(i, j, n)
+	return v
+}
+
+// DrawN purchases like Draw and additionally returns the number of
+// microtasks delivered and charged by this call. See Draw.
+func (e *Engine) DrawN(i, j, n int) (BagView, int) {
 	if i == j {
-		panic(fmt.Sprintf("crowd: Draw on identical items %d", i))
+		panic(fmt.Sprintf("crowd: DrawN on identical items %d", i))
 	}
 	if n < 0 {
-		panic(fmt.Sprintf("crowd: Draw with negative count %d", n))
+		panic(fmt.Sprintf("crowd: DrawN with negative count %d", n))
 	}
 	k := keyOf(i, j)
 	ps := e.pair(k)
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	if e.failed.Load() {
-		return ps.bag.view(i != k.lo)
+		return ps.bag.view(i != k.lo), 0
 	}
 	req := n
 	n = e.reserve(n)
 	if ins := e.ins; ins != nil && n < req {
 		ins.CapDenied.Add(int64(req - n))
 	}
+	charged := 0
 	if n > 0 {
 		bufp := drawBufPool.Get().(*[]float64)
 		buf := *bufp
@@ -378,8 +432,9 @@ func (e *Engine) Draw(i, j, n int) BagView {
 		}
 		*bufp = buf[:0]
 		drawBufPool.Put(bufp)
+		charged = filled
 	}
-	return ps.bag.view(i != k.lo)
+	return ps.bag.view(i != k.lo), charged
 }
 
 // DrawOne purchases a single preference microtask for the pair (i, j) and

@@ -72,8 +72,10 @@ func (h *Hybrid) TopK(r *compare.Runner, k int) []int {
 	survivors, gradeOf := gradeFilter(r, allItems(n), keep, int64(share*float64(h.Budget)), eta)
 
 	// Phase 2: a fixed pairwise workload for every survivor pair, ranked
-	// by the sum of mean preferences against the other survivors.
-	spent := e.TMC() // includes phase 1
+	// by the sum of mean preferences against the other survivors. The
+	// budget check uses the runner's per-query counter, so concurrent
+	// queries on the same engine don't eat into this query's allowance.
+	spent := r.QueryTMC() // includes phase 1
 	pairBudget := h.Budget - spent
 	numPairs := int64(len(survivors)) * int64(len(survivors)-1) / 2
 	perPair := int64(0)
@@ -83,10 +85,10 @@ func (h *Hybrid) TopK(r *compare.Runner, k int) []int {
 	if perPair > 0 {
 		for a := 0; a < len(survivors); a++ {
 			for b := a + 1; b < len(survivors); b++ {
-				e.Draw(survivors[a], survivors[b], int(perPair))
+				r.Draw(survivors[a], survivors[b], int(perPair))
 			}
 		}
-		e.Tick(int((perPair + int64(eta) - 1) / int64(eta)))
+		r.Tick(int((perPair + int64(eta) - 1) / int64(eta)))
 	}
 
 	score := make(map[int]float64, len(survivors))
@@ -169,7 +171,6 @@ func (h *HybridSPR) TopK(r *compare.Runner, k int) []int {
 // parallel batches, and returns the keep highest-rated items along with
 // the grade means.
 func gradeFilter(r *compare.Runner, items []int, keep int, budget int64, eta int) ([]int, map[int]float64) {
-	e := r.Engine()
 	per := int(budget / int64(len(items)))
 	if per < 1 {
 		per = 1
@@ -179,7 +180,7 @@ func gradeFilter(r *compare.Runner, items []int, keep int, budget int64, eta int
 		s := 0.0
 		bought := 0
 		for g := 0; g < per; g++ {
-			v, ok := e.Grade(o)
+			v, ok := r.Grade(o)
 			if !ok {
 				break // global spending cap exhausted: grade on what we have
 			}
@@ -193,7 +194,7 @@ func gradeFilter(r *compare.Runner, items []int, keep int, budget int64, eta int
 		mean[o] = s / float64(bought)
 	}
 	// All items are graded in parallel; rounds follow the batch model.
-	e.Tick((per + eta - 1) / eta)
+	r.Tick((per + eta - 1) / eta)
 
 	sorted := append([]int(nil), items...)
 	sort.SliceStable(sorted, func(a, b int) bool { return mean[sorted[a]] > mean[sorted[b]] })

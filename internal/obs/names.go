@@ -58,6 +58,20 @@ const (
 	// start and a worker picking them up — the pool's queueing delay.
 	MQueueWaitNs = "crowdtopk_queue_wait_ns_total"
 
+	// Comparison scheduler (internal/sched): the shared task pool.
+
+	// MSchedQueueDepth is a gauge of tasks queued for a pool worker.
+	MSchedQueueDepth = "crowdtopk_sched_queue_depth"
+	// MSchedInFlight is a gauge of tasks currently executing.
+	MSchedInFlight = "crowdtopk_sched_inflight"
+	// MSchedQueueWait is a histogram of per-task nanoseconds between
+	// submission and worker pickup.
+	MSchedQueueWait = "crowdtopk_sched_queue_wait_ns"
+	// MSchedSteals counts straggler steals: a later-round task starting
+	// while an earlier-round task of the same query still runs — work the
+	// wave barrier would have serialized behind the straggler.
+	MSchedSteals = "crowdtopk_sched_straggler_steals_total"
+
 	// Resilient platform (internal/crowd): retries and degradation.
 
 	// MReposts counts shortfall re-posts (retry traffic).
@@ -97,6 +111,8 @@ var (
 	WorkloadBuckets = []int64{30, 60, 90, 150, 250, 500, 1000}
 	// WaveWidthBuckets covers undecided pairs per wave.
 	WaveWidthBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	// QueueWaitBuckets covers scheduler queue waits, 1µs to 1s in ns.
+	QueueWaitBuckets = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
 )
 
 // PhaseTMC returns the labeled counter name attributing monetary cost to

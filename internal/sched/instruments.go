@@ -1,0 +1,29 @@
+package sched
+
+import "crowdtopk/internal/obs"
+
+// Instruments is the scheduler's pre-resolved metric bundle. All fields
+// are non-nil when the bundle is; the disabled path is one nil check on
+// the bundle itself.
+type Instruments struct {
+	QueueDepth  *obs.Gauge     // tasks queued, not yet picked up
+	InFlight    *obs.Gauge     // tasks currently executing on workers
+	QueueWait   *obs.Histogram // ns from submit to worker pickup, per task
+	QueueWaitNs *obs.Counter   // cumulative queue-wait ns (continuity with the wave-era counter)
+	Steals      *obs.Counter   // straggler steals: later-round task started past a running earlier round
+}
+
+// NewInstruments resolves the bundle from the registry; nil registry
+// (telemetry disabled) yields nil.
+func NewInstruments(reg *obs.Registry) *Instruments {
+	if reg == nil {
+		return nil
+	}
+	return &Instruments{
+		QueueDepth:  reg.Gauge(obs.MSchedQueueDepth),
+		InFlight:    reg.Gauge(obs.MSchedInFlight),
+		QueueWait:   reg.Histogram(obs.MSchedQueueWait, obs.QueueWaitBuckets),
+		QueueWaitNs: reg.Counter(obs.MQueueWaitNs),
+		Steals:      reg.Counter(obs.MSchedSteals),
+	}
+}

@@ -1,0 +1,346 @@
+// Package sched is the shared asynchronous comparison scheduler: one
+// bounded worker pool that advances every in-flight comparison process —
+// across pairs and across queries — one step at a time, delivering
+// completions on per-query mailboxes.
+//
+// The scheduler replaces the per-algorithm wave pools of the earlier
+// design. Algorithms become plan drivers: they submit COMP step tasks
+// (tagged with a chain id and a latency round) and react to completions,
+// so a decided pair immediately frees its worker for another pair — or for
+// another query — instead of idling behind a wave barrier on the slowest
+// straggler.
+//
+// Fairness is round-robin across open queries: each worker pickup takes
+// the next pending task from the next query that has one, so one wide
+// query cannot starve a narrow one sharing the session. Within a query,
+// tasks run highest-Priority first, FIFO among equals.
+//
+// Determinism: with one worker the scheduler degenerates to inline
+// execution — Submit runs the task synchronously on the caller's
+// goroutine and queues the completion — which is byte-identical to the
+// historical sequential execution. With more workers, execution order
+// across chains is nondeterministic, but the engine's per-pair sample
+// streams keep every chain's samples schedule-independent; wave-mode
+// drivers restore full determinism with a drain barrier per round.
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one schedulable step of a comparison process.
+type Task struct {
+	// Tag identifies the chain the step belongs to; it is echoed back by
+	// Query.Next so the driver can route the completion.
+	Tag int64
+	// Round is the chain's latency round after this step completes.
+	// Drivers use it for high-water latency ticking; the scheduler uses it
+	// to detect straggler steals (a later-round task starting while an
+	// earlier-round task of the same query is still running).
+	Round int64
+	// Priority orders tasks within one query: higher runs first, FIFO
+	// among equals. Cross-query order is round-robin regardless.
+	Priority int32
+	// Run performs the step. It must not submit to the scheduler itself
+	// (drivers submit follow-up steps from the completion loop), so tasks
+	// can never deadlock the pool.
+	Run func()
+}
+
+// queued is a Task in a query's pending queue.
+type queued struct {
+	Task
+	enq time.Time // submit time, set only when instruments are wired
+}
+
+// Scheduler owns the worker pool. Workers are spawned when the first
+// query opens and exit when the last closes, so idle sessions hold no
+// goroutines. A Scheduler with workers <= 1 never spawns: Submit executes
+// inline (sequential mode).
+type Scheduler struct {
+	workers int
+	busyNs  atomic.Int64 // wall-clock ns workers spent inside Task.Run
+	tasks   atomic.Int64 // tasks executed (pool and inline)
+
+	// ins is the pre-resolved metric bundle; nil when telemetry is off
+	// (the disabled path costs one nil check per touch point).
+	ins *Instruments
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queries []*Query // open queries, round-robin order
+	rr      int      // next query to serve
+	pending int      // total queued tasks across queries
+	running int      // tasks currently inside Run
+	live    int      // workers currently alive
+}
+
+// New returns a scheduler whose pool is bounded by workers. workers <= 1
+// selects inline (sequential) execution.
+func New(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{workers: workers}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SetInstruments wires the metric bundle; nil disables instrumentation.
+// Call before the scheduler is shared across goroutines.
+func (s *Scheduler) SetInstruments(ins *Instruments) { s.ins = ins }
+
+// Workers returns the pool bound.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// BusyNs returns the cumulative wall-clock nanoseconds pool workers spent
+// executing tasks — the numerator of pool utilization
+// (busy / (wall × workers)). Inline execution does not count.
+func (s *Scheduler) BusyNs() int64 { return s.busyNs.Load() }
+
+// Tasks returns how many tasks have been executed.
+func (s *Scheduler) Tasks() int64 { return s.tasks.Load() }
+
+// Query is one query's handle on the scheduler: a private pending queue
+// feeding the shared pool and a mailbox receiving completions.
+type Query struct {
+	s       *Scheduler
+	pending []queued
+	head    int
+	prio    bool    // some pending task has nonzero priority
+	rounds  []int64 // rounds of this query's tasks currently running
+	closed  bool
+
+	dmu  sync.Mutex
+	done []int64
+	dpos int
+	sig  chan struct{}
+}
+
+// Open registers a new query with the scheduler and (in pool mode) spawns
+// the workers if none are alive. Close the handle when the query's last
+// completion has been consumed.
+func (s *Scheduler) Open() *Query {
+	q := &Query{s: s, sig: make(chan struct{}, 1)}
+	if s.workers <= 1 {
+		return q
+	}
+	s.mu.Lock()
+	s.queries = append(s.queries, q)
+	for s.live < s.workers {
+		s.live++
+		go s.worker()
+	}
+	s.mu.Unlock()
+	return q
+}
+
+// Submit queues one task. In inline mode (workers <= 1) the task runs
+// synchronously on the calling goroutine and its completion is queued
+// before Submit returns — byte-identical to sequential execution.
+// Submit must not be called after Close, nor concurrently with it.
+func (q *Query) Submit(t Task) {
+	s := q.s
+	if s.workers <= 1 {
+		t.Run()
+		s.tasks.Add(1)
+		q.deliver(t.Tag)
+		return
+	}
+	qt := queued{Task: t}
+	if s.ins != nil {
+		qt.enq = time.Now()
+	}
+	s.mu.Lock()
+	if q.closed {
+		s.mu.Unlock()
+		panic("sched: Submit on a closed query")
+	}
+	q.pending = append(q.pending, qt)
+	if t.Priority != 0 {
+		q.prio = true
+	}
+	s.pending++
+	if ins := s.ins; ins != nil {
+		ins.QueueDepth.Set(int64(s.pending))
+	}
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Next blocks until one of the query's submitted tasks has completed and
+// returns its Tag. Each Submit produces exactly one Next delivery. Only
+// the query's driver goroutine may call Next.
+func (q *Query) Next() int64 {
+	for {
+		q.dmu.Lock()
+		if q.dpos < len(q.done) {
+			tag := q.done[q.dpos]
+			q.dpos++
+			if q.dpos == len(q.done) {
+				q.done = q.done[:0]
+				q.dpos = 0
+			}
+			q.dmu.Unlock()
+			return tag
+		}
+		q.dmu.Unlock()
+		<-q.sig
+	}
+}
+
+// Drain consumes n completions, discarding the tags — the wave-barrier
+// primitive for drivers that track results positionally.
+func (q *Query) Drain(n int) {
+	for i := 0; i < n; i++ {
+		q.Next()
+	}
+}
+
+// Close unregisters the query. Any still-pending tasks are dropped; the
+// caller must have drained the completions of tasks it cares about. When
+// the last query closes, the pool workers exit.
+func (q *Query) Close() {
+	s := q.s
+	if s.workers <= 1 {
+		return
+	}
+	s.mu.Lock()
+	q.closed = true
+	s.pending -= len(q.pending) - q.head
+	q.pending = nil
+	for i, o := range s.queries {
+		if o == q {
+			s.queries = append(s.queries[:i], s.queries[i+1:]...)
+			if s.rr > i {
+				s.rr--
+			}
+			break
+		}
+	}
+	if ins := s.ins; ins != nil {
+		ins.QueueDepth.Set(int64(s.pending))
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// deliver queues one completion and wakes the driver.
+func (q *Query) deliver(tag int64) {
+	q.dmu.Lock()
+	q.done = append(q.done, tag)
+	q.dmu.Unlock()
+	select {
+	case q.sig <- struct{}{}:
+	default:
+	}
+}
+
+// takeLocked removes and returns the query's next task: highest priority
+// first, FIFO among equals. Caller holds s.mu and has checked the queue
+// is non-empty.
+func (q *Query) takeLocked() queued {
+	best := q.head
+	if q.prio {
+		for i := q.head + 1; i < len(q.pending); i++ {
+			if q.pending[i].Priority > q.pending[best].Priority {
+				best = i
+			}
+		}
+	}
+	t := q.pending[best]
+	if best == q.head {
+		q.pending[best] = queued{}
+		q.head++
+	} else {
+		copy(q.pending[best:], q.pending[best+1:])
+		q.pending[len(q.pending)-1] = queued{}
+		q.pending = q.pending[:len(q.pending)-1]
+	}
+	if q.head == len(q.pending) {
+		q.pending = q.pending[:0]
+		q.head = 0
+		q.prio = false
+	}
+	return t
+}
+
+// pickLocked selects the next (query, task) pair round-robin across open
+// queries. Returns nil when nothing is pending.
+func (s *Scheduler) pickLocked() (*Query, queued, bool) {
+	n := len(s.queries)
+	for off := 0; off < n; off++ {
+		i := (s.rr + off) % n
+		q := s.queries[i]
+		if q.head < len(q.pending) {
+			t := q.takeLocked()
+			s.rr = (i + 1) % n
+			return q, t, true
+		}
+	}
+	return nil, queued{}, false
+}
+
+// worker is one pool goroutine: pick fairly, run, deliver, repeat; exit
+// when no queries remain open.
+func (s *Scheduler) worker() {
+	s.mu.Lock()
+	for {
+		q, t, ok := s.pickLocked()
+		if !ok {
+			if len(s.queries) == 0 {
+				s.live--
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			continue
+		}
+		s.pending--
+		s.running++
+		if ins := s.ins; ins != nil {
+			ins.QueueDepth.Set(int64(s.pending))
+			ins.InFlight.Set(int64(s.running))
+			wait := time.Since(t.enq).Nanoseconds()
+			ins.QueueWait.Observe(wait)
+			ins.QueueWaitNs.Add(wait)
+			// A straggler steal: this task starts while an earlier-round
+			// task of the same query is still running — the pool slot the
+			// wave barrier would have left idle.
+			for _, r := range q.rounds {
+				if r < t.Round {
+					ins.Steals.Inc()
+					break
+				}
+			}
+		}
+		q.rounds = append(q.rounds, t.Round)
+		s.mu.Unlock()
+
+		start := time.Now()
+		t.Run()
+		s.busyNs.Add(time.Since(start).Nanoseconds())
+		s.tasks.Add(1)
+
+		// Bookkeeping strictly before delivery: the driver may resubmit
+		// the chain's next round the moment it sees the completion, and
+		// that follow-up must not observe this finished step as a running
+		// earlier round (it would read as a phantom straggler steal).
+		s.mu.Lock()
+		s.running--
+		for i, r := range q.rounds {
+			if r == t.Round {
+				q.rounds = append(q.rounds[:i], q.rounds[i+1:]...)
+				break
+			}
+		}
+		if ins := s.ins; ins != nil {
+			ins.InFlight.Set(int64(s.running))
+		}
+		s.mu.Unlock()
+		q.deliver(t.Tag)
+		s.mu.Lock()
+	}
+}

@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowdtopk/internal/obs"
+)
+
+// TestInlineModeRunsSynchronously: with one worker, Submit executes the
+// task on the calling goroutine before returning, and completions arrive
+// in submission order — the sequential-determinism contract.
+func TestInlineModeRunsSynchronously(t *testing.T) {
+	s := New(1)
+	q := s.Open()
+	defer q.Close()
+	var order []int64
+	for tag := int64(0); tag < 5; tag++ {
+		tg := tag
+		q.Submit(Task{Tag: tg, Run: func() { order = append(order, tg) }})
+	}
+	for i := int64(0); i < 5; i++ {
+		if got := q.Next(); got != i {
+			t.Fatalf("completion %d: got tag %d", i, got)
+		}
+	}
+	for i, tg := range order {
+		if tg != int64(i) {
+			t.Fatalf("inline execution out of order: %v", order)
+		}
+	}
+	if s.Tasks() != 5 {
+		t.Fatalf("Tasks() = %d, want 5", s.Tasks())
+	}
+}
+
+// TestPoolDeliversEveryCompletion: every Submit yields exactly one Next,
+// regardless of pool interleaving.
+func TestPoolDeliversEveryCompletion(t *testing.T) {
+	s := New(4)
+	q := s.Open()
+	defer q.Close()
+	const n = 200
+	var ran atomic.Int64
+	for tag := int64(0); tag < n; tag++ {
+		q.Submit(Task{Tag: tag, Run: func() { ran.Add(1) }})
+	}
+	seen := make(map[int64]bool, n)
+	for i := 0; i < n; i++ {
+		tag := q.Next()
+		if seen[tag] {
+			t.Fatalf("tag %d delivered twice", tag)
+		}
+		seen[tag] = true
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), n)
+	}
+}
+
+// TestRoundRobinFairness: two queries submitting together both finish;
+// the narrow query is not starved behind the wide one.
+func TestRoundRobinFairness(t *testing.T) {
+	s := New(2)
+	qa, qb := s.Open(), s.Open()
+	defer qa.Close()
+	defer qb.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < 100; i++ {
+			qa.Submit(Task{Tag: i, Run: func() { time.Sleep(time.Microsecond) }})
+		}
+		qa.Drain(100)
+	}()
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < 5; i++ {
+			qb.Submit(Task{Tag: i, Run: func() {}})
+			qb.Next()
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("queries did not complete; scheduler starved or deadlocked")
+	}
+}
+
+// TestPriorityOrdersWithinQuery: with the pool blocked, the high-priority
+// task overtakes earlier FIFO submissions.
+func TestPriorityOrdersWithinQuery(t *testing.T) {
+	s := New(2)
+	q := s.Open()
+	defer q.Close()
+
+	gate := make(chan struct{})
+	// Occupy both workers so subsequent submissions queue up.
+	q.Submit(Task{Tag: 100, Run: func() { <-gate }})
+	q.Submit(Task{Tag: 101, Run: func() { <-gate }})
+	var first atomic.Int64
+	first.Store(-1)
+	for tag := int64(0); tag < 4; tag++ {
+		tg := tag
+		var prio int32
+		if tg == 3 {
+			prio = 1
+		}
+		q.Submit(Task{Tag: tg, Priority: prio, Run: func() {
+			first.CompareAndSwap(-1, tg)
+		}})
+	}
+	close(gate)
+	q.Drain(6)
+	if first.Load() != 3 {
+		t.Fatalf("first queued task to run was %d, want the priority-1 task 3", first.Load())
+	}
+}
+
+// TestWorkerLifecycle: workers exist only while a query is open, so idle
+// sessions hold no goroutines; reopening respawns them.
+func TestWorkerLifecycle(t *testing.T) {
+	s := New(4)
+	for round := 0; round < 3; round++ {
+		q := s.Open()
+		q.Submit(Task{Tag: 1, Run: func() {}})
+		q.Next()
+		q.Close()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			s.mu.Lock()
+			live := s.live
+			s.mu.Unlock()
+			if live == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: %d workers still alive after last query closed", round, live)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestStragglerStealCounter: one slow chain plus fast later-round chains
+// must record steals — the pool kept working past the straggler.
+func TestStragglerStealCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(4)
+	s.SetInstruments(NewInstruments(reg))
+	q := s.Open()
+	defer q.Close()
+
+	release := make(chan struct{})
+	q.Submit(Task{Tag: 0, Round: 1, Run: func() { <-release }})
+	// Give the straggler time to start running.
+	time.Sleep(10 * time.Millisecond)
+	for tag := int64(1); tag <= 8; tag++ {
+		q.Submit(Task{Tag: tag, Round: 2, Run: func() {}})
+	}
+	q.Drain(8)
+	close(release)
+	q.Next()
+	if got := reg.Counter(obs.MSchedSteals).Value(); got == 0 {
+		t.Fatal("no straggler steals recorded despite round-2 tasks passing a running round-1 task")
+	}
+}
+
+// TestDisabledInstrumentsAllocFree: with instruments off, the pool path
+// allocates nothing per task beyond the caller's own closure. This is the
+// scheduler's extension of the repo's disabled-telemetry alloc-regression
+// suite.
+func TestDisabledInstrumentsAllocFree(t *testing.T) {
+	s := New(1) // inline: measures the Submit/Next bookkeeping itself
+	q := s.Open()
+	defer q.Close()
+	task := Task{Tag: 7, Run: func() {}}
+	// Warm up the pending/done slices so steady state is measured.
+	for i := 0; i < 4; i++ {
+		q.Submit(task)
+		q.Next()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		q.Submit(task)
+		q.Next()
+	})
+	if avg > 0 {
+		t.Fatalf("disabled-instrument Submit+Next allocates %.1f per task, want 0", avg)
+	}
+}
+
+// TestBusyNsTracksPoolWork: pool utilization accounting accumulates the
+// wall-clock time spent inside tasks.
+func TestBusyNsTracksPoolWork(t *testing.T) {
+	s := New(2)
+	q := s.Open()
+	defer q.Close()
+	for tag := int64(0); tag < 4; tag++ {
+		q.Submit(Task{Tag: tag, Run: func() { time.Sleep(2 * time.Millisecond) }})
+	}
+	q.Drain(4)
+	if got := s.BusyNs(); got < (4 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("BusyNs = %d, want at least 4ms of tracked work", got)
+	}
+}

@@ -35,14 +35,22 @@ type Result struct {
 	Err error
 }
 
-// Run executes alg on a fresh accounting window of the runner's engine and
-// returns the result with cost deltas attributed to this run. When the
-// runner carries a tracer, the whole run is recorded under one "query"
-// root span: phases nest under it, comparison spans under the phases.
+// Run executes alg on a fresh accounting window of the runner and
+// returns the result with cost deltas attributed to this run. The
+// runner's per-query accounting makes the deltas exact even while other
+// queries (forked runners) share the engine and its spending cap. Run
+// borrows the query's scheduler handle for the whole execution, so the
+// algorithm's comparison waves — and even its sequential comparisons —
+// share the session's worker pool fairly with concurrent queries. When
+// the runner carries a tracer, the whole run is recorded under one
+// "query" root span: phases nest under it, comparison spans under the
+// phases.
 func Run(alg Algorithm, r *compare.Runner, k int) Result {
 	validateK(r, k)
 	e := r.Engine()
-	tmc0, rounds0 := e.TMC(), e.Rounds()
+	_, release := r.Borrow()
+	defer release()
+	tmc0, rounds0 := r.QueryTMC(), r.QueryRounds()
 
 	var span *obs.ActiveSpan
 	var prevParent obs.SpanID
@@ -61,8 +69,8 @@ func Run(alg Algorithm, r *compare.Runner, k int) Result {
 	res := Result{
 		Algorithm: alg.Name(),
 		TopK:      items,
-		TMC:       e.TMC() - tmc0,
-		Rounds:    e.Rounds() - rounds0,
+		TMC:       r.QueryTMC() - tmc0,
+		Rounds:    r.QueryRounds() - rounds0,
 		Err:       e.Err(),
 	}
 	if span != nil {

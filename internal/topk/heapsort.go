@@ -17,7 +17,7 @@ func (HeapSort) Name() string { return "heapsort" }
 func (HeapSort) TopK(r *compare.Runner, k int) []int {
 	validateK(r, k)
 	n := r.Engine().NumItems()
-	perm := r.Engine().Rand().Perm(n)
+	perm := r.Rand().Perm(n)
 
 	// heap[0] is the worst candidate (min-heap in quality).
 	heap := append([]int(nil), perm[:k]...)

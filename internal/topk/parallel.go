@@ -1,175 +1,56 @@
 package topk
 
 import (
-	"sync"
-	"sync/atomic"
-	"time"
-
 	"crowdtopk/internal/compare"
-	"crowdtopk/internal/crowd"
+	"crowdtopk/internal/sched"
 )
 
 // compareAll drives the comparison processes of all given pairs to
-// completion in parallel batch waves: every still-undecided pair advances
-// by one batch per wave, and each wave costs one latency round (§5.5).
-// It returns the outcome of every pair, oriented toward the pair's first
-// item. Pairs already concluded complete immediately at zero cost, and
-// duplicate pairs (in either orientation) are advanced only once per wave.
+// completion on the shared scheduler and returns the outcome of every
+// pair, oriented toward the pair's first item. Pairs already concluded
+// complete immediately at zero cost, duplicate pairs (in either
+// orientation) share one comparison process, and identical-item pairs
+// are ties by definition.
 //
-// Waves execute on a bounded worker pool sized by the runner's
-// Parallelism: each distinct undecided pair is advanced by exactly one
-// worker per wave, and the wave barrier plus the engine's per-pair sample
-// streams make the result byte-identical to the sequential execution
-// (Parallelism = 1) for a fixed seed. The latency accounting is untouched:
-// one Tick per wave, issued by the control goroutine at the barrier.
+// It is a thin compatibility shim over the plan driver: the batch is a
+// flatPlan, so in deterministic mode every still-undecided pair advances
+// by one batch per lockstep wave — one latency round per wave (§5.5),
+// byte-identical to sequential execution for a fixed seed — while in
+// async mode each pair free-runs and frees its pool slot the moment it
+// concludes.
 func compareAll(r *compare.Runner, pairs [][2]int) []compare.Outcome {
-	out := make([]compare.Outcome, len(pairs))
-
-	// Group indices by canonical pair so each distinct pair advances once.
-	type group struct {
-		i, j    int
-		indices []int
-	}
-	byKey := make(map[[2]int]*group, len(pairs))
-	var pending []*group
-	for idx, p := range pairs {
-		key := [2]int{p[0], p[1]}
-		if key[0] > key[1] {
-			key[0], key[1] = key[1], key[0]
-		}
-		g, ok := byKey[key]
-		if !ok {
-			g = &group{i: key[0], j: key[1]}
-			byKey[key] = g
-			pending = append(pending, g)
-		}
-		g.indices = append(g.indices, idx)
-	}
-
-	assign := func(g *group, o compare.Outcome) {
-		for _, idx := range g.indices {
-			if pairs[idx][0] == g.i {
-				out[idx] = o
-			} else {
-				out[idx] = o.Flip()
-			}
-		}
-	}
-
-	// Skip identical-item pairs (a tie by definition — they arise when
-	// sampling with replacement yields the same max twice) and pairs that
-	// concluded in an earlier phase.
-	live := pending[:0]
-	for _, g := range pending {
-		if g.i == g.j {
-			assign(g, compare.Tie)
-			continue
-		}
-		if o, ok := r.Concluded(g.i, g.j); ok {
-			assign(g, o)
-		} else {
-			live = append(live, g)
-		}
-	}
-	pending = live
-
-	workers := r.Parallelism()
-	ins := r.Instruments()
-	outs := make([]compare.Outcome, len(pending))
-	dones := make([]bool, len(pending))
-	for len(pending) > 0 {
-		outs, dones = outs[:len(pending)], dones[:len(pending)]
-		var waveStart time.Time
-		if ins != nil {
-			ins.Waves.Inc()
-			ins.WaveWidth.Observe(int64(len(pending)))
-			ins.WaveWidthMax.SetMax(int64(len(pending)))
-			waveStart = time.Now()
-		}
-		if workers > 1 && len(pending) > 1 {
-			// Fan the wave's distinct pairs across the pool; the WaitGroup
-			// is the wave barrier of §5.5.
-			w := workers
-			if w > len(pending) {
-				w = len(pending)
-			}
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			for t := 0; t < w; t++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						gi := int(next.Add(1)) - 1
-						if gi >= len(pending) {
-							return
-						}
-						if ins != nil {
-							// Time from wave start to worker pickup: how
-							// long the pair sat queued for a pool slot.
-							ins.QueueWaitNs.Add(time.Since(waveStart).Nanoseconds())
-						}
-						g := pending[gi]
-						outs[gi], dones[gi] = r.Advance(g.i, g.j)
-					}
-				}()
-			}
-			wg.Wait()
-		} else {
-			for gi, g := range pending {
-				outs[gi], dones[gi] = r.Advance(g.i, g.j)
-			}
-		}
-		if ins != nil {
-			ins.WaveNs.Add(time.Since(waveStart).Nanoseconds())
-		}
-		// Conclusions are applied in input order on the control goroutine,
-		// keeping the caller's view deterministic.
-		nextPending := pending[:0]
-		for gi, g := range pending {
-			if dones[gi] {
-				assign(g, outs[gi])
-			} else {
-				nextPending = append(nextPending, g)
-			}
-		}
-		r.Engine().Tick(1)
-		pending = nextPending
-	}
-	return out
+	p := newFlatPlan(pairs)
+	drive(r, p)
+	return p.out
 }
 
-// drawResult is one answer of a drawAll wave.
+// drawResult is one answer of a drawAll batch.
 type drawResult struct {
 	v  float64
 	ok bool
 }
 
-// drawAll purchases one preference microtask per request — the wave shape
-// of racing algorithms (PBR) — on a bounded worker pool. Requests are
-// grouped by canonical pair: groups run concurrently, requests within a
-// group run sequentially in input order, so every request receives exactly
-// the sample it would have received under sequential execution (the
-// engine's per-pair streams make the group order irrelevant). ok is false
-// for requests truncated by a spending cap. drawAll does not Tick; callers
-// account latency at their wave boundaries.
-func drawAll(e *crowd.Engine, reqs [][2]int, workers int) []drawResult {
+// drawAll purchases one preference microtask per request — the wave
+// shape of racing algorithms (PBR) — through the runner's scheduler.
+// Requests are grouped by canonical pair: groups run concurrently as one
+// scheduler task each, requests within a group run sequentially in input
+// order, so every request receives exactly the sample it would have
+// received under sequential execution (the engine's per-pair streams
+// make the group order irrelevant). ok is false for requests truncated
+// by a spending cap. drawAll does not Tick; callers account latency at
+// their wave boundaries.
+func drawAll(r *compare.Runner, reqs [][2]int) []drawResult {
 	res := make([]drawResult, len(reqs))
 	if len(reqs) == 0 {
 		return res
 	}
-	if workers <= 1 || len(reqs) == 1 {
-		for idx, q := range reqs {
-			v, ok := e.DrawOne(q[0], q[1])
-			res[idx] = drawResult{v, ok}
-		}
-		return res
-	}
+	q, release := r.Borrow()
+	defer release()
 
 	byKey := make(map[[2]int]int, len(reqs)) // canonical pair -> groups index
 	var groups [][]int
-	for idx, q := range reqs {
-		key := [2]int{q[0], q[1]}
+	for idx, pr := range reqs {
+		key := [2]int{pr[0], pr[1]}
 		if key[0] > key[1] {
 			key[0], key[1] = key[1], key[0]
 		}
@@ -181,30 +62,17 @@ func drawAll(e *crowd.Engine, reqs [][2]int, workers int) []drawResult {
 		}
 		groups[gi] = append(groups[gi], idx)
 	}
-
-	if workers > len(groups) {
-		workers = len(groups)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				gi := int(next.Add(1)) - 1
-				if gi >= len(groups) {
-					return
-				}
-				for _, idx := range groups[gi] {
-					q := reqs[idx]
-					v, ok := e.DrawOne(q[0], q[1])
-					res[idx] = drawResult{v, ok}
-				}
+	for gi := range groups {
+		idxs := groups[gi]
+		q.Submit(sched.Task{Tag: int64(gi), Run: func() {
+			for _, idx := range idxs {
+				pr := reqs[idx]
+				v, ok := r.DrawOne(pr[0], pr[1])
+				res[idx] = drawResult{v, ok}
 			}
-		}()
+		}})
 	}
-	wg.Wait()
+	q.Drain(len(groups))
 	return res
 }
 

@@ -2,6 +2,7 @@ package topk
 
 import (
 	"crowdtopk/internal/compare"
+	"crowdtopk/internal/sched"
 )
 
 // partitionResult is the three-way split of Algorithm 4: winners beat the
@@ -24,12 +25,21 @@ type partitionResult struct {
 
 // partition implements Algorithm 4 (PARTITION): every item is compared
 // with the reference incrementally — one batch per still-tied item per
-// wave, all items advancing in parallel — deferring difficult comparisons
-// as long as possible. Whenever k confirmed winners accumulate, the
-// reference may be upgraded to the estimated k-th best winner (Lines 9-12;
-// at most maxRefChanges times, cf. Table 4), which reactivates the
-// still-tied comparisons against a reference closer to o_k* (Lemma 4).
+// round, all items advancing in parallel — deferring difficult
+// comparisons as long as possible. Whenever k confirmed winners
+// accumulate, the reference may be upgraded to the estimated k-th best
+// winner (Lines 9-12; at most maxRefChanges times, cf. Table 4), which
+// reactivates the still-tied comparisons against a reference closer to
+// o_k* (Lemma 4).
+//
+// In deterministic mode the items advance in lockstep passes on the
+// control goroutine, exactly reproducing the historical sequential
+// execution; in async mode each item races the reference as its own
+// free-running chain on the scheduler (partitionAsync).
 func partition(r *compare.Runner, items []int, k, ref, maxRefChanges int) partitionResult {
+	if r.AsyncMode() {
+		return partitionAsync(r, items, k, ref, maxRefChanges)
+	}
 	var winners, losers []int
 	changes := 0
 
@@ -80,7 +90,7 @@ func partition(r *compare.Runner, items []int, k, ref, maxRefChanges int) partit
 				break
 			}
 		}
-		r.Engine().Tick(1)
+		r.Tick(1)
 		active = kept
 	}
 
@@ -94,6 +104,116 @@ func partition(r *compare.Runner, items []int, k, ref, maxRefChanges int) partit
 	if len(res.winners) < k {
 		// Line 13: the reference itself is a top-k candidate.
 		res.winners = append(res.winners, ref)
+		res.refInWinners = true
+	}
+	return res
+}
+
+// partitionAsync is Algorithm 4 on free-running chains: every item races
+// the current reference as its own comparison process on the shared
+// scheduler, and a decided item immediately frees its pool slot instead
+// of waiting for the round's stragglers. Reference upgrades take effect
+// at each chain's next step: a batch that was in flight against the old
+// reference still counts (its samples are banked per pair), but the
+// chain's continuation — and its classification — happen against the
+// current reference only. Latency is the high-water mark of per-chain
+// rounds.
+func partitionAsync(r *compare.Runner, items []int, k, ref, maxRefChanges int) partitionResult {
+	q, release := r.Borrow()
+	defer release()
+
+	var winners, losers, exhausted []int
+	changes := 0
+	cur := ref
+
+	type race struct {
+		item  int
+		ref   int // reference the last submitted batch ran against
+		round int64
+		out   compare.Outcome
+		done  bool
+	}
+	races := make(map[int64]*race)
+	var nextTag, ticked int64
+	inflight := 0
+
+	submit := func(tag int64, rc *race) {
+		rc.ref = cur
+		q.Submit(sched.Task{Tag: tag, Round: rc.round + 1, Run: func() {
+			rc.out, rc.done = r.Advance(rc.item, rc.ref)
+		}})
+		inflight++
+	}
+	start := func(item int) {
+		rc := &race{item: item, round: ticked}
+		tag := nextTag
+		nextTag++
+		races[tag] = rc
+		submit(tag, rc)
+	}
+
+	for _, o := range items {
+		if o != cur {
+			start(o)
+		}
+	}
+	for inflight > 0 {
+		tag := q.Next()
+		inflight--
+		rc := races[tag]
+		rc.round++
+		if rc.round > ticked {
+			r.Tick(int(rc.round - ticked))
+			ticked = rc.round
+		}
+		if rc.ref != cur {
+			// The reference was upgraded while this batch was in flight:
+			// whatever the old race concluded, the item must be classified
+			// against the current reference. Its samples are banked, so
+			// the switch costs only the comparisons not yet bought.
+			submit(tag, rc)
+			continue
+		}
+		if !rc.done {
+			submit(tag, rc)
+			continue
+		}
+		delete(races, tag)
+		switch rc.out {
+		case compare.FirstWins:
+			winners = append(winners, rc.item)
+		case compare.SecondWins:
+			losers = append(losers, rc.item)
+		default:
+			exhausted = append(exhausted, rc.item)
+		}
+		if len(winners) == k && changes < maxRefChanges {
+			newRef, ok := estimatedKth(r, winners, cur)
+			if ok {
+				changes++
+				losers = append(losers, cur)
+				winners = removeItem(winners, newRef)
+				cur = newRef
+				// Budget-exhausted ties get a fresh race against the new
+				// reference; in-flight chains pick it up at their next step.
+				for _, o := range exhausted {
+					start(o)
+				}
+				exhausted = nil
+			}
+		}
+	}
+
+	res := partitionResult{
+		winners:    winners,
+		ties:       exhausted,
+		losers:     losers,
+		ref:        cur,
+		refChanges: changes,
+	}
+	if len(res.winners) < k {
+		// Line 13: the reference itself is a top-k candidate.
+		res.winners = append(res.winners, cur)
 		res.refInWinners = true
 	}
 	return res

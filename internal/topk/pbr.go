@@ -35,9 +35,8 @@ func (*PBR) Name() string { return "pbr" }
 // TopK implements Algorithm.
 func (p *PBR) TopK(r *compare.Runner, k int) []int {
 	validateK(r, k)
-	e := r.Engine()
-	n := e.NumItems()
-	rng := e.Rand()
+	n := r.Engine().NumItems()
+	rng := r.Rand()
 
 	// Racing on Borda scores needs far more samples per item than a single
 	// pairwise process needs per pair: near the selection boundary the
@@ -73,10 +72,13 @@ func (p *PBR) TopK(r *compare.Runner, k int) []int {
 	}
 
 	for nSelected < k && n-nDiscarded > k {
-		// One wave: every racing item buys one binary vote against a
-		// uniformly random opponent; all purchases share one round.
-		// Opponents are drawn on the control goroutine (deterministic),
-		// then the wave's purchases fan out across the worker pool.
+		// One racing round: every racing item buys one binary vote
+		// against a uniformly random opponent; all purchases share one
+		// latency round. Opponents are drawn on the control goroutine
+		// (deterministic), then the round's purchases fan out across the
+		// shared scheduler. The round boundary is inherent to racing —
+		// the confidence bounds need every vote of the round — so PBR
+		// keeps its barrier in both scheduling modes.
 		var reqs [][2]int
 		var who []int
 		for i := 0; i < n; i++ {
@@ -90,7 +92,7 @@ func (p *PBR) TopK(r *compare.Runner, k int) []int {
 			reqs = append(reqs, [2]int{i, j})
 			who = append(who, i)
 		}
-		results := drawAll(e, reqs, r.Parallelism())
+		results := drawAll(r, reqs)
 		progressed := false
 		for t, i := range who {
 			if !results[t].ok {
@@ -106,7 +108,7 @@ func (p *PBR) TopK(r *compare.Runner, k int) []int {
 			}
 			progressed = true
 		}
-		e.Tick(1)
+		r.Tick(1)
 
 		// Bounds of the undecided items, sorted for tail counting.
 		var lcbs, ucbs []float64

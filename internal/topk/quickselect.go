@@ -28,7 +28,7 @@ func quickSelect(r *compare.Runner, items []int, k int) []int {
 	if len(items) <= k {
 		return items
 	}
-	pivot := items[r.Engine().Rand().Intn(len(items))]
+	pivot := items[r.Rand().Intn(len(items))]
 
 	pairs := make([][2]int, 0, len(items)-1)
 	for _, o := range items {
@@ -36,7 +36,12 @@ func quickSelect(r *compare.Runner, items []int, k int) []int {
 			pairs = append(pairs, [2]int{o, pivot})
 		}
 	}
-	outs := compareAll(r, pairs)
+	// The pivot phase is a flat batch on the shared scheduler: every
+	// item races the pivot, and in async mode a decided item frees its
+	// pool slot without waiting for the phase's stragglers.
+	p := newFlatPlan(pairs)
+	drive(r, p)
+	outs := p.out
 
 	var winners, losers []int
 	for pi, p := range pairs {

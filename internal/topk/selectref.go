@@ -162,7 +162,7 @@ func (s *SPR) selectReference(r *compare.Runner, items []int, k int) int {
 		return priorReference(s.PriorScores, items, k, s.C)
 	}
 	plan := planReference(len(items), k, s.C)
-	rng := r.Engine().Rand()
+	rng := r.Rand()
 
 	selB := s.SelectionBudget
 	switch {
@@ -176,9 +176,13 @@ func (s *SPR) selectReference(r *compare.Runner, items []int, k int) int {
 	case selB < r.Params().I:
 		selB = r.Params().I
 	}
-	selR := compare.NewRunner(r.Engine(), r.Policy(), compare.Params{
+	// Derive, not NewRunner: the sub-phase shares the query's scheduler
+	// handle and accounting (its purchases are this query's cost) but
+	// gets a private conclusion memo — selection's reduced-budget ties
+	// must not pollute the main query's verdict table.
+	selR := r.Derive(compare.Params{
 		B: selB, I: r.Params().I, Step: r.Params().Step,
-		Parallelism: r.Params().Parallelism,
+		Parallelism: r.Params().Parallelism, Async: r.Params().Async,
 	})
 
 	samples := make([][]int, plan.m)

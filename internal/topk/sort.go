@@ -2,134 +2,52 @@ package topk
 
 import "crowdtopk/internal/compare"
 
-// maxItem returns the best of items via a parallel single-elimination
-// tournament: each level's matches run as one parallel wave, so the
-// latency is O(log n) rounds of comparisons (§5.5). Budget-exhausted ties
-// are resolved by sample-mean leaning.
+// maxItem returns the best of items via a single-elimination tournament
+// bracket on the shared scheduler: in deterministic mode each level's
+// matches run as lockstep waves (O(log n) rounds, §5.5); in async mode
+// matches start the moment both contenders are known, pipelining across
+// levels. Budget-exhausted ties are resolved by sample-mean leaning.
 func maxItem(r *compare.Runner, items []int) int {
 	if len(items) == 0 {
 		panic("topk: maxItem on empty slice")
 	}
-	cur := append([]int(nil), items...)
-	for len(cur) > 1 {
-		var pairs [][2]int
-		for i := 0; i+1 < len(cur); i += 2 {
-			pairs = append(pairs, [2]int{cur[i], cur[i+1]})
-		}
-		outs := compareAll(r, pairs)
-		next := cur[:0]
-		for pi, p := range pairs {
-			if resolve(r, p[0], p[1], outs[pi]) == compare.FirstWins {
-				next = append(next, p[0])
-			} else {
-				next = append(next, p[1])
-			}
-		}
-		if len(cur)%2 == 1 {
-			next = append(next, cur[len(cur)-1]) // bye
-		}
-		cur = next
-	}
-	return cur[0]
+	p := newBracketPlan(r, [][]int{items}, nil)
+	drive(r, p)
+	return p.winner(0)
 }
 
 // maxItems runs one single-elimination tournament per sample, all
-// level-synchronized: the matches of every tournament's current level join
-// the same parallel waves, so the total latency is O(log max|sample|)
-// rounds — the paper's reference-selection parallelism (§5.5). It returns
-// the winner of each sample.
+// sharing the scheduler pool: the matches of every tournament join the
+// same rounds, so the total latency is O(log max|sample|) rounds — the
+// paper's reference-selection parallelism (§5.5). It returns the winner
+// of each sample.
 func maxItems(r *compare.Runner, samples [][]int) []int {
-	cur := make([][]int, len(samples))
-	for s, sample := range samples {
+	for _, sample := range samples {
 		if len(sample) == 0 {
 			panic("topk: maxItems on empty sample")
 		}
-		cur[s] = append([]int(nil), sample...)
 	}
-	for {
-		var pairs [][2]int
-		type ref struct{ s, slot int }
-		var refs []ref
-		for s := range cur {
-			for i := 0; i+1 < len(cur[s]); i += 2 {
-				pairs = append(pairs, [2]int{cur[s][i], cur[s][i+1]})
-				refs = append(refs, ref{s, i})
-			}
-		}
-		if len(pairs) == 0 {
-			break
-		}
-		outs := compareAll(r, pairs)
-		next := make([][]int, len(cur))
-		for s := range cur {
-			next[s] = cur[s][:0]
-		}
-		for pi, p := range pairs {
-			s := refs[pi].s
-			if resolve(r, p[0], p[1], outs[pi]) == compare.FirstWins {
-				next[s] = append(next[s], p[0])
-			} else {
-				next[s] = append(next[s], p[1])
-			}
-		}
-		for s := range cur {
-			if len(cur[s])%2 == 1 {
-				next[s] = append(next[s], cur[s][len(cur[s])-1])
-			}
-		}
-		cur = next
-	}
-	winners := make([]int, len(cur))
-	for s := range cur {
-		winners[s] = cur[s][0]
+	p := newBracketPlan(r, samples, nil)
+	drive(r, p)
+	winners := make([]int, len(samples))
+	for s := range winners {
+		winners[s] = p.winner(s)
 	}
 	return winners
 }
 
 // adjacentSort sorts items best-first by odd-even transposition (parallel
-// bubble sort): each pass compares the disjoint adjacent pairs of one
-// parity in a single parallel wave. On an almost-sorted input — the
-// situation reference-based sorting engineers (§5.3) — it terminates in
+// bubble sort): the disjoint adjacent pairs of one parity advance
+// together on the scheduler. On an almost-sorted input — the situation
+// reference-based sorting engineers (§5.3) — it terminates in
 // near-linear cost and very few rounds. The sort is stable under
-// indistinguishable ties: a budget-exhausted pair keeps its current order
-// unless the sample mean says otherwise.
+// indistinguishable ties: a budget-exhausted pair keeps its current
+// order unless the sample mean says otherwise.
 func adjacentSort(r *compare.Runner, items []int) {
-	n := len(items)
-	if n < 2 {
+	if len(items) < 2 {
 		return
 	}
-	// A consistent comparator finishes within n double-passes; the cap
-	// guards against livelock when noisy, budget-exhausted judgments are
-	// intransitive.
-	for pass := 0; pass <= n; pass++ {
-		swapped := false
-		for parity := 0; parity < 2; parity++ {
-			var pairs [][2]int
-			var pos []int
-			for i := parity; i+1 < n; i += 2 {
-				pairs = append(pairs, [2]int{items[i], items[i+1]})
-				pos = append(pos, i)
-			}
-			if len(pairs) == 0 {
-				continue
-			}
-			outs := compareAll(r, pairs)
-			for pi, p := range pairs {
-				o := outs[pi]
-				if o == compare.Tie && p[0] != p[1] {
-					o = r.Leaning(p[0], p[1]) // keep order if still tied
-				}
-				if o == compare.SecondWins {
-					i := pos[pi]
-					items[i], items[i+1] = items[i+1], items[i]
-					swapped = true
-				}
-			}
-		}
-		if !swapped {
-			return
-		}
-	}
+	drive(r, newOddEvenPlan(r, items))
 }
 
 // sortByCrowd returns a new slice with items ordered best-first purely by
@@ -170,59 +88,11 @@ func RankCandidates(r *compare.Runner, items []int, strategy SortStrategy) []int
 // It exists to test the paper's §5.3 claim empirically: divide-and-conquer
 // sorts take no advantage of an almost-sorted input — every merge
 // re-compares across the full sequence — so on the reference-bootstrapped
-// candidate order the adjacent (bubble) sort is strictly cheaper. Merges
-// of disjoint sublists share parallel waves, one comparison per merge step
-// per wave.
+// candidate order the adjacent (bubble) sort is strictly cheaper. Mergers
+// with complete inputs run concurrently on the scheduler, one comparison
+// per merger per round.
 func mergeSortByCrowd(r *compare.Runner, items []int) []int {
-	n := len(items)
-	cur := make([][]int, n)
-	for i, o := range items {
-		cur[i] = []int{o}
-	}
-	for len(cur) > 1 {
-		var next [][]int
-		// Pair up runs; merge each pair step by step, all pairs advancing
-		// in the same waves.
-		type merger struct {
-			a, b []int
-			out  []int
-		}
-		var ms []*merger
-		for i := 0; i+1 < len(cur); i += 2 {
-			ms = append(ms, &merger{a: cur[i], b: cur[i+1]})
-		}
-		for {
-			var pairs [][2]int
-			var who []*merger
-			for _, m := range ms {
-				if len(m.a) > 0 && len(m.b) > 0 {
-					pairs = append(pairs, [2]int{m.a[0], m.b[0]})
-					who = append(who, m)
-				}
-			}
-			if len(pairs) == 0 {
-				break
-			}
-			outs := compareAll(r, pairs)
-			for pi, m := range who {
-				if resolve(r, pairs[pi][0], pairs[pi][1], outs[pi]) == compare.FirstWins {
-					m.out = append(m.out, m.a[0])
-					m.a = m.a[1:]
-				} else {
-					m.out = append(m.out, m.b[0])
-					m.b = m.b[1:]
-				}
-			}
-		}
-		for _, m := range ms {
-			m.out = append(m.out, m.a...)
-			m.out = append(m.out, m.b...)
-			next = append(next, m.out)
-		}
-		if len(cur)%2 == 1 {
-			next = append(next, cur[len(cur)-1])
-		}
-		cur = next
-	}
-	return cur[0]
+	p := newMergePlan(r, items)
+	drive(r, p)
+	return p.sorted()
 }

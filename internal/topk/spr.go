@@ -96,9 +96,10 @@ func (s *SPR) TopKSubset(r *compare.Runner, items []int, k int) []int {
 	return s.topK(r, items, k)
 }
 
-// phaseSpan snapshots engine counters so phases can attribute their cost,
-// and — when the runner carries telemetry — holds the phase's open trace
-// span and the parent span to restore once the phase ends.
+// phaseSpan snapshots the runner's per-query counters so phases can
+// attribute their cost exactly — even while other queries share the
+// engine — and, when the runner carries telemetry, holds the phase's
+// open trace span and the parent span to restore once the phase ends.
 type phaseSpan struct {
 	name        string
 	tmc, rounds int64
@@ -107,8 +108,7 @@ type phaseSpan struct {
 }
 
 func (s *SPR) beginPhase(r *compare.Runner, name string) phaseSpan {
-	e := r.Engine()
-	ps := phaseSpan{name: name, tmc: e.TMC(), rounds: e.Rounds()}
+	ps := phaseSpan{name: name, tmc: r.QueryTMC(), rounds: r.QueryRounds()}
 	if tr := r.Tracer(); tr != nil {
 		ps.prevParent = r.ParentSpan()
 		ps.span = tr.Start("phase:"+name, ps.prevParent)
@@ -118,9 +118,8 @@ func (s *SPR) beginPhase(r *compare.Runner, name string) phaseSpan {
 }
 
 func (s *SPR) endPhase(r *compare.Runner, ps phaseSpan, into *PhaseCost) {
-	e := r.Engine()
-	dTMC := e.TMC() - ps.tmc
-	dRounds := e.Rounds() - ps.rounds
+	dTMC := r.QueryTMC() - ps.tmc
+	dRounds := r.QueryRounds() - ps.rounds
 	into.TMC += dTMC
 	into.Rounds += dRounds
 	if reg := r.Registry(); reg != nil {
@@ -178,8 +177,7 @@ func (s *SPR) topKTraced(r *compare.Runner, items []int, k int, outermost bool) 
 	case len(w)+len(t) >= k:
 		// Lines 4-6: fill up with random ties.
 		need := k - len(w)
-		rng := r.Engine().Rand()
-		rng.Shuffle(len(t), func(a, b int) { t[a], t[b] = t[b], t[a] })
+		r.Rand().Shuffle(len(t), func(a, b int) { t[a], t[b] = t[b], t[a] })
 		cands := append(append([]int{}, w...), t[:need]...)
 		span = s.beginPhase(r, "rank")
 		out := s.rank(r, cands, sortRef)[:k]

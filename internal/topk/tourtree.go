@@ -17,7 +17,7 @@ func (TourTree) Name() string { return "tourtree" }
 func (TourTree) TopK(r *compare.Runner, k int) []int {
 	validateK(r, k)
 	n := r.Engine().NumItems()
-	perm := r.Engine().Rand().Perm(n)
+	perm := r.Rand().Perm(n)
 
 	// lostTo[c] accumulates the items that lost a match directly against
 	// c; the (j+1)-th best item always lost to one of the j best, so it is
@@ -50,33 +50,15 @@ func (TourTree) TopK(r *compare.Runner, k int) []int {
 	return result
 }
 
-// tournamentMax runs a single-elimination tournament recording direct
-// losers, one parallel wave per level.
+// tournamentMax runs a single-elimination tournament bracket on the
+// shared scheduler, recording direct losers as matches decide.
 func tournamentMax(r *compare.Runner, items []int, lostTo map[int][]int) int {
 	if len(items) == 0 {
 		panic("topk: tournamentMax on empty slice")
 	}
-	cur := append([]int(nil), items...)
-	for len(cur) > 1 {
-		var pairs [][2]int
-		for i := 0; i+1 < len(cur); i += 2 {
-			pairs = append(pairs, [2]int{cur[i], cur[i+1]})
-		}
-		outs := compareAll(r, pairs)
-		next := cur[:0]
-		for pi, p := range pairs {
-			if resolve(r, p[0], p[1], outs[pi]) == compare.FirstWins {
-				next = append(next, p[0])
-				lostTo[p[0]] = append(lostTo[p[0]], p[1])
-			} else {
-				next = append(next, p[1])
-				lostTo[p[1]] = append(lostTo[p[1]], p[0])
-			}
-		}
-		if len(cur)%2 == 1 {
-			next = append(next, cur[len(cur)-1])
-		}
-		cur = next
-	}
-	return cur[0]
+	p := newBracketPlan(r, [][]int{items}, func(winner, loser int) {
+		lostTo[winner] = append(lostTo[winner], loser)
+	})
+	drive(r, p)
+	return p.winner(0)
 }

@@ -24,6 +24,29 @@ const (
 	PBR Algorithm = "pbr"
 )
 
+// SchedulingMode selects how a query's comparisons are interleaved on
+// the worker pool.
+type SchedulingMode string
+
+// The available scheduling modes.
+const (
+	// Deterministic (the default) runs comparisons in lockstep waves:
+	// every undecided pair advances one batch per round and the round
+	// waits for all of them. Results are byte-identical for a fixed seed
+	// at any Parallelism, and latency accounting follows the paper's
+	// batch-round model (§5.5) exactly.
+	Deterministic SchedulingMode = "deterministic"
+	// Async lets every comparison chain free-run on the shared
+	// scheduler: the moment a pair is decided its worker slot is handed
+	// to the next pending pair, so one straggler comparison no longer
+	// stalls a whole wave. The result set is unchanged on decisive data
+	// (each comparison still sees its own deterministic sample stream),
+	// but the order in which ties break and the round accounting may
+	// differ from deterministic mode. With Parallelism 1 async degrades
+	// gracefully to deterministic.
+	Async SchedulingMode = "async"
+)
+
 // Estimator selects the statistical stopping rule of the comparison
 // process.
 type Estimator string
@@ -78,14 +101,20 @@ type Options struct {
 	// BatchSize is η, the number of microtasks distributed per batch
 	// round; it trades latency for money (§5.5; default 30).
 	BatchSize int
-	// Parallelism bounds the worker pool that executes each comparison
-	// wave's undecided pairs concurrently (default GOMAXPROCS; 1 runs
-	// waves sequentially). Results are byte-identical for a fixed seed at
-	// any parallelism — the engine samples every pair from its own
-	// deterministic stream — so the knob trades wall-clock time only,
-	// never reproducibility. Latency accounting is unaffected: a wave
-	// still costs one batch round.
+	// Parallelism bounds the worker pool that executes undecided pairs
+	// concurrently (default GOMAXPROCS; 1 runs comparisons sequentially).
+	// In the default Deterministic scheduling mode results are
+	// byte-identical for a fixed seed at any parallelism — the engine
+	// samples every pair from its own deterministic stream — so the knob
+	// trades wall-clock time only, never reproducibility, and latency
+	// accounting is unaffected: a wave still costs one batch round. See
+	// Scheduling for the async trade-off.
 	Parallelism int
+	// Scheduling picks how comparisons share the worker pool (default
+	// Deterministic). Async trades wave-lockstep reproducibility for
+	// higher pool utilization: decided pairs free their workers
+	// immediately instead of waiting for the wave's stragglers.
+	Scheduling SchedulingMode
 	// SweetSpot is SPR's sweet-spot constant c > 1 (default 1.5).
 	SweetSpot float64
 	// MaxRefChanges caps SPR's reference upgrades (default 2, the
@@ -148,6 +177,9 @@ func (o Options) withDefaults() Options {
 	if o.Parallelism == 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if o.Scheduling == "" {
+		o.Scheduling = Deterministic
+	}
 	if o.SweetSpot == 0 {
 		o.SweetSpot = 1.5
 	}
@@ -191,6 +223,11 @@ func (o Options) validate(n int) error {
 	}
 	if o.Parallelism < 1 {
 		return fmt.Errorf("crowdtopk: Parallelism %d below 1", o.Parallelism)
+	}
+	switch o.Scheduling {
+	case Deterministic, Async:
+	default:
+		return fmt.Errorf("crowdtopk: unknown scheduling mode %q", o.Scheduling)
 	}
 	if o.Budget != 0 && o.Budget < o.MinWorkload {
 		return fmt.Errorf("crowdtopk: Budget %d below MinWorkload %d", o.Budget, o.MinWorkload)

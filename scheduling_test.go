@@ -1,0 +1,89 @@
+package crowdtopk
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestAsyncSchedulingAnswerQuality pins the async trade-off: free-running
+// comparison chains may reorder tie-breaks and change round accounting,
+// but on decisive (low-noise) data the returned set must match both the
+// ground truth and deterministic mode — each comparison still draws from
+// its own deterministic sample stream, so verdicts don't depend on the
+// schedule.
+func TestAsyncSchedulingAnswerQuality(t *testing.T) {
+	d := SyntheticDataset(40, 0.05, 51)
+	const k = 6
+	truth := TrueTopK(d, k)
+	for _, alg := range []Algorithm{SPR, TourTree, HeapSort, QuickSelect} {
+		base := Options{
+			Algorithm: alg, K: k, Seed: 52, Confidence: 0.95, Budget: 300,
+			Parallelism: 8,
+		}
+		async := base
+		async.Scheduling = Async
+		det, err := Query(d, base)
+		if err != nil {
+			t.Fatalf("%s deterministic: %v", alg, err)
+		}
+		as, err := Query(d, async)
+		if err != nil {
+			t.Fatalf("%s async: %v", alg, err)
+		}
+		if !sameSet(as.TopK, truth) {
+			t.Errorf("%s async missed the true top-%d: got %v want %v", alg, k, as.TopK, truth)
+		}
+		if !sameSet(as.TopK, det.TopK) {
+			t.Errorf("%s: async set %v != deterministic set %v", alg, as.TopK, det.TopK)
+		}
+		if as.TMC == 0 || as.Rounds == 0 {
+			t.Errorf("%s async: empty cost accounting (tmc %d, rounds %d)", alg, as.TMC, as.Rounds)
+		}
+	}
+}
+
+// TestAsyncSequentialDegradesToDeterministic pins the graceful
+// degradation: with Parallelism 1 there is nothing to overlap, so async
+// mode must produce the byte-identical Result of deterministic mode.
+func TestAsyncSequentialDegradesToDeterministic(t *testing.T) {
+	d := SyntheticDataset(30, 0.25, 53)
+	base := Options{K: 4, Seed: 54, Confidence: 0.95, Budget: 300, Parallelism: 1}
+	async := base
+	async.Scheduling = Async
+	det, err := Query(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Query(d, async)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(det, as) {
+		t.Errorf("sequential async diverged from deterministic\n det:   %+v\n async: %+v", det, as)
+	}
+}
+
+// TestSchedulingValidation pins the knob's contract.
+func TestSchedulingValidation(t *testing.T) {
+	d := SyntheticDataset(10, 0.1, 55)
+	if _, err := Query(d, Options{K: 2, Scheduling: "eventually"}); err == nil {
+		t.Error("unknown scheduling mode accepted")
+	}
+	for _, m := range []SchedulingMode{"", Deterministic, Async} {
+		if _, err := Query(d, Options{K: 2, Scheduling: m}); err != nil {
+			t.Errorf("scheduling mode %q rejected: %v", m, err)
+		}
+	}
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	return reflect.DeepEqual(as, bs)
+}

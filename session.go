@@ -22,11 +22,17 @@ type TaskRecord = crowd.Record
 // also record an audit log of every microtask for replay and offline
 // analysis.
 //
-// A session runs one query at a time: its methods are not safe for
-// concurrent use. Inside each query, however, comparison waves execute on
-// a worker pool bounded by Options.Parallelism (default GOMAXPROCS), and
-// the underlying crowd engine is fully concurrency-safe; a fixed Seed
-// yields identical answers, costs and rounds at any parallelism.
+// A session is safe for concurrent use: multiple goroutines may call
+// TopK (and Judge, Tiers, the accessors) at the same time. Concurrent
+// queries share one crowd engine, one spending cap, one conclusion memo
+// and one comparison scheduler, whose worker pool — bounded by
+// Options.Parallelism (default GOMAXPROCS) — is divided fairly between
+// the in-flight queries; each Result still reports the exact microtask
+// count and rounds that its own query consumed. A single query at a
+// fixed Seed yields identical answers, costs and rounds at any
+// parallelism (in the default Deterministic scheduling mode); the split
+// of shared evidence between queries that race each other is, of
+// course, schedule-dependent.
 type Session struct {
 	opts   Options
 	runner *compare.Runner
@@ -135,7 +141,13 @@ func (s *Session) Rounds() int64 { return s.runner.Engine().Rounds() }
 
 // TopK answers a top-k query within the session, reusing all previously
 // purchased judgments. The result's TMC and Rounds are the *incremental*
-// cost of this call.
+// cost of this call, exact even while other TopK calls run concurrently:
+// every query executes on its own fork of the session's runner, which
+// meters purchases per query while sharing the engine, the spending cap,
+// the conclusion memo and the scheduler's worker pool. (Result.Stats, by
+// contrast, diffs the session-wide telemetry registry over the call's
+// window, so its secondary counters include concurrent queries' traffic;
+// its TMC and Rounds are overwritten with this query's exact values.)
 func (s *Session) TopK(k int) (Result, error) {
 	n := s.runner.Engine().NumItems()
 	if k < 1 || k > n {
@@ -147,11 +159,16 @@ func (s *Session) TopK(k int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	r := s.runner.Fork()
 	before := s.opts.Telemetry.snapshot()
 	start := time.Now()
-	res := topk.Run(alg, s.runner, k)
+	res := topk.Run(alg, r, k)
 	out := Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}
 	out.Stats = s.opts.Telemetry.statsSince(before, time.Since(start))
+	if out.Stats != nil {
+		out.Stats.TMC = res.TMC
+		out.Stats.Rounds = res.Rounds
+	}
 	if res.Err != nil {
 		return out, partialError(out, s.runner.Engine().Oracle(), res.Err)
 	}
