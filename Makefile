@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-hot bench-json fuzz chaos serve-metrics smoke-metrics all
+.PHONY: build test race vet bench bench-hot bench-json fuzz chaos serve-metrics smoke-metrics load service-smoke all
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,20 @@ serve-metrics:
 # live chaos query and assert the TMC counter matches the reported cost.
 smoke-metrics:
 	./scripts/metrics_smoke.sh
+
+# The concurrent query load harness under the race detector: hundreds of
+# queries with mixed priorities, budget sub-caps and random mid-flight
+# cancellations against the faulty platform, exact global accounting and
+# goroutine stability throughout (internal/loadtest).
+load:
+	$(GO) test -race ./internal/loadtest/ -count 1 -v
+
+# Service-layer smoke test: boot topkd against a faulty simulated crowd,
+# fire 20 concurrent queries with cancellations over HTTP, and gate on
+# the exact-money invariant at /debug/accounting plus a clean SIGTERM
+# drain.
+service-smoke:
+	./scripts/load_smoke.sh
 
 # Short fuzzing sessions: compareAll's duplicate/orientation grouping, and
 # randomized platform fault schedules against the resilience layer. Go

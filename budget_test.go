@@ -1,0 +1,131 @@
+package crowdtopk_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"crowdtopk"
+)
+
+// TestQueryBudgetSubCaps runs a table of concurrent queries with mixed
+// per-query budget sub-caps on one session and checks the money
+// guarantees: no query overdraws its cap, capped-out queries return a
+// typed best-effort partial, and the global ledger stays exact — the
+// per-query meters, the session meter, and the audit log all agree.
+func TestQueryBudgetSubCaps(t *testing.T) {
+	data := crowdtopk.SyntheticDataset(40, 0.3, 7)
+	sess, err := crowdtopk.NewSession(data, crowdtopk.Options{
+		Algorithm:   crowdtopk.SPR,
+		Confidence:  0.9,
+		Budget:      30,
+		MinWorkload: 10,
+		Scheduling:  crowdtopk.Async,
+		Parallelism: 4,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.EnableAuditLog()
+
+	caps := []int64{5, 5, 40, 40, 400, 0, 0, 5, 40, 400, 0, 5}
+	type outcome struct {
+		res crowdtopk.Result
+		err error
+	}
+	outs := make([]outcome, len(caps))
+	var wg sync.WaitGroup
+	for i, c := range caps {
+		wg.Add(1)
+		go func(i int, c int64) {
+			defer wg.Done()
+			outs[i].res, outs[i].err = sess.TopKContext(context.Background(), 3,
+				crowdtopk.QueryOptions{MaxCost: c})
+		}(i, c)
+	}
+	wg.Wait()
+
+	var sum int64
+	var capped int
+	for i, c := range caps {
+		res, qerr := outs[i].res, outs[i].err
+		sum += res.TMC
+		if len(res.TopK) != 3 {
+			t.Fatalf("query %d (cap %d): got %d items, want 3", i, c, len(res.TopK))
+		}
+		if c > 0 && res.TMC > c {
+			t.Fatalf("query %d: overdraw: spent %d over sub-cap %d", i, res.TMC, c)
+		}
+		if qerr != nil {
+			var partial *crowdtopk.PartialResultError
+			if !errors.As(qerr, &partial) {
+				t.Fatalf("query %d: degraded without PartialResultError: %v", i, qerr)
+			}
+			if !errors.Is(qerr, crowdtopk.ErrBudgetExhausted) {
+				t.Fatalf("query %d: partial does not wrap ErrBudgetExhausted: %v", i, qerr)
+			}
+			if c == 0 {
+				t.Fatalf("query %d: uncapped query claims budget exhaustion: %v", i, qerr)
+			}
+			capped++
+		}
+	}
+	// The tightest caps cannot cover a 40-item query; at least those
+	// queries must report typed exhaustion rather than silently stopping.
+	if capped == 0 {
+		t.Fatal("no query reported budget exhaustion; sub-caps were never binding")
+	}
+	if got := sess.TMC(); sum != got {
+		t.Fatalf("accounting: per-query sum %d != session TMC %d", sum, got)
+	}
+	if audit := int64(len(sess.AuditLog())); audit != sess.TMC() {
+		t.Fatalf("accounting: audit log %d records != session TMC %d", audit, sess.TMC())
+	}
+}
+
+// TestQueryBudgetIsCeilingNotReservation pins the release semantics: a
+// sub-cap is a ceiling on one query's spending, not a carve-out held
+// against the session cap — whatever a capped query leaves unspent stays
+// available to later queries under a binding TotalBudget.
+func TestQueryBudgetIsCeilingNotReservation(t *testing.T) {
+	const total = 400
+	data := crowdtopk.SyntheticDataset(40, 0.3, 7)
+	sess, err := crowdtopk.NewSession(data, crowdtopk.Options{
+		Algorithm:   crowdtopk.SPR,
+		Confidence:  0.9,
+		Budget:      30,
+		MinWorkload: 10,
+		TotalBudget: total,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	// Query 1's cap claims nearly the whole session budget but its spend
+	// is stopped far below it by an early cancel.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res1, err1 := sess.TopKContext(ctx, 3, crowdtopk.QueryOptions{MaxCost: total - 10})
+	if err1 == nil {
+		t.Fatal("pre-canceled query reported no error")
+	}
+	if res1.TMC != 0 {
+		t.Fatalf("pre-canceled query spent %d", res1.TMC)
+	}
+
+	// Query 2 is uncapped: if caps were reservations, only 10 microtasks
+	// would remain and it could barely move; as ceilings, the full
+	// session budget is still on the table.
+	res2, err2 := sess.TopKContext(context.Background(), 3, crowdtopk.QueryOptions{})
+	if res2.TMC <= 10 {
+		t.Fatalf("query 2 spent only %d: query 1's unspent cap was not released (err=%v)", res2.TMC, err2)
+	}
+	if got := sess.TMC(); got > total {
+		t.Fatalf("session overdrew its TotalBudget: %d > %d", got, total)
+	}
+}

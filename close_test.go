@@ -1,0 +1,138 @@
+package crowdtopk_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowdtopk"
+)
+
+// gateOracle signals the first judgment it serves, so a test can hold
+// until a query is provably mid-flight before racing Close against it.
+type gateOracle struct {
+	crowdtopk.Oracle
+	once    atomic.Bool
+	started chan struct{}
+}
+
+func (g *gateOracle) Preference(rng *rand.Rand, i, j int) float64 {
+	if g.once.CompareAndSwap(false, true) {
+		close(g.started)
+	}
+	return g.Oracle.Preference(rng, i, j)
+}
+
+// TestCloseDrainsInflightQueries is the Session.Close race fix: closing
+// a session with queries in flight must stop them (typed, best-effort),
+// wait for their goroutines, and reject new queries — instead of
+// yanking the platform out from under live queries.
+func TestCloseDrainsInflightQueries(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	g := &gateOracle{
+		Oracle:  crowdtopk.SyntheticDataset(40, 0.3, 7),
+		started: make(chan struct{}),
+	}
+	sess, err := crowdtopk.NewSession(g, crowdtopk.Options{
+		Algorithm:   crowdtopk.SPR,
+		Confidence:  0.9,
+		Budget:      30,
+		MinWorkload: 10,
+		Scheduling:  crowdtopk.Async,
+		Parallelism: 4,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const queries = 4
+	handles := make([]*crowdtopk.QueryHandle, queries)
+	for i := range handles {
+		h, err := sess.StartTopK(context.Background(), 3, crowdtopk.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+
+	<-g.started // at least one query is buying judgments right now
+	if err := sess.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Close must not return before every query goroutine has finished:
+	// all handles are already done, no waiting.
+	for i, h := range handles {
+		select {
+		case <-h.Done():
+		default:
+			t.Fatalf("Close returned with query %d still running", i)
+		}
+		res, qerr := h.Wait()
+		if len(res.TopK) != 3 {
+			t.Fatalf("query %d: got %d items, want 3 (err=%v)", i, len(res.TopK), qerr)
+		}
+		if qerr != nil {
+			var partial *crowdtopk.PartialResultError
+			if !errors.As(qerr, &partial) {
+				t.Fatalf("query %d: degraded without PartialResultError: %v", i, qerr)
+			}
+			if !errors.Is(qerr, crowdtopk.ErrSessionClosed) {
+				t.Fatalf("query %d: partial does not wrap ErrSessionClosed: %v", i, qerr)
+			}
+		}
+		// A query that outran Close is legal; its result must be clean,
+		// which the k-item check above already established.
+	}
+
+	// The closed session rejects new work, on both entry points.
+	if _, err := sess.StartTopK(context.Background(), 3, crowdtopk.QueryOptions{}); !errors.Is(err, crowdtopk.ErrSessionClosed) {
+		t.Fatalf("StartTopK after Close: err=%v, want ErrSessionClosed", err)
+	}
+	if _, err := sess.TopK(3); !errors.Is(err, crowdtopk.ErrSessionClosed) {
+		t.Fatalf("TopK after Close: err=%v, want ErrSessionClosed", err)
+	}
+
+	// Close is idempotent.
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+
+	// Goroutine regression: everything the session and its queries
+	// spawned must wind down (scheduler workers park with the last open
+	// query; AfterFunc timers die with their contexts).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after close", before, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCloseIdleSession pins that Close on a never-queried session stays
+// a cheap no-op and that double Close remains safe — the pre-existing
+// behavior the drain must not regress.
+func TestCloseIdleSession(t *testing.T) {
+	sess, err := crowdtopk.NewSession(crowdtopk.SyntheticDataset(20, 0.3, 7), crowdtopk.Options{
+		Algorithm: crowdtopk.SPR, Confidence: 0.9, Budget: 20, MinWorkload: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

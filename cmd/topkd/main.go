@@ -1,0 +1,135 @@
+// Command topkd serves crowdsourced top-k queries over HTTP: a
+// multi-query daemon over one long-lived Session, with per-query
+// algorithm selection, budget sub-caps, priorities and deadlines,
+// admission control (429 backpressure), live progress streams, and the
+// full telemetry surface.
+//
+// Boot it against the synthetic dataset (optionally through a faulty
+// simulated crowd platform) and talk JSON:
+//
+//	topkd -addr :8080 -n 200 -workers 8 &
+//	curl -s localhost:8080/queries -d '{"k":5,"algorithm":"spr","max_cost":2000,"priority":3}'
+//	curl -s localhost:8080/queries/q1
+//	curl -s localhost:8080/queries/q1/events      # SSE progress
+//	curl -s -X DELETE localhost:8080/queries/q1   # cancel
+//	curl -s localhost:8080/metrics                # Prometheus
+//	curl -s localhost:8080/debug/accounting       # cost invariant
+//
+// SIGINT/SIGTERM shuts down gracefully: admission stops, in-flight
+// queries are canceled and drain into best-effort partials, the session
+// closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdtopk"
+	"crowdtopk/internal/service"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		n     = flag.Int("n", 200, "item count of the synthetic dataset")
+		noise = flag.Float64("noise", 0.3, "worker noise of the synthetic dataset")
+		seed  = flag.Int64("seed", 1, "random seed")
+		conf  = flag.Float64("confidence", 0.95, "per-comparison confidence level")
+		budgt = flag.Int("budget", 500, "per-pair microtask budget (-1 = unlimited)")
+		total = flag.Int64("total-budget", 0, "session-wide spending cap in microtasks (0 = unlimited)")
+		par   = flag.Int("parallelism", 0, "comparison worker pool (0 = GOMAXPROCS)")
+
+		inflight = flag.Int("max-inflight", 8, "queries executing concurrently")
+		queueCap = flag.Int("max-queue", 64, "queries waiting for a slot before 429")
+
+		platform   = flag.Bool("platform", true, "run through the simulated crowd platform (false = direct dataset oracle)")
+		workers    = flag.Int("workers", 8, "simulated platform worker pool")
+		faultDrop  = flag.Float64("fault-drop", 0, "chaos: per-answer drop probability")
+		faultErr   = flag.Float64("fault-error", 0, "chaos: per-batch transient error probability")
+		faultAfter = flag.Int("fault-after", 0, "chaos: platform fails permanently after this many posted batches (0 = never)")
+	)
+	flag.Parse()
+
+	data := crowdtopk.SyntheticDataset(*n, *noise, *seed)
+	tel := crowdtopk.NewTelemetry()
+	opts := crowdtopk.Options{
+		Algorithm:   crowdtopk.SPR,
+		Confidence:  *conf,
+		Budget:      *budgt,
+		TotalBudget: *total,
+		Parallelism: *par,
+		Scheduling:  crowdtopk.Async, // free-running chains: queries share the pool live
+		Seed:        *seed + 1,
+		Telemetry:   tel,
+	}
+
+	oracle := crowdtopk.Oracle(data)
+	if *platform {
+		var p crowdtopk.Platform = crowdtopk.SimulatedPlatform(data, *workers, *seed+2)
+		if *faultDrop > 0 || *faultErr > 0 || *faultAfter > 0 {
+			p = crowdtopk.InjectFaults(p, crowdtopk.FaultSchedule{
+				Seed:           *seed + 3,
+				Drop:           *faultDrop,
+				PostError:      *faultErr,
+				CollectError:   *faultErr,
+				FailAfterPosts: *faultAfter,
+			})
+		}
+		oracle = crowdtopk.WrapPlatform(data.NumItems(), p)
+		opts.Resilience = &crowdtopk.ResilienceOptions{}
+	}
+
+	sess, err := crowdtopk.NewSession(oracle, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sess.EnableAuditLog()
+
+	srv := service.New(service.Config{
+		Session:      sess,
+		Telemetry:    tel,
+		MaxInFlight:  *inflight,
+		MaxQueue:     *queueCap,
+		AuditEnabled: true,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv}
+	fmt.Printf("topkd: serving %d items on http://%s (POST /queries)\n", data.NumItems(), ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("topkd: %v — draining\n", s)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "topkd: drain: %v\n", err)
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "topkd: close: %v\n", err)
+	}
+	fmt.Printf("topkd: done — session spent %d microtasks over %d rounds\n", sess.TMC(), sess.Rounds())
+}

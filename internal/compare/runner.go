@@ -1,15 +1,23 @@
 package compare
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"crowdtopk/internal/crowd"
 	"crowdtopk/internal/obs"
 	"crowdtopk/internal/sched"
 )
+
+// ErrBudgetExhausted stops a query whose per-query budget sub-cap (see
+// Runner.SetQueryBudget) ran dry: the query concludes best-effort on the
+// evidence already purchased, while the session's shared cap — and every
+// neighboring query — is untouched.
+var ErrBudgetExhausted = errors.New("per-query budget exhausted")
 
 // Params configures the execution of comparison processes.
 type Params struct {
@@ -125,11 +133,38 @@ type memoStripe struct {
 
 // queryAcct is one query's accounting slice of the shared execution
 // stack: exact counts of the microtasks and latency rounds this query
-// (and only this query) consumed, plus the ref-counted scheduler handle
-// its drivers submit through.
+// (and only this query) consumed, the query's budget sub-cap and stop
+// latch, its scheduling weight, plus the ref-counted scheduler handle its
+// drivers submit through. Derived sub-phase runners share the acct, so a
+// stop or an exhausted sub-cap covers the whole query.
 type queryAcct struct {
 	tmc    atomic.Int64 // microtasks charged via this runner's draws
 	rounds atomic.Int64 // latency rounds ticked via this runner
+
+	// budget is the per-query TMC sub-cap (0 = unlimited); reserved is
+	// the CAS-reserved claim against it, always >= tmc, so concurrent
+	// chains of one query can never overdraw the sub-cap between check
+	// and charge. The sub-cap is a ceiling, not a reservation against the
+	// session's shared cap: whatever the query leaves unspent was never
+	// taken from its neighbors. budget, priority and deadline are set
+	// before the query starts and immutable afterwards.
+	budget   int64
+	reserved atomic.Int64
+	priority int32
+	deadline time.Time
+
+	// The per-query stop latch: once set (context canceled, deadline
+	// expired, sub-cap exhausted, session closing) every further purchase
+	// through this acct is declined, so in-flight comparison chains
+	// conclude best-effort and drain — exactly the shape of an exhausted
+	// global cap, but scoped to one query. The first cause wins.
+	stopped   atomic.Bool
+	stopMu    sync.Mutex
+	stopCause error
+
+	// phase names the query's currently executing algorithm phase
+	// ("select", "partition", "rank", ... ) for live progress reporting.
+	phase atomic.Pointer[string]
 
 	mu   sync.Mutex
 	q    *sched.Query // open handle while refs > 0
@@ -142,6 +177,61 @@ func (a *queryAcct) handle() *sched.Query {
 	q := a.q
 	a.mu.Unlock()
 	return q
+}
+
+// reserve claims up to n microtasks against the query's budget sub-cap
+// and returns how many were granted; with no sub-cap every request is
+// granted in full. Like the engine's cap reservation, the claim is a CAS
+// so concurrent chains never overshoot.
+func (a *queryAcct) reserve(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if a.budget <= 0 {
+		return n
+	}
+	for {
+		cur := a.reserved.Load()
+		left := a.budget - cur
+		if left <= 0 {
+			return 0
+		}
+		m := int64(n)
+		if m > left {
+			m = left
+		}
+		if a.reserved.CompareAndSwap(cur, cur+m) {
+			return int(m)
+		}
+	}
+}
+
+// refund returns an unused reservation (a cap- or platform-truncated
+// draw) to the sub-cap.
+func (a *queryAcct) refund(n int) {
+	if n > 0 && a.budget > 0 {
+		a.reserved.Add(-int64(n))
+	}
+}
+
+// stop latches the query stopped; the first cause wins.
+func (a *queryAcct) stop(cause error) {
+	a.stopMu.Lock()
+	if a.stopCause == nil {
+		a.stopCause = cause
+	}
+	a.stopMu.Unlock()
+	a.stopped.Store(true)
+}
+
+// cause returns the stop cause, nil while the query is live.
+func (a *queryAcct) cause() error {
+	if !a.stopped.Load() {
+		return nil
+	}
+	a.stopMu.Lock()
+	defer a.stopMu.Unlock()
+	return a.stopCause
 }
 
 // stripeOf picks the memo stripe of a canonical pair, mixing both indices
@@ -221,6 +311,76 @@ func (r *Runner) Derive(p Params) *Runner {
 	return d
 }
 
+// SetQueryBudget carves a per-query budget sub-cap out of the session's
+// shared spending cap: at most n microtasks may be charged through this
+// runner (and its Derived sub-phases). When the sub-cap runs dry the
+// query stops with ErrBudgetExhausted and concludes best-effort; the
+// engine's cap and concurrent queries are unaffected, and whatever the
+// query did not spend was never withheld from them. n <= 0 means
+// unlimited. Call before the query starts executing.
+func (r *Runner) SetQueryBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	r.acct.budget = n
+}
+
+// QueryBudget returns the per-query sub-cap (0 = unlimited).
+func (r *Runner) QueryBudget() int64 { return r.acct.budget }
+
+// SetQueryPriority sets the query's scheduling weight on the shared
+// pool: higher-priority queries' comparison steps are dequeued first;
+// equals share round-robin. Call before the query starts executing.
+func (r *Runner) SetQueryPriority(p int32) { r.acct.priority = p }
+
+// SetQueryDeadline declares when the query's answer is due; among
+// equal-priority queries the earliest deadline is served first. The
+// deadline only weights scheduling — enforcement (stopping the query) is
+// the context's job. Call before the query starts executing.
+func (r *Runner) SetQueryDeadline(t time.Time) { r.acct.deadline = t }
+
+// Stop latches the query stopped with the given cause (first cause
+// wins): every further purchase through this runner is declined, so
+// in-flight comparisons conclude best-effort from the evidence already
+// bought, and the query's pending scheduler tasks are dropped while its
+// running steps drain. Safe to call from any goroutine, multiple times.
+func (r *Runner) Stop(cause error) {
+	if cause == nil {
+		cause = errors.New("query stopped")
+	}
+	r.acct.stop(cause)
+	if q := r.acct.handle(); q != nil {
+		q.Cancel()
+	}
+}
+
+// Stopped reports whether the query has been stopped (canceled, deadline
+// expired, budget sub-cap exhausted, or session closing).
+func (r *Runner) Stopped() bool { return r.acct.stopped.Load() }
+
+// StopCause returns why the query was stopped, nil while it is live.
+func (r *Runner) StopCause() error { return r.acct.cause() }
+
+// SetPhase publishes the name of the algorithm phase the query is
+// currently executing; the empty string clears it. Safe for concurrent
+// readers (Phase).
+func (r *Runner) SetPhase(name string) {
+	if name == "" {
+		r.acct.phase.Store(nil)
+		return
+	}
+	r.acct.phase.Store(&name)
+}
+
+// Phase returns the query's currently executing phase name, "" between
+// phases or for algorithms that do not report phases.
+func (r *Runner) Phase() string {
+	if p := r.acct.phase.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 // Borrow opens (or joins) this query's handle on the shared scheduler
 // and returns it with a release func. The handle is ref-counted: the
 // pool workers spin up with the first outstanding borrow on the
@@ -232,6 +392,15 @@ func (r *Runner) Borrow() (*sched.Query, func()) {
 	a.mu.Lock()
 	if a.refs == 0 {
 		a.q = r.sch.Open()
+		a.q.SetPriority(a.priority)
+		if !a.deadline.IsZero() {
+			a.q.SetDeadline(a.deadline)
+		}
+		if a.stopped.Load() {
+			// Stopped before the first borrow (cancel-before-start): the
+			// handle opens pre-canceled so no step ever queues.
+			a.q.Cancel()
+		}
 	}
 	a.refs++
 	q := a.q
@@ -264,21 +433,49 @@ func (r *Runner) Tick(n int) {
 
 // DrawOne purchases a single microtask for (i, j), attributing its cost
 // to this runner's query. It reports the sampled preference and whether
-// the purchase was granted (cap and platform permitting).
+// the purchase was granted (stop latch, budget sub-cap, global cap and
+// platform permitting).
 func (r *Runner) DrawOne(i, j int) (float64, bool) {
-	v, ok := r.eng.DrawOne(i, j)
-	if ok {
-		r.acct.tmc.Add(1)
+	if r.acct.stopped.Load() {
+		return 0, false
 	}
-	return v, ok
+	if r.acct.reserve(1) == 0 {
+		r.Stop(ErrBudgetExhausted)
+		return 0, false
+	}
+	v, ok := r.eng.DrawOne(i, j)
+	if !ok {
+		r.acct.refund(1)
+		return v, false
+	}
+	r.acct.tmc.Add(1)
+	return v, true
 }
 
 // draw purchases a batch for (i, j) and attributes exactly the charged
 // count to this query — the engine reports it per call, because a view
 // diff would misattribute cost when another query draws the same pair
-// concurrently.
+// concurrently. A stopped query is declined outright; a query whose
+// budget sub-cap runs dry gets the remainder, then stops with
+// ErrBudgetExhausted on its next request. Reservations the engine did
+// not honor (global cap, platform shortfall) are refunded to the
+// sub-cap, so the sub-cap — like TMC itself — counts only delivered
+// answers.
 func (r *Runner) draw(i, j, n int) crowd.BagView {
-	v, charged := r.eng.DrawN(i, j, n)
+	if r.acct.stopped.Load() {
+		return r.eng.View(i, j)
+	}
+	granted := r.acct.reserve(n)
+	if granted == 0 {
+		if n > 0 {
+			r.Stop(ErrBudgetExhausted)
+		}
+		return r.eng.View(i, j)
+	}
+	v, charged := r.eng.DrawN(i, j, granted)
+	if charged != granted {
+		r.acct.refund(granted - charged)
+	}
 	if charged != 0 {
 		r.acct.tmc.Add(int64(charged))
 	}
@@ -295,11 +492,20 @@ func (r *Runner) Draw(i, j, n int) crowd.BagView { return r.draw(i, j, n) }
 // attributing its cost to this runner's query. It reports the rating and
 // whether the purchase was granted.
 func (r *Runner) Grade(i int) (float64, bool) {
-	v, ok := r.eng.Grade(i)
-	if ok {
-		r.acct.tmc.Add(1)
+	if r.acct.stopped.Load() {
+		return 0, false
 	}
-	return v, ok
+	if r.acct.reserve(1) == 0 {
+		r.Stop(ErrBudgetExhausted)
+		return 0, false
+	}
+	v, ok := r.eng.Grade(i)
+	if !ok {
+		r.acct.refund(1)
+		return v, false
+	}
+	r.acct.tmc.Add(1)
+	return v, true
 }
 
 // QueryTMC returns the microtasks charged through this runner (this

@@ -1,0 +1,187 @@
+package loadtest
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"crowdtopk"
+)
+
+// slowOracle adds a fixed per-judgment delay, making scheduler slots the
+// bottleneck so dequeue priority becomes observable end to end. (With an
+// instant oracle the pending queue is almost always empty and priority
+// never gets to decide anything.)
+type slowOracle struct {
+	crowdtopk.Oracle
+	delay time.Duration
+}
+
+func (s *slowOracle) Preference(rng *rand.Rand, i, j int) float64 {
+	time.Sleep(s.delay)
+	return s.Oracle.Preference(rng, i, j)
+}
+
+// newLoadSession builds the session the harness tests drive: async
+// scheduling (so queries share the pool live), audit log on (so the
+// ledger check is three-way), and optionally the faulty simulated
+// platform in front of the synthetic dataset.
+func newLoadSession(t *testing.T, n int, faulty bool, parallelism int) *crowdtopk.Session {
+	t.Helper()
+	data := crowdtopk.SyntheticDataset(n, 0.3, 7)
+	oracle := crowdtopk.Oracle(data)
+	opts := crowdtopk.Options{
+		Algorithm:   crowdtopk.SPR,
+		Confidence:  0.9,
+		Budget:      25,
+		MinWorkload: 10,
+		Scheduling:  crowdtopk.Async,
+		Parallelism: parallelism,
+		Seed:        3,
+	}
+	if faulty {
+		var p crowdtopk.Platform = crowdtopk.SimulatedPlatform(data, 8, 11)
+		p = crowdtopk.InjectFaults(p, crowdtopk.FaultSchedule{
+			Seed:         13,
+			Drop:         0.02,
+			Duplicate:    0.02,
+			CollectError: 0.02,
+		})
+		oracle = crowdtopk.WrapPlatform(n, p)
+		opts.Resilience = &crowdtopk.ResilienceOptions{
+			CollectTimeout: 5 * time.Second,
+		}
+	}
+	sess, err := crowdtopk.NewSession(oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.EnableAuditLog()
+	t.Cleanup(func() { sess.Close() })
+	return sess
+}
+
+// TestLoadMixed is the harness smoke: a few dozen queries with mixed
+// priorities, sub-caps, algorithms and mid-flight cancellations against
+// the faulty platform — every invariant in Report.Check must hold.
+func TestLoadMixed(t *testing.T) {
+	queries := 40
+	if testing.Short() {
+		queries = 12
+	}
+	sess := newLoadSession(t, 40, true, 4)
+	rep := Run(sess, Config{
+		Queries:     queries,
+		K:           3,
+		Priorities:  []int{0, 2, 5},
+		Budgets:     []int64{0, 50, 200},
+		Algorithms:  []crowdtopk.Algorithm{crowdtopk.SPR, crowdtopk.TourTree, crowdtopk.HeapSort},
+		CancelEvery: 5,
+		Seed:        1,
+	})
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	canceled, budget, other := rep.Partials()
+	t.Logf("load: %d queries, session TMC %d; partials: %d canceled, %d budget, %d other",
+		queries, rep.SessionTMC, canceled, budget, other)
+}
+
+// TestLoadLarge is the acceptance-scale run: hundreds of concurrent
+// queries with mixed priorities, budgets and random cancellations, exact
+// global accounting throughout. Skipped in -short.
+func TestLoadLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("acceptance-scale load run")
+	}
+	sess := newLoadSession(t, 40, true, 8)
+	rep := Run(sess, Config{
+		Queries:     220,
+		K:           3,
+		Priorities:  []int{0, 1, 3, 7},
+		Budgets:     []int64{0, 30, 80, 300},
+		Algorithms:  []crowdtopk.Algorithm{crowdtopk.SPR, crowdtopk.TourTree, crowdtopk.QuickSelect},
+		CancelEvery: 7,
+		Seed:        2,
+	})
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	canceled, budget, other := rep.Partials()
+	if canceled == 0 {
+		t.Error("no query reported a canceled partial; the cancel arm never fired")
+	}
+	if budget == 0 {
+		t.Error("no query reported budget exhaustion; sub-caps never bound")
+	}
+	t.Logf("load: 220 queries, session TMC %d; partials: %d canceled, %d budget, %d other",
+		rep.SessionTMC, canceled, budget, other)
+}
+
+// TestLoadPriorityOrdering checks that scheduler priority is visible
+// end to end: on a deliberately starved worker pool, high-priority
+// queries launched together with low-priority ones finish earlier on
+// average.
+func TestLoadPriorityOrdering(t *testing.T) {
+	queries := 30
+	if testing.Short() {
+		queries = 12
+	}
+	// A slow oracle and a two-worker pool: every comparison batch costs
+	// real time on a scarce slot, so dequeue order is the dominant term
+	// in completion order.
+	oracle := &slowOracle{Oracle: crowdtopk.SyntheticDataset(30, 0.3, 7), delay: 20 * time.Microsecond}
+	sess, err := crowdtopk.NewSession(oracle, crowdtopk.Options{
+		Algorithm:   crowdtopk.SPR,
+		Confidence:  0.9,
+		Budget:      25,
+		MinWorkload: 10,
+		Scheduling:  crowdtopk.Async,
+		Parallelism: 2,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.EnableAuditLog()
+	t.Cleanup(func() { sess.Close() })
+	rep := Run(sess, Config{
+		Queries:    queries,
+		K:          3,
+		Priorities: []int{0, 9},
+		Seed:       4,
+	})
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	hi, lo := rep.MeanFinishOrder(9), rep.MeanFinishOrder(0)
+	if hi >= lo {
+		t.Fatalf("priority inversion: mean finish order %.1f for priority 9 vs %.1f for priority 0", hi, lo)
+	}
+	t.Logf("mean finish order: %.1f (priority 9) vs %.1f (priority 0)", hi, lo)
+}
+
+// TestLoadGoroutineStability brackets a full churn cycle — run, cancel,
+// close — and requires the goroutine count to return to its baseline.
+func TestLoadGoroutineStability(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sess := newLoadSession(t, 30, true, 4)
+	rep := Run(sess, Config{
+		Queries:     16,
+		K:           3,
+		Priorities:  []int{0, 3},
+		Budgets:     []int64{0, 40},
+		CancelEvery: 3,
+		Seed:        5,
+	})
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if after := StableGoroutines(before, 3, 5*time.Second); after > before+3 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

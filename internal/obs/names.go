@@ -71,6 +71,10 @@ const (
 	// while an earlier-round task of the same query still runs — work the
 	// wave barrier would have serialized behind the straggler.
 	MSchedSteals = "crowdtopk_sched_straggler_steals_total"
+	// MSchedDropped counts pending tasks dropped by query cancellation —
+	// steps that were queued but never ran because their query was
+	// canceled, budget-stopped or deadline-expired.
+	MSchedDropped = "crowdtopk_sched_dropped_total"
 
 	// Resilient platform (internal/crowd): retries and degradation.
 

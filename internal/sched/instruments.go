@@ -11,6 +11,7 @@ type Instruments struct {
 	QueueWait   *obs.Histogram // ns from submit to worker pickup, per task
 	QueueWaitNs *obs.Counter   // cumulative queue-wait ns (continuity with the wave-era counter)
 	Steals      *obs.Counter   // straggler steals: later-round task started past a running earlier round
+	Dropped     *obs.Counter   // pending tasks dropped by query cancellation
 }
 
 // NewInstruments resolves the bundle from the registry; nil registry
@@ -25,5 +26,6 @@ func NewInstruments(reg *obs.Registry) *Instruments {
 		QueueWait:   reg.Histogram(obs.MSchedQueueWait, obs.QueueWaitBuckets),
 		QueueWaitNs: reg.Counter(obs.MQueueWaitNs),
 		Steals:      reg.Counter(obs.MSchedSteals),
+		Dropped:     reg.Counter(obs.MSchedDropped),
 	}
 }

@@ -10,10 +10,17 @@
 // another query — instead of idling behind a wave barrier on the slowest
 // straggler.
 //
-// Fairness is round-robin across open queries: each worker pickup takes
-// the next pending task from the next query that has one, so one wide
-// query cannot starve a narrow one sharing the session. Within a query,
-// tasks run highest-Priority first, FIFO among equals.
+// Fairness is priority/deadline-weighted round-robin across open queries:
+// each worker pickup serves the pending query with the highest priority
+// (ties broken by the earliest deadline, then round-robin rotation), so a
+// high-priority query overtakes its neighbors without starving equals —
+// queries of one priority class still share the pool round-robin. Within
+// a query, tasks run highest-Priority first, FIFO among equals.
+//
+// A query may be canceled mid-flight: Cancel drops its pending tasks
+// (their completions are delivered without running, so drivers never
+// block on a dropped step) while tasks already on a worker run to
+// completion — the drain half of cooperative cancellation.
 //
 // Determinism: with one worker the scheduler degenerates to inline
 // execution — Submit runs the task synchronously on the caller's
@@ -113,11 +120,81 @@ type Query struct {
 	rounds  []int64 // rounds of this query's tasks currently running
 	closed  bool
 
+	// priority and deadline weight the cross-query dequeue; both are
+	// written under s.mu (SetPriority/SetDeadline) and read by pickLocked.
+	priority int32
+	deadline int64 // unix nanos; 0 = none
+
+	canceled atomic.Bool
+
 	dmu  sync.Mutex
 	done []int64
 	dpos int
 	sig  chan struct{}
 }
+
+// SetPriority sets the query's scheduling weight: among queries with
+// pending work, a higher-priority query is always served first. Equal
+// priorities share the pool round-robin (the pre-priority fairness).
+func (q *Query) SetPriority(p int32) {
+	q.s.mu.Lock()
+	q.priority = p
+	q.s.mu.Unlock()
+}
+
+// SetDeadline declares when the query's results are due. Among queries of
+// equal priority, the one with the earliest deadline is served first;
+// queries without a deadline rank after any query that has one. The zero
+// time clears the deadline.
+func (q *Query) SetDeadline(t time.Time) {
+	var d int64
+	if !t.IsZero() {
+		d = t.UnixNano()
+	}
+	q.s.mu.Lock()
+	q.deadline = d
+	q.s.mu.Unlock()
+}
+
+// Cancel drops every pending (not yet picked up) task of the query and
+// delivers their completions immediately — without running them — so the
+// driver's submit/next bookkeeping stays balanced while the queue drains
+// promptly. Tasks already executing on a worker finish normally and
+// deliver as usual. Subsequent Submits on a canceled query deliver their
+// completion without running, in both pool and inline mode. Cancel is
+// safe to call from any goroutine, multiple times.
+//
+// Cancel does not conclude anything by itself: callers pair it with a
+// query-level stop latch that makes the dropped steps' work unnecessary
+// (purchases declined, chains concluded best-effort by the driver).
+func (q *Query) Cancel() {
+	s := q.s
+	if s.workers <= 1 {
+		q.canceled.Store(true)
+		return
+	}
+	s.mu.Lock()
+	q.canceled.Store(true)
+	var tags []int64
+	for i := q.head; i < len(q.pending); i++ {
+		tags = append(tags, q.pending[i].Tag)
+	}
+	s.pending -= len(q.pending) - q.head
+	q.pending = q.pending[:0]
+	q.head = 0
+	q.prio = false
+	if ins := s.ins; ins != nil {
+		ins.QueueDepth.Set(int64(s.pending))
+		ins.Dropped.Add(int64(len(tags)))
+	}
+	s.mu.Unlock()
+	for _, tag := range tags {
+		q.deliver(tag)
+	}
+}
+
+// Canceled reports whether Cancel has been called.
+func (q *Query) Canceled() bool { return q.canceled.Load() }
 
 // Open registers a new query with the scheduler and (in pool mode) spawns
 // the workers if none are alive. Close the handle when the query's last
@@ -144,6 +221,10 @@ func (s *Scheduler) Open() *Query {
 func (q *Query) Submit(t Task) {
 	s := q.s
 	if s.workers <= 1 {
+		if q.canceled.Load() {
+			q.deliver(t.Tag)
+			return
+		}
 		t.Run()
 		s.tasks.Add(1)
 		q.deliver(t.Tag)
@@ -157,6 +238,14 @@ func (q *Query) Submit(t Task) {
 	if q.closed {
 		s.mu.Unlock()
 		panic("sched: Submit on a closed query")
+	}
+	if q.canceled.Load() {
+		if ins := s.ins; ins != nil {
+			ins.Dropped.Inc()
+		}
+		s.mu.Unlock()
+		q.deliver(t.Tag)
+		return
 	}
 	q.pending = append(q.pending, qt)
 	if t.Priority != 0 {
@@ -267,20 +356,48 @@ func (q *Query) takeLocked() queued {
 	return t
 }
 
-// pickLocked selects the next (query, task) pair round-robin across open
-// queries. Returns nil when nothing is pending.
+// beatsLocked reports whether query a outranks query b for the next
+// worker pickup: strictly higher priority wins; among equals, the
+// earlier non-zero deadline wins. Caller holds s.mu.
+func beatsLocked(a, b *Query) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	if a.deadline != b.deadline {
+		if a.deadline == 0 {
+			return false
+		}
+		return b.deadline == 0 || a.deadline < b.deadline
+	}
+	return false
+}
+
+// pickLocked selects the next (query, task) pair across open queries:
+// highest query priority first, earliest deadline among equals, and
+// round-robin rotation as the final tie-break (the scan starts at s.rr
+// and a strictly-better candidate is required to displace an earlier
+// one, so equal-weight queries keep taking fair turns). Returns false
+// when nothing is pending.
 func (s *Scheduler) pickLocked() (*Query, queued, bool) {
 	n := len(s.queries)
+	best := -1
 	for off := 0; off < n; off++ {
 		i := (s.rr + off) % n
 		q := s.queries[i]
-		if q.head < len(q.pending) {
-			t := q.takeLocked()
-			s.rr = (i + 1) % n
-			return q, t, true
+		if q.head >= len(q.pending) {
+			continue
+		}
+		if best < 0 || beatsLocked(q, s.queries[best]) {
+			best = i
 		}
 	}
-	return nil, queued{}, false
+	if best < 0 {
+		return nil, queued{}, false
+	}
+	q := s.queries[best]
+	t := q.takeLocked()
+	s.rr = (best + 1) % n
+	return q, t, true
 }
 
 // worker is one pool goroutine: pick fairly, run, deliver, repeat; exit

@@ -158,9 +158,9 @@ func TestStragglerStealCounter(t *testing.T) {
 	defer q.Close()
 
 	release := make(chan struct{})
-	q.Submit(Task{Tag: 0, Round: 1, Run: func() { <-release }})
-	// Give the straggler time to start running.
-	time.Sleep(10 * time.Millisecond)
+	started := make(chan struct{})
+	q.Submit(Task{Tag: 0, Round: 1, Run: func() { close(started); <-release }})
+	<-started // the straggler is provably running, not merely queued
 	for tag := int64(1); tag <= 8; tag++ {
 		q.Submit(Task{Tag: tag, Round: 2, Run: func() {}})
 	}
@@ -192,6 +192,186 @@ func TestDisabledInstrumentsAllocFree(t *testing.T) {
 	})
 	if avg > 0 {
 		t.Fatalf("disabled-instrument Submit+Next allocates %.1f per task, want 0", avg)
+	}
+}
+
+// TestCrossQueryPriorityDequeue pins the cross-query dequeue order: with
+// one worker serializing the backlog, every task of a higher-priority
+// query runs before any task of a lower-priority query — even when the
+// low-priority tasks were submitted first.
+func TestCrossQueryPriorityDequeue(t *testing.T) {
+	s := New(2)
+	qGate, qHi, qLo := s.Open(), s.Open(), s.Open()
+	defer qGate.Close()
+	defer qHi.Close()
+	defer qLo.Close()
+
+	// Hold both workers so the backlog builds before anything is picked;
+	// release only one, so a single worker serializes the dequeue.
+	g1, g2 := make(chan struct{}), make(chan struct{})
+	started := make(chan struct{}, 2)
+	qGate.Submit(Task{Tag: 0, Run: func() { started <- struct{}{}; <-g1 }})
+	qGate.Submit(Task{Tag: 1, Run: func() { started <- struct{}{}; <-g2 }})
+	<-started
+	<-started
+
+	qHi.SetPriority(5)
+	var mu sync.Mutex
+	var order []string
+	record := func(label string) func() {
+		return func() { mu.Lock(); order = append(order, label); mu.Unlock() }
+	}
+	// Low-priority work enters the queue first and must still lose.
+	for tag := int64(0); tag < 5; tag++ {
+		qLo.Submit(Task{Tag: tag, Run: record("lo")})
+	}
+	for tag := int64(0); tag < 5; tag++ {
+		qHi.Submit(Task{Tag: tag, Run: record("hi")})
+	}
+
+	close(g2)
+	qHi.Drain(5)
+	qLo.Drain(5)
+	close(g1)
+	qGate.Drain(2)
+
+	for i, label := range order {
+		want := "hi"
+		if i >= 5 {
+			want = "lo"
+		}
+		if label != want {
+			t.Fatalf("dequeue order %v: position %d is %q, want %q", order, i, label, want)
+		}
+	}
+}
+
+// TestDeadlineOrdersEqualPriority: among equal-priority queries, the one
+// with the earliest deadline is served first, and a query without a
+// deadline ranks after any query that has one.
+func TestDeadlineOrdersEqualPriority(t *testing.T) {
+	s := New(2)
+	qGate := s.Open()
+	qFar, qNear, qNone := s.Open(), s.Open(), s.Open()
+	defer qGate.Close()
+	defer qFar.Close()
+	defer qNear.Close()
+	defer qNone.Close()
+
+	g1, g2 := make(chan struct{}), make(chan struct{})
+	started := make(chan struct{}, 2)
+	qGate.Submit(Task{Tag: 0, Run: func() { started <- struct{}{}; <-g1 }})
+	qGate.Submit(Task{Tag: 1, Run: func() { started <- struct{}{}; <-g2 }})
+	<-started
+	<-started
+
+	now := time.Now()
+	qFar.SetDeadline(now.Add(time.Hour))
+	qNear.SetDeadline(now.Add(time.Minute))
+
+	var mu sync.Mutex
+	var order []string
+	record := func(label string) func() {
+		return func() { mu.Lock(); order = append(order, label); mu.Unlock() }
+	}
+	// Submission order is deliberately worst-case for the expectation.
+	for tag := int64(0); tag < 3; tag++ {
+		qNone.Submit(Task{Tag: tag, Run: record("none")})
+		qFar.Submit(Task{Tag: tag, Run: record("far")})
+		qNear.Submit(Task{Tag: tag, Run: record("near")})
+	}
+
+	close(g2)
+	qNear.Drain(3)
+	qFar.Drain(3)
+	qNone.Drain(3)
+	close(g1)
+	qGate.Drain(2)
+
+	want := []string{"near", "near", "near", "far", "far", "far", "none", "none", "none"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dequeue order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestCancelDropsPendingWithoutRunning: Cancel drops every queued task —
+// none of them executes, yet every tag is still delivered so the driver's
+// submit/next bookkeeping stays balanced — and the drop counter records
+// them. Post-cancel submissions short-circuit the same way.
+func TestCancelDropsPendingWithoutRunning(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(2)
+	s.SetInstruments(NewInstruments(reg))
+	qGate := s.Open()
+	q := s.Open()
+	defer qGate.Close()
+	defer q.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 2)
+	hold := func() { started <- struct{}{}; <-gate }
+	qGate.Submit(Task{Tag: 0, Run: hold})
+	qGate.Submit(Task{Tag: 1, Run: hold})
+	<-started
+	<-started
+
+	const n = 6
+	var ran atomic.Int64
+	for tag := int64(0); tag < n; tag++ {
+		q.Submit(Task{Tag: tag, Run: func() { ran.Add(1) }})
+	}
+	q.Cancel()
+
+	seen := make(map[int64]bool, n)
+	for i := 0; i < n; i++ {
+		tag := q.Next()
+		if seen[tag] {
+			t.Fatalf("tag %d delivered twice", tag)
+		}
+		seen[tag] = true
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d dropped tasks ran anyway", ran.Load())
+	}
+	if got := reg.Counter(obs.MSchedDropped).Value(); got != n {
+		t.Fatalf("dropped counter = %d, want %d", got, n)
+	}
+
+	// A submit after Cancel is dropped the same way: delivered, not run.
+	q.Submit(Task{Tag: 99, Run: func() { ran.Add(1) }})
+	if tag := q.Next(); tag != 99 {
+		t.Fatalf("post-cancel completion tag = %d, want 99", tag)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("post-cancel submission ran anyway")
+	}
+	if got := reg.Counter(obs.MSchedDropped).Value(); got != n+1 {
+		t.Fatalf("dropped counter = %d, want %d", got, n+1)
+	}
+
+	close(gate)
+	qGate.Drain(2)
+}
+
+// TestCancelInlineMode: in inline mode the same contract holds without a
+// pool — post-cancel submissions deliver their tag unrun.
+func TestCancelInlineMode(t *testing.T) {
+	s := New(1)
+	q := s.Open()
+	defer q.Close()
+	q.Cancel()
+	if !q.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+	var ran atomic.Int64
+	q.Submit(Task{Tag: 3, Run: func() { ran.Add(1) }})
+	if tag := q.Next(); tag != 3 {
+		t.Fatalf("completion tag = %d, want 3", tag)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("canceled inline submission ran anyway")
 	}
 }
 

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 
 	"crowdtopk/internal/compare"
@@ -28,9 +29,11 @@ type Result struct {
 	TMC int64
 	// Rounds is the query latency in batch rounds.
 	Rounds int64
-	// Err is the platform failure that degraded the engine during the
-	// run, if any. When non-nil, TopK is a best-effort answer computed
-	// from the evidence purchased before (and during) the failure, and
+	// Err is what degraded the run, if anything: a platform failure that
+	// latched the engine, or the query's own stop cause — context
+	// cancellation, an expired deadline, or an exhausted per-query budget
+	// sub-cap. When non-nil, TopK is a best-effort answer computed from
+	// the evidence purchased before (and during) the degradation, and
 	// TMC is still exact — only delivered answers were charged.
 	Err error
 }
@@ -46,10 +49,36 @@ type Result struct {
 // "query" root span: phases nest under it, comparison spans under the
 // phases.
 func Run(alg Algorithm, r *compare.Runner, k int) Result {
+	return RunContext(context.Background(), alg, r, k)
+}
+
+// RunContext is Run under a context: when ctx is canceled or its
+// deadline expires, the query's stop latch is set (purchases decline,
+// pending scheduler tasks are dropped, in-flight comparison chains
+// drain) and the algorithm concludes best-effort on the evidence it
+// already paid for. The Result then carries the exact spend and
+// context.Cause(ctx) in Err. A ctx that is already canceled yields a
+// zero-spend best-effort run.
+func RunContext(ctx context.Context, alg Algorithm, r *compare.Runner, k int) Result {
 	validateK(r, k)
 	e := r.Engine()
 	_, release := r.Borrow()
 	defer release()
+	if ctx != nil && ctx.Done() != nil {
+		if err := context.Cause(ctx); err != nil {
+			// Already canceled: latch synchronously so the run is
+			// guaranteed zero-spend, not merely likely so (AfterFunc
+			// fires on its own goroutine and could lose the race).
+			r.Stop(err)
+		} else {
+			// Stop must precede the handle cancel inside it, so a dropped
+			// scheduler task can never be the only signal a driver sees.
+			unwatch := context.AfterFunc(ctx, func() {
+				r.Stop(context.Cause(ctx))
+			})
+			defer unwatch()
+		}
+	}
 	tmc0, rounds0 := r.QueryTMC(), r.QueryRounds()
 
 	var span *obs.ActiveSpan
@@ -72,6 +101,13 @@ func Run(alg Algorithm, r *compare.Runner, k int) Result {
 		TMC:       r.QueryTMC() - tmc0,
 		Rounds:    r.QueryRounds() - rounds0,
 		Err:       e.Err(),
+	}
+	if res.Err == nil {
+		// The query's own degradation: canceled, deadline-expired, or
+		// budget-stopped. A cancellation that races the final batch still
+		// reports partial — the caller cannot tell a complete answer from
+		// a truncated one, so the error is the honest signal.
+		res.Err = r.StopCause()
 	}
 	if span != nil {
 		// Close the spans of comparisons the algorithm abandoned mid-wave

@@ -140,6 +140,14 @@ func drive(r *compare.Runner, p plan) {
 		tag := q.Next()
 		inflight--
 		c := byTag[tag]
+		// A stopped query's pending steps are dropped by the scheduler —
+		// their completions arrive without Run having executed. Conclude
+		// such chains inline: Advance on a stopped runner purchases
+		// nothing and reports the best-effort verdict immediately, so the
+		// drain makes monotonic progress at zero cost.
+		if !c.done && r.Stopped() {
+			c.out, c.done = r.Advance(c.lo, c.hi)
+		}
 		c.round++
 		// High-water latency: chains advance in lockstep rounds, so the
 		// query is as deep as its deepest chain. Chains behind the mark
@@ -189,6 +197,12 @@ func driveWaves(r *compare.Runner, q *sched.Query, p plan, pump func() []*chain,
 		r.Tick(1)
 		next := live[:0]
 		for _, c := range live {
+			// Steps dropped by a stopped query's scheduler cancel never
+			// ran; conclude their chains best-effort at zero cost so the
+			// wave loop drains instead of resubmitting forever.
+			if !c.done && r.Stopped() {
+				c.out, c.done = r.Advance(c.lo, c.hi)
+			}
 			if c.done {
 				conclude(c)
 			} else {

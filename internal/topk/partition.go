@@ -161,6 +161,14 @@ func partitionAsync(r *compare.Runner, items []int, k, ref, maxRefChanges int) p
 		tag := q.Next()
 		inflight--
 		rc := races[tag]
+		// A stopped query's pending steps are dropped by the scheduler and
+		// delivered unrun. Classify such races inline: Advance on a stopped
+		// runner purchases nothing and reports the best-effort verdict, so
+		// the drain terminates instead of resubmitting dropped work forever.
+		if r.Stopped() && (!rc.done || rc.ref != cur) {
+			rc.out, rc.done = r.Advance(rc.item, cur)
+			rc.ref = cur
+		}
 		rc.round++
 		if rc.round > ticked {
 			r.Tick(int(rc.round - ticked))

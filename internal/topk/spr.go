@@ -105,10 +105,13 @@ type phaseSpan struct {
 	tmc, rounds int64
 	span        *obs.ActiveSpan
 	prevParent  obs.SpanID
+	prevPhase   string
 }
 
 func (s *SPR) beginPhase(r *compare.Runner, name string) phaseSpan {
 	ps := phaseSpan{name: name, tmc: r.QueryTMC(), rounds: r.QueryRounds()}
+	ps.prevPhase = r.Phase()
+	r.SetPhase(name)
 	if tr := r.Tracer(); tr != nil {
 		ps.prevParent = r.ParentSpan()
 		ps.span = tr.Start("phase:"+name, ps.prevParent)
@@ -118,6 +121,7 @@ func (s *SPR) beginPhase(r *compare.Runner, name string) phaseSpan {
 }
 
 func (s *SPR) endPhase(r *compare.Runner, ps phaseSpan, into *PhaseCost) {
+	r.SetPhase(ps.prevPhase)
 	dTMC := r.QueryTMC() - ps.tmc
 	dRounds := r.QueryRounds() - ps.rounds
 	into.TMC += dTMC

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# load_smoke.sh — service-layer smoke test.
+#
+# Boots topkd against a faulty simulated crowd, fires $QUERIES concurrent
+# queries with mixed algorithms, priorities and budget sub-caps, cancels
+# every fourth one mid-flight, then asserts the service's terminal
+# guarantees: every query reaches a terminal state, /debug/accounting
+# reports the exact-money invariant (session TMC == Σ per-query TMC ==
+# audit log), /metrics is live, and SIGTERM drains cleanly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUERIES=${QUERIES:-20}
+
+workdir=$(mktemp -d)
+out="$workdir/topkd.out"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/topkd" ./cmd/topkd
+
+"$workdir/topkd" \
+    -addr 127.0.0.1:0 -n 60 -seed 7 -budget 40 \
+    -platform -workers 8 -fault-drop 0.05 -fault-error 0.02 \
+    -max-inflight 6 -max-queue 128 \
+    >"$out" 2>&1 &
+pid=$!
+
+# The daemon prints its bound (ephemeral) address on boot.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^topkd: serving .* on http://\([^ ]*\) .*$|\1|p' "$out")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "topkd died:"; cat "$out"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "topkd never printed its address:"; cat "$out"; exit 1; }
+
+# Fire the mixed workload: algorithms, priorities and sub-caps cycle;
+# every fourth query is canceled right after submission (it may be
+# queued, running, or already done — all three must be handled).
+ids=()
+algs=(spr tourtree quickselect)
+for i in $(seq 1 "$QUERIES"); do
+    alg=${algs[$((i % 3))]}
+    prio=$((i % 4))
+    maxc=0
+    case $((i % 3)) in 1) maxc=80 ;; 2) maxc=2000 ;; esac
+    id=$(curl -fsS "http://$addr/queries" \
+        -d "{\"k\":5,\"algorithm\":\"$alg\",\"priority\":$prio,\"max_cost\":$maxc}" \
+        | jq -r .id)
+    [ -n "$id" ] && [ "$id" != null ] || { echo "POST /queries returned no id"; exit 1; }
+    ids+=("$id")
+    if [ $((i % 4)) -eq 0 ]; then
+        curl -fsS -X DELETE "http://$addr/queries/$id" >/dev/null
+    fi
+done
+
+# Every query must reach a terminal state.
+deadline=$((SECONDS + 120))
+for id in "${ids[@]}"; do
+    while :; do
+        state=$(curl -fsS "http://$addr/queries/$id" | jq -r .state)
+        case "$state" in done|canceled) break ;; esac
+        [ "$SECONDS" -lt "$deadline" ] || { echo "FAIL: query $id stuck in state $state"; exit 1; }
+        sleep 0.1
+    done
+done
+
+done_n=0; canceled_n=0
+for id in "${ids[@]}"; do
+    st=$(curl -fsS "http://$addr/queries/$id")
+    state=$(jq -r .state <<<"$st")
+    k=$(jq -r '.top_k | length' <<<"$st")
+    tmc=$(jq -r .tmc <<<"$st")
+    maxc=$(jq -r '.max_cost // 0' <<<"$st")
+    case "$state" in
+        done)
+            [ "$k" -eq 5 ] || { echo "FAIL: query $id finished with $k items"; exit 1; }
+            done_n=$((done_n + 1)) ;;
+        canceled) canceled_n=$((canceled_n + 1)) ;;
+    esac
+    if [ "$maxc" -gt 0 ] && [ "$tmc" -gt "$maxc" ]; then
+        echo "FAIL: query $id overdrew its sub-cap: spent $tmc over $maxc"; exit 1
+    fi
+done
+[ "$done_n" -ge 1 ] || { echo "FAIL: no query completed"; exit 1; }
+[ "$canceled_n" -ge 1 ] || { echo "FAIL: no query was canceled"; exit 1; }
+
+# The exact-money invariant, as the service itself computes it.
+acct=$(curl -fsS "http://$addr/debug/accounting")
+jq -e '.balanced and .running == 0 and .queued == 0' <<<"$acct" >/dev/null \
+    || { echo "FAIL: accounting unbalanced after drain: $acct"; exit 1; }
+
+# The telemetry surface is live and the session spent real money.
+tmc_total=$(curl -fsS "http://$addr/metrics" | awk '$1 == "crowdtopk_tmc_total" { print $2 }')
+[ -n "$tmc_total" ] && [ "$tmc_total" -gt 0 ] \
+    || { echo "FAIL: crowdtopk_tmc_total absent or zero on /metrics"; exit 1; }
+session_tmc=$(jq -r .session_tmc <<<"$acct")
+[ "$tmc_total" = "$session_tmc" ] \
+    || { echo "FAIL: /metrics tmc $tmc_total != accounting session_tmc $session_tmc"; exit 1; }
+
+# Graceful shutdown: SIGTERM drains and the daemon reports its final spend.
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$pid" 2>/dev/null && { echo "FAIL: topkd did not exit on SIGTERM"; exit 1; }
+pid=""
+grep -q '^topkd: done' "$out" || { echo "FAIL: no shutdown summary:"; cat "$out"; exit 1; }
+
+echo "OK: $QUERIES queries ($done_n done, $canceled_n canceled), TMC $session_tmc exact across /metrics and accounting"

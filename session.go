@@ -1,9 +1,10 @@
 package crowdtopk
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"time"
+	"sync"
 
 	"crowdtopk/internal/compare"
 	"crowdtopk/internal/crowd"
@@ -36,6 +37,17 @@ type TaskRecord = crowd.Record
 type Session struct {
 	opts   Options
 	runner *compare.Runner
+
+	// Close coordination: closed rejects new queries, closeCtx stops the
+	// in-flight ones (each StartTopK registers an AfterFunc on it), and
+	// inflight lets Close wait for their goroutines to finish. inflight.Add
+	// happens under mu, strictly before closed flips, so Close's Wait can
+	// never race a concurrent Add.
+	mu          sync.Mutex
+	closed      bool
+	closeCtx    context.Context
+	closeCancel context.CancelFunc
+	inflight    sync.WaitGroup
 }
 
 // NewSession opens a session over the oracle with the given options
@@ -50,7 +62,8 @@ func NewSession(o Oracle, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{opts: opts, runner: r}, nil
+	closeCtx, closeCancel := context.WithCancel(context.Background())
+	return &Session{opts: opts, runner: r, closeCtx: closeCtx, closeCancel: closeCancel}, nil
 }
 
 // EnableAuditLog turns on microtask recording for the rest of the
@@ -88,6 +101,9 @@ func ResumeOracle(log []TaskRecord, live Oracle) *ResumedOracle {
 	return crowd.NewReplayThenLive(log, live)
 }
 
+// NumItems returns the size of the session's item space.
+func (s *Session) NumItems() int { return s.runner.Engine().NumItems() }
+
 // TMC returns the session's total monetary cost so far.
 func (s *Session) TMC() int64 { return s.runner.Engine().TMC() }
 
@@ -121,10 +137,20 @@ func (s *Session) DroppedPlatformFailures() int64 {
 // when observability is off.
 func (s *Session) Telemetry() *Telemetry { return s.opts.Telemetry }
 
-// Close releases the resources of a platform-backed session (worker
-// goroutines, connections) by closing the underlying platform when it
-// supports closing. It is a no-op for dataset-backed sessions.
+// Close shuts the session down: new queries are rejected with
+// ErrSessionClosed, queries in flight are stopped (they stop purchasing,
+// drain their comparison chains, and return best-effort partials wrapping
+// ErrSessionClosed), and once every query goroutine has finished the
+// underlying platform is closed when it supports closing. Close blocks
+// until the drain completes and is idempotent.
 func (s *Session) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.closeCancel()
+	}
+	s.mu.Unlock()
+	s.inflight.Wait()
 	o := s.runner.Engine().Oracle()
 	po, ok := o.(*crowd.PlatformOracle)
 	if !ok {
@@ -149,30 +175,7 @@ func (s *Session) Rounds() int64 { return s.runner.Engine().Rounds() }
 // window, so its secondary counters include concurrent queries' traffic;
 // its TMC and Rounds are overwritten with this query's exact values.)
 func (s *Session) TopK(k int) (Result, error) {
-	n := s.runner.Engine().NumItems()
-	if k < 1 || k > n {
-		return Result{}, fmt.Errorf("crowdtopk: k=%d out of range [1,%d]", k, n)
-	}
-	opts := s.opts
-	opts.K = k
-	alg, err := newAlgorithm(opts)
-	if err != nil {
-		return Result{}, err
-	}
-	r := s.runner.Fork()
-	before := s.opts.Telemetry.snapshot()
-	start := time.Now()
-	res := topk.Run(alg, r, k)
-	out := Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}
-	out.Stats = s.opts.Telemetry.statsSince(before, time.Since(start))
-	if out.Stats != nil {
-		out.Stats.TMC = res.TMC
-		out.Stats.Rounds = res.Rounds
-	}
-	if res.Err != nil {
-		return out, partialError(out, s.runner.Engine().Oracle(), res.Err)
-	}
-	return out, nil
+	return s.TopKContext(context.Background(), k, QueryOptions{})
 }
 
 // Judge runs (or re-reads) one confidence-aware comparison within the
