@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-hot bench-json fuzz chaos serve-metrics smoke-metrics load service-smoke all
+.PHONY: build test race vet bench bench-hot bench-json bench-diff warm-cache fuzz chaos serve-metrics smoke-metrics load service-smoke all
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,20 @@ bench-json:
 	$(GO) run ./cmd/topkquery -n 200 -k 10 -stats-out query-stats.json > /dev/null
 	$(GO) run ./cmd/perfcheck -current bench-raw.txt -stats query-stats.json -json BENCH_PR5.json \
 		-metric-gate 'util:BenchmarkSchedulerStraggler/async>BenchmarkSchedulerStraggler/wave'
+
+# Cold-vs-warm judgment-store scenario: an 8-query, 50%-overlap mix whose
+# repeated half is answered from stored verdicts. Gates warm TMC <= 20%
+# of cold with byte-identical top-k results and exact store-counter /
+# engine-TMC reconciliation at /debug/accounting, then refreshes the
+# committed BENCH_PR7.json artifact.
+warm-cache:
+	$(GO) run ./cmd/perfcheck -warm-scenario -json BENCH_PR7.json
+
+# Human-readable benchmark deltas against the committed baseline:
+# benchstat when available, a pure-awk median table offline. The actual
+# regression gate is `perfcheck -baseline` (see bench-json / CI).
+bench-diff:
+	./scripts/benchdiff.sh BENCH_BASELINE.txt bench-raw.txt
 
 # Run one query with the live telemetry endpoint up: Prometheus metrics on
 # /metrics, expvar JSON on /debug/vars, the span trace on /trace, and live

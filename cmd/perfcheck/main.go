@@ -28,6 +28,12 @@
 //
 //	perfcheck -current bench.txt \
 //	  -metric-gate 'util:BenchmarkSchedulerStraggler/async>BenchmarkSchedulerStraggler/wave'
+//
+// With -warm-scenario, perfcheck instead runs the judgment-store
+// cold-vs-warm query mix in-process (see scenario.go) and gates warm TMC
+// against -warm-max-ratio with byte-identical top-k results:
+//
+//	perfcheck -warm-scenario -json BENCH_PR7.json
 package main
 
 import (
@@ -211,8 +217,15 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 0.10, "maximum tolerated ns/op slowdown fraction")
 		statsIn    = flag.String("stats", "", "QueryStats JSON (topkquery -stats-out) to fold into the -json artifact")
 		metricGate = flag.String("metric-gate", "", "comma-separated 'metric:benchA>benchB' assertions on the current run: benchA's custom metric must strictly exceed benchB's (e.g. 'util:BenchmarkX/async>BenchmarkX/wave')")
+		warmScen   = flag.Bool("warm-scenario", false, "run the cold-vs-warm judgment-store query mix instead of parsing bench output; gates warm TMC and byte-identical top-k, writes the report to -json")
+		warmRatio  = flag.Float64("warm-max-ratio", 0.20, "maximum tolerated warm/cold TMC ratio for -warm-scenario")
 	)
 	flag.Parse()
+
+	if *warmScen {
+		scenarioMain(*jsonOut, *warmRatio)
+		return
+	}
 
 	var stats *crowdtopk.QueryStats
 	if *statsIn != "" {

@@ -49,6 +49,9 @@ func main() {
 		inflight = flag.Int("max-inflight", 8, "queries executing concurrently")
 		queueCap = flag.Int("max-queue", 64, "queries waiting for a slot before 429")
 
+		storePath = flag.String("store", "", "persistent judgment store (JSONL file); warm-starts queries from concluded comparisons of earlier runs")
+		storeTTL  = flag.Duration("store-ttl", 0, "age past which stored judgments are re-verified with decayed evidence (0 = never expire)")
+
 		platform   = flag.Bool("platform", true, "run through the simulated crowd platform (false = direct dataset oracle)")
 		workers    = flag.Int("workers", 8, "simulated platform worker pool")
 		faultDrop  = flag.Float64("fault-drop", 0, "chaos: per-answer drop probability")
@@ -68,6 +71,19 @@ func main() {
 		Scheduling:  crowdtopk.Async, // free-running chains: queries share the pool live
 		Seed:        *seed + 1,
 		Telemetry:   tel,
+	}
+
+	var store *crowdtopk.FileJudgmentStore
+	if *storePath != "" {
+		s, err := crowdtopk.OpenFileJudgmentStore(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		store = s
+		opts.JudgmentStore = store
+		opts.JudgmentTTL = *storeTTL
+		fmt.Printf("topkd: judgment store %s (%d records)\n", store.Path(), store.Len())
 	}
 
 	oracle := crowdtopk.Oracle(data)
@@ -130,6 +146,14 @@ func main() {
 	}
 	if err := sess.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "topkd: close: %v\n", err)
+	}
+	if store != nil {
+		ss := sess.StoreStats()
+		fmt.Printf("topkd: store — %d hits, %d stale, %d misses, %d commits, %d records\n",
+			ss.Hits, ss.Stale, ss.Misses, ss.Commits, store.Len())
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "topkd: store close: %v\n", err)
+		}
 	}
 	fmt.Printf("topkd: done — session spent %d microtasks over %d rounds\n", sess.TMC(), sess.Rounds())
 }

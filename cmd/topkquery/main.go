@@ -48,6 +48,9 @@ func main() {
 		cpup   = flag.String("cpuprofile", "", "write a CPU profile to this file (prefer -metrics-addr + /debug/pprof/profile for live profiling)")
 		memp   = flag.String("memprofile", "", "write a post-query heap profile to this file (prefer -metrics-addr + /debug/pprof/heap for live profiling)")
 
+		storePath = flag.String("store", "", "persistent judgment store (JSONL file); warm-starts the query from concluded comparisons of earlier runs and commits this run's conclusions back")
+		storeTTL  = flag.Duration("store-ttl", 0, "age past which stored judgments are re-verified with decayed evidence (0 = never expire)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /debug/vars, /trace, /debug/pprof/) on this address; use :0 for an ephemeral port")
 		traceOut    = flag.String("trace-out", "", "write the query's span trace as replayable JSONL to this file")
 		statsOut    = flag.String("stats-out", "", "write the query's structured stats as JSON to this file (- for stdout)")
@@ -105,6 +108,20 @@ func main() {
 		Parallelism: *par,
 		Scheduling:  crowdtopk.SchedulingMode(*sched),
 		Seed:        *seed + 1,
+	}
+
+	var store *crowdtopk.FileJudgmentStore
+	if *storePath != "" {
+		s, err := crowdtopk.OpenFileJudgmentStore(*storePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening judgment store: %v\n", err)
+			os.Exit(1)
+		}
+		store = s
+		defer store.Close()
+		opts.JudgmentStore = store
+		opts.JudgmentTTL = *storeTTL
+		fmt.Printf("store:      %s (%d records)\n", store.Path(), store.Len())
 	}
 
 	// Any observability flag enables the telemetry bundle; the endpoint
@@ -189,6 +206,14 @@ func main() {
 	if st := res.Stats; st != nil {
 		fmt.Printf("telemetry:  %d comparisons (%d concluded, %d memo hits), %d waves, %d retries, %d quarantined\n",
 			st.Comparisons, st.Concluded, st.MemoHits, st.Waves, st.Retries, st.Quarantined)
+	}
+	if store != nil {
+		if st := res.Stats; st != nil {
+			fmt.Printf("store:      %d hits, %d stale, %d misses, %d commits — now %d records\n",
+				st.StoreHits, st.StoreStale, st.StoreMisses, st.StoreCommits, store.Len())
+		} else {
+			fmt.Printf("store:      now %d records\n", store.Len())
+		}
 	}
 
 	if *traceOut != "" {

@@ -168,6 +168,7 @@ func Query(o Oracle, opts Options) (Result, error) {
 	before := opts.Telemetry.snapshot()
 	start := time.Now()
 	res := topk.Run(alg, r, opts.K)
+	r.CommitConclusions()
 	out := Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}
 	out.Stats = opts.Telemetry.statsSince(before, time.Since(start))
 	if out.Stats != nil {
@@ -213,6 +214,7 @@ func Judge(o Oracle, i, j int, opts Options) (Judgment, error) {
 		return Judgment{}, err
 	}
 	out := r.Compare(i, j)
+	r.CommitConclusions()
 	v := r.Engine().View(i, j)
 	jm := Judgment{
 		Outcome:  Outcome(out),
@@ -261,6 +263,12 @@ func newRunner(o Oracle, opts Options) (*compare.Runner, error) {
 	})
 	if opts.Telemetry != nil {
 		r.SetTelemetry(opts.Telemetry.tel)
+	}
+	if opts.JudgmentStore != nil {
+		r.SetJudgmentStore(opts.JudgmentStore, compare.StorePolicy{
+			TTL:        opts.JudgmentTTL,
+			Confidence: opts.Confidence,
+		})
 	}
 	return r, nil
 }

@@ -29,6 +29,12 @@ type Instruments struct {
 	CompRounds   *obs.Histogram // batch rounds per finished comparison
 	CompWorkload *obs.Histogram // microtasks per finished comparison
 	WaveWidthMax *obs.Gauge     // widest wave seen (peak parallelism demand)
+
+	StoreHits    *obs.Counter // comparisons answered from the judgment store
+	StoreStale   *obs.Counter // stale records served as decayed priors
+	StoreMisses  *obs.Counter // store consultations that found nothing usable
+	StoreCommits *obs.Counter // conclusions committed back to the store
+	StoreSize    *obs.Gauge   // records in the judgment store
 }
 
 // NewInstruments resolves the bundle from the registry; nil registry
@@ -48,6 +54,11 @@ func NewInstruments(reg *obs.Registry) *Instruments {
 		CompRounds:   reg.Histogram(obs.MCompRounds, obs.CompRoundsBuckets),
 		CompWorkload: reg.Histogram(obs.MCompWorkload, obs.WorkloadBuckets),
 		WaveWidthMax: reg.Gauge(obs.MWaveWidthMax),
+		StoreHits:    reg.Counter(obs.MStoreHits),
+		StoreStale:   reg.Counter(obs.MStoreStale),
+		StoreMisses:  reg.Counter(obs.MStoreMisses),
+		StoreCommits: reg.Counter(obs.MStoreCommits),
+		StoreSize:    reg.Gauge(obs.MStoreSize),
 	}
 }
 

@@ -117,6 +117,14 @@ type Runner struct {
 	// is immutable (first writer wins), so readers always observe a
 	// stable verdict.
 	memo *memoTable
+
+	// js is the cross-query judgment-store attachment (SetJudgmentStore),
+	// shared — like the engine — by every fork and derived runner of the
+	// session; nil when reuse is off. derived marks sub-phase runners
+	// whose budget-exhausted ties must not be committed as session-level
+	// verdicts.
+	js      *storeState
+	derived bool
 }
 
 // memoStripes must be a power of two.
@@ -169,6 +177,13 @@ type queryAcct struct {
 	mu   sync.Mutex
 	q    *sched.Query // open handle while refs > 0
 	refs int
+
+	// pending queues the pairs this query concluded for the post-query
+	// judgment-store commit (CommitConclusions). It lives on the acct —
+	// not the runner — so conclusions from derived sub-phase runners,
+	// which share the acct but not the memo, are captured too.
+	pendMu  sync.Mutex
+	pending []pendingConclusion
 }
 
 // handle returns the open scheduler handle, nil when nothing is borrowed.
@@ -283,6 +298,7 @@ func (r *Runner) Fork() *Runner {
 		sch:    r.sch,
 		acct:   &queryAcct{},
 		memo:   r.memo,
+		js:     r.js,
 	}
 	f.parent.Store(r.parent.Load())
 	return f
@@ -297,15 +313,17 @@ func (r *Runner) Fork() *Runner {
 func (r *Runner) Derive(p Params) *Runner {
 	p.validate()
 	d := &Runner{
-		eng:    r.eng,
-		policy: r.policy,
-		params: p,
-		tel:    r.tel,
-		ins:    r.ins,
-		hw:     r.hw,
-		sch:    r.sch,
-		acct:   r.acct,
-		memo:   &memoTable{},
+		eng:     r.eng,
+		policy:  r.policy,
+		params:  p,
+		tel:     r.tel,
+		ins:     r.ins,
+		hw:      r.hw,
+		sch:     r.sch,
+		acct:    r.acct,
+		memo:    &memoTable{},
+		js:      r.js,
+		derived: true,
 	}
 	d.parent.Store(r.parent.Load())
 	return d
@@ -571,7 +589,19 @@ func canonical(i, j int) ([2]int, bool) {
 	return [2]int{j, i}, true
 }
 
-// Concluded reports the memoized outcome for (i, j), if any.
+// Concluded reports the memoized outcome for (i, j), if any. With a
+// judgment store attached, a pair missing from the memo consults the
+// store once per session: a fresh stored verdict is served (and
+// memoized) at zero TMC, exactly as if a previous query in this session
+// had concluded the pair.
+//
+// Derived sub-phase runners never consult the store: a sub-phase runs
+// under a reduced per-pair budget, so a stored full-budget verdict would
+// flip outcomes a cold sub-phase concluded as ties — diverging the
+// query's control flow. Re-buying the sub-phase's (cheap, reduced-budget)
+// evidence from the same deterministic per-pair streams keeps a warm
+// query's every comparison outcome — and hence its top-k — byte-identical
+// to the cold run's.
 func (r *Runner) Concluded(i, j int) (Outcome, bool) {
 	k, flip := canonical(i, j)
 	s := &r.memo.stripes[stripeOf(k)]
@@ -579,6 +609,14 @@ func (r *Runner) Concluded(i, j int) (Outcome, bool) {
 	o, ok := s.m[k]
 	s.mu.RUnlock()
 	if !ok {
+		if r.js != nil && !r.derived {
+			if so, served := r.storeServe(k); served {
+				if flip {
+					so = so.Flip()
+				}
+				return so, true
+			}
+		}
 		return Tie, false
 	}
 	if flip {
@@ -628,6 +666,7 @@ func (r *Runner) Compare(i, j int) Outcome {
 		st = r.beginComp(i, j)
 	}
 	v := r.eng.View(i, j)
+	verify := r.takeVerify(i, j)
 	for {
 		if need := r.params.I - v.N; need > 0 {
 			// Cold start: the initial I samples arrive Step at a time, so
@@ -635,7 +674,10 @@ func (r *Runner) Compare(i, j int) Outcome {
 			// Rounds are counted from what the engine actually granted: a
 			// spending cap may truncate the draw, and the ungranted
 			// remainder never occupied a round (nor must it be re-counted
-			// if the loop re-enters this branch).
+			// if the loop re-enters this branch). A stale store prior that
+			// only partly covers the cold start is verified here — the
+			// purchase is the reduced batch.
+			verify = false
 			before := v.N
 			r.execStep(func() { v = r.draw(i, j, need) })
 			granted := v.N - before
@@ -648,15 +690,36 @@ func (r *Runner) Compare(i, j int) Outcome {
 			rounds := (granted + r.params.Step - 1) / r.params.Step
 			r.Tick(rounds)
 			r.observeRound(st, v, rounds)
+		} else if verify {
+			// A stale store prior already covers the whole cold start: buy
+			// one reduced verification batch before trusting the stopping
+			// rule on decayed evidence alone.
+			verify = false
+			n := r.params.Step
+			if left := r.budgetLeft(v.N); n > left {
+				n = left
+			}
+			if n > 0 {
+				before := v.N
+				r.execStep(func() { v = r.draw(i, j, n) })
+				if v.N == before {
+					r.finishComp(st, v, Tie, false)
+					return Tie
+				}
+				r.Tick(1)
+				r.observeRound(st, v, 1)
+			}
 		}
 		if o := r.policy.Test(v); o != Tie {
 			r.remember(i, j, o)
+			r.noteConclusion(i, j, o, false)
 			r.finishComp(st, v, o, true)
 			return o
 		}
 		left := r.budgetLeft(v.N)
 		if left <= 0 {
 			r.remember(i, j, Tie)
+			r.noteConclusion(i, j, Tie, true)
 			r.finishComp(st, v, Tie, true)
 			return Tie
 		}
@@ -692,6 +755,10 @@ func (r *Runner) Advance(i, j int) (Outcome, bool) {
 		st = r.compStateOf(i, j)
 	}
 	v := r.eng.View(i, j)
+	// A stale store prior reaches here with its cold start (partly)
+	// covered; the purchase below — I−N or one Step, both reduced against
+	// a cold pair's full workload — is its verification batch.
+	r.takeVerify(i, j)
 	var n int
 	if v.N < r.params.I {
 		n = r.params.I - v.N
@@ -718,6 +785,7 @@ func (r *Runner) Advance(i, j int) (Outcome, bool) {
 	}
 	if o := r.policy.Test(v); o != Tie {
 		r.remember(i, j, o)
+		r.noteConclusion(i, j, o, false)
 		if st != nil {
 			r.finishComp(st, v, o, true)
 			r.dropCompState(i, j)
@@ -726,6 +794,7 @@ func (r *Runner) Advance(i, j int) (Outcome, bool) {
 	}
 	if r.budgetLeft(v.N) <= 0 {
 		r.remember(i, j, Tie)
+		r.noteConclusion(i, j, Tie, true)
 		if st != nil {
 			r.finishComp(st, v, Tie, true)
 			r.dropCompState(i, j)

@@ -61,6 +61,40 @@ func (v BagView) flipped() BagView {
 	return v
 }
 
+// PairPosterior is the exact accumulated state of one pair's sample bag
+// in canonical (lo, hi) orientation: the raw Welford triples of the
+// preference bag and its ±1 sign-only view. Unlike BagView it carries the
+// M2 accumulators rather than derived standard deviations, so a bag
+// seeded from a PairPosterior (Engine.SeedPair) is bit-identical to the
+// bag that exported it — the judgment store's round-trip contract.
+type PairPosterior struct {
+	N    int
+	Mean float64
+	M2   float64
+
+	BinN    int
+	BinMean float64
+	BinM2   float64
+}
+
+// posterior exports the bag's exact Welford state.
+func (b *bag) posterior() PairPosterior {
+	return PairPosterior{
+		N:       b.pref.N(),
+		Mean:    b.pref.Mean(),
+		M2:      b.pref.M2(),
+		BinN:    b.bin.N(),
+		BinMean: b.bin.Mean(),
+		BinM2:   b.bin.M2(),
+	}
+}
+
+// restore overwrites the bag with previously exported Welford state.
+func (b *bag) restore(p PairPosterior) {
+	b.pref = stats.Restore(p.N, p.Mean, p.M2)
+	b.bin = stats.Restore(p.BinN, p.BinMean, p.BinM2)
+}
+
 // add records one preference sample already oriented as v(lo, hi).
 func (b *bag) add(v float64) {
 	b.pref.Add(v)

@@ -526,6 +526,55 @@ func (e *Engine) View(i, j int) BagView {
 	return *p
 }
 
+// Posterior exports the exact Welford state of pair (i, j)'s sample bag
+// in canonical (lo, hi) orientation, and whether the pair has any
+// samples. It is the commit side of the judgment store round trip:
+// Posterior → store → SeedPair reproduces the bag bit-for-bit.
+func (e *Engine) Posterior(i, j int) (PairPosterior, bool) {
+	if i == j {
+		panic(fmt.Sprintf("crowd: Posterior on identical items %d", i))
+	}
+	ps := e.lookup(keyOf(i, j))
+	if ps == nil {
+		return PairPosterior{}, false
+	}
+	ps.mu.Lock()
+	p := ps.bag.posterior()
+	ps.mu.Unlock()
+	return p, p.N > 0
+}
+
+// SeedPair installs a previously exported posterior as pair (i, j)'s
+// sample bag — in canonical (lo, hi) orientation — without purchasing
+// anything: no TMC is charged, no oracle is called, the pair's sample
+// stream is not consumed, and nothing is appended to the audit log (the
+// audit log records money spent; seeded evidence was paid for by an
+// earlier query and is accounted in the store, not here).
+//
+// With overwrite false, seeding only succeeds on an untouched pair: once
+// real samples exist the live evidence wins. With overwrite true, a
+// posterior that subsumes the live bag (p.N >= live count) replaces it —
+// sound because a pair's samples are a deterministic stream, so the live
+// bag is a prefix of the larger recorded one; a live bag that has grown
+// past the posterior still wins.
+func (e *Engine) SeedPair(i, j int, p PairPosterior, overwrite bool) bool {
+	if i == j {
+		panic(fmt.Sprintf("crowd: SeedPair on identical items %d", i))
+	}
+	if p.N <= 0 {
+		return false
+	}
+	ps := e.pair(keyOf(i, j))
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if live := ps.bag.pref.N(); live != 0 && (!overwrite || live > p.N) {
+		return false
+	}
+	ps.bag.restore(p)
+	ps.publishLocked()
+	return true
+}
+
 // Grade purchases one graded microtask for item i and returns the grade.
 // It costs one unit of TMC, like a pairwise microtask (Appendix B), and
 // respects the spending cap: the second result is false — and nothing is

@@ -1,0 +1,226 @@
+package jstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileStore is the persistent driver: an append-only JSONL file (one
+// Record per line, human-reviewable) mirrored by an in-memory MemStore
+// index for lock-cheap lookups. Open loads the file, replaying lines in
+// order so the last record per pair wins; Commit appends; Compact
+// atomically rewrites the file with one line per live pair, sorted by
+// pair for reviewable diffs. Compaction triggers automatically once the
+// file carries more superseded lines than live ones (past a small floor),
+// so a long-lived store's file stays O(pairs), not O(commits).
+type FileStore struct {
+	mem *MemStore
+
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	w     *bufio.Writer
+	lines int // lines in the file since last compact (live + superseded)
+}
+
+// compactFloor keeps tiny stores from compacting on every few commits.
+const compactFloor = 1024
+
+// OpenFile opens (creating if absent) a JSONL judgment store at path.
+// Corrupt or truncated trailing lines — a crash mid-append — are skipped
+// with the valid prefix preserved; a corrupt line in the middle of the
+// file is reported as an error.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jstore: %w", err)
+	}
+	fs := &FileStore{mem: NewMemStore(), path: path}
+	var maxSeq uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	bad := 0 // candidate-corrupt lines seen so far (only a suffix may be)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			bad++
+			continue
+		}
+		if bad > 0 {
+			// A valid record after an invalid line: the corruption was not
+			// a truncated tail, refuse to silently drop committed data.
+			f.Close()
+			return nil, fmt.Errorf("jstore: %s: corrupt record mid-file (%d bad lines before a valid one)", path, bad)
+		}
+		fs.restore(r)
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+		fs.lines++
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jstore: read %s: %w", path, err)
+	}
+	// Continue the logical clock past everything on disk.
+	fs.mem.seq.Store(maxSeq)
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jstore: seek %s: %w", path, err)
+	}
+	fs.f = f
+	fs.w = bufio.NewWriter(f)
+	return fs, nil
+}
+
+// restore inserts a loaded record into the index keeping its original
+// Seq/UnixNano (unlike Commit, which stamps fresh ones).
+func (fs *FileStore) restore(r Record) {
+	if r.Lo >= r.Hi || r.N <= 0 {
+		return
+	}
+	k := r.Key()
+	st := &fs.mem.stripes[stripeOf(k)]
+	st.mu.Lock()
+	if st.m == nil {
+		st.m = make(map[[2]int]Record)
+	}
+	prev, existed := st.m[k]
+	if !existed || r.Seq >= prev.Seq {
+		st.m[k] = r
+	}
+	st.mu.Unlock()
+	if !existed {
+		fs.mem.size.Add(1)
+	}
+}
+
+// Lookup implements Store.
+func (fs *FileStore) Lookup(lo, hi int) (Record, bool) { return fs.mem.Lookup(lo, hi) }
+
+// Len implements Store.
+func (fs *FileStore) Len() int { return fs.mem.Len() }
+
+// Snapshot implements Store.
+func (fs *FileStore) Snapshot() []Record { return fs.mem.Snapshot() }
+
+// Commit implements Store: the record is indexed, appended to the file
+// and flushed. A failed append keeps the in-memory record (the evidence
+// is still good this process lifetime) but is reported on Close.
+func (fs *FileStore) Commit(r Record) bool {
+	if r.Lo >= r.Hi || r.N <= 0 {
+		return false
+	}
+	grew := fs.mem.Commit(r)
+	// Re-read the stamped record so the file carries the assigned Seq.
+	stamped, _ := fs.mem.Lookup(r.Lo, r.Hi)
+	line, err := json.Marshal(stamped)
+	if err != nil {
+		return grew
+	}
+	fs.mu.Lock()
+	if fs.w != nil {
+		fs.w.Write(line)
+		fs.w.WriteByte('\n')
+		fs.w.Flush()
+		fs.lines++
+		dead := fs.lines - fs.mem.Len()
+		if dead > fs.mem.Len() && fs.lines > compactFloor {
+			fs.compactLocked()
+		}
+	}
+	fs.mu.Unlock()
+	return grew
+}
+
+// Compact rewrites the file with one line per live pair, sorted, via an
+// atomic temp-file rename — readers of the path never observe a partial
+// file, and a crash mid-compact leaves the original intact.
+func (fs *FileStore) Compact() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.compactLocked()
+}
+
+func (fs *FileStore) compactLocked() error {
+	recs := fs.mem.Snapshot()
+	dir := filepath.Dir(fs.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(fs.path)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("jstore: compact %s: %w", fs.path, err)
+	}
+	tw := bufio.NewWriter(tmp)
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("jstore: compact %s: %w", fs.path, err)
+		}
+		tw.Write(line)
+		tw.WriteByte('\n')
+	}
+	if err := tw.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jstore: compact %s: %w", fs.path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jstore: compact %s: %w", fs.path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jstore: compact %s: %w", fs.path, err)
+	}
+	if err := os.Rename(tmp.Name(), fs.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jstore: compact %s: %w", fs.path, err)
+	}
+	// Swap the append handle to the new file.
+	if fs.w != nil {
+		fs.w.Flush()
+	}
+	if fs.f != nil {
+		fs.f.Close()
+	}
+	f, err := os.OpenFile(fs.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fs.f, fs.w = nil, nil
+		return fmt.Errorf("jstore: reopen %s after compact: %w", fs.path, err)
+	}
+	fs.f = f
+	fs.w = bufio.NewWriter(f)
+	fs.lines = len(recs)
+	return nil
+}
+
+// Close flushes and closes the file. The in-memory index stays readable.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var err error
+	if fs.w != nil {
+		err = fs.w.Flush()
+		fs.w = nil
+	}
+	if fs.f != nil {
+		if cerr := fs.f.Close(); err == nil {
+			err = cerr
+		}
+		fs.f = nil
+	}
+	return err
+}
+
+// Path returns the backing file path.
+func (fs *FileStore) Path() string { return fs.path }

@@ -1,0 +1,311 @@
+package jstore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(lo, hi, n int, mean float64) Record {
+	return Record{Lo: lo, Hi: hi, Outcome: 1, N: n, Mean: mean, M2: 1.5,
+		BinN: n, BinMean: 0.8, BinM2: float64(n) * 0.36, Confidence: 0.98}
+}
+
+func TestMemStoreCommitLookup(t *testing.T) {
+	s := NewMemStore()
+	if s.Len() != 0 {
+		t.Fatalf("fresh store Len = %d", s.Len())
+	}
+	if !s.Commit(rec(1, 2, 30, 0.4)) {
+		t.Fatal("first commit of a pair should grow the store")
+	}
+	got, ok := s.Lookup(1, 2)
+	if !ok {
+		t.Fatal("committed pair not found")
+	}
+	if got.N != 30 || got.Mean != 0.4 || got.Outcome != 1 {
+		t.Errorf("lookup = %+v", got)
+	}
+	if got.Seq == 0 {
+		t.Error("Commit did not assign Seq")
+	}
+	if got.UnixNano == 0 {
+		t.Error("Commit did not stamp UnixNano")
+	}
+	if _, ok := s.Lookup(2, 1); ok {
+		t.Error("non-canonical lookup (2,1) found a record")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestMemStoreRejectsMalformedRecords(t *testing.T) {
+	s := NewMemStore()
+	for _, r := range []Record{
+		rec(2, 1, 30, 0), // not canonical
+		rec(3, 3, 30, 0), // degenerate pair
+		rec(1, 2, 0, 0),  // empty bag
+	} {
+		if s.Commit(r) {
+			t.Errorf("Commit accepted malformed record %+v", r)
+		}
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after rejected commits", s.Len())
+	}
+}
+
+func TestMemStoreNewestWins(t *testing.T) {
+	s := NewMemStore()
+	s.Commit(rec(1, 2, 30, 0.4))
+	first, _ := s.Lookup(1, 2)
+	if s.Commit(rec(1, 2, 60, 0.5)) {
+		t.Error("re-commit of a pair reported growth")
+	}
+	got, _ := s.Lookup(1, 2)
+	if got.N != 60 || got.Mean != 0.5 {
+		t.Errorf("re-commit did not replace: %+v", got)
+	}
+	if got.Seq <= first.Seq {
+		t.Errorf("Seq did not advance: %d then %d", first.Seq, got.Seq)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestMemStoreKeepsExplicitTimestamp(t *testing.T) {
+	s := NewMemStore()
+	at := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC).UnixNano()
+	r := rec(1, 2, 30, 0.4)
+	r.UnixNano = at
+	s.Commit(r)
+	got, _ := s.Lookup(1, 2)
+	if got.UnixNano != at {
+		t.Errorf("explicit UnixNano %d overwritten to %d", at, got.UnixNano)
+	}
+}
+
+func TestMemStoreSnapshotSorted(t *testing.T) {
+	s := NewMemStore()
+	for _, k := range [][2]int{{5, 9}, {1, 2}, {5, 7}, {0, 3}} {
+		s.Commit(rec(k[0], k[1], 30, 0.1))
+	}
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d records, want 4", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		a, b := snap[i-1], snap[i]
+		if a.Lo > b.Lo || (a.Lo == b.Lo && a.Hi >= b.Hi) {
+			t.Errorf("snapshot not sorted at %d: (%d,%d) before (%d,%d)", i, a.Lo, a.Hi, b.Lo, b.Hi)
+		}
+	}
+}
+
+func TestMemStoreConcurrentCommits(t *testing.T) {
+	s := NewMemStore()
+	const workers, pairs = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := 0; p < pairs; p++ {
+				s.Commit(rec(p, p+1+w%3+1, 30+w, 0.1*float64(w)))
+				s.Lookup(p, p+2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != len(s.Snapshot()) {
+		t.Errorf("Len %d != snapshot %d", s.Len(), len(s.Snapshot()))
+	}
+	// Seq must be unique per commit: workers*pairs commits happened.
+	if got := s.seq.Load(); got != workers*pairs {
+		t.Errorf("seq clock = %d, want %d", got, workers*pairs)
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/js.jsonl"
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !fs.Commit(rec(i, i+1, 30+i, 0.1*float64(i))) {
+			t.Fatalf("commit %d rejected", i)
+		}
+	}
+	fs.Commit(rec(3, 4, 99, 0.9)) // supersede one pair
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 10 {
+		t.Fatalf("reloaded Len = %d, want 10", re.Len())
+	}
+	got, ok := re.Lookup(3, 4)
+	if !ok || got.N != 99 || got.Mean != 0.9 {
+		t.Errorf("newest-wins on reload failed: %+v (ok=%v)", got, ok)
+	}
+	// The logical clock continues past the loaded records.
+	re.Commit(rec(20, 21, 5, 0))
+	fresh, _ := re.Lookup(20, 21)
+	if fresh.Seq <= got.Seq {
+		t.Errorf("seq clock did not continue: loaded %d, fresh %d", got.Seq, fresh.Seq)
+	}
+}
+
+func TestFileStoreSkipsCorruptTail(t *testing.T) {
+	path := t.TempDir() + "/js.jsonl"
+	fs, _ := OpenFile(path)
+	fs.Commit(rec(1, 2, 30, 0.4))
+	fs.Commit(rec(2, 3, 30, 0.2))
+	fs.Close()
+
+	// Simulate a crash mid-append: a truncated last line.
+	f, err := openAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"lo":7,"hi":8,"o":1,"n":3`)
+	f.Close()
+
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("truncated tail should be tolerated: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (tail dropped)", re.Len())
+	}
+}
+
+func TestFileStoreRejectsMidFileCorruption(t *testing.T) {
+	path := t.TempDir() + "/js.jsonl"
+	fs, _ := OpenFile(path)
+	fs.Commit(rec(1, 2, 30, 0.4))
+	fs.Close()
+
+	f, err := openAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("garbage, not json\n")
+	f.Close()
+	fs2, _ := OpenFile(path) // garbage is the tail here: tolerated
+	fs2.Commit(rec(2, 3, 30, 0.2))
+	fs2.Close()
+
+	if _, err := OpenFile(path); err == nil {
+		t.Fatal("mid-file corruption (garbage before a valid record) must error, not drop data")
+	}
+}
+
+func TestFileStoreCompact(t *testing.T) {
+	path := t.TempDir() + "/js.jsonl"
+	fs, _ := OpenFile(path)
+	// Many superseding commits of few pairs: the file grows, the index not.
+	for i := 0; i < 50; i++ {
+		fs.Commit(rec(1, 2, 30+i, 0.1))
+		fs.Commit(rec(2, 3, 30+i, 0.2))
+	}
+	if fs.lines != 100 {
+		t.Fatalf("lines = %d, want 100 pre-compact", fs.lines)
+	}
+	if err := fs.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.lines != 2 {
+		t.Errorf("lines = %d, want 2 post-compact", fs.lines)
+	}
+	// The store keeps working after the handle swap.
+	if !fs.Commit(rec(5, 6, 30, 0.5)) {
+		t.Error("commit after compact rejected")
+	}
+	fs.Close()
+
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 3 {
+		t.Errorf("reloaded Len = %d, want 3", re.Len())
+	}
+	if got, _ := re.Lookup(1, 2); got.N != 79 {
+		t.Errorf("compact lost the newest record: N = %d, want 79", got.N)
+	}
+}
+
+func TestFileStoreAutoCompacts(t *testing.T) {
+	path := t.TempDir() + "/js.jsonl"
+	fs, _ := OpenFile(path)
+	// Push far past the floor with only 16 live pairs: dead > live forces
+	// the automatic rewrite, after which the file restarts at O(pairs).
+	const commits = compactFloor + 128
+	for i := 0; i < commits; i++ {
+		fs.Commit(rec(i%16, i%16+1+16, 30, 0.1))
+	}
+	if fs.lines >= commits {
+		t.Errorf("auto-compact never triggered: %d lines after %d commits of %d pairs",
+			fs.lines, commits, fs.Len())
+	}
+	fs.Close()
+}
+
+func TestFileStoreConcurrentCommits(t *testing.T) {
+	path := t.TempDir() + "/js.jsonl"
+	fs, _ := OpenFile(path)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := 0; p < 100; p++ {
+				fs.Commit(rec(p, p+1+w, 30, 0.1))
+				fs.Lookup(p, p+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := fs.Len()
+	fs.Close()
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != n {
+		t.Errorf("reloaded %d pairs, committed %d", re.Len(), n)
+	}
+}
+
+// openAppend opens the raw file for test-side tampering.
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func TestStripeOfStaysInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		k := [2]int{i, i * 7}
+		if s := stripeOf(k); s >= storeStripes {
+			t.Fatalf("stripeOf(%v) = %d out of range", k, s)
+		}
+	}
+}
+
+func ExampleRecord_Key() {
+	fmt.Println(rec(3, 9, 30, 0.5).Key())
+	// Output: [3 9]
+}

@@ -44,6 +44,23 @@ const (
 	// MCompWorkload is a histogram of microtasks per comparison process.
 	MCompWorkload = "crowdtopk_comp_workload"
 
+	// Judgment store (internal/jstore via internal/compare): cross-query
+	// reuse of concluded comparisons.
+
+	// MStoreHits counts comparisons answered from the judgment store at
+	// zero TMC (fresh stored verdicts served into the memo).
+	MStoreHits = "crowdtopk_store_hits_total"
+	// MStoreStale counts pairs whose stored record had aged past the TTL
+	// (or was concluded at a lower confidence) and was served as a decayed
+	// prior, re-verified with a reduced purchase.
+	MStoreStale = "crowdtopk_store_stale_total"
+	// MStoreMisses counts store consultations that found nothing usable.
+	MStoreMisses = "crowdtopk_store_misses_total"
+	// MStoreCommits counts concluded pairs committed back to the store.
+	MStoreCommits = "crowdtopk_store_commits_total"
+	// MStoreSize is a gauge of records currently in the judgment store.
+	MStoreSize = "crowdtopk_store_size"
+
 	// Wave workers (internal/topk): parallel comparison waves.
 
 	// MWaves counts comparison waves executed.

@@ -151,6 +151,15 @@ type Accounting struct {
 	Balanced    bool  `json:"balanced"`
 	Running     int   `json:"running"`
 	Queued      int   `json:"queued"`
+
+	// Judgment-store traffic (all zero without Options.JudgmentStore).
+	// Store hits charge no TMC, so they never unbalance the invariant;
+	// they explain why SessionTMC is lower than a cold run's would be.
+	StoreHits    int64 `json:"store_hits,omitempty"`
+	StoreStale   int64 `json:"store_stale,omitempty"`
+	StoreMisses  int64 `json:"store_misses,omitempty"`
+	StoreCommits int64 `json:"store_commits,omitempty"`
+	StoreSize    int   `json:"store_size,omitempty"`
 }
 
 var validAlgorithms = map[string]bool{
@@ -404,6 +413,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if q == nil {
 		return
 	}
+	q.mu.Lock()
+	terminal := q.state == "done" || q.state == "canceled"
+	q.mu.Unlock()
+	if terminal {
+		// Canceling a finished query is a conflict, not a success: the
+		// client gets the terminal state it raced against, unchanged.
+		writeJSON(w, http.StatusConflict, q.status())
+		return
+	}
 	s.cancelQuery(q)
 	writeJSON(w, http.StatusOK, q.status())
 }
@@ -517,6 +535,10 @@ func (s *Server) accounting() Accounting {
 	acc.AuditOn = s.cfg.AuditEnabled
 	acc.Balanced = acc.SessionTMC == acc.SumQueryTMC &&
 		(!acc.AuditOn || int64(acc.AuditLen) == acc.SessionTMC)
+	ss := sess.StoreStats()
+	acc.StoreHits, acc.StoreStale = ss.Hits, ss.Stale
+	acc.StoreMisses, acc.StoreCommits = ss.Misses, ss.Commits
+	acc.StoreSize = ss.Size
 	return acc
 }
 

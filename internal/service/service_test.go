@@ -288,6 +288,40 @@ func TestCancelQueued(t *testing.T) {
 	waitDone(t, hs.URL, first.ID)
 }
 
+// TestCancelCompletedConflicts deletes a query that already finished:
+// the cancel must be rejected with 409 Conflict carrying the terminal
+// state, and must not disturb the stored result.
+func TestCancelCompletedConflicts(t *testing.T) {
+	_, hs, _ := newTestServer(t, crowdtopk.SyntheticDataset(30, 0.3, 7), Config{})
+	st, _ := postQuery(t, hs.URL, Request{K: 3})
+	done := waitDone(t, hs.URL, st.ID)
+	if done.State != "done" {
+		t.Fatalf("query finished in state %q, want done", done.State)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/queries/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE on completed query: status %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+	var body Status
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.State != "done" || body.Canceled {
+		t.Fatalf("409 body should carry the terminal state, got %+v", body)
+	}
+
+	after := getStatus(t, hs.URL, st.ID)
+	if after.State != "done" || after.Canceled || len(after.TopK) != len(done.TopK) {
+		t.Fatalf("completed query mutated by rejected cancel: %+v", after)
+	}
+}
+
 // TestPriorityAdmission starves the single execution slot, queues a
 // low-priority and then a high-priority query, and requires the
 // high-priority one to be dispatched first when the slot frees.

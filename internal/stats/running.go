@@ -35,8 +35,25 @@ func (r *Running) AddAll(xs []float64) {
 	r.n, r.mean, r.m2 = n, mean, m2
 }
 
+// Restore reconstructs an accumulator from previously exported Welford
+// state (N, Mean, M2 — see the M2 accessor). A restored accumulator is
+// bit-identical to the one that exported the state: the judgment store
+// round-trips bags through Restore so warm-started queries observe the
+// exact views a cold run would have produced.
+func Restore(n int, mean, m2 float64) Running {
+	if n <= 0 {
+		return Running{}
+	}
+	return Running{n: n, mean: mean, m2: m2}
+}
+
 // N returns the number of observations seen so far.
 func (r *Running) N() int { return r.n }
+
+// M2 returns the raw Welford second-moment accumulator (the sum of
+// squared deviations from the running mean). Exporting M2 instead of the
+// derived SD lets Restore rebuild the accumulator without rounding loss.
+func (r *Running) M2() float64 { return r.m2 }
 
 // Mean returns the sample mean, or 0 if no observations have been added.
 func (r *Running) Mean() float64 { return r.mean }

@@ -3,6 +3,7 @@ package crowdtopk
 import (
 	"fmt"
 	"runtime"
+	"time"
 )
 
 // Algorithm selects a top-k query processor.
@@ -137,6 +138,23 @@ type Options struct {
 	// best-effort answer as a *PartialResultError instead of hanging or
 	// crashing. Ignored for oracles that are not platform-backed.
 	Resilience *ResilienceOptions
+	// JudgmentStore, when non-nil, enables cross-query judgment reuse:
+	// before scheduling a pair's first batch, the query consults the
+	// store — a fresh stored verdict is served at zero TMC with the
+	// pair's exact posterior replayed into the engine, a stale one (see
+	// JudgmentTTL) seeds a decayed prior that is verified with a reduced
+	// purchase — and every newly concluded pair is committed back after
+	// the query. One store may be shared by any number of sessions and
+	// processes (NewMemoryJudgmentStore for in-process sharing,
+	// OpenFileJudgmentStore for a persistent JSONL file), so a warm fleet
+	// answers repeat-heavy traffic at near-zero marginal cost. nil (the
+	// default) disables reuse.
+	JudgmentStore JudgmentStore
+	// JudgmentTTL is the age beyond which stored judgments are presumed
+	// stale: past it a record's evidence decays exponentially (half-life
+	// JudgmentTTL) and the comparison re-verifies instead of trusting the
+	// verdict. 0 (the default) means stored judgments never expire.
+	JudgmentTTL time.Duration
 	// Telemetry, when non-nil, instruments the whole execution stack of
 	// the query (or session): engine purchases, comparison processes and
 	// their confidence trajectories, parallel waves, SPR phases, and
@@ -240,6 +258,9 @@ func (o Options) validate(n int) error {
 	}
 	if o.TotalBudget < 0 {
 		return fmt.Errorf("crowdtopk: TotalBudget %d negative", o.TotalBudget)
+	}
+	if o.JudgmentTTL < 0 {
+		return fmt.Errorf("crowdtopk: JudgmentTTL %v negative", o.JudgmentTTL)
 	}
 	return nil
 }

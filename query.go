@@ -165,6 +165,7 @@ func (s *Session) StartTopK(ctx context.Context, k int, qo QueryOptions) (*Query
 		before := s.opts.Telemetry.snapshot()
 		start := time.Now()
 		res := topk.RunContext(qctx, alg, r, k)
+		r.CommitConclusions()
 		out := Result{TopK: res.TopK, TMC: res.TMC, Rounds: res.Rounds}
 		out.Stats = s.opts.Telemetry.statsSince(before, time.Since(start))
 		if out.Stats != nil {

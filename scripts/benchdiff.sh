@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# benchdiff.sh BASELINE CURRENT — human-readable benchmark deltas.
+#
+# Prefers benchstat (significance-tested, the tool CI installs when the
+# network allows); falls back to a pure-awk median comparison of the two
+# `go test -bench` text files so the delta table still appears offline.
+# Informational only: the regression *gate* is cmd/perfcheck -baseline.
+set -euo pipefail
+
+base=${1:-BENCH_BASELINE.txt}
+cur=${2:-bench-raw.txt}
+[ -r "$base" ] || { echo "benchdiff: baseline $base not readable" >&2; exit 1; }
+[ -r "$cur" ] || { echo "benchdiff: current $cur not readable" >&2; exit 1; }
+
+if command -v benchstat >/dev/null 2>&1; then
+    exec benchstat "$base" "$cur"
+fi
+if go run golang.org/x/perf/cmd/benchstat@latest "$base" "$cur" 2>/dev/null; then
+    exit 0
+fi
+
+echo "benchdiff: benchstat unavailable (no binary, no module download); using awk medians"
+awk '
+function median(arr, n,    i, tmp, j, t) {
+    for (i = 1; i <= n; i++) tmp[i] = arr[i]
+    for (i = 2; i <= n; i++)
+        for (j = i; j > 1 && tmp[j] < tmp[j-1]; j--) { t = tmp[j]; tmp[j] = tmp[j-1]; tmp[j-1] = t }
+    return tmp[int((n + 1) / 2)]
+}
+/^Benchmark/ && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip -GOMAXPROCS suffix
+    for (i = 2; i <= NF; i++) if ($(i+1) == "ns/op") { v = $i + 0; break }
+    if (FILENAME == ARGV[1]) {
+        bn[name]++; b[name, bn[name]] = v
+        if (!(name in seen)) { order[++k] = name; seen[name] = 1 }
+    } else {
+        cn[name]++; c[name, cn[name]] = v
+    }
+}
+END {
+    printf "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    shared = 0
+    for (i = 1; i <= k; i++) {
+        name = order[i]
+        if (!(name in cn)) continue
+        shared++
+        nb = bn[name]; nc = cn[name]
+        for (j = 1; j <= nb; j++) ba[j] = b[name, j]
+        for (j = 1; j <= nc; j++) ca[j] = c[name, j]
+        mo = median(ba, nb); mn = median(ca, nc)
+        printf "%-55s %14.1f %14.1f %+8.1f%%\n", name, mo, mn, (mo > 0 ? 100 * (mn / mo - 1) : 0)
+    }
+    if (shared == 0) { print "benchdiff: no shared benchmarks" > "/dev/stderr"; exit 1 }
+}' "$base" "$cur"

@@ -6,12 +6,20 @@
 # every fourth one mid-flight, then asserts the service's terminal
 # guarantees: every query reaches a terminal state, /debug/accounting
 # reports the exact-money invariant (session TMC == Σ per-query TMC ==
-# audit log), /metrics is live, and SIGTERM drains cleanly.
+# audit log), /metrics is live, the judgment store committed verdicts,
+# and SIGTERM drains cleanly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 QUERIES=${QUERIES:-20}
+
+# Every tool this script leans on, checked up front so a missing
+# dependency fails with its name instead of a confusing mid-run error.
+for tool in go curl jq awk sed mktemp; do
+    command -v "$tool" >/dev/null 2>&1 \
+        || { echo "FAIL: required tool '$tool' not found in PATH" >&2; exit 1; }
+done
 
 workdir=$(mktemp -d)
 out="$workdir/topkd.out"
@@ -22,12 +30,44 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$workdir/topkd" ./cmd/topkd
+# rq: curl with bounded retries, for the handful of moments (daemon just
+# bound its socket, machine under load) where a single attempt can lose a
+# race that the service itself is not guilty of. Arguments pass through.
+rq() {
+    local attempt
+    for attempt in 1 2 3; do
+        if curl -fsS --max-time 10 "$@"; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "FAIL: curl $* failed after 3 attempts" >&2
+    return 1
+}
+
+# boot_diagnostics: everything worth knowing when the daemon won't come
+# up — exit state, the full boot log, and the build that produced it.
+boot_diagnostics() {
+    echo "---- topkd boot log ($out) ----" >&2
+    cat "$out" >&2 || true
+    echo "---- end boot log ----" >&2
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "hint: topkd exited during boot; the log above usually names the bad flag or busy port" >&2
+    fi
+}
+
+go build -o "$workdir/topkd" ./cmd/topkd \
+    || { echo "FAIL: topkd does not build" >&2; exit 1; }
+
+# A file-backed judgment store participates in the smoke: the run must
+# commit concluded verdicts, proving the store path works end to end.
+store="$workdir/judgments.jsonl"
 
 "$workdir/topkd" \
     -addr 127.0.0.1:0 -n 60 -seed 7 -budget 40 \
     -platform -workers 8 -fault-drop 0.05 -fault-error 0.02 \
     -max-inflight 6 -max-queue 128 \
+    -store "$store" \
     >"$out" 2>&1 &
 pid=$!
 
@@ -36,10 +76,10 @@ addr=""
 for _ in $(seq 1 100); do
     addr=$(sed -n 's|^topkd: serving .* on http://\([^ ]*\) .*$|\1|p' "$out")
     [ -n "$addr" ] && break
-    kill -0 "$pid" 2>/dev/null || { echo "topkd died:"; cat "$out"; exit 1; }
+    kill -0 "$pid" 2>/dev/null || { echo "FAIL: topkd died during boot" >&2; boot_diagnostics; exit 1; }
     sleep 0.1
 done
-[ -n "$addr" ] || { echo "topkd never printed its address:"; cat "$out"; exit 1; }
+[ -n "$addr" ] || { echo "FAIL: topkd never printed its address within 10s" >&2; boot_diagnostics; exit 1; }
 
 # Fire the mixed workload: algorithms, priorities and sub-caps cycle;
 # every fourth query is canceled right after submission (it may be
@@ -51,13 +91,15 @@ for i in $(seq 1 "$QUERIES"); do
     prio=$((i % 4))
     maxc=0
     case $((i % 3)) in 1) maxc=80 ;; 2) maxc=2000 ;; esac
-    id=$(curl -fsS "http://$addr/queries" \
+    id=$(rq "http://$addr/queries" \
         -d "{\"k\":5,\"algorithm\":\"$alg\",\"priority\":$prio,\"max_cost\":$maxc}" \
         | jq -r .id)
-    [ -n "$id" ] && [ "$id" != null ] || { echo "POST /queries returned no id"; exit 1; }
+    [ -n "$id" ] && [ "$id" != null ] || { echo "FAIL: POST /queries returned no id"; exit 1; }
     ids+=("$id")
     if [ $((i % 4)) -eq 0 ]; then
-        curl -fsS -X DELETE "http://$addr/queries/$id" >/dev/null
+        # Canceling may race completion: 409 (already terminal) is a
+        # legitimate answer, so this DELETE must not -f-fail the run.
+        curl -sS --max-time 10 -X DELETE "http://$addr/queries/$id" >/dev/null || true
     fi
 done
 
@@ -65,7 +107,7 @@ done
 deadline=$((SECONDS + 120))
 for id in "${ids[@]}"; do
     while :; do
-        state=$(curl -fsS "http://$addr/queries/$id" | jq -r .state)
+        state=$(rq "http://$addr/queries/$id" | jq -r .state)
         case "$state" in done|canceled) break ;; esac
         [ "$SECONDS" -lt "$deadline" ] || { echo "FAIL: query $id stuck in state $state"; exit 1; }
         sleep 0.1
@@ -74,7 +116,7 @@ done
 
 done_n=0; canceled_n=0
 for id in "${ids[@]}"; do
-    st=$(curl -fsS "http://$addr/queries/$id")
+    st=$(rq "http://$addr/queries/$id")
     state=$(jq -r .state <<<"$st")
     k=$(jq -r '.top_k | length' <<<"$st")
     tmc=$(jq -r .tmc <<<"$st")
@@ -92,13 +134,24 @@ done
 [ "$done_n" -ge 1 ] || { echo "FAIL: no query completed"; exit 1; }
 [ "$canceled_n" -ge 1 ] || { echo "FAIL: no query was canceled"; exit 1; }
 
+# Canceling a finished query must be a 409 Conflict, not a silent success.
+code=$(curl -sS --max-time 10 -o /dev/null -w '%{http_code}' \
+    -X DELETE "http://$addr/queries/${ids[0]}")
+[ "$code" = "409" ] || { echo "FAIL: DELETE on a terminal query returned $code, want 409"; exit 1; }
+
 # The exact-money invariant, as the service itself computes it.
-acct=$(curl -fsS "http://$addr/debug/accounting")
+acct=$(rq "http://$addr/debug/accounting")
 jq -e '.balanced and .running == 0 and .queued == 0' <<<"$acct" >/dev/null \
     || { echo "FAIL: accounting unbalanced after drain: $acct"; exit 1; }
 
+# The judgment store saw traffic: concluded comparisons were committed,
+# and the file driver wrote them out.
+commits=$(jq -r '.store_commits // 0' <<<"$acct")
+[ "$commits" -gt 0 ] || { echo "FAIL: no judgments committed to the store: $acct"; exit 1; }
+[ -s "$store" ] || { echo "FAIL: judgment store file $store is empty"; exit 1; }
+
 # The telemetry surface is live and the session spent real money.
-tmc_total=$(curl -fsS "http://$addr/metrics" | awk '$1 == "crowdtopk_tmc_total" { print $2 }')
+tmc_total=$(rq "http://$addr/metrics" | awk '$1 == "crowdtopk_tmc_total" { print $2 }')
 [ -n "$tmc_total" ] && [ "$tmc_total" -gt 0 ] \
     || { echo "FAIL: crowdtopk_tmc_total absent or zero on /metrics"; exit 1; }
 session_tmc=$(jq -r .session_tmc <<<"$acct")
@@ -115,4 +168,4 @@ kill -0 "$pid" 2>/dev/null && { echo "FAIL: topkd did not exit on SIGTERM"; exit
 pid=""
 grep -q '^topkd: done' "$out" || { echo "FAIL: no shutdown summary:"; cat "$out"; exit 1; }
 
-echo "OK: $QUERIES queries ($done_n done, $canceled_n canceled), TMC $session_tmc exact across /metrics and accounting"
+echo "OK: $QUERIES queries ($done_n done, $canceled_n canceled), TMC $session_tmc exact across /metrics and accounting, $commits judgments committed"

@@ -137,6 +137,11 @@ func (s *Session) DroppedPlatformFailures() int64 {
 // when observability is off.
 func (s *Session) Telemetry() *Telemetry { return s.opts.Telemetry }
 
+// StoreStats reports the session's judgment-store traffic so far — hits,
+// stale serves, misses, commits, and the store's current record count.
+// The zero value is returned when the session has no store attached.
+func (s *Session) StoreStats() JudgmentStoreStats { return s.runner.StoreStats() }
+
 // Close shuts the session down: new queries are rejected with
 // ErrSessionClosed, queries in flight are stopped (they stop purchasing,
 // drain their comparison chains, and return best-effort partials wrapping
@@ -186,6 +191,7 @@ func (s *Session) Judge(i, j int) (Judgment, error) {
 		return Judgment{}, fmt.Errorf("crowdtopk: invalid pair (%d, %d) over %d items", i, j, n)
 	}
 	out := s.runner.Compare(i, j)
+	s.runner.CommitConclusions()
 	v := s.runner.Engine().View(i, j)
 	jm := Judgment{Outcome: Outcome(out), Workload: v.N, Mean: v.Mean, SD: v.SD}
 	if ferr := s.runner.Err(); ferr != nil {

@@ -1,0 +1,47 @@
+package crowdtopk
+
+import (
+	"crowdtopk/internal/compare"
+	"crowdtopk/internal/jstore"
+)
+
+// JudgmentStore holds concluded comparisons across queries, sessions and
+// processes: verdicts keyed by canonical item pair together with the
+// exact posterior summary of the samples that produced them. Attach one
+// via Options.JudgmentStore and every query consults it before buying a
+// pair's first batch — a fresh hit answers the comparison at zero TMC
+// with byte-identical results (the stored posterior is replayed into the
+// engine bit-for-bit), a stale hit (Options.JudgmentTTL) seeds a decayed
+// prior that is re-verified with a reduced purchase — and commits every
+// newly concluded pair back after the query.
+type JudgmentStore = jstore.Store
+
+// JudgmentRecord is one stored judgment: the verdict plus the exact
+// Welford state of the pair's sample bag at conclusion time.
+type JudgmentRecord = jstore.Record
+
+// MemoryJudgmentStore is the in-memory JudgmentStore driver: a 64-way
+// striped map, safe for concurrent use by any number of sessions in one
+// process.
+type MemoryJudgmentStore = jstore.MemStore
+
+// FileJudgmentStore is the persistent JudgmentStore driver: an
+// append-only, human-reviewable JSONL file (one record per line) with
+// load-on-open and atomic rewrite-on-compact, mirrored in memory for
+// lock-cheap lookups. Share one across processes sequentially (close
+// before handing over); within a process it is safe for concurrent use.
+type FileJudgmentStore = jstore.FileStore
+
+// JudgmentStoreStats is the per-session judgment-store traffic view
+// returned by Session.StoreStats.
+type JudgmentStoreStats = compare.StoreStats
+
+// NewMemoryJudgmentStore returns an empty in-memory judgment store.
+func NewMemoryJudgmentStore() *MemoryJudgmentStore { return jstore.NewMemStore() }
+
+// OpenFileJudgmentStore opens (creating if absent) a persistent JSONL
+// judgment store; existing records are loaded so a new process warm
+// starts from everything previous ones concluded. Close it to flush.
+func OpenFileJudgmentStore(path string) (*FileJudgmentStore, error) {
+	return jstore.OpenFile(path)
+}

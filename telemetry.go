@@ -95,6 +95,19 @@ type QueryStats struct {
 	Concluded   int64 `json:"concluded"`
 	MemoHits    int64 `json:"memo_hits"`
 
+	// Judgment-store traffic (Options.JudgmentStore): StoreHits counts
+	// comparisons answered from stored verdicts at zero TMC (they also
+	// count as MemoHits — both mean "answered for free"); StoreStale
+	// records served as decayed priors and re-verified; StoreMisses
+	// consultations that found nothing usable; StoreCommits conclusions
+	// committed back. StoreSize is the store's current record count (a
+	// gauge, not an increment). All zero without a store.
+	StoreHits    int64 `json:"store_hits"`
+	StoreStale   int64 `json:"store_stale"`
+	StoreMisses  int64 `json:"store_misses"`
+	StoreCommits int64 `json:"store_commits"`
+	StoreSize    int64 `json:"store_size"`
+
 	// Waves counts parallel comparison waves; MaxWaveWidth is the widest
 	// wave (peak parallelism demand) seen on the telemetry bundle so far.
 	Waves        int64 `json:"waves"`
@@ -146,6 +159,11 @@ func (t *Telemetry) statsSince(before obs.Snapshot, wall time.Duration) *QuerySt
 		Comparisons:          diff(obs.MComparisons),
 		Concluded:            diff(obs.MConcluded),
 		MemoHits:             diff(obs.MMemoHits),
+		StoreHits:            diff(obs.MStoreHits),
+		StoreStale:           diff(obs.MStoreStale),
+		StoreMisses:          diff(obs.MStoreMisses),
+		StoreCommits:         diff(obs.MStoreCommits),
+		StoreSize:            after.Gauges[obs.MStoreSize],
 		Waves:                diff(obs.MWaves),
 		MaxWaveWidth:         after.Gauges[obs.MWaveWidthMax],
 		Retries:              diff(obs.MReposts),
