@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-hot bench-json bench-diff warm-cache fuzz chaos serve-metrics smoke-metrics load service-smoke all
+.PHONY: build test race vet bench bench-hot bench-json bench-diff warm-cache fuzz chaos serve-metrics smoke-metrics load service-smoke crash-recovery log-bench all
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,22 @@ load:
 # drain.
 service-smoke:
 	./scripts/load_smoke.sh
+
+# Crash recovery end to end: the audit log's kill-at-every-io-step and
+# truncate-at-every-offset table tests plus tamper attribution under the
+# race detector, then the topkd kill -9 / -resume smoke (three lives of
+# one directory, exact zero-re-buy accounting).
+crash-recovery:
+	$(GO) test -race ./internal/auditlog/ -run 'TestCrash|TestTruncate|TestTamper|TestVerify' -count 1
+	$(GO) test -race . -run 'TestAudit|TestResume' -count 1
+	./scripts/crash_smoke.sh
+
+# Durability-tax benchmark: the same deterministic query with the audit
+# log off, batched (default), and fsync-always, interleaved reps, gated
+# so batched logging costs <5% wall time over no logging. Refreshes the
+# committed BENCH_PR8.json artifact.
+log-bench:
+	$(GO) run ./cmd/perfcheck -log-bench -json BENCH_PR8.json
 
 # Short fuzzing sessions: compareAll's duplicate/orientation grouping, and
 # randomized platform fault schedules against the resilience layer. Go

@@ -1,0 +1,203 @@
+package crowdtopk_test
+
+import (
+	"testing"
+
+	"crowdtopk"
+)
+
+// runLogged executes one deterministic query with every purchased
+// microtask streamed into a persistent audit log at dir, and returns the
+// result and final TMC.
+func runLogged(t *testing.T, dir string, lo crowdtopk.AuditLogOptions) (crowdtopk.Result, int64) {
+	t.Helper()
+	data := crowdtopk.SyntheticDataset(16, 0.2, 21)
+	opts := crowdtopk.Options{K: 3, Budget: 200, MinWorkload: 10, BatchSize: 10, Seed: 6, Confidence: 0.95, Parallelism: 1}
+	sess, err := crowdtopk.NewSession(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alog, err := crowdtopk.OpenAuditLog(dir, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetAuditSink(alog)
+	res, err := sess.TopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmc := sess.TMC()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := alog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return res, tmc
+}
+
+// TestAuditLogResumeEquivalence is the PR's acceptance bar: a query
+// resumed from a compacted checkpoint directory and one resumed from a
+// full per-segment directory must produce byte-identical top-k at the
+// exact TMC of the original run, with zero microtasks re-bought, and a
+// resumed session wired through the resume sink must not grow the
+// directory at all when the log covers the whole query.
+func TestAuditLogResumeEquivalence(t *testing.T) {
+	// Same deterministic query into two directories: one folding
+	// aggressively (resume reads a checkpoint), one never folding (resume
+	// reads raw segments).
+	ckptDir, fullDir := t.TempDir(), t.TempDir()
+	first, tmc := runLogged(t, ckptDir, crowdtopk.AuditLogOptions{
+		SegmentMaxRecords: 16, CompactEvery: 2, Sync: crowdtopk.AuditSyncOff,
+	})
+	full, tmcFull := runLogged(t, fullDir, crowdtopk.AuditLogOptions{
+		SegmentMaxRecords: 16, CompactEvery: -1, Sync: crowdtopk.AuditSyncOff,
+	})
+	if tmc != tmcFull {
+		t.Fatalf("identical seeded runs disagree on TMC: %d vs %d", tmc, tmcFull)
+	}
+	for i := range first.TopK {
+		if first.TopK[i] != full.TopK[i] {
+			t.Fatalf("identical seeded runs disagree on top-k: %v vs %v", first.TopK, full.TopK)
+		}
+	}
+
+	data := crowdtopk.SyntheticDataset(16, 0.2, 21)
+	opts := crowdtopk.Options{K: 3, Budget: 200, MinWorkload: 10, BatchSize: 10, Seed: 6, Confidence: 0.95, Parallelism: 1}
+	for _, tc := range []struct {
+		name string
+		dir  string
+	}{
+		{"from-checkpoint", ckptDir},
+		{"from-segments", fullDir},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prior, err := crowdtopk.LoadAuditLog(tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(prior)) != tmc {
+				t.Fatalf("directory holds %d records, original spent %d", len(prior), tmc)
+			}
+			resumed := crowdtopk.ResumeOracle(prior, data)
+			sess, err := crowdtopk.NewSession(resumed, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reopen the same directory for writing through the resume sink:
+			// replayed history is suppressed, only live purchases would land.
+			alog, err := crowdtopk.OpenAuditLog(tc.dir, crowdtopk.AuditLogOptions{Sync: crowdtopk.AuditSyncOff, CompactEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess.SetAuditSink(crowdtopk.NewAuditResumeSink(alog, prior))
+
+			second, err := sess.TopK(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range first.TopK {
+				if first.TopK[i] != second.TopK[i] {
+					t.Fatalf("resume changed the answer: %v vs %v", second.TopK, first.TopK)
+				}
+			}
+			if sess.TMC() != tmc {
+				t.Fatalf("resumed TMC %d, original %d — resume must replay the exact history", sess.TMC(), tmc)
+			}
+			if n := resumed.LiveTasks(); n != 0 {
+				t.Fatalf("complete-log resume bought %d live microtasks, want 0", n)
+			}
+			if n := resumed.ReplayedServed(); n != tmc {
+				t.Fatalf("replay served %d of %d recorded microtasks", n, tmc)
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := alog.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Zero live purchases ⇒ the directory must not have grown.
+			after, err := crowdtopk.LoadAuditLog(tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(after) != len(prior) {
+				t.Fatalf("directory grew from %d to %d records on a zero-spend resume", len(prior), len(after))
+			}
+			rep, err := crowdtopk.VerifyAuditLog(tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK {
+				t.Fatalf("directory fails verification after resume: first bad %s", rep.FirstBad)
+			}
+		})
+	}
+}
+
+// TestAuditLogPartialResume cuts the recorded history short: the resumed
+// query replays the surviving prefix for free, buys only the remainder
+// live, and the resume sink grows the directory by exactly that
+// remainder — the kill-9 cost model at API level.
+func TestAuditLogPartialResume(t *testing.T) {
+	dir := t.TempDir()
+	first, _ := runLogged(t, dir, crowdtopk.AuditLogOptions{
+		SegmentMaxRecords: 16, CompactEvery: -1, Sync: crowdtopk.AuditSyncOff,
+	})
+	prior, err := crowdtopk.LoadAuditLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep only the first 60% — as if the crash outran the fsync policy.
+	cut := prior[:len(prior)*6/10]
+
+	data := crowdtopk.SyntheticDataset(16, 0.2, 21)
+	opts := crowdtopk.Options{K: 3, Budget: 200, MinWorkload: 10, BatchSize: 10, Seed: 6, Confidence: 0.95, Parallelism: 1}
+	resumed := crowdtopk.ResumeOracle(cut, data)
+	sess, err := crowdtopk.NewSession(resumed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkDir := t.TempDir()
+	alog, err := crowdtopk.OpenAuditLog(sinkDir, crowdtopk.AuditLogOptions{Sync: crowdtopk.AuditSyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetAuditSink(crowdtopk.NewAuditResumeSink(alog, cut))
+
+	second, err := sess.TopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.TopK) != len(first.TopK) {
+		t.Fatalf("partial resume returned %d items, want %d", len(second.TopK), len(first.TopK))
+	}
+	live := resumed.LiveTasks()
+	if live == 0 {
+		t.Fatal("truncated log resumed with zero live purchases — the cut did not bite")
+	}
+	if got := resumed.ReplayedServed(); got != int64(len(cut)) {
+		t.Fatalf("replay served %d, want all %d surviving records", got, len(cut))
+	}
+	// The resume cost decomposition: total spend == free history + new
+	// purchases. (The answer itself is a valid continuation but not
+	// guaranteed bit-identical — the live remainder draws fresh samples.)
+	if sess.TMC() != int64(len(cut))+live {
+		t.Fatalf("TMC %d != %d replayed + %d live", sess.TMC(), len(cut), live)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := alog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := crowdtopk.LoadAuditLog(sinkDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(got)) != live {
+		t.Fatalf("sink persisted %d records, want exactly the %d live purchases", len(got), live)
+	}
+}

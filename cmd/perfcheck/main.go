@@ -34,6 +34,14 @@
 // against -warm-max-ratio with byte-identical top-k results:
 //
 //	perfcheck -warm-scenario -json BENCH_PR7.json
+//
+// With -log-bench, perfcheck measures the audit log's durability tax
+// in-process (see logbench.go): the same deterministic query with no
+// log, batched logging and fsync-always, interleaved reps reduced to
+// medians, gating batched at -log-max-overhead over no-log with
+// identical TMC everywhere and every record on disk:
+//
+//	perfcheck -log-bench -json BENCH_PR8.json
 package main
 
 import (
@@ -219,11 +227,18 @@ func main() {
 		metricGate = flag.String("metric-gate", "", "comma-separated 'metric:benchA>benchB' assertions on the current run: benchA's custom metric must strictly exceed benchB's (e.g. 'util:BenchmarkX/async>BenchmarkX/wave')")
 		warmScen   = flag.Bool("warm-scenario", false, "run the cold-vs-warm judgment-store query mix instead of parsing bench output; gates warm TMC and byte-identical top-k, writes the report to -json")
 		warmRatio  = flag.Float64("warm-max-ratio", 0.20, "maximum tolerated warm/cold TMC ratio for -warm-scenario")
+		logBench   = flag.Bool("log-bench", false, "measure audit-log overhead (off vs batched vs fsync-always) on one deterministic query; gates batched at -log-max-overhead over no-log, writes the report to -json")
+		logReps    = flag.Int("log-reps", 7, "interleaved repetitions per mode for -log-bench (medians absorb noise)")
+		logMaxOver = flag.Float64("log-max-overhead", 0.05, "maximum tolerated batched-logging wall-time overhead fraction for -log-bench")
 	)
 	flag.Parse()
 
 	if *warmScen {
 		scenarioMain(*jsonOut, *warmRatio)
+		return
+	}
+	if *logBench {
+		logBenchMain(*jsonOut, *logReps, *logMaxOver)
 		return
 	}
 

@@ -18,6 +18,14 @@
 // SIGINT/SIGTERM shuts down gracefully: admission stops, in-flight
 // queries are canceled and drain into best-effort partials, the session
 // closes.
+//
+// With -audit-dir the daemon is crash-safe: every purchased microtask
+// streams into a segmented, tamper-evident audit log and every query's
+// accept/finish transition into a journal in the same directory. After a
+// crash (even kill -9), restart with -resume: finished queries come back
+// with their recorded results, in-flight ones are re-admitted and
+// replayed from the log — zero re-bought microtasks for work that
+// reached disk. -verify-audit audits a directory's integrity and exits.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -52,6 +61,11 @@ func main() {
 		storePath = flag.String("store", "", "persistent judgment store (JSONL file); warm-starts queries from concluded comparisons of earlier runs")
 		storeTTL  = flag.Duration("store-ttl", 0, "age past which stored judgments are re-verified with decayed evidence (0 = never expire)")
 
+		auditDir  = flag.String("audit-dir", "", "persistent audit-log directory (segmented, tamper-evident); enables crash recovery")
+		auditSync = flag.String("audit-sync", "interval", "audit fsync policy: always, interval or off")
+		resume    = flag.Bool("resume", false, "replay the audit log and query journal in -audit-dir: reinstate finished queries, re-admit and replay in-flight ones")
+		verify    = flag.Bool("verify-audit", false, "audit -audit-dir for tampering or corruption, print the report and exit")
+
 		platform   = flag.Bool("platform", true, "run through the simulated crowd platform (false = direct dataset oracle)")
 		workers    = flag.Int("workers", 8, "simulated platform worker pool")
 		faultDrop  = flag.Float64("fault-drop", 0, "chaos: per-answer drop probability")
@@ -59,6 +73,34 @@ func main() {
 		faultAfter = flag.Int("fault-after", 0, "chaos: platform fails permanently after this many posted batches (0 = never)")
 	)
 	flag.Parse()
+
+	if *verify {
+		if *auditDir == "" {
+			fmt.Fprintln(os.Stderr, "topkd: -verify-audit requires -audit-dir")
+			os.Exit(2)
+		}
+		rep, err := crowdtopk.VerifyAuditLog(*auditDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, el := range rep.Elements {
+			status := "ok"
+			if !el.OK {
+				status = "BAD: " + el.Detail
+			}
+			fmt.Printf("topkd: verify %-24s %6d records  %s\n", el.File, el.Records, status)
+		}
+		for _, note := range rep.Notes {
+			fmt.Printf("topkd: verify note: %s\n", note)
+		}
+		if !rep.OK {
+			fmt.Printf("topkd: verify FAILED — first damaged file: %s\n", rep.FirstBad)
+			os.Exit(1)
+		}
+		fmt.Printf("topkd: verify OK — %d records intact\n", rep.Records)
+		return
+	}
 
 	data := crowdtopk.SyntheticDataset(*n, *noise, *seed)
 	tel := crowdtopk.NewTelemetry()
@@ -98,8 +140,64 @@ func main() {
 				FailAfterPosts: *faultAfter,
 			})
 		}
-		oracle = crowdtopk.WrapPlatform(data.NumItems(), p)
-		opts.Resilience = &crowdtopk.ResilienceOptions{}
+		if *auditDir != "" && *resume {
+			// The resume oracle will sit in front; resilience must wrap the
+			// platform underneath it (the session only auto-applies
+			// Options.Resilience to a bare platform oracle).
+			oracle = crowdtopk.WrapPlatformResilient(data.NumItems(), p, crowdtopk.ResilienceOptions{})
+		} else {
+			oracle = crowdtopk.WrapPlatform(data.NumItems(), p)
+			opts.Resilience = &crowdtopk.ResilienceOptions{}
+		}
+	}
+
+	// Persistent audit log: load prior history when resuming, open the
+	// directory for writing, and front the live oracle with replay so
+	// logged work is never re-bought.
+	var (
+		alog    *crowdtopk.AuditLog
+		resumed *crowdtopk.ResumedOracle
+		prior   []crowdtopk.TaskRecord
+		journal *service.FileJournal
+		jentry  []service.JournalEntry
+	)
+	if *auditDir != "" {
+		policy, err := crowdtopk.ParseAuditSyncPolicy(*auditSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *resume {
+			if _, err := os.Stat(*auditDir); err == nil {
+				prior, err = crowdtopk.LoadAuditLog(*auditDir)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			} else if !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if len(prior) > 0 {
+				resumed = crowdtopk.ResumeOracle(prior, oracle)
+				oracle = resumed
+			}
+		}
+		alog, err = crowdtopk.OpenAuditLog(*auditDir, crowdtopk.AuditLogOptions{Sync: policy})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		journal, jentry, err = service.OpenFileJournal(filepath.Join(*auditDir, "queries.jsonl"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*resume && (len(jentry) > 0 || alog.Total() > 0) {
+			fmt.Fprintf(os.Stderr, "topkd: warning: %s holds %d records and %d journal entries from a previous run; start with -resume to replay them\n",
+				*auditDir, alog.Total(), len(jentry))
+		}
+		fmt.Printf("topkd: audit log %s (%d records on disk, sync=%s)\n", *auditDir, alog.Total(), *auditSync)
 	}
 
 	sess, err := crowdtopk.NewSession(oracle, opts)
@@ -108,14 +206,33 @@ func main() {
 		os.Exit(1)
 	}
 	sess.EnableAuditLog()
+	if alog != nil {
+		if resumed != nil {
+			// The resumed engine re-logs replayed draws; the sink skips each
+			// pair's already-persisted prefix so the directory grows by
+			// exactly the live purchases.
+			sess.SetAuditSink(crowdtopk.NewAuditResumeSink(alog, prior))
+		} else {
+			sess.SetAuditSink(alog)
+		}
+	}
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Session:      sess,
 		Telemetry:    tel,
 		MaxInFlight:  *inflight,
 		MaxQueue:     *queueCap,
 		AuditEnabled: true,
-	})
+	}
+	if journal != nil {
+		cfg.Journal = journal
+	}
+	srv := service.New(cfg)
+	if *resume && len(jentry) > 0 {
+		pending, finished := srv.Restore(jentry)
+		fmt.Printf("topkd: restore — %d finished queries reinstated, %d in-flight re-admitted (replaying %d recorded microtasks)\n",
+			finished, pending, len(prior))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -153,6 +270,27 @@ func main() {
 			ss.Hits, ss.Stale, ss.Misses, ss.Commits, store.Len())
 		if err := store.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "topkd: store close: %v\n", err)
+		}
+	}
+	if alog != nil {
+		// The session has quiesced: flush the commit queue, write the
+		// final checkpoint and seal the directory before reporting.
+		if err := alog.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "topkd: audit close: %v\n", err)
+		}
+		if resumed != nil {
+			fmt.Printf("topkd: resume accounting — %d replayed free, %d live purchases, tmc %d\n",
+				resumed.ReplayedServed(), resumed.LiveTasks(), sess.TMC())
+		}
+		fmt.Printf("topkd: audit — %d records on disk (%d appended this run), final checkpoint written\n",
+			alog.Total(), alog.Appended())
+	}
+	if journal != nil {
+		if err := srv.JournalErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "topkd: journal: %v\n", err)
+		}
+		if err := journal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "topkd: journal close: %v\n", err)
 		}
 	}
 	fmt.Printf("topkd: done — session spent %d microtasks over %d rounds\n", sess.TMC(), sess.Rounds())

@@ -1,0 +1,48 @@
+package auditlog
+
+import (
+	"math"
+	"strconv"
+
+	"crowdtopk/internal/crowd"
+)
+
+// appendRecordJSON renders one record exactly as encoding/json would —
+// same field order, same float formatting — without reflection. The
+// committer serializes every purchased microtask; on small machines its
+// CPU time is the audit log's entire overhead, so the record line is the
+// one encode worth hand-rolling. Byte equivalence with json.Marshal is
+// pinned by TestAppendRecordJSONMatchesStdlib: segment hashes cover the
+// line bytes, so the two encoders must never disagree.
+func appendRecordJSON(buf []byte, r crowd.Record) []byte {
+	buf = append(buf, `{"round":`...)
+	buf = strconv.AppendInt(buf, r.Round, 10)
+	buf = append(buf, `,"i":`...)
+	buf = strconv.AppendInt(buf, int64(r.I), 10)
+	buf = append(buf, `,"j":`...)
+	buf = strconv.AppendInt(buf, int64(r.J), 10)
+	buf = append(buf, `,"value":`...)
+	buf = appendJSONFloat(buf, r.Value)
+	return append(buf, '}')
+}
+
+// appendJSONFloat formats f the way encoding/json formats a float64:
+// shortest round-trip representation, %f for ordinary magnitudes, %e
+// outside [1e-6, 1e21) with the exponent's leading zero trimmed.
+// NaN/Inf never reach here — ValidateRecord rejects them first.
+func appendJSONFloat(buf []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	buf = strconv.AppendFloat(buf, f, format, -1, 64)
+	if format == 'e' {
+		// 1e+09 → 1e+9, matching encoding/json's cleanup.
+		if n := len(buf); n >= 4 && buf[n-4] == 'e' && buf[n-2] == '0' {
+			buf[n-2] = buf[n-1]
+			buf = buf[:n-1]
+		}
+	}
+	return buf
+}

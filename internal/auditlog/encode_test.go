@@ -1,0 +1,51 @@
+package auditlog
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"crowdtopk/internal/crowd"
+)
+
+// TestAppendRecordJSONMatchesStdlib pins byte equivalence between the
+// hand-rolled record encoder and encoding/json. Segment Merkle leaves
+// hash the line bytes, so a single divergent byte would make every new
+// directory unverifiable by a stdlib-based reader — this test is the
+// contract that lets writeBatch skip reflection.
+func TestAppendRecordJSONMatchesStdlib(t *testing.T) {
+	check := func(r crowd.Record) {
+		t.Helper()
+		want, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendRecordJSON(nil, r)
+		if string(got) != string(want) {
+			t.Fatalf("encoders disagree for %+v:\n  hand-rolled %s\n  stdlib      %s", r, got, want)
+		}
+	}
+
+	values := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.25, 1.0 / 3.0,
+		1e-6, 9.999999e-7, 1e-7, -1e-7, 1e21, 9.99e20, -1e21, 1e22,
+		5e-324, -5e-324, math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, 0.1, 0.2, 0.30000000000000004,
+		123456789.123456789, 1e100, -1e-100, 2.5e-10,
+	}
+	for _, v := range values {
+		check(crowd.Record{Round: 3, I: 1, J: 2, Value: v})
+	}
+	check(crowd.Record{Round: 0, I: 0, J: -1, Value: 4})
+	check(crowd.Record{Round: math.MaxInt64, I: math.MaxInt32, J: math.MaxInt32, Value: -0.125})
+
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n < 5000; n++ {
+		v := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue // ValidateRecord rejects these before encoding
+		}
+		check(crowd.Record{Round: rng.Int63n(1 << 40), I: rng.Intn(1 << 20), J: rng.Intn(1 << 20), Value: v})
+	}
+}

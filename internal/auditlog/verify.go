@@ -1,0 +1,263 @@
+package auditlog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ElementReport is the verification verdict for one file in the
+// directory: the checkpoint, a sealed segment, or the active tail.
+type ElementReport struct {
+	File    string `json:"file"`
+	Seq     int    `json:"seq,omitempty"`
+	Sealed  bool   `json:"sealed"`
+	Records int    `json:"records"`
+	OK      bool   `json:"ok"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// VerifyReport is the outcome of auditing an audit-log directory
+// against its manifest. When tampering is found, FirstBad names the
+// earliest damaged file in chain order — the Merkle chain localizes
+// damage to a segment, it does not merely detect that some byte
+// somewhere changed.
+type VerifyReport struct {
+	OK       bool            `json:"ok"`
+	FirstBad string          `json:"first_bad,omitempty"`
+	Records  int64           `json:"records"`
+	Elements []ElementReport `json:"elements"`
+	Notes    []string        `json:"notes,omitempty"`
+}
+
+func (r *VerifyReport) flag(er ElementReport) {
+	r.Elements = append(r.Elements, er)
+	if er.OK {
+		r.Records += int64(er.Records)
+		return
+	}
+	r.OK = false
+	if r.FirstBad == "" {
+		r.FirstBad = er.File
+	}
+}
+
+// Verify audits dir against its manifest: the checkpoint's SHA-256, each
+// pinned segment's Merkle root and chain linkage, and the active tail's
+// chain anchor. It never modifies the directory and does not take the
+// writer lock, so it can audit a directory a daemon is writing — though
+// a concurrent writer can make the active tail report a torn note.
+//
+// The returned error is reserved for io-level failures (unreadable
+// directory); integrity problems are reported in the VerifyReport.
+func Verify(dir string) (*VerifyReport, error) {
+	rep := &VerifyReport{OK: true}
+	if _, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("auditlog: %w", err)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		rep.flag(ElementReport{File: manifestName, OK: false, Detail: err.Error()})
+		return rep, nil
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	ckpts, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man == nil {
+		if len(segs) == 0 && len(ckpts) == 0 {
+			rep.Notes = append(rep.Notes, "empty directory: nothing to verify")
+			return rep, nil
+		}
+		// The only manifest-less state a crash can produce: death during
+		// the very first openSegment, before any record existed. The dir
+		// then holds exactly one empty, unsealed genesis segment.
+		if len(ckpts) == 0 && len(segs) == 1 && segs[0] == 1 {
+			ps, perr := readSegment(filepath.Join(dir, segmentFile(1)))
+			if perr == nil && ps.seal == nil && len(ps.records) == 0 &&
+				(len(ps.leaves) == 0 || (ps.header.Prev == "" && ps.header.Base == 0)) {
+				rep.Notes = append(rep.Notes, segmentFile(1)+": newborn genesis segment with no manifest yet (crash-normal; recovery adopts or deletes it)")
+				return rep, nil
+			}
+		}
+		rep.flag(ElementReport{File: manifestName, OK: false, Detail: "manifest missing but log files present"})
+		return rep, nil
+	}
+
+	chain := genesisChain
+	upTo := 0
+	covered := map[int]bool{}
+
+	if man.Checkpoint != nil {
+		er := ElementReport{File: man.Checkpoint.File, Seq: man.Checkpoint.UpTo, Sealed: true, OK: true}
+		upTo = man.Checkpoint.UpTo
+		data, rerr := os.ReadFile(filepath.Join(dir, man.Checkpoint.File))
+		switch {
+		case rerr != nil:
+			er.OK = false
+			er.Detail = rerr.Error()
+		default:
+			sum := sha256.Sum256(data)
+			if hex.EncodeToString(sum[:]) != man.Checkpoint.SHA256 {
+				er.OK = false
+				er.Detail = "content does not match the manifest's SHA-256"
+				break
+			}
+			doc, _, perr := readCheckpoint(filepath.Join(dir, man.Checkpoint.File))
+			if perr != nil {
+				er.OK = false
+				er.Detail = perr.Error()
+				break
+			}
+			if doc.UpTo != man.Checkpoint.UpTo || doc.Records != man.Checkpoint.Records {
+				er.OK = false
+				er.Detail = "horizon or record count disagrees with manifest"
+				break
+			}
+			er.Records = int(doc.Records)
+		}
+		rep.flag(er)
+		// Continue from the manifest's claimed chain either way, so later
+		// segments are still individually attributable.
+		if c, perr := parseChain(man.Checkpoint.Chain); perr == nil {
+			chain = c
+		}
+	}
+
+	for _, e := range man.Segments {
+		covered[e.Seq] = true
+		er := verifySealedSegment(dir, e, chain)
+		rep.flag(er)
+		if c, perr := parseChain(e.Chain); perr == nil {
+			chain = c
+		}
+	}
+
+	// The active tail: unsealed (normal), sealed-but-unpinned (crash
+	// between seal and manifest write), or a bare header. When the
+	// manifest names no active segment — a crash landed between sealing
+	// one segment and registering its successor — the chain-consecutive
+	// successor file, if present, is still a tail, not tamper.
+	tailSeq := man.ActiveSeq
+	required := tailSeq > 0 // the manifest promises this file exists
+	if tailSeq == 0 {
+		lastPinned := upTo
+		if n := len(man.Segments); n > 0 {
+			lastPinned = man.Segments[n-1].Seq
+		}
+		tailSeq = lastPinned + 1
+	}
+	if tailSeq > 0 && !covered[tailSeq] {
+		name := segmentFile(tailSeq)
+		_, serr := os.Stat(filepath.Join(dir, name))
+		if serr == nil || required {
+			covered[tailSeq] = true
+			er := ElementReport{File: name, Seq: tailSeq, OK: true}
+			ps, perr := readSegment(filepath.Join(dir, name))
+			switch {
+			case perr != nil:
+				er.OK = false
+				er.Detail = perr.Error()
+			case len(ps.leaves) == 0:
+				rep.Notes = append(rep.Notes, name+": headerless newborn segment (crash debris, recovery deletes it)")
+				er.Detail = "headerless"
+			case ps.header.Seq != tailSeq:
+				er.OK = false
+				er.Detail = fmt.Sprintf("header says seq %d", ps.header.Seq)
+			case ps.header.Prev != hexChain(chain):
+				er.OK = false
+				er.Detail = "header does not chain from predecessor"
+			default:
+				er.Records = len(ps.records)
+				if ps.seal != nil {
+					er.Sealed = true
+					root := merkleRoot(ps.leaves)
+					next := chainRoot(chain, root)
+					if ps.seal.Root != hex.EncodeToString(root[:]) || ps.seal.Chain != hexChain(next) || ps.seal.Count != len(ps.records) {
+						er.OK = false
+						er.Detail = "seal does not match segment content"
+					} else {
+						rep.Notes = append(rep.Notes, name+": sealed but not yet pinned in manifest (crash between seal and manifest write)")
+					}
+				} else if ps.torn {
+					rep.Notes = append(rep.Notes, fmt.Sprintf("%s: torn tail after %d records (crash-normal; recovery truncates)", name, len(ps.records)))
+				}
+			}
+			rep.flag(er)
+		}
+	}
+
+	// Files the manifest does not vouch for.
+	for _, seq := range segs {
+		if covered[seq] {
+			continue
+		}
+		if seq <= upTo {
+			rep.Notes = append(rep.Notes, segmentFile(seq)+": folded leftover (crash debris, recovery deletes it)")
+			continue
+		}
+		rep.flag(ElementReport{File: segmentFile(seq), Seq: seq, OK: false, Detail: "segment not recorded in manifest"})
+	}
+	for _, seq := range ckpts {
+		name := checkpointFile(seq)
+		if man.Checkpoint != nil && man.Checkpoint.File == name {
+			continue
+		}
+		rep.Notes = append(rep.Notes, name+": checkpoint not committed by manifest (crash debris, recovery deletes it)")
+	}
+	return rep, nil
+}
+
+// verifySealedSegment audits one manifest-pinned segment: existence,
+// parse, seal present, recomputed Merkle root matching both the seal and
+// the manifest, and chain linkage from the predecessor.
+func verifySealedSegment(dir string, e manifestSegment, chain [32]byte) ElementReport {
+	er := ElementReport{File: e.File, Seq: e.Seq, Sealed: true, OK: true}
+	ps, err := readSegment(filepath.Join(dir, e.File))
+	if err != nil {
+		er.OK = false
+		er.Detail = err.Error()
+		return er
+	}
+	if ps.seal == nil {
+		er.OK = false
+		if ps.torn {
+			er.Detail = "sealed segment is truncated"
+		} else {
+			er.Detail = "manifest records a seal this segment lacks"
+		}
+		return er
+	}
+	if ps.header.Seq != e.Seq || ps.header.Base != e.Base {
+		er.OK = false
+		er.Detail = "header disagrees with manifest"
+		return er
+	}
+	if ps.header.Prev != hexChain(chain) {
+		er.OK = false
+		er.Detail = "header does not chain from predecessor"
+		return er
+	}
+	root := merkleRoot(ps.leaves)
+	next := chainRoot(chain, root)
+	switch {
+	case hex.EncodeToString(root[:]) != e.Root || ps.seal.Root != e.Root:
+		er.OK = false
+		er.Detail = "records do not match the pinned Merkle root"
+	case ps.seal.Count != len(ps.records) || e.Count != len(ps.records):
+		er.OK = false
+		er.Detail = fmt.Sprintf("record count %d disagrees with seal/manifest", len(ps.records))
+	case ps.seal.Chain != e.Chain || hexChain(next) != e.Chain:
+		er.OK = false
+		er.Detail = "chain value does not extend the predecessor"
+	default:
+		er.Records = len(ps.records)
+	}
+	return er
+}

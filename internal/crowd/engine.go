@@ -98,6 +98,7 @@ type Engine struct {
 	logging atomic.Bool
 	logMu   sync.Mutex
 	log     []Record
+	sink    RecordSink
 
 	// ins is the pre-resolved metric bundle; nil when telemetry is off.
 	// Hot paths pay one nil check, then plain atomic adds.
@@ -311,8 +312,12 @@ func (e *Engine) reserve(n int) int {
 func (e *Engine) flushLog(k pairKey, vs []float64) {
 	round := e.rounds.Load()
 	e.logMu.Lock()
+	n0 := len(e.log)
 	for _, v := range vs {
 		e.log = append(e.log, Record{Round: round, I: k.lo, J: k.hi, Value: v})
+	}
+	if e.sink != nil {
+		e.sink.Record(e.log[n0:])
 	}
 	e.logMu.Unlock()
 }
@@ -321,6 +326,9 @@ func (e *Engine) flushLog(k pairKey, vs []float64) {
 func (e *Engine) appendLog(r Record) {
 	e.logMu.Lock()
 	e.log = append(e.log, r)
+	if e.sink != nil {
+		e.sink.Record(e.log[len(e.log)-1:])
+	}
 	e.logMu.Unlock()
 }
 

@@ -35,6 +35,31 @@ func (r Record) IsGraded() bool { return r.J < 0 }
 // append per microtask; it is off by default.
 func (e *Engine) EnableLog() { e.logging.Store(true) }
 
+// RecordSink receives each freshly logged batch of microtask records,
+// synchronously, in log order. The slice is only valid for the duration
+// of the call — implementations that retain records must copy. Calls are
+// serialized by the engine (made under its log mutex), so a sink needs
+// no locking of its own against the engine, and records of one pair
+// always arrive in purchase order. A slow sink applies backpressure to
+// the purchase path; persistent sinks should buffer (see
+// internal/auditlog, whose Log blocks only when its bounded commit
+// queue is full).
+type RecordSink interface {
+	Record(recs []Record)
+}
+
+// SetLogSink streams every logged record to sink (enabling logging as a
+// side effect). Pass nil to detach. The in-memory log keeps accumulating
+// regardless, so TMC == len(Log()) continues to hold.
+func (e *Engine) SetLogSink(sink RecordSink) {
+	e.logMu.Lock()
+	e.sink = sink
+	e.logMu.Unlock()
+	if sink != nil {
+		e.logging.Store(true)
+	}
+}
+
 // Log returns the recorded microtasks in purchase order. The slice is
 // shared; callers must not modify it, and must not call Log while
 // purchases are in flight. Under parallel comparison waves the order of
@@ -70,15 +95,17 @@ func ReadLog(r io.Reader) ([]Record, error) {
 		return nil, fmt.Errorf("crowd: audit log has trailing data after the record array")
 	}
 	for idx, rec := range recs {
-		if err := validateRecord(rec); err != nil {
+		if err := ValidateRecord(rec); err != nil {
 			return nil, fmt.Errorf("crowd: audit log record %d: %w", idx, err)
 		}
 	}
 	return recs, nil
 }
 
-// validateRecord checks one audit-log record's invariants.
-func validateRecord(rec Record) error {
+// ValidateRecord checks one audit-log record's invariants. It is shared
+// with the segmented persistent log (internal/auditlog), which validates
+// each record line at both write and reload time.
+func ValidateRecord(rec Record) error {
 	if rec.Round < 0 {
 		return fmt.Errorf("negative round %d", rec.Round)
 	}

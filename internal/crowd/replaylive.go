@@ -24,6 +24,7 @@ type ReplayThenLive struct {
 	replay *Replay
 	live   Oracle
 	tasks  atomic.Int64
+	served atomic.Int64
 }
 
 // NewReplayThenLive builds the resume oracle from an audit log and the
@@ -42,6 +43,11 @@ func (rl *ReplayThenLive) NumItems() int { return rl.live.NumItems() }
 // spend beyond the replayed checkpoint.
 func (rl *ReplayThenLive) LiveTasks() int64 { return rl.tasks.Load() }
 
+// ReplayedServed returns how many recorded answers have been served from
+// the log so far — together with LiveTasks it decomposes a resumed run's
+// total demand into free history and new spend.
+func (rl *ReplayThenLive) ReplayedServed() int64 { return rl.served.Load() }
+
 // ReplayedRemaining returns how many recorded pairwise answers are still
 // unused for the pair.
 func (rl *ReplayThenLive) ReplayedRemaining(i, j int) int { return rl.replay.Remaining(i, j) }
@@ -49,6 +55,7 @@ func (rl *ReplayThenLive) ReplayedRemaining(i, j int) int { return rl.replay.Rem
 // Preference implements Oracle: recorded answers first, then live.
 func (rl *ReplayThenLive) Preference(rng *rand.Rand, i, j int) float64 {
 	if v, ok := rl.replay.take(i, j, 1); ok {
+		rl.served.Add(1)
 		return v[0]
 	}
 	rl.tasks.Add(1)
@@ -61,6 +68,7 @@ func (rl *ReplayThenLive) Preference(rng *rand.Rand, i, j int) float64 {
 // Preference calls would, so the stream-equivalence contract holds.
 func (rl *ReplayThenLive) Preferences(rng *rand.Rand, i, j int, dst []float64) {
 	replayed := rl.replay.takeUpTo(i, j, dst)
+	rl.served.Add(int64(replayed))
 	rest := dst[replayed:]
 	if len(rest) == 0 {
 		return
@@ -75,10 +83,39 @@ func (rl *ReplayThenLive) Preferences(rng *rand.Rand, i, j int, dst []float64) {
 	}
 }
 
+// PreferencesPartial implements FallibleBatchOracle: the replayed prefix
+// is always delivered (history is already paid for and cannot fail), and
+// only the live remainder can come up short. LiveTasks counts the answers
+// the live oracle actually delivered, mirroring the engine's charge-what-
+// arrived accounting, so TMC equals replayed + live even across failures.
+func (rl *ReplayThenLive) PreferencesPartial(rng *rand.Rand, i, j int, dst []float64) (int, error) {
+	replayed := rl.replay.takeUpTo(i, j, dst)
+	rl.served.Add(int64(replayed))
+	rest := dst[replayed:]
+	if len(rest) == 0 {
+		return replayed, nil
+	}
+	if fb, ok := rl.live.(FallibleBatchOracle); ok {
+		filled, err := fb.PreferencesPartial(rng, i, j, rest)
+		rl.tasks.Add(int64(filled))
+		return replayed + filled, err
+	}
+	rl.tasks.Add(int64(len(rest)))
+	if b, ok := rl.live.(BatchOracle); ok {
+		b.Preferences(rng, i, j, rest)
+	} else {
+		for t := range rest {
+			rest[t] = rl.live.Preference(rng, i, j)
+		}
+	}
+	return len(dst), nil
+}
+
 // Grade implements Grader: recorded grades first, then the live oracle,
 // which must implement Grader once the log runs dry.
 func (rl *ReplayThenLive) Grade(rng *rand.Rand, i int) float64 {
 	if v, ok := rl.replay.takeGrade(i); ok {
+		rl.served.Add(1)
 		return v
 	}
 	rl.tasks.Add(1)

@@ -1,0 +1,123 @@
+package crowd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// captureSink copies every batch it receives (the slice is only valid
+// during the call) and remembers the batch boundaries.
+type captureSink struct {
+	recs    []Record
+	batches int
+}
+
+func (c *captureSink) Record(recs []Record) {
+	c.recs = append(c.recs, recs...)
+	c.batches++
+}
+
+func TestLogSinkStreamsEveryRecord(t *testing.T) {
+	e := newTestEngine(8, 31)
+	sink := &captureSink{}
+	e.SetLogSink(sink) // enables logging as a side effect
+	e.Draw(1, 4, 30)
+	e.Draw(5, 2, 12)
+	e.Grade(3)
+
+	logged := e.Log()
+	if len(logged) == 0 {
+		t.Fatal("SetLogSink did not enable logging")
+	}
+	if len(sink.recs) != len(logged) {
+		t.Fatalf("sink saw %d records, log holds %d", len(sink.recs), len(logged))
+	}
+	for i := range logged {
+		if sink.recs[i] != logged[i] {
+			t.Fatalf("record %d: sink got %+v, log holds %+v", i, sink.recs[i], logged[i])
+		}
+	}
+	if int64(len(logged)) != e.TMC() {
+		t.Fatalf("log holds %d records, TMC %d", len(logged), e.TMC())
+	}
+
+	// Detaching must stop the stream but leave the in-memory log running.
+	seen := len(sink.recs)
+	e.SetLogSink(nil)
+	e.Draw(0, 7, 5)
+	if len(sink.recs) != seen {
+		t.Fatalf("detached sink still received records")
+	}
+	if len(e.Log()) != len(logged)+5 {
+		t.Fatalf("in-memory log stopped accumulating after detach")
+	}
+}
+
+func TestLogSinkChargedTasksOnlyOnShortfall(t *testing.T) {
+	// Under a failing oracle only delivered answers are charged; the sink
+	// must see exactly those, never the refunded slots.
+	e := NewEngine(&brittleOracle{n: 5, supply: 20}, rand.New(rand.NewSource(7)))
+	sink := &captureSink{}
+	e.SetLogSink(sink)
+	e.Draw(0, 1, 50)
+	if len(sink.recs) != 20 {
+		t.Fatalf("sink saw %d records, want the 20 delivered", len(sink.recs))
+	}
+	if int64(len(sink.recs)) != e.TMC() {
+		t.Fatalf("sink records %d != TMC %d", len(sink.recs), e.TMC())
+	}
+}
+
+func TestReplayThenLivePartialDeliversReplayedPrefix(t *testing.T) {
+	// Record 25 judgments for one pair, then resume against a live oracle
+	// that can only supply 5 more before failing: the replayed prefix must
+	// arrive in full — history is already paid for and cannot fail — and
+	// only the shortfall is the live oracle's.
+	e := newTestEngine(8, 53)
+	e.EnableLog()
+	e.Draw(0, 3, 40)
+	log := e.Log()[:25]
+
+	rl := NewReplayThenLive(log, &brittleOracle{n: 8, supply: 5})
+	rng := rand.New(rand.NewSource(9))
+	dst := make([]float64, 40)
+	filled, err := rl.PreferencesPartial(rng, 0, 3, dst)
+	if filled != 30 {
+		t.Fatalf("filled = %d, want 25 replayed + 5 live", filled)
+	}
+	if !errors.Is(err, errMarketDown) {
+		t.Fatalf("err = %v, want the live oracle's failure", err)
+	}
+	if got := rl.ReplayedServed(); got != 25 {
+		t.Fatalf("ReplayedServed = %d, want 25", got)
+	}
+	if got := rl.LiveTasks(); got != 5 {
+		t.Fatalf("LiveTasks = %d, want 5 — replayed answers are free", got)
+	}
+
+	// Replay exhausted, live dead: nothing arrives, error persists.
+	filled, err = rl.PreferencesPartial(rng, 0, 3, dst[:4])
+	if filled != 0 || err == nil {
+		t.Fatalf("after exhaustion: filled=%d err=%v, want 0 and an error", filled, err)
+	}
+}
+
+func TestReplayThenLivePartialFullyReplayed(t *testing.T) {
+	e := newTestEngine(6, 54)
+	e.EnableLog()
+	e.Draw(2, 5, 10)
+
+	rl := NewReplayThenLive(e.Log(), &brittleOracle{n: 6, supply: 0})
+	dst := make([]float64, 10)
+	filled, err := rl.PreferencesPartial(rand.New(rand.NewSource(1)), 2, 5, dst)
+	if filled != 10 || err != nil {
+		t.Fatalf("filled=%d err=%v, want all 10 from replay with no error", filled, err)
+	}
+	if rl.LiveTasks() != 0 {
+		t.Fatalf("full replay touched the live oracle: %d tasks", rl.LiveTasks())
+	}
+	if rl.ReplayedServed() != 10 {
+		t.Fatalf("ReplayedServed = %d, want 10", rl.ReplayedServed())
+	}
+}

@@ -3,11 +3,19 @@ package jstore
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"crowdtopk/internal/lockfile"
 )
+
+// ErrStoreLocked reports that another process holds the store's writer
+// lock. Errors returned by OpenFile wrap it (with the holder's PID when
+// readable); detect with errors.Is.
+var ErrStoreLocked = errors.New("jstore: store locked by another process")
 
 // FileStore is the persistent driver: an append-only JSONL file (one
 // Record per line, human-reviewable) mirrored by an in-memory MemStore
@@ -25,6 +33,7 @@ type FileStore struct {
 	f     *os.File
 	w     *bufio.Writer
 	lines int // lines in the file since last compact (live + superseded)
+	lock  *lockfile.Lock
 }
 
 // compactFloor keeps tiny stores from compacting on every few commits.
@@ -34,12 +43,27 @@ const compactFloor = 1024
 // Corrupt or truncated trailing lines — a crash mid-append — are skipped
 // with the valid prefix preserved; a corrupt line in the middle of the
 // file is reported as an error.
+//
+// The store is guarded by an advisory lock on a sidecar file
+// (path+".lock"): two processes appending to one JSONL file interleave
+// half-lines and destroy it, so a second opener fails fast with an
+// error wrapping ErrStoreLocked instead. The kernel drops the lock when
+// the holder exits, even on SIGKILL — a crashed holder never wedges the
+// store.
 func OpenFile(path string) (*FileStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	lock, err := lockfile.Acquire(path + ".lock")
 	if err != nil {
+		if errors.Is(err, lockfile.ErrLocked) {
+			return nil, fmt.Errorf("jstore: %s: %w: %v", path, ErrStoreLocked, err)
+		}
 		return nil, fmt.Errorf("jstore: %w", err)
 	}
-	fs := &FileStore{mem: NewMemStore(), path: path}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		lock.Release()
+		return nil, fmt.Errorf("jstore: %w", err)
+	}
+	fs := &FileStore{mem: NewMemStore(), path: path, lock: lock}
 	var maxSeq uint64
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -58,6 +82,7 @@ func OpenFile(path string) (*FileStore, error) {
 			// A valid record after an invalid line: the corruption was not
 			// a truncated tail, refuse to silently drop committed data.
 			f.Close()
+			lock.Release()
 			return nil, fmt.Errorf("jstore: %s: corrupt record mid-file (%d bad lines before a valid one)", path, bad)
 		}
 		fs.restore(r)
@@ -68,12 +93,14 @@ func OpenFile(path string) (*FileStore, error) {
 	}
 	if err := sc.Err(); err != nil {
 		f.Close()
+		lock.Release()
 		return nil, fmt.Errorf("jstore: read %s: %w", path, err)
 	}
 	// Continue the logical clock past everything on disk.
 	fs.mem.seq.Store(maxSeq)
 	if _, err := f.Seek(0, 2); err != nil {
 		f.Close()
+		lock.Release()
 		return nil, fmt.Errorf("jstore: seek %s: %w", path, err)
 	}
 	fs.f = f
@@ -204,7 +231,8 @@ func (fs *FileStore) compactLocked() error {
 	return nil
 }
 
-// Close flushes and closes the file. The in-memory index stays readable.
+// Close flushes and closes the file and releases the writer lock. The
+// in-memory index stays readable.
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -218,6 +246,12 @@ func (fs *FileStore) Close() error {
 			err = cerr
 		}
 		fs.f = nil
+	}
+	if fs.lock != nil {
+		if lerr := fs.lock.Release(); err == nil {
+			err = lerr
+		}
+		fs.lock = nil
 	}
 	return err
 }

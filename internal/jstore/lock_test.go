@@ -1,0 +1,63 @@
+package jstore
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestFileStoreWriterLock pins the single-writer guarantee: a second
+// OpenFile on a held store fails fast with ErrStoreLocked instead of
+// interleaving half-lines into the JSONL file, and Close releases the
+// lock so the next opener succeeds with the data intact.
+func TestFileStoreWriterLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "judgments.jsonl")
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Commit(rec(1, 2, 30, 0.4)) {
+		t.Fatal("commit under lock failed")
+	}
+
+	_, err = OpenFile(path)
+	if !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("second open: got %v, want ErrStoreLocked", err)
+	}
+
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	defer fs2.Close()
+	got, ok := fs2.Lookup(1, 2)
+	if !ok || got.N != 30 {
+		t.Fatalf("data lost across lock cycle: %+v ok=%v", got, ok)
+	}
+}
+
+// TestFileStoreLockSurvivesCompact pins that compaction's file swap does
+// not drop the lock: the store stays exclusively held afterwards.
+func TestFileStoreLockSurvivesCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "judgments.jsonl")
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	for i := 0; i < 10; i++ {
+		fs.Commit(rec(i, i+1, 5+i, 0.1))
+	}
+	if err := fs.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("store unlocked after compact: %v", err)
+	}
+	if fs.Len() != 10 {
+		t.Fatalf("Len = %d after compact, want 10", fs.Len())
+	}
+}

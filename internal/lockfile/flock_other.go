@@ -1,0 +1,11 @@
+//go:build !unix
+
+package lockfile
+
+import "os"
+
+// Non-unix platforms get no advisory locking: Acquire degrades to the
+// pre-lock single-process contract instead of failing to build. Every
+// deployment target of this repository is unix.
+func flock(f *os.File) error   { return nil }
+func funlock(f *os.File) error { return nil }

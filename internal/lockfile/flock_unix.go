@@ -1,0 +1,20 @@
+//go:build unix
+
+package lockfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// flock takes a non-blocking exclusive lock on f's descriptor. flock(2)
+// locks the open file description: two opens of the same path conflict
+// even within one process, and the kernel releases the lock when the
+// last descriptor closes — including on SIGKILL.
+func flock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+func funlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

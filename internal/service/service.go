@@ -58,6 +58,11 @@ type Config struct {
 	AuditEnabled bool
 	// EventInterval is the SSE progress sampling period (default 100ms).
 	EventInterval time.Duration
+	// Journal, when non-nil, records every query's accept and terminal
+	// transition durably. Together with a persistent audit log it makes
+	// the daemon crash-safe: Restore re-admits the queries that died in
+	// flight and reinstates the finished ones' results.
+	Journal Journal
 }
 
 // Server is the query service. Create with New, mount via Handler (it is
@@ -78,6 +83,12 @@ type Server struct {
 	wake     chan struct{}
 	shutdown chan struct{}
 	wg       sync.WaitGroup
+
+	// jerr latches the first journal-write failure for diagnostics; the
+	// queries themselves keep running (losing a finish entry re-runs the
+	// query on the next resume, which replay makes free).
+	jmu  sync.Mutex
+	jerr error
 }
 
 // query is one submitted top-k query moving through the service:
@@ -100,6 +111,11 @@ type query struct {
 	err      error
 	finished time.Time
 	done     chan struct{} // closed when state reaches done/canceled
+
+	// restored, when non-nil, is the terminal snapshot replayed from the
+	// journal of a previous process: the query finished before the crash
+	// and serves its recorded status verbatim instead of live state.
+	restored *Status
 }
 
 // Request is the POST /queries body.
@@ -300,6 +316,7 @@ func (s *Server) run(q *query) {
 		q.finished = time.Now()
 		close(q.done)
 		q.mu.Unlock()
+		s.journalFinish(q)
 		return
 	}
 
@@ -326,6 +343,35 @@ func (s *Server) run(q *query) {
 	q.finished = time.Now()
 	close(q.done)
 	q.mu.Unlock()
+	s.journalFinish(q)
+}
+
+// journalFinish records a query's terminal snapshot, best-effort: the
+// query has already finished, so a write failure is latched (JournalErr)
+// rather than undoing reality. On the next resume the entry's absence
+// re-admits the query, and replay answers it from history for free.
+func (s *Server) journalFinish(q *query) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err := s.cfg.Journal.Finished(q.status()); err != nil {
+		s.journalFail(err)
+	}
+}
+
+func (s *Server) journalFail(err error) {
+	s.jmu.Lock()
+	if s.jerr == nil {
+		s.jerr = err
+	}
+	s.jmu.Unlock()
+}
+
+// JournalErr returns the first journal-write failure, if any.
+func (s *Server) JournalErr() error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.jerr
 }
 
 // kick nudges the dispatcher without blocking.
@@ -378,6 +424,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		accepted: time.Now(),
 		state:    "queued",
 		done:     make(chan struct{}),
+	}
+	if s.cfg.Journal != nil {
+		// Journal before admitting: an accepted query the journal missed
+		// would silently vanish on resume, which is the one lie a durable
+		// service must not tell. Refusing admission is honest.
+		if err := s.cfg.Journal.Accepted(q.id, req); err != nil {
+			s.nextID--
+			s.nextSeq--
+			s.mu.Unlock()
+			s.journalFail(err)
+			httpError(w, http.StatusInternalServerError, "journal write failed: %v", err)
+			return
+		}
 	}
 	s.queries[q.id] = q
 	s.order = append(s.order, q)
@@ -450,6 +509,7 @@ func (s *Server) cancelQuery(q *query) {
 		s.mu.Lock()
 		s.queued--
 		s.mu.Unlock()
+		s.journalFinish(q)
 		s.kick()
 		return
 	}
@@ -558,6 +618,9 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *query {
 func (q *query) status() Status {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.restored != nil {
+		return *q.restored
+	}
 	st := Status{
 		ID: q.id, State: q.state, K: q.req.K, Algorithm: q.req.Algorithm,
 		Priority: q.req.Priority, MaxCost: q.req.MaxCost, Canceled: q.canceled,
@@ -586,6 +649,9 @@ func (q *query) status() Status {
 func (q *query) tmc() int64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.restored != nil {
+		return q.restored.TMC
+	}
 	if q.state == "done" || q.state == "canceled" {
 		return q.result.TMC
 	}

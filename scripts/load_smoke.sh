@@ -63,11 +63,16 @@ go build -o "$workdir/topkd" ./cmd/topkd \
 # commit concluded verdicts, proving the store path works end to end.
 store="$workdir/judgments.jsonl"
 
+# …and so does a persistent audit log: the drain must flush the commit
+# queue and leave a sealed, verifiable directory behind.
+audit="$workdir/audit"
+
 "$workdir/topkd" \
     -addr 127.0.0.1:0 -n 60 -seed 7 -budget 40 \
     -platform -workers 8 -fault-drop 0.05 -fault-error 0.02 \
     -max-inflight 6 -max-queue 128 \
     -store "$store" \
+    -audit-dir "$audit" \
     >"$out" 2>&1 &
 pid=$!
 
@@ -168,4 +173,16 @@ kill -0 "$pid" 2>/dev/null && { echo "FAIL: topkd did not exit on SIGTERM"; exit
 pid=""
 grep -q '^topkd: done' "$out" || { echo "FAIL: no shutdown summary:"; cat "$out"; exit 1; }
 
-echo "OK: $QUERIES queries ($done_n done, $canceled_n canceled), TMC $session_tmc exact across /metrics and accounting, $commits judgments committed"
+# The drain flushed the audit commit queue and wrote the final
+# checkpoint: the directory is committed (manifest present), holds every
+# microtask the session bought, and verifies end to end.
+grep -q '^topkd: audit — ' "$out" \
+    || { echo "FAIL: no audit summary in shutdown log:"; cat "$out"; exit 1; }
+audit_records=$(sed -n 's/^topkd: audit — \([0-9]*\) records on disk.*$/\1/p' "$out")
+[ "$audit_records" = "$session_tmc" ] \
+    || { echo "FAIL: audit log holds $audit_records records, session spent $session_tmc"; exit 1; }
+[ -f "$audit/MANIFEST.json" ] || { echo "FAIL: no MANIFEST.json after drain"; exit 1; }
+"$workdir/topkd" -verify-audit -audit-dir "$audit" >/dev/null \
+    || { echo "FAIL: audit directory does not verify after drain"; exit 1; }
+
+echo "OK: $QUERIES queries ($done_n done, $canceled_n canceled), TMC $session_tmc exact across /metrics, accounting and audit log, $commits judgments committed"
