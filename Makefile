@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-hot bench-json bench-diff warm-cache fuzz chaos serve-metrics smoke-metrics load service-smoke crash-recovery log-bench all
+.PHONY: build test race vet bench bench-hot bench-json bench-diff warm-cache fuzz chaos serve-metrics smoke-metrics load service-smoke crash-recovery log-bench explain-bench all
 
 build:
 	$(GO) build ./...
@@ -103,6 +103,14 @@ crash-recovery:
 # committed BENCH_PR8.json artifact.
 log-bench:
 	$(GO) run ./cmd/perfcheck -log-bench -json BENCH_PR8.json
+
+# Explainability-tax benchmark: the same deterministic query with
+# observability off and with per-pair cost attribution plus structured
+# logging enabled, interleaved reps, gated so the enabled mode costs <3%
+# wall time over off with the attribution tree summing exactly to
+# Result.TMC on every rep. Refreshes the committed BENCH_PR9.json.
+explain-bench:
+	$(GO) run ./cmd/perfcheck -explain-bench -json BENCH_PR9.json
 
 # Short fuzzing sessions: compareAll's duplicate/orientation grouping, and
 # randomized platform fault schedules against the resilience layer. Go

@@ -42,6 +42,15 @@
 // identical TMC everywhere and every record on disk:
 //
 //	perfcheck -log-bench -json BENCH_PR8.json
+//
+// With -explain-bench, perfcheck measures the explainability tax (see
+// explainbench.go): the same deterministic query with observability off
+// and with per-pair cost attribution plus structured logging enabled,
+// gating the enabled mode at -explain-max-overhead over off with
+// identical TMC/top-k and the attribution tree summing exactly to the
+// query's Result.TMC on every rep:
+//
+//	perfcheck -explain-bench -json BENCH_PR9.json
 package main
 
 import (
@@ -230,6 +239,9 @@ func main() {
 		logBench   = flag.Bool("log-bench", false, "measure audit-log overhead (off vs batched vs fsync-always) on one deterministic query; gates batched at -log-max-overhead over no-log, writes the report to -json")
 		logReps    = flag.Int("log-reps", 7, "interleaved repetitions per mode for -log-bench (medians absorb noise)")
 		logMaxOver = flag.Float64("log-max-overhead", 0.05, "maximum tolerated batched-logging wall-time overhead fraction for -log-bench")
+		expBench   = flag.Bool("explain-bench", false, "measure cost-attribution + structured-logging overhead (off vs explain+log) on one deterministic query; gates the enabled mode at -explain-max-overhead over off, writes the report to -json")
+		expReps    = flag.Int("explain-reps", 7, "interleaved repetitions per mode for -explain-bench (best-of absorbs noise)")
+		expMaxOver = flag.Float64("explain-max-overhead", 0.03, "maximum tolerated attribution+logging wall-time overhead fraction for -explain-bench")
 	)
 	flag.Parse()
 
@@ -239,6 +251,10 @@ func main() {
 	}
 	if *logBench {
 		logBenchMain(*jsonOut, *logReps, *logMaxOver)
+		return
+	}
+	if *expBench {
+		explainBenchMain(*jsonOut, *expReps, *expMaxOver)
 		return
 	}
 

@@ -26,12 +26,22 @@
 // with their recorded results, in-flight ones are re-admitted and
 // replayed from the log — zero re-bought microtasks for work that
 // reached disk. -verify-audit audits a directory's integrity and exits.
+//
+// Observability: every query's spend is attributed pair by pair on
+// GET /queries/{id}/explain, burn-rate SLO alerting is served on
+// /debug/slo and as /metrics gauges (enable with -slo-latency and/or
+// -total-budget), a live ops dashboard on /debug/dashboard, and
+// diagnostics stream as structured JSONL (-log-level, -log-out).
+// -trace-out and -stats-out dump the span trace and cumulative stats at
+// shutdown, like topkquery.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -41,6 +51,8 @@ import (
 	"time"
 
 	"crowdtopk"
+	qlog "crowdtopk/internal/obs/log"
+	"crowdtopk/internal/obs/slo"
 	"crowdtopk/internal/service"
 )
 
@@ -71,18 +83,46 @@ func main() {
 		faultDrop  = flag.Float64("fault-drop", 0, "chaos: per-answer drop probability")
 		faultErr   = flag.Float64("fault-error", 0, "chaos: per-batch transient error probability")
 		faultAfter = flag.Int("fault-after", 0, "chaos: platform fails permanently after this many posted batches (0 = never)")
+
+		logLevel = flag.String("log-level", "info", "structured log verbosity: debug, info, warn, error or off")
+		logOut   = flag.String("log-out", "stderr", "structured JSONL log destination: stderr, stdout or a file path (appended)")
+		traceOut = flag.String("trace-out", "", "write the session's span trace as replayable JSONL to this file at shutdown")
+		statsOut = flag.String("stats-out", "", "write the session's cumulative stats as JSON to this file at shutdown (- for stdout)")
+
+		sloLatency = flag.Duration("slo-latency", 0, "latency SLO: per-query wall-clock target; enables burn-rate alerting on /debug/slo and /metrics (0 = off)")
+		sloGoal    = flag.Float64("slo-latency-goal", 0.95, "latency SLO: fraction of queries that must finish within -slo-latency")
+		sloHorizon = flag.Duration("slo-horizon", time.Hour, "budget SLO: -total-budget is meant to last this long; spending faster raises the burn rate past 1")
 	)
 	flag.Parse()
 
+	lg, lgClose, err := openLogger(*logOut, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topkd:", err)
+		os.Exit(2)
+	}
+	if lgClose != nil {
+		defer lgClose()
+	}
+	dlg := lg.With("component", "topkd")
+	// fatal routes terminal errors through the structured log when it is
+	// enabled and falls back to a plain stderr line when it is not, so
+	// startup failures are never silent.
+	fatal := func(code int, err error) {
+		if dlg.Enabled(qlog.LevelError) {
+			dlg.Error("fatal", "err", err)
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(code)
+	}
+
 	if *verify {
 		if *auditDir == "" {
-			fmt.Fprintln(os.Stderr, "topkd: -verify-audit requires -audit-dir")
-			os.Exit(2)
+			fatal(2, fmt.Errorf("topkd: -verify-audit requires -audit-dir"))
 		}
 		rep, err := crowdtopk.VerifyAuditLog(*auditDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(2, err)
 		}
 		for _, el := range rep.Elements {
 			status := "ok"
@@ -119,8 +159,7 @@ func main() {
 	if *storePath != "" {
 		s, err := crowdtopk.OpenFileJudgmentStore(*storePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(1, err)
 		}
 		store = s
 		opts.JudgmentStore = store
@@ -164,19 +203,16 @@ func main() {
 	if *auditDir != "" {
 		policy, err := crowdtopk.ParseAuditSyncPolicy(*auditSync)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(2, err)
 		}
 		if *resume {
 			if _, err := os.Stat(*auditDir); err == nil {
 				prior, err = crowdtopk.LoadAuditLog(*auditDir)
 				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					fatal(1, err)
 				}
 			} else if !os.IsNotExist(err) {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fatal(1, err)
 			}
 			if len(prior) > 0 {
 				resumed = crowdtopk.ResumeOracle(prior, oracle)
@@ -185,26 +221,24 @@ func main() {
 		}
 		alog, err = crowdtopk.OpenAuditLog(*auditDir, crowdtopk.AuditLogOptions{Sync: policy})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(1, err)
 		}
 		journal, jentry, err = service.OpenFileJournal(filepath.Join(*auditDir, "queries.jsonl"))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(1, err)
 		}
 		if !*resume && (len(jentry) > 0 || alog.Total() > 0) {
-			fmt.Fprintf(os.Stderr, "topkd: warning: %s holds %d records and %d journal entries from a previous run; start with -resume to replay them\n",
-				*auditDir, alog.Total(), len(jentry))
+			dlg.Warn("audit directory holds data from a previous run; start with -resume to replay it",
+				"dir", *auditDir, "records", alog.Total(), "journal_entries", len(jentry))
 		}
 		fmt.Printf("topkd: audit log %s (%d records on disk, sync=%s)\n", *auditDir, alog.Total(), *auditSync)
 	}
 
 	sess, err := crowdtopk.NewSession(oracle, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(1, err)
 	}
+	sess.SetLogger(lg)
 	sess.EnableAuditLog()
 	if alog != nil {
 		if resumed != nil {
@@ -223,6 +257,15 @@ func main() {
 		MaxInFlight:  *inflight,
 		MaxQueue:     *queueCap,
 		AuditEnabled: true,
+		Logger:       lg,
+	}
+	if *sloLatency > 0 || *total > 0 {
+		cfg.SLO = &slo.Objectives{
+			LatencyTarget: *sloLatency,
+			LatencyGoal:   *sloGoal,
+			Budget:        *total,
+			BudgetHorizon: *sloHorizon,
+		}
 	}
 	if journal != nil {
 		cfg.Journal = journal
@@ -236,11 +279,12 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(1, err)
 	}
 	hs := &http.Server{Handler: srv}
 	fmt.Printf("topkd: serving %d items on http://%s (POST /queries)\n", data.NumItems(), ln.Addr())
+	dlg.Info("serving", "addr", ln.Addr().String(), "items", data.NumItems(),
+		"max_inflight", *inflight, "max_queue", *queueCap, "slo", cfg.SLO != nil)
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -250,33 +294,33 @@ func main() {
 	select {
 	case s := <-sig:
 		fmt.Printf("topkd: %v — draining\n", s)
+		dlg.Info("signal received — draining", "signal", s.String())
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(1, err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = hs.Shutdown(ctx)
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "topkd: drain: %v\n", err)
+		dlg.Error("drain", "err", err)
 	}
 	if err := sess.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "topkd: close: %v\n", err)
+		dlg.Error("session close", "err", err)
 	}
 	if store != nil {
 		ss := sess.StoreStats()
 		fmt.Printf("topkd: store — %d hits, %d stale, %d misses, %d commits, %d records\n",
 			ss.Hits, ss.Stale, ss.Misses, ss.Commits, store.Len())
 		if err := store.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "topkd: store close: %v\n", err)
+			dlg.Error("store close", "err", err)
 		}
 	}
 	if alog != nil {
 		// The session has quiesced: flush the commit queue, write the
 		// final checkpoint and seal the directory before reporting.
 		if err := alog.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "topkd: audit close: %v\n", err)
+			dlg.Error("audit close", "err", err)
 		}
 		if resumed != nil {
 			fmt.Printf("topkd: resume accounting — %d replayed free, %d live purchases, tmc %d\n",
@@ -287,11 +331,86 @@ func main() {
 	}
 	if journal != nil {
 		if err := srv.JournalErr(); err != nil {
-			fmt.Fprintf(os.Stderr, "topkd: journal: %v\n", err)
+			dlg.Error("journal", "err", err)
 		}
 		if err := journal.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "topkd: journal close: %v\n", err)
+			dlg.Error("journal close", "err", err)
+		}
+	}
+	if *traceOut != "" {
+		if err := dumpTrace(tel, *traceOut); err != nil {
+			dlg.Error("trace dump", "err", err)
+		} else {
+			fmt.Printf("topkd: trace file %s\n", *traceOut)
+		}
+	}
+	if *statsOut != "" {
+		if err := dumpStats(tel, *statsOut); err != nil {
+			dlg.Error("stats dump", "err", err)
+		} else if *statsOut != "-" {
+			fmt.Printf("topkd: stats file %s\n", *statsOut)
 		}
 	}
 	fmt.Printf("topkd: done — session spent %d microtasks over %d rounds\n", sess.TMC(), sess.Rounds())
+	dlg.Info("done", "tmc", sess.TMC(), "rounds", sess.Rounds())
+}
+
+// openLogger builds the daemon's structured logger from the -log-out and
+// -log-level flags. The returned closer is non-nil when the sink is a
+// file the caller must close at exit.
+func openLogger(out, level string) (*crowdtopk.Logger, func(), error) {
+	var w io.Writer
+	var closer func()
+	switch out {
+	case "", "stderr":
+		w = os.Stderr
+	case "stdout":
+		w = os.Stdout
+	default:
+		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		w = f
+		closer = func() { _ = f.Close() }
+	}
+	lg, err := crowdtopk.NewLogger(w, level)
+	if err != nil {
+		if closer != nil {
+			closer()
+		}
+		return nil, nil, err
+	}
+	return lg, closer, nil
+}
+
+// dumpTrace writes the session's replayable span trace (same format as
+// topkquery's -trace-out).
+func dumpTrace(tel *crowdtopk.Telemetry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tel.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpStats writes the bundle's cumulative QueryStats as indented JSON;
+// "-" selects stdout (same contract as topkquery's -stats-out).
+func dumpStats(tel *crowdtopk.Telemetry, path string) error {
+	w := io.Writer(os.Stdout)
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tel.Stats())
 }

@@ -1,0 +1,193 @@
+package crowdtopk_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdtopk"
+)
+
+// TestExplainReconcilesUnderChaos is the attribution money guarantee:
+// concurrent queries over a faulty platform — including one canceled
+// mid-flight and one stopped by a per-query budget sub-cap — and every
+// query's cost-attribution tree still sums to its Result.TMC exactly,
+// while the trees together partition the session spend, which equals
+// the audit-log length. Attribution and accounting are fed by the same
+// charge sites, so any drift is a bug, not sampling noise.
+func TestExplainReconcilesUnderChaos(t *testing.T) {
+	data := crowdtopk.SyntheticDataset(24, 0.2, 61)
+	var p crowdtopk.Platform = crowdtopk.SimulatedPlatform(data, 4, 62)
+	p = crowdtopk.InjectFaults(p, crowdtopk.FaultSchedule{
+		Seed: 63, Drop: 0.15, Duplicate: 0.05, PostError: 0.05, CollectError: 0.05,
+	})
+	oracle := crowdtopk.WrapPlatform(data.NumItems(), p)
+
+	tel := crowdtopk.NewTelemetry()
+	opts := resilientOpts(1)
+	opts.Resilience.MaxAttempts = 10
+	opts.Scheduling = crowdtopk.Async
+	opts.Parallelism = 4
+	opts.Telemetry = tel
+	sess, err := crowdtopk.NewSession(oracle, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.EnableAuditLog()
+
+	type run struct {
+		qo     crowdtopk.QueryOptions
+		cancel bool // cancel the handle shortly after start
+	}
+	runs := []run{
+		{qo: crowdtopk.QueryOptions{}},
+		{qo: crowdtopk.QueryOptions{MaxCost: 150}}, // stopped by the sub-cap
+		{qo: crowdtopk.QueryOptions{}, cancel: true},
+		{qo: crowdtopk.QueryOptions{Priority: 2}},
+	}
+	handles := make([]*crowdtopk.QueryHandle, len(runs))
+	results := make([]crowdtopk.Result, len(runs))
+	errs := make([]error, len(runs))
+
+	var wg sync.WaitGroup
+	for i, r := range runs {
+		h, err := sess.StartTopK(context.Background(), 3+i%3, r.qo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = h.Wait()
+		}(i)
+		if r.cancel {
+			go func() {
+				time.Sleep(5 * time.Millisecond)
+				h.Cancel()
+			}()
+		}
+	}
+	wg.Wait()
+
+	var sumTree int64
+	for i, h := range handles {
+		if errs[i] != nil {
+			var partial *crowdtopk.PartialResultError
+			if !errors.As(errs[i], &partial) {
+				t.Fatalf("query %d: unexpected error %v", i, errs[i])
+			}
+		}
+		if !h.ExplainEnabled() {
+			t.Fatalf("query %d: telemetry is on but attribution is off", i)
+		}
+		tree := h.Explain()
+		// The per-query invariant, exact even for canceled and
+		// budget-exhausted partials: the tree's leaf sum is the tree TMC
+		// is the query's authoritative meter is the Result.
+		var leafSum int64
+		for _, ph := range tree.Phases {
+			var phaseSum int64
+			for _, pair := range ph.Pairs {
+				phaseSum += pair.TMC
+			}
+			if phaseSum != ph.TMC {
+				t.Errorf("query %d phase %q: leaf sum %d != phase TMC %d", i, ph.Phase, phaseSum, ph.TMC)
+			}
+			leafSum += phaseSum
+		}
+		if leafSum != tree.TMC {
+			t.Errorf("query %d: leaf sum %d != tree TMC %d", i, leafSum, tree.TMC)
+		}
+		if tree.TMC != results[i].TMC {
+			t.Errorf("query %d: attributed %d != Result.TMC %d", i, tree.TMC, results[i].TMC)
+		}
+		if got := h.ExplainTotal(); got != tree.TMC {
+			t.Errorf("query %d: ExplainTotal %d != tree TMC %d", i, got, tree.TMC)
+		}
+		if tree.TMC != h.TMC() {
+			t.Errorf("query %d: attributed %d != handle meter %d", i, tree.TMC, h.TMC())
+		}
+		sumTree += tree.TMC
+	}
+
+	// The budget-capped query must have respected its sub-cap.
+	if got := results[1].TMC; got > runs[1].qo.MaxCost {
+		t.Errorf("capped query spent %d beyond its sub-cap %d", got, runs[1].qo.MaxCost)
+	}
+	// The canceled query must have stopped as a partial.
+	if errs[2] == nil {
+		t.Log("canceled query finished before the cancel landed (benign on fast machines)")
+	}
+
+	// The global invariant: attribution trees partition the session spend,
+	// which equals the audit log record for record.
+	if sumTree != sess.TMC() {
+		t.Errorf("trees sum to %d, session spent %d", sumTree, sess.TMC())
+	}
+	if sess.TMC() != int64(len(sess.AuditLog())) {
+		t.Errorf("spend drift: TMC %d != %d logged microtasks", sess.TMC(), len(sess.AuditLog()))
+	}
+}
+
+// TestExplainWithoutTelemetry pins the opt-in path: a session with no
+// Telemetry still attributes when QueryOptions.Explain is set, and
+// stays off (empty tree, zero total) when it is not.
+func TestExplainWithoutTelemetry(t *testing.T) {
+	data := crowdtopk.SyntheticDataset(20, 0.2, 71)
+	sess, err := crowdtopk.NewSession(data, crowdtopk.Options{
+		Confidence: 0.9, Budget: 100, MinWorkload: 10, BatchSize: 10, Seed: 72,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	on, err := sess.StartTopK(context.Background(), 3, crowdtopk.QueryOptions{Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := on.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.ExplainEnabled() {
+		t.Fatal("QueryOptions.Explain did not enable attribution")
+	}
+	tree := on.Explain()
+	if tree.TMC != res.TMC || tree.TMC == 0 {
+		t.Errorf("attributed %d, Result.TMC %d (want equal, nonzero)", tree.TMC, res.TMC)
+	}
+	if len(tree.Phases) == 0 {
+		t.Error("attribution tree has no phases")
+	}
+	// Conclusions are recorded even without telemetry spans.
+	concluded := 0
+	for _, ph := range tree.Phases {
+		for _, pair := range ph.Pairs {
+			if pair.Concluded {
+				concluded++
+			}
+		}
+	}
+	if concluded == 0 {
+		t.Error("no pair recorded a concluded verdict")
+	}
+
+	off, err := sess.StartTopK(context.Background(), 3, crowdtopk.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if off.ExplainEnabled() || off.ExplainTotal() != 0 {
+		t.Error("attribution must stay off without Telemetry or Explain")
+	}
+	if tree := off.Explain(); tree.TMC != 0 || len(tree.Phases) != 0 {
+		t.Errorf("disabled attribution returned a non-empty tree: %+v", tree)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"crowdtopk/internal/crowd"
 	"crowdtopk/internal/obs"
+	qlog "crowdtopk/internal/obs/log"
 	"crowdtopk/internal/sched"
 )
 
@@ -77,6 +78,18 @@ func (r *Runner) SetTelemetry(t *obs.Telemetry) {
 	}
 }
 
+// SetLogger wires structured logging through the execution stack below
+// the runner: the shared scheduler's pool lifecycle and — when the
+// oracle is a platform adapter — quarantine and retry/breaker failure
+// events. Nil disables. Call before the runner is shared across
+// goroutines.
+func (r *Runner) SetLogger(lg *qlog.Logger) {
+	r.sch.SetLogger(lg)
+	if po, ok := r.eng.Oracle().(*crowd.PlatformOracle); ok {
+		po.SetLogger(lg)
+	}
+}
+
 // Telemetry returns the bundle last set with SetTelemetry (nil = off).
 func (r *Runner) Telemetry() *obs.Telemetry { return r.tel }
 
@@ -102,16 +115,24 @@ func (r *Runner) ParentSpan() obs.SpanID { return obs.SpanID(r.parent.Load()) }
 // enabled reports whether any instrumentation is wired.
 func (r *Runner) enabled() bool { return r.tel != nil }
 
+// instrumented reports whether comparison lifecycles need per-process
+// state: telemetry spans, or cost attribution recording conclusions.
+func (r *Runner) instrumented() bool { return r.tel != nil || r.acct.explain != nil }
+
 // memoHit counts a comparison answered from the memo.
-func (r *Runner) memoHit() {
+func (r *Runner) memoHit(i, j int) {
 	if ins := r.ins; ins != nil {
 		ins.MemoHits.Inc()
+	}
+	if c := r.acct.explain; c != nil {
+		c.MemoHit(r.Phase(), i, j)
 	}
 }
 
 // compState tracks one in-flight comparison process across wave steps:
-// its open span and how many batch rounds it has consumed so far.
+// its pair, open span and how many batch rounds it has consumed so far.
 type compState struct {
+	i, j   int
 	span   *obs.ActiveSpan
 	rounds int
 }
@@ -125,7 +146,7 @@ func (r *Runner) beginComp(i, j int) *compState {
 	if sp != nil {
 		sp.SetLabel("pair", fmt.Sprintf("%d-%d", i, j))
 	}
-	return &compState{span: sp}
+	return &compState{i: i, j: j, span: sp}
 }
 
 // compStateOf returns the wave-mode state of pair (i, j), creating it on
@@ -150,7 +171,7 @@ func (r *Runner) compStateOf(i, j int) *compState {
 // partition waves cut short by a reference upgrade. The algorithm layer
 // calls it at query end so the trace accounts for every process started.
 func (r *Runner) FlushOpenComparisons() {
-	if !r.enabled() {
+	if !r.instrumented() {
 		return
 	}
 	r.spanMu.Lock()
@@ -195,6 +216,15 @@ func (r *Runner) observeRound(st *compState, v crowd.BagView, rounds int) {
 func (r *Runner) finishComp(st *compState, v crowd.BagView, o Outcome, concluded bool) {
 	if st == nil {
 		return
+	}
+	if c := r.acct.explain; c != nil {
+		hw := 0.0
+		if r.hw != nil {
+			if x := r.hw.HalfWidth(v); !math.IsInf(x, 0) && !math.IsNaN(x) {
+				hw = x
+			}
+		}
+		c.Conclude(r.Phase(), st.i, st.j, o.String(), hw, concluded)
 	}
 	if ins := r.ins; ins != nil {
 		if concluded {

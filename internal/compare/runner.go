@@ -10,6 +10,7 @@ import (
 
 	"crowdtopk/internal/crowd"
 	"crowdtopk/internal/obs"
+	"crowdtopk/internal/obs/explain"
 	"crowdtopk/internal/sched"
 )
 
@@ -174,6 +175,13 @@ type queryAcct struct {
 	// ("select", "partition", "rank", ... ) for live progress reporting.
 	phase atomic.Pointer[string]
 
+	// explain, when non-nil, attributes every purchase charged through
+	// this acct to its (phase, pair) leaf (SetExplain). It lives on the
+	// acct — not the runner — so derived sub-phase runners attribute to
+	// the parent query, and its leaf sum always equals tmc: both meters
+	// are fed by exactly the same charge sites.
+	explain *explain.Collector
+
 	mu   sync.Mutex
 	q    *sched.Query // open handle while refs > 0
 	refs int
@@ -329,6 +337,16 @@ func (r *Runner) Derive(p Params) *Runner {
 	return d
 }
 
+// SetExplain attaches a per-query cost-attribution collector: every
+// microtask charged through this runner (and its Derived sub-phases) is
+// recorded against its (phase, pair) leaf, so the collector's tree total
+// equals QueryTMC exactly — both are fed by the same charge sites. Nil
+// detaches. Call before the query starts executing.
+func (r *Runner) SetExplain(c *explain.Collector) { r.acct.explain = c }
+
+// Explain returns the attached cost-attribution collector (nil = off).
+func (r *Runner) Explain() *explain.Collector { return r.acct.explain }
+
 // SetQueryBudget carves a per-query budget sub-cap out of the session's
 // shared spending cap: at most n microtasks may be charged through this
 // runner (and its Derived sub-phases). When the sub-cap runs dry the
@@ -464,9 +482,15 @@ func (r *Runner) DrawOne(i, j int) (float64, bool) {
 	v, ok := r.eng.DrawOne(i, j)
 	if !ok {
 		r.acct.refund(1)
+		if c := r.acct.explain; c != nil {
+			c.Refund(r.Phase(), i, j, 1)
+		}
 		return v, false
 	}
 	r.acct.tmc.Add(1)
+	if c := r.acct.explain; c != nil {
+		c.Charge(r.Phase(), i, j, 1)
+	}
 	return v, true
 }
 
@@ -493,9 +517,15 @@ func (r *Runner) draw(i, j, n int) crowd.BagView {
 	v, charged := r.eng.DrawN(i, j, granted)
 	if charged != granted {
 		r.acct.refund(granted - charged)
+		if c := r.acct.explain; c != nil {
+			c.Refund(r.Phase(), i, j, int64(granted-charged))
+		}
 	}
 	if charged != 0 {
 		r.acct.tmc.Add(int64(charged))
+		if c := r.acct.explain; c != nil {
+			c.Charge(r.Phase(), i, j, int64(charged))
+		}
 	}
 	return v
 }
@@ -520,9 +550,15 @@ func (r *Runner) Grade(i int) (float64, bool) {
 	v, ok := r.eng.Grade(i)
 	if !ok {
 		r.acct.refund(1)
+		if c := r.acct.explain; c != nil {
+			c.Refund(r.Phase(), i, -1, 1)
+		}
 		return v, false
 	}
 	r.acct.tmc.Add(1)
+	if c := r.acct.explain; c != nil {
+		c.ChargeGraded(r.Phase(), i)
+	}
 	return v, true
 }
 
@@ -658,11 +694,11 @@ func (r *Runner) budgetLeft(n int) int {
 // pairs are memoized; calling Compare again costs nothing.
 func (r *Runner) Compare(i, j int) Outcome {
 	if o, ok := r.Concluded(i, j); ok {
-		r.memoHit()
+		r.memoHit(i, j)
 		return o
 	}
 	var st *compState
-	if r.enabled() {
+	if r.instrumented() {
 		st = r.beginComp(i, j)
 	}
 	v := r.eng.View(i, j)
@@ -747,11 +783,11 @@ func (r *Runner) Compare(i, j int) Outcome {
 // Tick the engine once per wave.
 func (r *Runner) Advance(i, j int) (Outcome, bool) {
 	if o, ok := r.Concluded(i, j); ok {
-		r.memoHit()
+		r.memoHit(i, j)
 		return o, true
 	}
 	var st *compState
-	if r.enabled() {
+	if r.instrumented() {
 		st = r.compStateOf(i, j)
 	}
 	v := r.eng.View(i, j)

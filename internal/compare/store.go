@@ -171,6 +171,9 @@ func (r *Runner) storeServe(k [2]int) (Outcome, bool) {
 	if ins := r.ins; ins != nil {
 		ins.StoreHits.Inc()
 	}
+	if c := r.acct.explain; c != nil {
+		c.StoreHit(r.Phase(), k[0], k[1])
+	}
 	return ent.o, true
 }
 

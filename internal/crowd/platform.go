@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	qlog "crowdtopk/internal/obs/log"
 )
 
 // Task is one pairwise microtask to publish on a crowdsourcing platform:
@@ -115,6 +117,7 @@ type PlatformOracle struct {
 	quarantined []Answer
 	events      *failureLog          // bounded quarantine-event ring
 	ins         *PlatformInstruments // metric bundle; nil = telemetry off
+	log         *qlog.Logger         // rate-limited quarantine reporting; nil = off
 }
 
 // NewPlatformOracle wraps a platform over n items. The oracle's failure
@@ -162,6 +165,18 @@ func (po *PlatformOracle) Instrument(ins *PlatformInstruments) {
 	}
 	if rp, ok := po.platform.(*ResilientPlatform); ok {
 		rp.Instrument(ins)
+	}
+}
+
+// SetLogger wires structured logging for validation quarantines and — via
+// the wrapped ResilientPlatform, when there is one — retry/breaker
+// failure events. Both streams are rate-limited: a misbehaving platform
+// emits failures in bursts and must not flood the log. Nil disables.
+// Call before concurrent use.
+func (po *PlatformOracle) SetLogger(lg *qlog.Logger) {
+	po.log = lg.With("component", "platform").Limited("platform-quarantine", 1, 5)
+	if rp, ok := po.platform.(*ResilientPlatform); ok {
+		rp.SetLogger(lg)
 	}
 }
 
@@ -278,6 +293,8 @@ func (po *PlatformOracle) quarantine(batch int, a Answer, why string) {
 		Err: fmt.Sprintf("%s: task (%d,%d) value %v", why, a.Task.I, a.Task.J, a.Value),
 	})
 	po.ins.classify("quarantine")
+	po.log.Warn("answer quarantined", "batch", batch, "pair",
+		fmt.Sprintf("%d-%d", a.Task.I, a.Task.J), "why", why)
 }
 
 // Quarantined returns a copy of the answers rejected by validation, for

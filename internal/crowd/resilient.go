@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	qlog "crowdtopk/internal/obs/log"
 )
 
 // RetryPolicy configures the resilient platform adapter: how long one
@@ -102,6 +104,7 @@ type ResilientPlatform struct {
 
 	failures *failureLog          // bounded event ring, own lock
 	ins      *PlatformInstruments // metric bundle; nil = telemetry off
+	log      *qlog.Logger         // rate-limited failure reporting; nil = off
 }
 
 // NewResilientPlatform wraps the platform with the given policy.
@@ -430,9 +433,17 @@ func (rp *ResilientPlatform) Close() error {
 	return nil
 }
 
+// SetLogger wires structured logging of failure events (rate-limited —
+// retry storms burst). Nil disables. Call before concurrent use.
+func (rp *ResilientPlatform) SetLogger(lg *qlog.Logger) {
+	rp.log = lg.With("component", "platform").Limited("platform-failure", 2, 10)
+}
+
 func (rp *ResilientPlatform) record(ev FailureEvent) {
 	rp.failures.append(ev)
 	rp.ins.classify(ev.Kind)
+	rp.log.Warn("platform failure", "batch", ev.Batch, "attempt", ev.Attempt,
+		"kind", ev.Kind, "missing", ev.Missing, "err", ev.Err)
 }
 
 func (rp *ResilientPlatform) reportRepost() {

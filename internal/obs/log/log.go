@@ -1,0 +1,303 @@
+// Package log is the zero-dependency structured logger for the daemons
+// and service layer: leveled JSONL with bound fields (query IDs, span
+// IDs, components) and per-key token-bucket rate limiting so a
+// misbehaving platform cannot flood the log — suppressed lines are
+// counted and reported on the next emitted line for that key.
+//
+// A nil *Logger is a no-op, matching the internal/obs idiom, so every
+// layer can carry a logger unconditionally and pay one nil check when
+// logging is off. Loggers derived with With share the parent's sink,
+// level and limiter state; bound fields are pre-encoded once.
+package log
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+const (
+	// LevelDebug emits everything, including per-query chatter.
+	LevelDebug Level = iota
+	// LevelInfo is the default operational level.
+	LevelInfo
+	// LevelWarn emits degradations (quarantines, admission rejects).
+	LevelWarn
+	// LevelError emits failures only.
+	LevelError
+	// LevelOff silences the logger entirely.
+	LevelOff
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "off"
+	}
+}
+
+// ParseLevel maps a flag string to a Level ("debug", "info", "warn",
+// "error", "off").
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none":
+		return LevelOff, nil
+	}
+	return LevelInfo, fmt.Errorf("log: unknown level %q", s)
+}
+
+// bucket is one rate-limit key's token bucket.
+type bucket struct {
+	tokens     float64
+	last       time.Time
+	suppressed int64
+}
+
+// core is the shared sink state behind a logger family.
+type core struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	now   func() time.Time
+	lim   map[string]*bucket
+}
+
+// Logger emits JSONL records. Derive per-component/per-query loggers
+// with With; they share the root's sink and limiters.
+type Logger struct {
+	c *core
+	// fields is the pre-encoded bound-field fragment (`,"k":"v",...`).
+	fields []byte
+	// key/rate/burst configure rate limiting when key != "".
+	key   string
+	rate  float64
+	burst float64
+}
+
+// New builds a root logger writing JSONL records at or above level to w.
+// A nil w yields a nil (no-op) logger.
+func New(w io.Writer, level Level) *Logger {
+	return newAt(w, level, time.Now)
+}
+
+func newAt(w io.Writer, level Level, now func() time.Time) *Logger {
+	if w == nil {
+		return nil
+	}
+	c := &core{w: w, now: now, lim: make(map[string]*bucket)}
+	c.level.Store(int32(level))
+	return &Logger{c: c}
+}
+
+// SetLevel changes the family's level at runtime (all derived loggers).
+func (l *Logger) SetLevel(level Level) {
+	if l == nil || l.c == nil {
+		return
+	}
+	l.c.level.Store(int32(level))
+}
+
+// Enabled reports whether records at level would be emitted — use to
+// skip expensive field construction. False on a nil logger.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && l.c != nil && int32(level) >= l.c.level.Load()
+}
+
+// With returns a child logger with kv (alternating key, value pairs)
+// appended to the bound fields. The child shares the parent's sink,
+// level and limiter state. Nil-safe.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || l.c == nil || len(kv) == 0 {
+		return l
+	}
+	buf := make([]byte, len(l.fields), len(l.fields)+32*len(kv)/2)
+	copy(buf, l.fields)
+	buf = appendKVs(buf, kv)
+	return &Logger{c: l.c, fields: buf, key: l.key, rate: l.rate, burst: l.burst}
+}
+
+// Limited returns a child logger whose emissions are rate-limited by a
+// token bucket shared across the family under key: at most `burst`
+// immediate lines, refilling at perSec lines/second. Suppressed lines
+// are counted and surfaced as a "suppressed" field on the next line that
+// passes. Nil-safe.
+func (l *Logger) Limited(key string, perSec float64, burst int) *Logger {
+	if l == nil || l.c == nil {
+		return l
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Logger{c: l.c, fields: l.fields, key: key, rate: perSec, burst: float64(burst)}
+}
+
+// Debug emits a debug record.
+func (l *Logger) Debug(msg string, kv ...any) { l.emit(LevelDebug, msg, kv) }
+
+// Info emits an info record.
+func (l *Logger) Info(msg string, kv ...any) { l.emit(LevelInfo, msg, kv) }
+
+// Warn emits a warning record.
+func (l *Logger) Warn(msg string, kv ...any) { l.emit(LevelWarn, msg, kv) }
+
+// Error emits an error record.
+func (l *Logger) Error(msg string, kv ...any) { l.emit(LevelError, msg, kv) }
+
+func (l *Logger) emit(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	c := l.c
+	now := c.now()
+
+	var suppressed int64
+	if l.key != "" {
+		c.mu.Lock()
+		b := c.lim[l.key]
+		if b == nil {
+			b = &bucket{tokens: l.burst, last: now}
+			c.lim[l.key] = b
+		}
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * l.rate
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+			b.last = now
+		}
+		if b.tokens < 1 {
+			b.suppressed++
+			c.mu.Unlock()
+			return
+		}
+		b.tokens--
+		suppressed = b.suppressed
+		b.suppressed = 0
+		c.mu.Unlock()
+	}
+
+	buf := make([]byte, 0, 160+len(l.fields))
+	buf = append(buf, `{"ts":"`...)
+	buf = now.UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, level.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSONString(buf, msg)
+	buf = append(buf, l.fields...)
+	buf = appendKVs(buf, kv)
+	if suppressed > 0 {
+		buf = append(buf, `,"suppressed":`...)
+		buf = strconv.AppendInt(buf, suppressed, 10)
+	}
+	buf = append(buf, '}', '\n')
+
+	c.mu.Lock()
+	c.w.Write(buf)
+	c.mu.Unlock()
+}
+
+// appendKVs encodes alternating key/value pairs as `,"k":v` fragments.
+// A trailing key without a value gets null; non-string keys are
+// stringified defensively rather than dropped.
+func appendKVs(buf []byte, kv []any) []byte {
+	for n := 0; n < len(kv); n += 2 {
+		key, ok := kv[n].(string)
+		if !ok {
+			key = fmt.Sprint(kv[n])
+		}
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, key)
+		buf = append(buf, ':')
+		if n+1 < len(kv) {
+			buf = appendValue(buf, kv[n+1])
+		} else {
+			buf = append(buf, "null"...)
+		}
+	}
+	return buf
+}
+
+func appendValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendJSONString(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case time.Duration:
+		return appendJSONString(buf, x.String())
+	case error:
+		if x == nil {
+			return append(buf, "null"...)
+		}
+		return appendJSONString(buf, x.Error())
+	case nil:
+		return append(buf, "null"...)
+	default:
+		b, err := json.Marshal(v)
+		if err != nil {
+			return appendJSONString(buf, fmt.Sprint(v))
+		}
+		return append(buf, b...)
+	}
+}
+
+// appendJSONString appends s as a JSON string, escaping the minimal set.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c == '\r':
+			buf = append(buf, '\\', 'r')
+		case c < 0x20:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigit(c>>4), hexDigit(c&0xf))
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+func hexDigit(n byte) byte {
+	if n < 10 {
+		return '0' + n
+	}
+	return 'a' + n - 10
+}

@@ -1,0 +1,195 @@
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func lines(buf *bytes.Buffer) []map[string]any {
+	var out []map[string]any
+	for _, ln := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if ln == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			panic("bad JSONL line " + ln + ": " + err.Error())
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestNilLoggerNoops(t *testing.T) {
+	var l *Logger
+	l.Debug("a")
+	l.Info("b", "k", 1)
+	l.Warn("c")
+	l.Error("d", "err", nil)
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+	if l.With("q", "x") != nil || l.Limited("k", 1, 1) != nil {
+		t.Fatal("nil derivations should stay nil")
+	}
+	if New(nil, LevelInfo) != nil {
+		t.Fatal("nil writer should yield nil logger")
+	}
+}
+
+func TestLevelsAndFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	l.Debug("hidden")
+	l.Info("started", "query", "q1", "n", 42, "ratio", 0.5, "ok", true, "d", 1500*time.Millisecond)
+	l.Error("boom", "err", strings.NewReplacer().Replace, "trailing")
+	got := lines(&buf)
+	if len(got) != 2 {
+		t.Fatalf("got %d lines, want 2: %s", len(got), buf.String())
+	}
+	rec := got[0]
+	if rec["level"] != "info" || rec["msg"] != "started" || rec["query"] != "q1" {
+		t.Fatalf("record = %v", rec)
+	}
+	if rec["n"] != float64(42) || rec["ratio"] != 0.5 || rec["ok"] != true || rec["d"] != "1.5s" {
+		t.Fatalf("values = %v", rec)
+	}
+	if _, hasTS := rec["ts"].(string); !hasTS {
+		t.Fatalf("missing ts: %v", rec)
+	}
+	// Trailing key without a value must not break the line.
+	if v, present := got[1]["trailing"]; !present || v != nil {
+		t.Fatalf("trailing key = %v (%v)", v, got[1])
+	}
+}
+
+func TestWithBindsAndShares(t *testing.T) {
+	var buf bytes.Buffer
+	root := New(&buf, LevelInfo)
+	q := root.With("query", "q7", "span", "s3")
+	q.Info("phase", "name", "select")
+	root.Info("bare")
+	// Level change through a child affects the family.
+	q.SetLevel(LevelError)
+	q.Info("hidden")
+	root.Info("hidden too")
+	got := lines(&buf)
+	if len(got) != 2 {
+		t.Fatalf("lines = %d: %s", len(got), buf.String())
+	}
+	if got[0]["query"] != "q7" || got[0]["span"] != "s3" || got[0]["name"] != "select" {
+		t.Fatalf("bound fields missing: %v", got[0])
+	}
+	if _, has := got[1]["query"]; has {
+		t.Fatalf("root line inherited child fields: %v", got[1])
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	l.Info("a\"b\\c\nd\te\x01f", "k", "v\"w")
+	got := lines(&buf)
+	if got[0]["msg"] != "a\"b\\c\nd\te\x01f" || got[0]["k"] != "v\"w" {
+		t.Fatalf("round trip = %v", got[0])
+	}
+}
+
+func TestRateLimitSuppression(t *testing.T) {
+	var buf bytes.Buffer
+	clk := time.Unix(5000, 0)
+	l := newAt(&buf, LevelInfo, func() time.Time { return clk })
+	lim := l.Limited("noisy", 1, 2) // burst 2, refill 1/s
+
+	for n := 0; n < 10; n++ {
+		lim.Warn("flood", "n", n)
+	}
+	got := lines(&buf)
+	if len(got) != 2 {
+		t.Fatalf("burst lines = %d, want 2: %s", len(got), buf.String())
+	}
+	// Advance 3s: 3 tokens refill (capped at burst 2); next line carries
+	// the suppressed count.
+	clk = clk.Add(3 * time.Second)
+	lim.Warn("after")
+	got = lines(&buf)
+	last := got[len(got)-1]
+	if last["suppressed"] != float64(8) {
+		t.Fatalf("suppressed = %v, want 8: %v", last["suppressed"], last)
+	}
+	// Counter reset after reporting.
+	lim.Warn("again")
+	got = lines(&buf)
+	if _, has := got[len(got)-1]["suppressed"]; has {
+		t.Fatalf("suppressed not reset: %v", got[len(got)-1])
+	}
+}
+
+func TestLimiterSharedAcrossFamily(t *testing.T) {
+	var buf bytes.Buffer
+	clk := time.Unix(5000, 0)
+	root := newAt(&buf, LevelInfo, func() time.Time { return clk })
+	a := root.With("c", "a").Limited("shared", 1, 1)
+	b := root.With("c", "b").Limited("shared", 1, 1)
+	a.Info("one")
+	b.Info("two") // same bucket — suppressed
+	if got := lines(&buf); len(got) != 1 {
+		t.Fatalf("lines = %d, want 1 (shared bucket)", len(got))
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+		"off": LevelOff, "none": LevelOff,
+	}
+	for s, want := range cases {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("ParseLevel(verbose) should fail")
+	}
+}
+
+func TestConcurrentEmitsAreWholeLines(t *testing.T) {
+	var buf safeBuffer
+	l := New(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lg := l.With("worker", w)
+			for n := 0; n < 200; n++ {
+				lg.Info("tick", "n", n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := lines(&buf.b)
+	if len(got) != 8*200 {
+		t.Fatalf("lines = %d, want %d", len(got), 8*200)
+	}
+}
+
+// safeBuffer serializes writes so the test can parse concurrently
+// emitted output.
+type safeBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *safeBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}

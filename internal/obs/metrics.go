@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -123,6 +124,61 @@ type HistogramSnapshot struct {
 	Counts []int64 `json:"counts"`
 	Sum    int64   `json:"sum"`
 	Count  int64   `json:"count"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded
+// distribution by linear interpolation within the bucket holding the
+// target rank — the same estimate Prometheus's histogram_quantile
+// derives from the cumulative _bucket series WritePrometheus emits.
+// Ranks landing in the +Inf bucket clamp to the highest finite bound
+// (the true value is unknowable from a bucketed sketch). NaN on an
+// empty snapshot or out-of-range q.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || q < 0 || q > 1 || len(h.Counts) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			if len(h.Bounds) == 0 {
+				return math.NaN()
+			}
+			return float64(h.Bounds[len(h.Bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(h.Bounds[i-1])
+		}
+		hi := float64(h.Bounds[i])
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	// Unreachable: cum == Count >= rank by the time the loop ends.
+	return float64(h.Bounds[len(h.Bounds)-1])
+}
+
+// SummaryQuantiles are the dashboard percentiles of one histogram.
+type SummaryQuantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Summary returns the p50/p95/p99 estimates of the snapshot.
+func (h HistogramSnapshot) Summary() SummaryQuantiles {
+	return SummaryQuantiles{
+		P50: h.Quantile(0.50),
+		P95: h.Quantile(0.95),
+		P99: h.Quantile(0.99),
+	}
 }
 
 // Registry is a named collection of metrics. Lookups are mutex-guarded and

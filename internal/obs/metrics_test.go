@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -201,5 +202,82 @@ func TestUpdateAllocationFree(t *testing.T) {
 		h.Observe(42)
 	}); allocs != 0 {
 		t.Errorf("metric updates allocate %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestHistogramQuantile pins the bucket-interpolation estimate: linear
+// within the target bucket, clamped at the highest finite bound for
+// ranks landing in +Inf, NaN when undefined.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{10, 20, 40})
+	// counts per bucket: (0,10] = 4, (10,20] = 4, (20,40] = 0, +Inf = 2
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(15)
+	}
+	h.Observe(100)
+	h.Observe(200)
+	hs := r.Snapshot().Histograms["q"]
+
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.2, 5},    // rank 2 inside the first bucket: 0 + 10*(2/4)
+		{0.4, 10},   // rank 4 lands exactly on the first bound
+		{0.5, 12.5}, // rank 5: 10 + 10*(5-4)/4
+		{0.8, 20},   // rank 8 exhausts the second bucket
+		{0.99, 40},  // rank 9.9 is in +Inf: clamp to the last bound
+		{1.0, 40},   // same clamp
+		{0.0, 0},    // rank 0 interpolates to the bucket floor
+	}
+	for _, c := range cases {
+		if got := hs.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	sum := hs.Summary()
+	if sum.P50 != 12.5 || sum.P95 != 40 || sum.P99 != 40 {
+		t.Errorf("Summary() = %+v, want p50=12.5 p95=40 p99=40", sum)
+	}
+
+	var empty HistogramSnapshot
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty snapshot must estimate NaN")
+	}
+	if !math.IsNaN(hs.Quantile(-0.1)) || !math.IsNaN(hs.Quantile(1.1)) {
+		t.Error("out-of-range q must estimate NaN")
+	}
+}
+
+// TestPrometheusCumulativeBuckets pins the exposition contract the
+// quantile math (and any external histogram_quantile) depends on: the
+// _bucket series is cumulative and the +Inf line equals _count.
+func TestPrometheusCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("crowdtopk_test_dist", []int64{1, 5, 25})
+	for _, v := range []int64{1, 1, 3, 4, 9, 30, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`crowdtopk_test_dist_bucket{le="1"} 2` + "\n",
+		`crowdtopk_test_dist_bucket{le="5"} 4` + "\n",
+		`crowdtopk_test_dist_bucket{le="25"} 5` + "\n",
+		`crowdtopk_test_dist_bucket{le="+Inf"} 7` + "\n",
+		"crowdtopk_test_dist_sum 148\n",
+		"crowdtopk_test_dist_count 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
 	}
 }

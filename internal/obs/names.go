@@ -118,6 +118,29 @@ const (
 	// MFailuresDropped counts failure events evicted from the bounded
 	// failure ring — the price of keeping chaos runs memory-bounded.
 	MFailuresDropped = "crowdtopk_platform_failures_dropped_total"
+
+	// SLO burn-rate tracker (internal/obs/slo via internal/service). Burn
+	// rates are milli-units (1000 = burning the error budget exactly at
+	// the allowed rate) because the registry is integer-only; states are
+	// 0 = ok, 1 = warn, 2 = page.
+
+	// MSLOLatencyBurnShort/Long are the latency objective's burn rates
+	// over the short and long evaluation windows, in milli-units.
+	MSLOLatencyBurnShort = "crowdtopk_slo_latency_burn_short_milli"
+	MSLOLatencyBurnLong  = "crowdtopk_slo_latency_burn_long_milli"
+	// MSLOLatencyState is the latency alert state (0/1/2).
+	MSLOLatencyState = "crowdtopk_slo_latency_state"
+	// MSLOBudgetBurnShort/Long are the budget objective's burn rates in
+	// milli-units.
+	MSLOBudgetBurnShort = "crowdtopk_slo_budget_burn_short_milli"
+	MSLOBudgetBurnLong  = "crowdtopk_slo_budget_burn_long_milli"
+	// MSLOBudgetState is the budget alert state (0/1/2).
+	MSLOBudgetState = "crowdtopk_slo_budget_state"
+	// MSLOBudgetRemaining is the unspent remainder of the tracked budget.
+	MSLOBudgetRemaining = "crowdtopk_slo_budget_remaining"
+	// MSLOBudgetExhaustS projects seconds until the budget runs out at
+	// the short-window spend rate (-1 = not spending / no budget).
+	MSLOBudgetExhaustS = "crowdtopk_slo_budget_exhaust_seconds"
 )
 
 // Default histogram bucket bounds (upper bounds, ascending; the exporter

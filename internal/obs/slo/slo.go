@@ -1,0 +1,363 @@
+// Package slo tracks service-level objectives for the query service:
+// query latency (fraction of queries finishing under a threshold) and
+// budget burn (session spend rate versus the rate that would exhaust the
+// cap exactly at the end of a configured horizon).
+//
+// Both are evaluated with the multi-window burn-rate method: a burn rate
+// of 1.0 means the error budget is being consumed exactly as fast as the
+// objective allows; sustained rates above the page/warn thresholds over
+// a (short, long) window pair trip the corresponding alert. Requiring
+// both windows to burn keeps alerts fast to fire on real regressions and
+// quick to clear once the problem stops.
+//
+// The tracker keeps one-second buckets in fixed rings and never starts a
+// goroutine: callers feed it observations (query latencies, spend
+// deltas) and read states; time advances via an injectable clock so
+// alert transitions are unit-testable with a fake clock. A nil *Tracker
+// is a no-op, matching the internal/obs idiom.
+package slo
+
+import (
+	"sync"
+	"time"
+)
+
+// Objectives configures the tracked service-level objectives. Zero
+// fields disable the corresponding objective.
+type Objectives struct {
+	// LatencyTarget is the per-query latency threshold; a query counts
+	// as "good" when it finishes (either outcome) within this duration.
+	LatencyTarget time.Duration
+	// LatencyGoal is the objective fraction of good queries, e.g. 0.95.
+	// The latency error budget is 1 − LatencyGoal.
+	LatencyGoal float64
+	// Budget is the session spend cap the burn objective guards —
+	// normally the session MaxTotalCost; 0 disables budget burn tracking.
+	Budget int64
+	// BudgetHorizon is the period the cap is supposed to last. Spending
+	// at exactly Budget/BudgetHorizon per second is a burn rate of 1.0.
+	BudgetHorizon time.Duration
+	// ShortWindow and LongWindow are the burn-rate evaluation windows;
+	// an alert requires the threshold to be exceeded over both. Defaults:
+	// 1m short, 10m long.
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	// WarnBurn and PageBurn are the burn-rate thresholds for the two
+	// alert severities. Defaults: warn 2, page 6.
+	WarnBurn float64
+	PageBurn float64
+}
+
+func (o *Objectives) withDefaults() Objectives {
+	v := *o
+	if v.ShortWindow <= 0 {
+		v.ShortWindow = time.Minute
+	}
+	if v.LongWindow <= 0 {
+		v.LongWindow = 10 * time.Minute
+	}
+	if v.LongWindow < v.ShortWindow {
+		v.LongWindow = v.ShortWindow
+	}
+	if v.WarnBurn <= 0 {
+		v.WarnBurn = 2
+	}
+	if v.PageBurn <= 0 {
+		v.PageBurn = 6
+	}
+	if v.BudgetHorizon <= 0 {
+		v.BudgetHorizon = time.Hour
+	}
+	return v
+}
+
+// State is an alert severity.
+type State int
+
+const (
+	// OK: both windows under the warn threshold.
+	OK State = iota
+	// Warn: both windows burning above WarnBurn.
+	Warn
+	// Page: both windows burning above PageBurn.
+	Page
+)
+
+func (s State) String() string {
+	switch s {
+	case Warn:
+		return "warn"
+	case Page:
+		return "page"
+	default:
+		return "ok"
+	}
+}
+
+// ring is a fixed one-second-bucket accumulator. Buckets older than the
+// ring length are lazily zeroed as the write cursor advances.
+type ring struct {
+	buckets []int64
+	// lastSec is the unix second of the bucket the cursor points at.
+	lastSec int64
+}
+
+func newRing(window time.Duration) *ring {
+	n := int(window / time.Second)
+	if n < 1 {
+		n = 1
+	}
+	return &ring{buckets: make([]int64, n), lastSec: -1}
+}
+
+// advance moves the cursor to sec, zeroing skipped buckets.
+func (r *ring) advance(sec int64) {
+	if r.lastSec < 0 {
+		r.lastSec = sec
+		return
+	}
+	if sec <= r.lastSec {
+		return
+	}
+	steps := sec - r.lastSec
+	if steps >= int64(len(r.buckets)) {
+		for i := range r.buckets {
+			r.buckets[i] = 0
+		}
+	} else {
+		for s := r.lastSec + 1; s <= sec; s++ {
+			r.buckets[s%int64(len(r.buckets))] = 0
+		}
+	}
+	r.lastSec = sec
+}
+
+func (r *ring) add(sec int64, v int64) {
+	r.advance(sec)
+	r.buckets[sec%int64(len(r.buckets))] += v
+}
+
+// sum returns the total over the most recent `window` seconds ending at
+// sec (inclusive).
+func (r *ring) sum(sec int64, window int64) int64 {
+	r.advance(sec)
+	if window > int64(len(r.buckets)) {
+		window = int64(len(r.buckets))
+	}
+	var total int64
+	for s := sec - window + 1; s <= sec; s++ {
+		if s < 0 {
+			continue
+		}
+		total += r.buckets[s%int64(len(r.buckets))]
+	}
+	return total
+}
+
+// WindowBurn is one evaluation window's burn-rate reading.
+type WindowBurn struct {
+	// Window is the evaluation window length in seconds.
+	Window int64 `json:"window_s"`
+	// Burn is the burn rate: error-budget consumption relative to the
+	// rate the objective allows (1.0 = exactly on budget).
+	Burn float64 `json:"burn"`
+}
+
+// LatencyStatus is the latency objective's snapshot.
+type LatencyStatus struct {
+	Enabled bool `json:"enabled"`
+	// TargetMs and Goal echo the configured objective.
+	TargetMs int64   `json:"target_ms,omitempty"`
+	Goal     float64 `json:"goal,omitempty"`
+	// Total and Breached count queries observed / over-target within the
+	// long window.
+	Total    int64 `json:"total"`
+	Breached int64 `json:"breached"`
+	// Short and Long are the two windows' burn rates; State combines
+	// them.
+	Short WindowBurn `json:"short"`
+	Long  WindowBurn `json:"long"`
+	State string     `json:"state"`
+}
+
+// BudgetStatus is the budget-burn objective's snapshot.
+type BudgetStatus struct {
+	Enabled bool `json:"enabled"`
+	// Budget and HorizonS echo the configured objective; AllowedPerSec is
+	// the spend rate that exhausts Budget exactly at the horizon.
+	Budget        int64   `json:"budget,omitempty"`
+	HorizonS      int64   `json:"horizon_s,omitempty"`
+	AllowedPerSec float64 `json:"allowed_per_sec,omitempty"`
+	// Spent is the cumulative spend fed to the tracker; Remaining is
+	// Budget − Spent (floored at 0).
+	Spent     int64 `json:"spent"`
+	Remaining int64 `json:"remaining"`
+	// ExhaustSeconds projects seconds until the budget runs out at the
+	// short-window spend rate; -1 when not spending or no budget.
+	ExhaustSeconds int64      `json:"exhaust_s"`
+	Short          WindowBurn `json:"short"`
+	Long           WindowBurn `json:"long"`
+	State          string     `json:"state"`
+}
+
+// Status is the full tracker snapshot served by /debug/slo.
+type Status struct {
+	Latency LatencyStatus `json:"latency"`
+	Budget  BudgetStatus  `json:"budget"`
+}
+
+// Tracker evaluates the objectives over rolling windows. Safe for
+// concurrent use; a nil *Tracker is a no-op.
+type Tracker struct {
+	obj Objectives
+	now func() time.Time
+
+	mu sync.Mutex
+	// latency rings: queries finished / queries over target.
+	total    *ring
+	breached *ring
+	// spend ring and cumulative spend.
+	spend *ring
+	spent int64
+}
+
+// New builds a tracker with the given objectives. now is the clock; nil
+// means time.Now (tests inject a fake).
+func New(obj Objectives, now func() time.Time) *Tracker {
+	o := obj.withDefaults()
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracker{
+		obj:      o,
+		now:      now,
+		total:    newRing(o.LongWindow),
+		breached: newRing(o.LongWindow),
+		spend:    newRing(o.LongWindow),
+	}
+}
+
+// ObserveQuery records one finished query's wall latency.
+func (t *Tracker) ObserveQuery(latency time.Duration) {
+	if t == nil {
+		return
+	}
+	sec := t.now().Unix()
+	t.mu.Lock()
+	t.total.add(sec, 1)
+	if t.obj.LatencyTarget > 0 && latency > t.obj.LatencyTarget {
+		t.breached.add(sec, 1)
+	}
+	t.mu.Unlock()
+}
+
+// ObserveSpend records a spend delta (microtasks charged since the last
+// call). Deltas <= 0 are ignored.
+func (t *Tracker) ObserveSpend(delta int64) {
+	if t == nil || delta <= 0 {
+		return
+	}
+	sec := t.now().Unix()
+	t.mu.Lock()
+	t.spend.add(sec, delta)
+	t.spent += delta
+	t.mu.Unlock()
+}
+
+// SyncSpend feeds the tracker an absolute cumulative spend (e.g. the
+// session TMC); it records the positive delta since the last sync. This
+// lets callers that only see a monotonic meter drive the spend ring
+// lazily — on scrape, on query completion — without a sampler goroutine.
+func (t *Tracker) SyncSpend(cumulative int64) {
+	if t == nil {
+		return
+	}
+	sec := t.now().Unix()
+	t.mu.Lock()
+	if d := cumulative - t.spent; d > 0 {
+		t.spend.add(sec, d)
+		t.spent = cumulative
+	}
+	t.mu.Unlock()
+}
+
+func alertState(short, long float64, warn, page float64) State {
+	if short >= page && long >= page {
+		return Page
+	}
+	if short >= warn && long >= warn {
+		return Warn
+	}
+	return OK
+}
+
+// Snapshot evaluates both objectives at the current clock reading.
+func (t *Tracker) Snapshot() Status {
+	var st Status
+	st.Latency.State = OK.String()
+	st.Budget.State = OK.String()
+	if t == nil {
+		return st
+	}
+	sec := t.now().Unix()
+	shortS := int64(t.obj.ShortWindow / time.Second)
+	longS := int64(t.obj.LongWindow / time.Second)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Latency objective: burn = breach-fraction / error-budget.
+	if t.obj.LatencyTarget > 0 && t.obj.LatencyGoal > 0 && t.obj.LatencyGoal < 1 {
+		l := &st.Latency
+		l.Enabled = true
+		l.TargetMs = t.obj.LatencyTarget.Milliseconds()
+		l.Goal = t.obj.LatencyGoal
+		budget := 1 - t.obj.LatencyGoal
+		burnOver := func(win int64) float64 {
+			tot := t.total.sum(sec, win)
+			if tot == 0 {
+				return 0
+			}
+			return (float64(t.breached.sum(sec, win)) / float64(tot)) / budget
+		}
+		l.Short.Window = shortS
+		l.Short.Burn = burnOver(shortS)
+		l.Long.Window = longS
+		l.Long.Burn = burnOver(longS)
+		l.Total = t.total.sum(sec, longS)
+		l.Breached = t.breached.sum(sec, longS)
+		l.State = alertState(l.Short.Burn, l.Long.Burn, t.obj.WarnBurn, t.obj.PageBurn).String()
+	}
+
+	// Budget objective: burn = observed spend rate / allowed rate.
+	if t.obj.Budget > 0 {
+		b := &st.Budget
+		b.Enabled = true
+		b.Budget = t.obj.Budget
+		b.HorizonS = int64(t.obj.BudgetHorizon / time.Second)
+		allowed := float64(t.obj.Budget) / t.obj.BudgetHorizon.Seconds()
+		b.AllowedPerSec = allowed
+		b.Spent = t.spent
+		if b.Remaining = t.obj.Budget - t.spent; b.Remaining < 0 {
+			b.Remaining = 0
+		}
+		rateOver := func(win int64) float64 {
+			return float64(t.spend.sum(sec, win)) / float64(win)
+		}
+		b.Short.Window = shortS
+		b.Long.Window = longS
+		if allowed > 0 {
+			b.Short.Burn = rateOver(shortS) / allowed
+			b.Long.Burn = rateOver(longS) / allowed
+		}
+		shortRate := rateOver(shortS)
+		b.ExhaustSeconds = -1
+		if shortRate > 0 && b.Remaining > 0 {
+			b.ExhaustSeconds = int64(float64(b.Remaining) / shortRate)
+		} else if b.Remaining == 0 {
+			b.ExhaustSeconds = 0
+		}
+		b.State = alertState(b.Short.Burn, b.Long.Burn, t.obj.WarnBurn, t.obj.PageBurn).String()
+	}
+	return st
+}

@@ -1,0 +1,233 @@
+package slo
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic injectable clock.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time       { return f.t }
+func (f *fakeClock) tick(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock            { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func tracker(obj Objectives) (*Tracker, *fakeClock) {
+	c := newFakeClock()
+	return New(obj, c.now), c
+}
+
+func TestNilTrackerNoops(t *testing.T) {
+	var tr *Tracker
+	tr.ObserveQuery(time.Second)
+	tr.ObserveSpend(10)
+	tr.SyncSpend(100)
+	st := tr.Snapshot()
+	if st.Latency.State != "ok" || st.Budget.State != "ok" {
+		t.Fatalf("nil snapshot = %+v", st)
+	}
+}
+
+// TestLatencyBurnTransitions is the deterministic alert-transition
+// table: a scripted sequence of (advance clock, observe queries) steps
+// and the expected state after each.
+func TestLatencyBurnTransitions(t *testing.T) {
+	obj := Objectives{
+		LatencyTarget: 100 * time.Millisecond,
+		LatencyGoal:   0.9, // error budget 10%; warn at 20% breaches, page at 60%
+		ShortWindow:   10 * time.Second,
+		LongWindow:    40 * time.Second,
+		WarnBurn:      2,
+		PageBurn:      6,
+	}
+	tr, clk := tracker(obj)
+
+	steps := []struct {
+		name    string
+		advance time.Duration
+		good    int
+		bad     int
+		want    string
+	}{
+		{"all good", 0, 20, 0, "ok"},
+		// 16 bad over 40 observed in both windows → 40% breaches,
+		// burn 4 ≥ warn(2), < page(6).
+		{"breaches start", time.Second, 4, 16, "warn"},
+		// Flood of breaches: 56/80 = 70% → burn 7 ≥ page(6) in both.
+		{"outage", time.Second, 0, 40, "page"},
+		// Recovery: the short window clears within 10s and an alert
+		// requires BOTH windows burning, so the state clears immediately
+		// even though the long window still remembers the outage.
+		{"recovering", 15 * time.Second, 30, 0, "ok"},
+		// Long window fully drained — still ok, burn now 0 in both.
+		{"recovered", 45 * time.Second, 30, 0, "ok"},
+	}
+	for _, s := range steps {
+		clk.tick(s.advance)
+		for n := 0; n < s.good; n++ {
+			tr.ObserveQuery(50 * time.Millisecond)
+		}
+		for n := 0; n < s.bad; n++ {
+			tr.ObserveQuery(500 * time.Millisecond)
+		}
+		st := tr.Snapshot()
+		if st.Latency.State != s.want {
+			t.Fatalf("step %q: state = %s (short %.2f long %.2f), want %s",
+				s.name, st.Latency.State, st.Latency.Short.Burn, st.Latency.Long.Burn, s.want)
+		}
+	}
+}
+
+// TestBudgetBurnTransitions scripts spend against a cap: on-pace → fast
+// burn (warn) → runaway (page) → spend stops → recovery.
+func TestBudgetBurnTransitions(t *testing.T) {
+	obj := Objectives{
+		Budget:        36000, // allowed 10/s over the 1h horizon
+		BudgetHorizon: time.Hour,
+		ShortWindow:   10 * time.Second,
+		LongWindow:    40 * time.Second,
+		WarnBurn:      2,
+		PageBurn:      6,
+	}
+	tr, clk := tracker(obj)
+
+	// On pace: 10/s for 40s → burn 1.0 everywhere.
+	for n := 0; n < 40; n++ {
+		clk.tick(time.Second)
+		tr.ObserveSpend(10)
+	}
+	st := tr.Snapshot()
+	if st.Budget.State != "ok" {
+		t.Fatalf("on-pace state = %s (short %.2f long %.2f)", st.Budget.State, st.Budget.Short.Burn, st.Budget.Long.Burn)
+	}
+	if st.Budget.Short.Burn < 0.9 || st.Budget.Short.Burn > 1.1 {
+		t.Fatalf("on-pace short burn = %.2f, want ~1.0", st.Budget.Short.Burn)
+	}
+
+	// 3x pace for 40s → warn in both windows.
+	for n := 0; n < 40; n++ {
+		clk.tick(time.Second)
+		tr.ObserveSpend(30)
+	}
+	if st = tr.Snapshot(); st.Budget.State != "warn" {
+		t.Fatalf("3x-pace state = %s (short %.2f long %.2f)", st.Budget.State, st.Budget.Short.Burn, st.Budget.Long.Burn)
+	}
+
+	// 10x pace for 40s → page.
+	for n := 0; n < 40; n++ {
+		clk.tick(time.Second)
+		tr.ObserveSpend(100)
+	}
+	if st = tr.Snapshot(); st.Budget.State != "page" {
+		t.Fatalf("10x-pace state = %s (short %.2f long %.2f)", st.Budget.State, st.Budget.Short.Burn, st.Budget.Long.Burn)
+	}
+	if st.Budget.ExhaustSeconds < 0 {
+		t.Fatalf("paging but no exhaustion projection: %+v", st.Budget)
+	}
+
+	// Spend stops; short window clears within 10s → drops to warn-at-most,
+	// then fully ok once the long window drains.
+	clk.tick(11 * time.Second)
+	if st = tr.Snapshot(); st.Budget.State == "page" {
+		t.Fatalf("short window should have cleared page: %+v", st.Budget)
+	}
+	clk.tick(41 * time.Second)
+	if st = tr.Snapshot(); st.Budget.State != "ok" {
+		t.Fatalf("drained state = %s", st.Budget.State)
+	}
+	if st.Budget.Spent != 40*10+40*30+40*100 {
+		t.Fatalf("cumulative spent = %d", st.Budget.Spent)
+	}
+}
+
+func TestSyncSpendDeltas(t *testing.T) {
+	obj := Objectives{Budget: 1000, BudgetHorizon: time.Hour}
+	tr, clk := tracker(obj)
+	tr.SyncSpend(100)
+	clk.tick(time.Second)
+	tr.SyncSpend(250)
+	tr.SyncSpend(250) // no delta, no double count
+	tr.SyncSpend(200) // regression ignored (monotonic meter)
+	st := tr.Snapshot()
+	if st.Budget.Spent != 250 {
+		t.Fatalf("spent = %d, want 250", st.Budget.Spent)
+	}
+	if st.Budget.Remaining != 750 {
+		t.Fatalf("remaining = %d, want 750", st.Budget.Remaining)
+	}
+}
+
+func TestExhaustionProjection(t *testing.T) {
+	obj := Objectives{
+		Budget:        1000,
+		BudgetHorizon: time.Hour,
+		ShortWindow:   10 * time.Second,
+		LongWindow:    time.Minute,
+	}
+	tr, clk := tracker(obj)
+	// 50/s over the short window with 500 left → ~10s to exhaustion.
+	for n := 0; n < 10; n++ {
+		clk.tick(time.Second)
+		tr.ObserveSpend(50)
+	}
+	st := tr.Snapshot()
+	if st.Budget.Remaining != 500 {
+		t.Fatalf("remaining = %d", st.Budget.Remaining)
+	}
+	if st.Budget.ExhaustSeconds < 9 || st.Budget.ExhaustSeconds > 11 {
+		t.Fatalf("exhaust projection = %ds, want ~10s", st.Budget.ExhaustSeconds)
+	}
+	// Drain the cap entirely.
+	tr.ObserveSpend(500)
+	if st = tr.Snapshot(); st.Budget.Remaining != 0 || st.Budget.ExhaustSeconds != 0 {
+		t.Fatalf("exhausted budget = %+v", st.Budget)
+	}
+}
+
+func TestRingLazyZeroing(t *testing.T) {
+	r := newRing(5 * time.Second)
+	r.add(100, 7)
+	if got := r.sum(100, 5); got != 7 {
+		t.Fatalf("sum = %d", got)
+	}
+	// Jump far past the ring length: everything stale must clear.
+	if got := r.sum(1000, 5); got != 0 {
+		t.Fatalf("stale sum = %d, want 0", got)
+	}
+	// Partial advance re-zeros only skipped buckets.
+	r.add(1000, 3)
+	r.add(1002, 4)
+	if got := r.sum(1002, 3); got != 7 {
+		t.Fatalf("windowed sum = %d, want 7", got)
+	}
+	if got := r.sum(1002, 1); got != 4 {
+		t.Fatalf("1s sum = %d, want 4", got)
+	}
+}
+
+func TestSnapshotSerializes(t *testing.T) {
+	tr, _ := tracker(Objectives{
+		LatencyTarget: time.Second, LatencyGoal: 0.99,
+		Budget: 100, BudgetHorizon: time.Minute,
+	})
+	tr.ObserveQuery(2 * time.Second)
+	tr.ObserveSpend(5)
+	b, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, want := range []string{`"latency"`, `"budget"`, `"state"`, `"burn"`} {
+		if !containsStr(string(b), want) {
+			t.Fatalf("snapshot JSON missing %s: %s", want, b)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -35,6 +35,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	qlog "crowdtopk/internal/obs/log"
 )
 
 // Task is one schedulable step of a comparison process.
@@ -75,6 +77,12 @@ type Scheduler struct {
 	// (the disabled path costs one nil check per touch point).
 	ins *Instruments
 
+	// log reports the pool's rare lifecycle events (spawn, drain); drops
+	// is its rate-limited sibling for cancel-time task drops, which can
+	// arrive in bursts. Both nil when logging is off.
+	log   *qlog.Logger
+	drops *qlog.Logger
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queries []*Query // open queries, round-robin order
@@ -98,6 +106,15 @@ func New(workers int) *Scheduler {
 // SetInstruments wires the metric bundle; nil disables instrumentation.
 // Call before the scheduler is shared across goroutines.
 func (s *Scheduler) SetInstruments(ins *Instruments) { s.ins = ins }
+
+// SetLogger wires structured logging for the scheduler's rare events:
+// pool spawn/drain and cancel-time task drops (rate-limited, since a mass
+// cancellation drops queues in bursts). Nil disables. Call before the
+// scheduler is shared across goroutines.
+func (s *Scheduler) SetLogger(lg *qlog.Logger) {
+	s.log = lg.With("component", "sched")
+	s.drops = s.log.Limited("sched-cancel", 1, 5)
+}
 
 // Workers returns the pool bound.
 func (s *Scheduler) Workers() int { return s.workers }
@@ -188,6 +205,9 @@ func (q *Query) Cancel() {
 		ins.Dropped.Add(int64(len(tags)))
 	}
 	s.mu.Unlock()
+	if len(tags) > 0 {
+		s.drops.Debug("pending tasks dropped on cancel", "dropped", len(tags))
+	}
 	for _, tag := range tags {
 		q.deliver(tag)
 	}
@@ -206,11 +226,15 @@ func (s *Scheduler) Open() *Query {
 	}
 	s.mu.Lock()
 	s.queries = append(s.queries, q)
+	spawned := s.live == 0
 	for s.live < s.workers {
 		s.live++
 		go s.worker()
 	}
 	s.mu.Unlock()
+	if spawned {
+		s.log.Debug("worker pool started", "workers", s.workers)
+	}
 	return q
 }
 
@@ -409,7 +433,11 @@ func (s *Scheduler) worker() {
 		if !ok {
 			if len(s.queries) == 0 {
 				s.live--
+				drained := s.live == 0
 				s.mu.Unlock()
+				if drained {
+					s.log.Debug("worker pool drained", "tasks", s.tasks.Load())
+				}
 				return
 			}
 			s.cond.Wait()

@@ -1,0 +1,200 @@
+package service
+
+import "net/http"
+
+// handleDashboard serves the live ops dashboard: a single self-contained
+// HTML page (no external assets, no build step) that polls the service's
+// own JSON endpoints — /queries, /debug/slo, /debug/accounting — every
+// two seconds and renders burn-rate alert banners, spend-vs-cap
+// sparklines, scheduler/store gauges and the active query table.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	_, _ = w.Write([]byte(dashboardHTML))
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>crowdtopk ops</title>
+<style>
+  :root {
+    --bg: #11151c; --panel: #1a202b; --line: #2a3342; --fg: #d7dde7;
+    --dim: #8b95a6; --ok: #3fb07f; --warn: #d9a03f; --page: #d95f4c;
+    --accent: #5f9bd9;
+  }
+  * { box-sizing: border-box; }
+  body { margin: 0; background: var(--bg); color: var(--fg);
+         font: 13px/1.45 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace; }
+  header { display: flex; align-items: baseline; gap: 12px;
+           padding: 10px 16px; border-bottom: 1px solid var(--line); }
+  header h1 { font-size: 15px; margin: 0; font-weight: 600; }
+  header .sub { color: var(--dim); }
+  #banners { padding: 0 16px; }
+  .banner { margin: 10px 0 0; padding: 8px 12px; border-radius: 4px;
+            border: 1px solid; font-weight: 600; }
+  .banner.warn { border-color: var(--warn); color: var(--warn); background: rgba(217,160,63,.08); }
+  .banner.page { border-color: var(--page); color: var(--page); background: rgba(217,95,76,.10); }
+  main { padding: 12px 16px; display: grid; gap: 12px; }
+  .cards { display: grid; grid-template-columns: repeat(auto-fit, minmax(150px, 1fr)); gap: 10px; }
+  .card { background: var(--panel); border: 1px solid var(--line); border-radius: 6px; padding: 10px 12px; }
+  .card .label { color: var(--dim); font-size: 11px; text-transform: uppercase; letter-spacing: .06em; }
+  .card .value { font-size: 20px; margin-top: 2px; }
+  .card .hint { color: var(--dim); font-size: 11px; }
+  .card.ok .value { color: var(--ok); }
+  .card.warn .value { color: var(--warn); }
+  .card.page .value { color: var(--page); }
+  .panel { background: var(--panel); border: 1px solid var(--line); border-radius: 6px; padding: 10px 12px; }
+  .panel h2 { margin: 0 0 8px; font-size: 12px; color: var(--dim);
+              text-transform: uppercase; letter-spacing: .06em; font-weight: 600; }
+  svg.spark { width: 100%; height: 64px; display: block; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 4px 10px 4px 0; border-bottom: 1px solid var(--line); }
+  th { color: var(--dim); font-weight: 600; font-size: 11px; text-transform: uppercase; letter-spacing: .05em; }
+  tr:last-child td { border-bottom: none; }
+  .state-running { color: var(--accent); }
+  .state-done { color: var(--ok); }
+  .state-canceled, .state-queued { color: var(--dim); }
+  .bar { background: var(--line); border-radius: 3px; height: 8px; width: 120px; overflow: hidden; display: inline-block; vertical-align: middle; }
+  .bar i { display: block; height: 100%; background: var(--accent); }
+  .bar.hot i { background: var(--warn); }
+  #err { color: var(--page); padding: 4px 16px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>crowdtopk ops</h1>
+  <span class="sub">live · polls every 2s</span>
+  <span class="sub" id="updated"></span>
+</header>
+<div id="err"></div>
+<div id="banners"></div>
+<main>
+  <div class="cards" id="cards"></div>
+  <div class="panel">
+    <h2>session spend rate (microtasks / poll)</h2>
+    <svg class="spark" id="spark" preserveAspectRatio="none" viewBox="0 0 300 64"></svg>
+  </div>
+  <div class="panel">
+    <h2>queries</h2>
+    <table>
+      <thead><tr>
+        <th>id</th><th>state</th><th>k</th><th>algorithm</th><th>phase</th>
+        <th>tmc</th><th>budget</th><th>rounds</th>
+      </tr></thead>
+      <tbody id="rows"></tbody>
+    </table>
+  </div>
+</main>
+<script>
+"use strict";
+const hist = [];            // per-poll spend deltas for the sparkline
+let lastTMC = null;
+const esc = s => String(s).replace(/[&<>"]/g,
+  c => ({'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;'}[c]));
+
+function card(label, value, hint, cls) {
+  return '<div class="card ' + (cls || '') + '"><div class="label">' + esc(label) +
+    '</div><div class="value">' + esc(value) + '</div>' +
+    (hint ? '<div class="hint">' + esc(hint) + '</div>' : '') + '</div>';
+}
+
+function burnHint(o) {
+  return 'burn ' + o.short.burn.toFixed(2) + ' / ' + o.long.burn.toFixed(2) +
+    ' (' + o.short.window_s + 's/' + o.long.window_s + 's)';
+}
+
+function renderBanners(sloResp) {
+  const el = document.getElementById('banners');
+  if (!sloResp.enabled) { el.innerHTML = ''; return; }
+  const st = sloResp.status, out = [];
+  if (st.latency.enabled && st.latency.state !== 'ok')
+    out.push('<div class="banner ' + st.latency.state + '">latency SLO ' +
+      st.latency.state.toUpperCase() + ' — ' + burnHint(st.latency) +
+      ', ' + st.latency.breached + '/' + st.latency.total + ' queries over target</div>');
+  if (st.budget.enabled && st.budget.state !== 'ok') {
+    let ex = st.budget.exhaust_s >= 0 ? ', exhausts in ~' + st.budget.exhaust_s + 's' : '';
+    out.push('<div class="banner ' + st.budget.state + '">budget burn ' +
+      st.budget.state.toUpperCase() + ' — ' + burnHint(st.budget) +
+      ', ' + st.budget.remaining + ' of ' + st.budget.budget + ' left' + ex + '</div>');
+  }
+  el.innerHTML = out.join('');
+}
+
+function renderCards(acct, health, sloResp) {
+  const c = [];
+  c.push(card('session tmc', acct.session_tmc,
+    acct.audit_on ? 'audit ' + acct.audit_len + (acct.balanced ? ' · balanced' : ' · UNBALANCED') : 'audit off',
+    acct.balanced ? 'ok' : 'page'));
+  c.push(card('running', acct.running + ' / ' + health.max_inflight,
+    acct.queued + ' queued (cap ' + health.max_queue + ')'));
+  if (sloResp.enabled) {
+    const l = sloResp.status.latency, b = sloResp.status.budget;
+    if (l.enabled) c.push(card('latency slo', l.state, burnHint(l), l.state));
+    if (b.enabled) c.push(card('budget burn', b.state,
+      b.remaining + ' left' + (b.exhaust_s >= 0 ? ' · ~' + b.exhaust_s + 's' : ''), b.state));
+  }
+  if (acct.store_hits || acct.store_size)
+    c.push(card('store', acct.store_hits + ' hits',
+      (acct.store_stale||0) + ' stale · ' + (acct.store_size||0) + ' records'));
+  document.getElementById('cards').innerHTML = c.join('');
+}
+
+function renderSpark(tmc) {
+  if (lastTMC !== null) {
+    hist.push(Math.max(0, tmc - lastTMC));
+    if (hist.length > 150) hist.shift();
+  }
+  lastTMC = tmc;
+  const max = Math.max(1, ...hist);
+  const w = 300 / Math.max(1, hist.length - 1);
+  const pts = hist.map((v, i) =>
+    (i * w).toFixed(1) + ',' + (60 - v / max * 56).toFixed(1)).join(' ');
+  document.getElementById('spark').innerHTML = hist.length > 1
+    ? '<polyline fill="none" stroke="#5f9bd9" stroke-width="1.5" points="' + pts + '"/>' +
+      '<text x="2" y="12" fill="#8b95a6" font-size="10">peak ' + max + '</text>'
+    : '<text x="2" y="34" fill="#8b95a6" font-size="11">collecting…</text>';
+}
+
+function renderRows(queries) {
+  const rows = queries.slice().reverse().slice(0, 50).map(q => {
+    let budget = '—';
+    if (q.max_cost > 0) {
+      const pct = Math.min(100, 100 * q.tmc / q.max_cost);
+      budget = '<span class="bar' + (pct > 85 ? ' hot' : '') +
+        '"><i style="width:' + pct.toFixed(0) + '%"></i></span> ' + pct.toFixed(0) + '%';
+    }
+    return '<tr><td>' + esc(q.id) + '</td><td class="state-' + esc(q.state) + '">' +
+      esc(q.state) + (q.partial ? ' (partial)' : '') + '</td><td>' + q.k + '</td><td>' +
+      esc(q.algorithm || '') + '</td><td>' + esc(q.phase || '') + '</td><td>' + q.tmc +
+      '</td><td>' + budget + '</td><td>' + q.rounds + '</td></tr>';
+  });
+  document.getElementById('rows').innerHTML =
+    rows.join('') || '<tr><td colspan="8" style="color:#8b95a6">no queries yet</td></tr>';
+}
+
+async function tick() {
+  try {
+    const [queries, acct, health, sloResp] = await Promise.all([
+      fetch('/queries').then(r => r.json()),
+      fetch('/debug/accounting').then(r => r.json()),
+      fetch('/healthz').then(r => r.json()),
+      fetch('/debug/slo').then(r => r.json()),
+    ]);
+    renderBanners(sloResp);
+    renderCards(acct, health, sloResp);
+    renderSpark(acct.session_tmc);
+    renderRows(queries);
+    document.getElementById('err').textContent = '';
+    document.getElementById('updated').textContent = 'updated ' + new Date().toLocaleTimeString();
+  } catch (e) {
+    document.getElementById('err').textContent = 'poll failed: ' + e;
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+`

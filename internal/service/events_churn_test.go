@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdtopk"
+	"crowdtopk/internal/loadtest"
+)
+
+// TestEventsChurn hammers the SSE endpoint with subscriber churn:
+// several queries, each watched by persistent readers and by readers
+// that disconnect mid-stream, while some of the queries are canceled
+// under the subscribers' feet. Two guarantees are pinned: every
+// subscriber that stays connected observes a terminal event (done or
+// canceled) as its last payload, and the churn leaks no goroutines
+// once the service drains.
+func TestEventsChurn(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv, hs, sess := newTestServer(t, crowdtopk.SyntheticDataset(30, 0.3, 51), Config{
+		MaxInFlight: 4,
+	})
+
+	const queries = 6
+	ids := make([]string, queries)
+	for i := range ids {
+		st, code := postQuery(t, hs.URL, Request{K: 3})
+		if code != http.StatusAccepted {
+			t.Fatalf("query %d: admission status %d", i, code)
+		}
+		ids[i] = st.ID
+	}
+
+	// watch subscribes to one query's stream. When quit is non-nil the
+	// reader disconnects after the first event instead of waiting for
+	// the terminal one.
+	watch := func(id string, quit bool) (last Status, sawDone bool, err error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		req, _ := http.NewRequestWithContext(ctx, "GET", hs.URL+"/queries/"+id+"/events", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return Status{}, false, err
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		events := 0
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "event: done" {
+				sawDone = true
+			}
+			if strings.HasPrefix(line, "data: ") {
+				events++
+				if jerr := json.Unmarshal([]byte(line[len("data: "):]), &last); jerr != nil {
+					return last, sawDone, fmt.Errorf("bad payload %q: %w", line, jerr)
+				}
+				if quit && events >= 1 {
+					cancel() // abandon the stream mid-flight
+					return last, sawDone, nil
+				}
+				if sawDone {
+					return last, sawDone, nil
+				}
+			}
+		}
+		return last, sawDone, sc.Err()
+	}
+
+	type outcome struct {
+		id      string
+		last    Status
+		sawDone bool
+		err     error
+	}
+	var wg sync.WaitGroup
+	results := make(chan outcome, queries*3)
+	for _, id := range ids {
+		for sub := 0; sub < 3; sub++ {
+			wg.Add(1)
+			go func(id string, quit bool) {
+				defer wg.Done()
+				last, sawDone, err := watch(id, quit)
+				results <- outcome{id: id, last: last, sawDone: sawDone, err: err}
+			}(id, sub == 2) // two persistent readers, one early quitter
+		}
+	}
+
+	// Cancel half the queries while the subscribers watch.
+	for i, id := range ids {
+		if i%2 == 1 {
+			req, _ := http.NewRequest("DELETE", hs.URL+"/queries/"+id, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	persistent := 0
+	for out := range results {
+		if out.err != nil {
+			t.Errorf("subscriber of %s: %v", out.id, out.err)
+			continue
+		}
+		if !out.sawDone {
+			continue // the early quitter; no terminal guarantee
+		}
+		persistent++
+		if out.last.State != "done" && out.last.State != "canceled" {
+			t.Errorf("subscriber of %s: terminal event carried state %q", out.id, out.last.State)
+		}
+	}
+	if want := queries * 2; persistent != want {
+		t.Errorf("%d persistent subscribers saw a terminal event, want %d", persistent, want)
+	}
+
+	// Drain everything, then the goroutine bracket: the churn must not
+	// leak stream handlers, dispatchers or pool workers.
+	hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if n := loadtest.StableGoroutines(before, 4, 5*time.Second); n > before+4 {
+		t.Errorf("goroutine leak: %d before churn, %d after drain", before, n)
+	}
+}

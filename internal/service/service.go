@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"crowdtopk"
+	qlog "crowdtopk/internal/obs/log"
+	"crowdtopk/internal/obs/slo"
 )
 
 // Config assembles a Server. Session is required; everything else has a
@@ -63,6 +65,13 @@ type Config struct {
 	// the daemon crash-safe: Restore re-admits the queries that died in
 	// flight and reinstates the finished ones' results.
 	Journal Journal
+	// SLO, when non-nil, enables burn-rate tracking over query latency
+	// and session budget burn: alert states are served at /debug/slo, on
+	// the dashboard, and — with Telemetry — as gauges in /metrics.
+	SLO *slo.Objectives
+	// Logger, when non-nil, receives structured service events (accepts,
+	// rejections, completions, journal failures) as JSONL.
+	Logger *qlog.Logger
 }
 
 // Server is the query service. Create with New, mount via Handler (it is
@@ -70,6 +79,14 @@ type Config struct {
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
+
+	// slo is the burn-rate tracker (nil when Config.SLO is unset); log is
+	// the service's bound structured logger (nil = off; every call site is
+	// nil-safe). rej rate-limits admission-reject warnings so a client
+	// retry storm cannot flood the log.
+	slo *slo.Tracker
+	log *qlog.Logger
+	rej *qlog.Logger
 
 	mu       sync.Mutex
 	queries  map[string]*query
@@ -205,18 +222,34 @@ func New(cfg Config) *Server {
 		wake:     make(chan struct{}, 1),
 		shutdown: make(chan struct{}),
 	}
+	if cfg.SLO != nil {
+		s.slo = slo.New(*cfg.SLO, nil)
+	}
+	if cfg.Logger != nil {
+		s.log = cfg.Logger.With("component", "service")
+		s.rej = s.log.Limited("admission-reject", 1, 5)
+	}
 	s.mux.HandleFunc("POST /queries", s.handleSubmit)
 	s.mux.HandleFunc("GET /queries", s.handleList)
 	s.mux.HandleFunc("GET /queries/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /queries/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /queries/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /queries/{id}/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/accounting", s.handleAccounting)
+	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
+	s.mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
 	if cfg.Telemetry != nil {
-		s.mux.Handle("/metrics", cfg.Telemetry.Handler())
-		s.mux.Handle("/debug/vars", cfg.Telemetry.Handler())
-		s.mux.Handle("/trace", cfg.Telemetry.Handler())
-		s.mux.Handle("/debug/pprof/", cfg.Telemetry.Handler())
+		// /metrics refreshes the SLO gauges before delegating, so every
+		// scrape carries current burn rates without a sampler goroutine.
+		th := cfg.Telemetry.Handler()
+		s.mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.syncSLO()
+			th.ServeHTTP(w, r)
+		}))
+		s.mux.Handle("/debug/vars", th)
+		s.mux.Handle("/trace", th)
+		s.mux.Handle("/debug/pprof/", th)
 	}
 	s.wg.Add(1)
 	go s.dispatch()
@@ -237,6 +270,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.shutdown)
+		s.log.Info("shutting down", "running", s.running, "queued", s.queued)
 	}
 	var toCancel []*query
 	for _, q := range s.queries {
@@ -296,6 +330,9 @@ func (s *Server) run(q *query) {
 		s.mu.Unlock()
 		s.kick()
 	}()
+	started := time.Now()
+	s.log.Debug("query dispatched", "query", q.id, "k", q.req.K,
+		"algorithm", q.req.Algorithm, "priority", q.req.Priority)
 
 	ctx := context.Background()
 	var cancelTimeout context.CancelFunc
@@ -316,6 +353,7 @@ func (s *Server) run(q *query) {
 		q.finished = time.Now()
 		close(q.done)
 		q.mu.Unlock()
+		s.log.Error("query failed to start", "query", q.id, "err", err)
 		s.journalFinish(q)
 		return
 	}
@@ -333,16 +371,25 @@ func (s *Server) run(q *query) {
 	}
 
 	res, rerr := h.Wait()
+	wall := time.Since(started)
 	q.mu.Lock()
 	q.state = "done"
 	if q.canceled {
 		q.state = "canceled"
 	}
+	state := q.state
 	q.result = res
 	q.err = rerr
 	q.finished = time.Now()
 	close(q.done)
 	q.mu.Unlock()
+	// Feed the SLO tracker: one latency observation per finished query,
+	// and the session spend meter synced so budget burn reflects this
+	// query's purchases even if nobody scrapes between completions.
+	s.slo.ObserveQuery(wall)
+	s.slo.SyncSpend(s.cfg.Session.TMC())
+	s.log.Info("query finished", "query", q.id, "state", state,
+		"tmc", res.TMC, "rounds", res.Rounds, "wall", wall, "err", rerr)
 	s.journalFinish(q)
 }
 
@@ -360,6 +407,7 @@ func (s *Server) journalFinish(q *query) {
 }
 
 func (s *Server) journalFail(err error) {
+	s.log.Error("journal write failed", "err", err)
 	s.jmu.Lock()
 	if s.jerr == nil {
 		s.jerr = err
@@ -409,6 +457,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.queued >= s.cfg.MaxQueue {
 		s.mu.Unlock()
+		s.rej.Warn("admission rejected: queue full",
+			"queued", s.cfg.MaxQueue, "running", s.cfg.MaxInFlight)
 		// The client's politeness hint: the queue drains one query at a
 		// time, so "soon" is the honest estimate.
 		w.Header().Set("Retry-After", "1")
@@ -443,6 +493,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	heap.Push(&s.queue, &admitted{q: q, seq: s.nextSeq})
 	s.queued++
 	s.mu.Unlock()
+	s.log.Debug("query accepted", "query", q.id, "k", req.K,
+		"algorithm", req.Algorithm, "max_cost", req.MaxCost, "priority", req.Priority)
 	s.kick()
 
 	w.Header().Set("Location", "/queries/"+q.id)
@@ -482,6 +534,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cancelQuery(q)
+	s.log.Debug("query canceled", "query", q.id)
 	writeJSON(w, http.StatusOK, q.status())
 }
 

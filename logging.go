@@ -1,0 +1,32 @@
+package crowdtopk
+
+import (
+	"io"
+
+	qlog "crowdtopk/internal/obs/log"
+)
+
+// Logger is the zero-dependency structured logger the daemons and the
+// service layer share: leveled JSONL records with bound fields and
+// per-key rate limiting, one line per event, safe for concurrent use. A
+// nil *Logger is a no-op at the cost of one nil check per call — the
+// same disabled-path contract as Telemetry.
+type Logger = qlog.Logger
+
+// NewLogger builds a logger writing JSONL records at or above level —
+// one of "debug", "info", "warn", "error", "off" ("" means "info") — to
+// w. A nil w disables logging (returns a nil, no-op logger).
+func NewLogger(w io.Writer, level string) (*Logger, error) {
+	lv, err := qlog.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return qlog.New(w, lv), nil
+}
+
+// SetLogger wires structured logging through the session's execution
+// stack: the shared comparison scheduler's pool lifecycle and — when the
+// session runs against a crowd platform — quarantine and retry/breaker
+// failure events, rate-limited so a misbehaving platform cannot flood
+// the log. Nil disables. Call before the session is queried.
+func (s *Session) SetLogger(lg *Logger) { s.runner.SetLogger(lg) }

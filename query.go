@@ -7,8 +7,23 @@ import (
 	"time"
 
 	"crowdtopk/internal/compare"
+	"crowdtopk/internal/obs/explain"
 	"crowdtopk/internal/topk"
 )
+
+// CostTree is a query's aggregated cost attribution — query → phase →
+// pair, where each leaf records the microtasks charged (TMC), purchase
+// calls, refunds, memo/store hits, and the verdict with its
+// confidence-interval half-width at conclusion. The tree's TMC equals
+// the leaf sum equals the query's Result.TMC exactly: both meters are
+// fed by the same charge sites (the reconciliation invariant).
+type CostTree = explain.Tree
+
+// PhaseCost is one phase aggregate of a CostTree.
+type PhaseCost = explain.PhaseCost
+
+// PairCost is one pair leaf of a CostTree.
+type PairCost = explain.PairCost
 
 // ErrBudgetExhausted reports a query stopped by its per-query budget
 // sub-cap (QueryOptions.MaxCost): the query wanted more evidence than its
@@ -43,6 +58,11 @@ type QueryOptions struct {
 	// equal priorities share the worker pool round-robin (the default
 	// fair-share). Negative priorities yield to the default 0.
 	Priority int
+	// Explain attaches per-pair cost attribution to this query even when
+	// the session runs without Telemetry. With Options.Telemetry set,
+	// attribution is always on and this flag is redundant. Read the tree
+	// with QueryHandle.Explain.
+	Explain bool
 }
 
 // QueryHandle is a live top-k query started with Session.StartTopK: a
@@ -79,6 +99,22 @@ func (h *QueryHandle) Rounds() int64 { return h.fork.QueryRounds() }
 // ("select", "partition", "rank" for SPR), or "" between phases and for
 // algorithms that do not report phases.
 func (h *QueryHandle) Phase() string { return h.fork.Phase() }
+
+// Explain returns the query's cost-attribution tree: where every charged
+// microtask went, by phase and pair. Safe to call at any time — while
+// the query runs it is a live view; after completion it is final and its
+// TMC equals Result.TMC exactly. Returns an empty tree when attribution
+// is off (no session Telemetry and QueryOptions.Explain unset).
+func (h *QueryHandle) Explain() *CostTree { return h.fork.Explain().Tree() }
+
+// ExplainTotal returns the attributed spend without building the full
+// tree — the cheap probe for live reconciliation checks. 0 when
+// attribution is off.
+func (h *QueryHandle) ExplainTotal() int64 { return h.fork.Explain().Total() }
+
+// ExplainEnabled reports whether cost attribution is recording for this
+// query (session Telemetry set, or QueryOptions.Explain).
+func (h *QueryHandle) ExplainEnabled() bool { return h.fork.Explain() != nil }
 
 // Cancel stops the query: purchases stop, pending comparison steps are
 // dropped, in-flight steps drain, and Wait returns the best-effort
@@ -143,6 +179,9 @@ func (s *Session) StartTopK(ctx context.Context, k int, qo QueryOptions) (*Query
 	s.mu.Unlock()
 
 	r := s.runner.Fork()
+	if s.opts.Telemetry != nil || qo.Explain {
+		r.SetExplain(explain.NewCollector())
+	}
 	if qo.MaxCost > 0 {
 		r.SetQueryBudget(qo.MaxCost)
 	}

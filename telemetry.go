@@ -27,6 +27,16 @@ type Telemetry struct {
 // NewTelemetry returns an enabled telemetry bundle.
 func NewTelemetry() *Telemetry { return &Telemetry{tel: obs.New()} }
 
+// Obs returns the underlying obs bundle for in-module wiring (the
+// service layer's SLO gauges, the daemons' trace/stats dumps); nil when
+// telemetry is disabled.
+func (t *Telemetry) Obs() *obs.Telemetry {
+	if t == nil {
+		return nil
+	}
+	return t.tel
+}
+
 // Handler serves the bundle over HTTP:
 //
 //	/metrics      Prometheus text exposition
