@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-hot bench-json bench-diff warm-cache fuzz chaos serve-metrics smoke-metrics load service-smoke crash-recovery log-bench explain-bench all
+.PHONY: build test race vet bench bench-hot bench-json bench-diff warm-cache fuzz chaos serve-metrics smoke-metrics load service-smoke crash-recovery log-bench explain-bench policy-race all
 
 build:
 	$(GO) build ./...
@@ -111,6 +111,16 @@ log-bench:
 # Result.TMC on every rep. Refreshes the committed BENCH_PR9.json.
 explain-bench:
 	$(GO) run ./cmd/perfcheck -explain-bench -json BENCH_PR9.json
+
+# Comparison-policy race: every policy × algorithm against the Lemma 1/3
+# infimum. Gates the legacy fixed-step path byte-identical to the
+# pre-refactor loop at <3% wall overhead, requires every grid cell
+# deterministic across reps, and at least one adaptive policy (voi/pac)
+# beating fixed-step Student on TMC-vs-infimum at equal-or-better NDCG.
+# Refreshes the committed BENCH_PR10.json; CI diffs it ignoring the
+# machine-dependent wall-time lines.
+policy-race:
+	$(GO) run ./cmd/perfcheck -policy-race -json BENCH_PR10.json
 
 # Short fuzzing sessions: compareAll's duplicate/orientation grouping, and
 # randomized platform fault schedules against the resilience layer. Go

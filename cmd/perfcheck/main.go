@@ -51,6 +51,15 @@
 // query's Result.TMC on every rep:
 //
 //	perfcheck -explain-bench -json BENCH_PR9.json
+//
+// With -policy-race, perfcheck races every comparison policy × algorithm
+// against the Lemma 1/3 infimum (see policyrace.go): the legacy
+// fixed-step path is gated byte-identical to the pre-refactor loop at
+// <-policy-max-overhead wall overhead, every cell must be deterministic
+// across reps, and at least one adaptive policy must beat fixed-step
+// Student on TMC-vs-infimum at equal-or-better NDCG:
+//
+//	perfcheck -policy-race -json BENCH_PR10.json
 package main
 
 import (
@@ -242,6 +251,9 @@ func main() {
 		expBench   = flag.Bool("explain-bench", false, "measure cost-attribution + structured-logging overhead (off vs explain+log) on one deterministic query; gates the enabled mode at -explain-max-overhead over off, writes the report to -json")
 		expReps    = flag.Int("explain-reps", 7, "interleaved repetitions per mode for -explain-bench (best-of absorbs noise)")
 		expMaxOver = flag.Float64("explain-max-overhead", 0.03, "maximum tolerated attribution+logging wall-time overhead fraction for -explain-bench")
+		polRace    = flag.Bool("policy-race", false, "race all comparison policies × algorithms against the Lemma 1/3 infimum; gates legacy-policy overhead, per-cell determinism and adaptive dominance, writes the report to -json")
+		raceReps   = flag.Int("race-reps", 3, "repetitions per mode/cell for -policy-race (overhead best-of, determinism cross-check)")
+		polMaxOver = flag.Float64("policy-max-overhead", 0.03, "maximum tolerated policy-layer wall-time overhead on the legacy fixed-step path for -policy-race")
 	)
 	flag.Parse()
 
@@ -255,6 +267,10 @@ func main() {
 	}
 	if *expBench {
 		explainBenchMain(*jsonOut, *expReps, *expMaxOver)
+		return
+	}
+	if *polRace {
+		policyRaceMain(*jsonOut, *raceReps, *polMaxOver)
 		return
 	}
 

@@ -47,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -64,6 +65,7 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		conf  = flag.Float64("confidence", 0.95, "per-comparison confidence level")
 		budgt = flag.Int("budget", 500, "per-pair microtask budget (-1 = unlimited)")
+		pol   = flag.String("policy", "fixed", "default comparison sampling policy ("+strings.Join(crowdtopk.PolicyNames(), ", ")+"); per-query override via the request's \"policy\" field")
 		total = flag.Int64("total-budget", 0, "session-wide spending cap in microtasks (0 = unlimited)")
 		par   = flag.Int("parallelism", 0, "comparison worker pool (0 = GOMAXPROCS)")
 
@@ -94,6 +96,12 @@ func main() {
 		sloHorizon = flag.Duration("slo-horizon", time.Hour, "budget SLO: -total-budget is meant to last this long; spending faster raises the burn rate past 1")
 	)
 	flag.Parse()
+
+	if !crowdtopk.PolicyRegistered(*pol) {
+		fmt.Fprintf(os.Stderr, "topkd: unknown -policy %q (available: %s)\n",
+			*pol, strings.Join(crowdtopk.PolicyNames(), ", "))
+		os.Exit(2)
+	}
 
 	lg, lgClose, err := openLogger(*logOut, *logLevel)
 	if err != nil {
@@ -146,6 +154,7 @@ func main() {
 	tel := crowdtopk.NewTelemetry()
 	opts := crowdtopk.Options{
 		Algorithm:   crowdtopk.SPR,
+		Policy:      crowdtopk.PolicyName(*pol),
 		Confidence:  *conf,
 		Budget:      *budgt,
 		TotalBudget: *total,

@@ -26,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"crowdtopk"
@@ -35,7 +36,8 @@ func main() {
 	var (
 		ds     = flag.String("dataset", "synthetic", "dataset: imdb, book, jester, photo, peopleage, synthetic")
 		alg    = flag.String("algorithm", "spr", "algorithm: spr, tourtree, heapsort, quickselect, pbr")
-		est    = flag.String("estimator", "student", "estimator: student, stein, hoeffding")
+		est    = flag.String("estimator", "student", "comparison estimator: "+strings.Join(crowdtopk.EstimatorNames(), ", "))
+		policy = flag.String("policy", "fixed", "comparison sampling policy: "+strings.Join(crowdtopk.PolicyNames(), ", "))
 		k      = flag.Int("k", 10, "number of items to return")
 		conf   = flag.Float64("confidence", 0.98, "per-comparison confidence level")
 		budget = flag.Int("budget", 1000, "per-pair microtask budget (-1 = unlimited)")
@@ -65,6 +67,12 @@ func main() {
 		faultAfter = flag.Int("fault-after", 0, "chaos: platform fails permanently after this many posted batches (0 = never; with -platform)")
 	)
 	flag.Parse()
+
+	if !crowdtopk.PolicyRegistered(*policy) {
+		fmt.Fprintf(os.Stderr, "unknown -policy %q (available: %s)\n",
+			*policy, strings.Join(crowdtopk.PolicyNames(), ", "))
+		os.Exit(2)
+	}
 
 	if *cpup != "" {
 		f, err := os.Create(*cpup)
@@ -103,6 +111,7 @@ func main() {
 		K:           *k,
 		Algorithm:   crowdtopk.Algorithm(*alg),
 		Estimator:   crowdtopk.Estimator(*est),
+		Policy:      crowdtopk.PolicyName(*policy),
 		Confidence:  *conf,
 		Budget:      *budget,
 		Parallelism: *par,
@@ -186,7 +195,7 @@ func main() {
 	q := crowdtopk.Evaluate(data, res.TopK)
 
 	fmt.Printf("dataset:    %s (%d items)\n", data.Name(), data.NumItems())
-	fmt.Printf("algorithm:  %s / %s @ confidence %.2f, budget %d\n", *alg, *est, *conf, *budget)
+	fmt.Printf("algorithm:  %s / %s (policy %s) @ confidence %.2f, budget %d\n", *alg, *est, *policy, *conf, *budget)
 	fmt.Printf("top-%d:     %v\n", *k, res.TopK)
 	fmt.Printf("truth:      %v\n", crowdtopk.TrueTopK(data, *k))
 	fmt.Printf("cost:       %d microtasks (%.2f USD at 0.1 cent each)\n", res.TMC, float64(res.TMC)*0.001)

@@ -3,6 +3,7 @@ package crowdtopk
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"crowdtopk/internal/compare"
@@ -230,22 +231,49 @@ func Judge(o Oracle, i, j int, opts Options) (Judgment, error) {
 	return jm, nil
 }
 
-func newRunner(o Oracle, opts Options) (*compare.Runner, error) {
-	var policy compare.Policy
+// newTester builds the verdict estimator the options selected.
+func newTester(opts Options) (compare.Tester, error) {
 	alpha := 1 - opts.Confidence
 	switch opts.Estimator {
 	case Student:
-		policy = compare.NewStudent(alpha)
+		return compare.NewStudent(alpha), nil
 	case Stein:
-		policy = compare.NewStein(alpha)
+		return compare.NewStein(alpha), nil
 	case StudentOneSided:
-		policy = compare.NewStudentOneSided(alpha)
+		return compare.NewStudentOneSided(alpha), nil
 	case HoeffdingBinary:
-		policy = compare.NewHoeffding(alpha)
+		return compare.NewHoeffding(alpha), nil
 	case HoeffdingPreference:
-		policy = compare.NewHoeffdingPref(alpha)
+		return compare.NewHoeffdingPref(alpha), nil
 	default:
-		return nil, fmt.Errorf("crowdtopk: unknown estimator %q", opts.Estimator)
+		return nil, fmt.Errorf("crowdtopk: unknown estimator %q (available: %s)",
+			opts.Estimator, strings.Join(EstimatorNames(), ", "))
+	}
+}
+
+// newPolicy builds the named sampling-schedule policy from the registry,
+// wrapping the options' estimator where the policy calls for one.
+func newPolicy(name PolicyName, opts Options) (compare.Policy, error) {
+	t, err := newTester(opts)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := compare.NewPolicy(string(name), compare.PolicyConfig{
+		Tester: t,
+		Alpha:  1 - opts.Confidence,
+		I:      opts.MinWorkload, Step: opts.BatchSize, B: opts.Budget,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crowdtopk: unknown policy %q (available: %s)",
+			name, strings.Join(PolicyNames(), ", "))
+	}
+	return pol, nil
+}
+
+func newRunner(o Oracle, opts Options) (*compare.Runner, error) {
+	policy, err := newPolicy(opts.Policy, opts)
+	if err != nil {
+		return nil, err
 	}
 	if opts.Resilience != nil {
 		if po, ok := o.(*crowd.PlatformOracle); ok {

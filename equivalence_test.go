@@ -1,0 +1,100 @@
+package crowdtopk
+
+import (
+	"reflect"
+	"testing"
+)
+
+// allEstimators is the full legacy roster the fixed-step policy adapter
+// must keep behaviourally unchanged at the public-API layer.
+var allEstimators = []Estimator{
+	Student, StudentOneSided, Stein, HoeffdingBinary, HoeffdingPreference,
+}
+
+// TestPolicyLayerCrossLayerEquivalence is the full-stack leg of the
+// refactor's equivalence suite (the compare-level leg diffs Runner
+// against the embedded pre-refactor loop). For every legacy estimator ×
+// both scheduling modes × parallelism {1, 8} it runs a complete query
+// through Session/TopK and pins the policy layer's no-regression
+// contract:
+//
+//   - an explicit Policy: FixedPolicy is byte-identical to leaving the
+//     field zero — the adapter is the default path, not a fork;
+//   - deterministic mode stays byte-identical across parallelism —
+//     Result, phase breakdown and the microtask audit log;
+//   - async mode keeps its documented semantics: the same answer set,
+//     with only ordering and round accounting free to differ.
+//
+// Run under -race this also certifies the policy plumbing race-clean.
+func TestPolicyLayerCrossLayerEquivalence(t *testing.T) {
+	d := SyntheticDataset(24, 0.25, 141)
+	const k = 4
+
+	run := func(t *testing.T, est Estimator, mode SchedulingMode, parallelism int, pol PolicyName) (Result, []TaskRecord) {
+		t.Helper()
+		s, err := NewSession(d, Options{
+			Estimator:   est,
+			Policy:      pol,
+			Confidence:  0.95,
+			Budget:      200,
+			Seed:        142,
+			Parallelism: parallelism,
+			Scheduling:  mode,
+		})
+		if err != nil {
+			t.Fatalf("session (est %s, mode %s, p %d): %v", est, mode, parallelism, err)
+		}
+		defer s.Close()
+		s.EnableAuditLog()
+		res, err := s.TopK(k)
+		if err != nil {
+			t.Fatalf("TopK (est %s, mode %s, p %d): %v", est, mode, parallelism, err)
+		}
+		log := append([]TaskRecord(nil), s.AuditLog()...)
+		return res, log
+	}
+
+	for _, est := range allEstimators {
+		for _, mode := range []SchedulingMode{Deterministic, Async} {
+			t.Run(string(est)+"/"+string(mode), func(t *testing.T) {
+				seqRes, seqLog := run(t, est, mode, 1, "")
+				parRes, parLog := run(t, est, mode, 8, "")
+				expRes, expLog := run(t, est, mode, 1, FixedPolicy)
+
+				if seqRes.TMC <= 0 || len(seqLog) == 0 {
+					t.Fatalf("vacuous run: tmc %d, %d audit records", seqRes.TMC, len(seqLog))
+				}
+				// Explicit FixedPolicy == zero-value default, byte for byte.
+				if !reflect.DeepEqual(seqRes, expRes) {
+					t.Errorf("explicit fixed policy diverged from default\n default: %+v\n fixed:   %+v", seqRes, expRes)
+				}
+				if !reflect.DeepEqual(seqLog, expLog) {
+					t.Errorf("explicit fixed policy audit log diverged from default (%d vs %d records)",
+						len(expLog), len(seqLog))
+				}
+
+				switch mode {
+				case Deterministic:
+					// Wave lockstep: parallelism must not leak into the
+					// answer, the accounting or the purchase history.
+					if !reflect.DeepEqual(seqRes, parRes) {
+						t.Errorf("deterministic results diverged across parallelism\n p=1: %+v\n p=8: %+v", seqRes, parRes)
+					}
+					if !reflect.DeepEqual(seqLog, parLog) {
+						t.Errorf("deterministic audit logs diverged across parallelism (%d vs %d records)",
+							len(seqLog), len(parLog))
+					}
+				case Async:
+					// Free-running chains: answer set invariant, ordering
+					// and round accounting free.
+					if !sameSet(seqRes.TopK, parRes.TopK) {
+						t.Errorf("async answer set changed with parallelism: p=1 %v, p=8 %v", seqRes.TopK, parRes.TopK)
+					}
+					if parRes.TMC <= 0 || parRes.Rounds <= 0 {
+						t.Errorf("async p=8: empty cost accounting (tmc %d, rounds %d)", parRes.TMC, parRes.Rounds)
+					}
+				}
+			})
+		}
+	}
+}

@@ -71,6 +71,7 @@ func NewInstruments(reg *obs.Registry) *Instruments {
 func (r *Runner) SetTelemetry(t *obs.Telemetry) {
 	r.tel = t
 	r.ins = NewInstruments(t.Registry())
+	r.resolvePolicyCounters()
 	r.eng.SetInstruments(crowd.NewEngineInstruments(t.Registry()))
 	r.sch.SetInstruments(sched.NewInstruments(t.Registry()))
 	if po, ok := r.eng.Oracle().(*crowd.PlatformOracle); ok {
@@ -137,14 +138,30 @@ type compState struct {
 	rounds int
 }
 
+// resolvePolicyCounters re-resolves the policy-labeled comparison
+// counters — called whenever the telemetry wiring or the policy changes.
+func (r *Runner) resolvePolicyCounters() {
+	if r.tel == nil {
+		r.polComparisons, r.polConcluded = nil, nil
+		return
+	}
+	reg := r.tel.Registry()
+	r.polComparisons = reg.Counter(obs.PolicyComparisons(r.policy.Name()))
+	r.polConcluded = reg.Counter(obs.PolicyConcluded(r.policy.Name()))
+}
+
 // beginComp opens the span and state of a fresh comparison process.
 func (r *Runner) beginComp(i, j int) *compState {
 	if ins := r.ins; ins != nil {
 		ins.Comparisons.Inc()
 	}
+	if c := r.polComparisons; c != nil {
+		c.Inc()
+	}
 	sp := r.tel.Tracer().Start("comp", r.ParentSpan())
 	if sp != nil {
 		sp.SetLabel("pair", fmt.Sprintf("%d-%d", i, j))
+		sp.SetLabel("policy", r.policy.Name())
 	}
 	return &compState{i: i, j: j, span: sp}
 }
@@ -229,6 +246,9 @@ func (r *Runner) finishComp(st *compState, v crowd.BagView, o Outcome, concluded
 	if ins := r.ins; ins != nil {
 		if concluded {
 			ins.Concluded.Inc()
+			if c := r.polConcluded; c != nil {
+				c.Inc()
+			}
 		}
 		ins.CompRounds.Observe(int64(st.rounds))
 		ins.CompWorkload.Observe(int64(v.N))

@@ -36,18 +36,47 @@ func (o Outcome) String() string {
 	}
 }
 
-// Policy decides, from the purchased samples of a pair, whether a winner
-// can be declared at the policy's confidence level. Test receives the bag
-// view oriented toward the first item of the pair. Policies are pure: they
-// never purchase samples.
-type Policy interface {
-	// Name identifies the policy in reports ("student", "stein", ...).
+// Tester decides, from the purchased samples of a pair, whether a winner
+// can be declared at the tester's confidence level. Test receives the bag
+// view oriented toward the first item of the pair. Testers are pure: they
+// never purchase samples. The paper's five estimators (Student, Stein,
+// Hoeffding, ...) are Testers; the sampling schedule around them is the
+// Policy's job.
+type Tester interface {
+	// Name identifies the tester in reports ("student", "stein", ...).
 	Name() string
-	// MinSamples is the smallest bag size the policy can decide on.
+	// MinSamples is the smallest bag size the tester can decide on.
 	MinSamples() int
 	// Test returns FirstWins/SecondWins when the samples support a
-	// conclusion at the policy's confidence level, Tie otherwise.
+	// conclusion at the tester's confidence level, Tie otherwise.
 	Test(v crowd.BagView) Outcome
+}
+
+// Policy owns the full per-pair decision of a comparison process: the
+// verdict test (embedded Tester) plus the sampling schedule — how many
+// samples to buy before the first test, and how large the next batch
+// should be given the evidence so far. The Runner alternates Test and
+// Bootstrap/Next until the policy concludes or declines to buy.
+//
+// Policies must be pure, deterministic functions of the bag view and the
+// remaining budget: the Runner calls them concurrently from many
+// goroutines and replays them against deterministic sample streams, so a
+// policy that kept per-pair mutable state would both race and break
+// byte-identical replay. Prior evidence (jstore-seeded posteriors) is
+// already folded into the bag view.
+type Policy interface {
+	Tester
+	// Bootstrap returns how many samples the pair still needs before the
+	// stopping rule is first consulted — the cold-start workload. Zero or
+	// negative means the bag is past cold start.
+	Bootstrap(v crowd.BagView) int
+	// Next returns the size of the next batch to purchase for a pair the
+	// test left undecided, given the remaining per-pair budget left
+	// (left may be negative when a seeded prior overshot the budget).
+	// Returning <= 0 declines the purchase: the Runner concludes the pair
+	// as a budget-exhausted tie. Adaptive policies use this to abandon
+	// pairs whose projected cost to a verdict exceeds what is left.
+	Next(v crowd.BagView, left int) int
 }
 
 // Student implements Algorithm 1 (STUDENTCOMP): conclude when the
@@ -80,10 +109,10 @@ func NewStudentOneSided(alpha float64) *Student {
 	return &Student{tt: stats.NewTTable(2 * alpha), name: "student-onesided"}
 }
 
-// Name implements Policy.
+// Name implements Tester.
 func (s *Student) Name() string { return s.name }
 
-// MinSamples implements Policy. Two samples are the bare minimum for a
+// MinSamples implements Tester. Two samples are the bare minimum for a
 // sample standard deviation; the Runner's I parameter enforces the
 // practical minimum of 30.
 func (s *Student) MinSamples() int { return 2 }
@@ -97,7 +126,7 @@ func (s *Student) HalfWidth(v crowd.BagView) float64 {
 	return s.tt.Critical(v.N-1) * v.SD / math.Sqrt(float64(v.N))
 }
 
-// Test implements Policy.
+// Test implements Tester.
 func (s *Student) Test(v crowd.BagView) Outcome {
 	if v.N < 2 {
 		return Tie
@@ -129,7 +158,7 @@ func NewStein(alpha float64) *Stein {
 	return &Stein{tt: stats.NewTTable(alpha), eps: 1e-9}
 }
 
-// Name implements Policy.
+// Name implements Tester.
 func (s *Stein) Name() string { return "stein" }
 
 // HalfWidth implements HalfWidther. Stein's rule targets a data-dependent
@@ -143,10 +172,10 @@ func (s *Stein) HalfWidth(v crowd.BagView) float64 {
 	return s.tt.Critical(v.N-1) * v.SD / math.Sqrt(float64(v.N))
 }
 
-// MinSamples implements Policy.
+// MinSamples implements Tester.
 func (s *Stein) MinSamples() int { return 2 }
 
-// Test implements Policy.
+// Test implements Tester.
 func (s *Stein) Test(v crowd.BagView) Outcome {
 	if v.N < 2 {
 		return Tie
@@ -211,7 +240,7 @@ func newHalfWidthCache(alpha float64) *stats.F64Cache {
 	})
 }
 
-// Name implements Policy.
+// Name implements Tester.
 func (h *Hoeffding) Name() string { return "hoeffding" }
 
 // HalfWidth implements HalfWidther: the anytime-corrected Hoeffding
@@ -223,10 +252,10 @@ func (h *Hoeffding) HalfWidth(v crowd.BagView) float64 {
 	return h.half.Get(v.BinN)
 }
 
-// MinSamples implements Policy.
+// MinSamples implements Tester.
 func (h *Hoeffding) MinSamples() int { return 1 }
 
-// Test implements Policy.
+// Test implements Tester.
 func (h *Hoeffding) Test(v crowd.BagView) Outcome {
 	if v.BinN < 1 {
 		return Tie
@@ -269,7 +298,7 @@ func NewHoeffdingPref(alpha float64) *HoeffdingPref {
 	return &HoeffdingPref{alpha: alpha, half: newHalfWidthCache(alpha)}
 }
 
-// Name implements Policy.
+// Name implements Tester.
 func (h *HoeffdingPref) Name() string { return "hoeffding-pref" }
 
 // HalfWidth implements HalfWidther.
@@ -280,10 +309,10 @@ func (h *HoeffdingPref) HalfWidth(v crowd.BagView) float64 {
 	return h.half.Get(v.N)
 }
 
-// MinSamples implements Policy.
+// MinSamples implements Tester.
 func (h *HoeffdingPref) MinSamples() int { return 1 }
 
-// Test implements Policy.
+// Test implements Tester.
 func (h *HoeffdingPref) Test(v crowd.BagView) Outcome {
 	if v.N < 1 {
 		return Tie

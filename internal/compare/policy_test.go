@@ -39,7 +39,7 @@ func TestOutcomeFlipAndString(t *testing.T) {
 
 func TestPolicyNamesAndMinSamples(t *testing.T) {
 	for _, tc := range []struct {
-		p    Policy
+		p    Tester
 		name string
 		min  int
 	}{
@@ -57,7 +57,7 @@ func TestPolicyNamesAndMinSamples(t *testing.T) {
 }
 
 func TestPoliciesUndecidedOnTinyBags(t *testing.T) {
-	for _, p := range []Policy{NewStudent(0.05), NewStein(0.05)} {
+	for _, p := range []Tester{NewStudent(0.05), NewStein(0.05)} {
 		if got := p.Test(crowd.BagView{N: 1, Mean: 0.9}); got != Tie {
 			t.Errorf("%s on N=1 = %v, want tie", p.Name(), got)
 		}
@@ -149,7 +149,7 @@ func TestHoeffdingDecisionRule(t *testing.T) {
 
 func TestPolicyAntisymmetryProperty(t *testing.T) {
 	// Test(view toward i) must equal Test(view toward j).Flip().
-	policies := []Policy{NewStudent(0.05), NewStein(0.05), NewHoeffding(0.05)}
+	policies := []Tester{NewStudent(0.05), NewStein(0.05), NewHoeffding(0.05)}
 	f := func(ni uint8, meanI, sdI int16, binMeanI int16) bool {
 		n := int(ni)%500 + 2
 		mean := float64(meanI) / math.MaxInt16 // [-1, 1]
@@ -195,7 +195,7 @@ func TestPolicyMonotoneInMeanProperty(t *testing.T) {
 
 func TestPoliciesAgreeOnEasyPair(t *testing.T) {
 	// A very easy pair must be decided correctly by all policies.
-	for _, p := range []Policy{NewStudent(0.02), NewStein(0.02), NewHoeffding(0.02)} {
+	for _, p := range []Tester{NewStudent(0.02), NewStein(0.02), NewHoeffding(0.02)} {
 		e := pairEngine(0.5, 0.1, 11)
 		v := e.Draw(0, 1, 200)
 		if got := p.Test(v); got != FirstWins {

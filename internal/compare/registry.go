@@ -1,0 +1,95 @@
+package compare
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PolicyConfig is what a policy factory gets to build from: the verdict
+// estimator the caller selected (used by schedules that wrap one), the
+// significance level, and the execution parameters the fixed schedule is
+// defined by. Adaptive policies typically use only Alpha.
+type PolicyConfig struct {
+	// Tester is the selected verdict estimator ("student", "stein", ...).
+	// Factories that wrap a tester must treat a nil Tester as an error at
+	// use time; the registry does not validate it.
+	Tester Tester
+	// Alpha is the significance level 1−confidence.
+	Alpha float64
+	// I, Step and B mirror Params: cold-start workload, batch size η and
+	// per-pair budget.
+	I, Step, B int
+}
+
+// PolicyFactory builds a policy from a config.
+type PolicyFactory func(cfg PolicyConfig) Policy
+
+var (
+	policyMu  sync.RWMutex
+	policyReg = map[string]PolicyFactory{}
+)
+
+// RegisterPolicy adds a named policy factory to the registry. Names are
+// case-sensitive and must be unique; registering a duplicate panics —
+// registration happens at init time, where a collision is a programming
+// error worth failing loudly on.
+func RegisterPolicy(name string, f PolicyFactory) {
+	if name == "" || f == nil {
+		panic("compare: RegisterPolicy requires a name and a factory")
+	}
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if _, dup := policyReg[name]; dup {
+		panic(fmt.Sprintf("compare: policy %q registered twice", name))
+	}
+	policyReg[name] = f
+}
+
+// PolicyNames returns the registered policy names, sorted — the
+// enumeration every "unknown policy" error and flag help string is
+// driven from, so newly registered policies appear automatically.
+func PolicyNames() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	names := make([]string, 0, len(policyReg))
+	for n := range policyReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PolicyRegistered reports whether name is a registered policy.
+func PolicyRegistered(name string) bool {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	_, ok := policyReg[name]
+	return ok
+}
+
+// NewPolicy builds the named policy from the registry. An unknown name
+// errors with the full list of registered names.
+func NewPolicy(name string, cfg PolicyConfig) (Policy, error) {
+	policyMu.RLock()
+	f := policyReg[name]
+	policyMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("compare: unknown policy %q (registered: %s)",
+			name, strings.Join(PolicyNames(), ", "))
+	}
+	return f(cfg), nil
+}
+
+func init() {
+	RegisterPolicy("fixed", func(cfg PolicyConfig) Policy {
+		return NewFixedStep(cfg.Tester, cfg.I, cfg.Step)
+	})
+	RegisterPolicy("voi", func(cfg PolicyConfig) Policy {
+		return NewVoI(cfg.Alpha)
+	})
+	RegisterPolicy("pac", func(cfg PolicyConfig) Policy {
+		return NewPAC(cfg.Alpha)
+	})
+}

@@ -100,6 +100,12 @@ type Runner struct {
 	spanMu sync.Mutex
 	active map[[2]int]*compState
 
+	// polComparisons/polConcluded are the policy-labeled slices of the
+	// comparison counters, re-resolved whenever telemetry or the policy
+	// changes; nil when telemetry is off.
+	polComparisons *obs.Counter
+	polConcluded   *obs.Counter
+
 	// sch is the shared comparison scheduler: one pool serving every
 	// query forked off this runner. acct is this runner's (this query's)
 	// slice of it — exact microtask/round attribution plus the
@@ -267,18 +273,22 @@ func stripeOf(k [2]int) uint64 {
 	return x & (memoStripes - 1)
 }
 
-// NewRunner binds a policy to an engine.
-func NewRunner(e *crowd.Engine, policy Policy, p Params) *Runner {
+// NewRunner binds a decision policy to an engine. t may be a plain
+// verdict Tester — one of the paper's estimators — in which case it is
+// wrapped in the FixedStep adapter over the Params' I and Step, exactly
+// reproducing the pre-policy-layer schedule; or a full Policy, which owns
+// its sampling schedule outright.
+func NewRunner(e *crowd.Engine, t Tester, p Params) *Runner {
 	if e == nil {
 		panic("compare: NewRunner requires a non-nil engine")
 	}
-	if policy == nil {
+	if t == nil {
 		panic("compare: NewRunner requires a non-nil policy")
 	}
 	p.validate()
 	r := &Runner{
 		eng:    e,
-		policy: policy,
+		policy: resolvePolicy(t, p),
 		params: p,
 		memo:   &memoTable{},
 		acct:   &queryAcct{},
@@ -286,8 +296,44 @@ func NewRunner(e *crowd.Engine, policy Policy, p Params) *Runner {
 	r.sch = sched.New(r.Parallelism())
 	// Cache the half-width reporter once so comparison spans can record
 	// confidence trajectories without a type assertion per round.
-	r.hw, _ = policy.(HalfWidther)
+	r.hw, _ = r.policy.(HalfWidther)
 	return r
+}
+
+// resolvePolicy promotes a plain Tester to a Policy via the fixed-step
+// adapter; a value that already is a Policy is used as-is.
+func resolvePolicy(t Tester, p Params) Policy {
+	if pol, ok := t.(Policy); ok {
+		return pol
+	}
+	return NewFixedStep(t, p.I, p.Step)
+}
+
+// reparameterizer is implemented by schedule policies whose constants are
+// derived from Params (the fixed-step adapter): Derive rebuilds them for
+// the sub-phase's parameters, the way the pre-policy-layer runner read
+// I and Step from its own Params.
+type reparameterizer interface {
+	withParams(p Params) Policy
+}
+
+// withParams implements reparameterizer.
+func (f *FixedStep) withParams(p Params) Policy { return NewFixedStep(f.T, p.I, p.Step) }
+
+// SetPolicy swaps the runner's decision policy — the per-query override
+// hook: a Session forks the shared runner, then pins the fork to the
+// policy the query asked for. A plain Tester is wrapped in the fixed-step
+// adapter like in NewRunner. The conclusion memo and judgment store stay
+// shared across policies within a session; cross-policy trust is handled
+// at the store layer, which downgrades a hit committed under a different
+// policy to a verified prior. Call before the query starts executing.
+func (r *Runner) SetPolicy(t Tester) {
+	if t == nil {
+		panic("compare: SetPolicy requires a non-nil policy")
+	}
+	r.policy = resolvePolicy(t, r.params)
+	r.hw, _ = r.policy.(HalfWidther)
+	r.resolvePolicyCounters()
 }
 
 // Fork returns a runner for one more concurrent query on the same
@@ -297,16 +343,18 @@ func NewRunner(e *crowd.Engine, policy Policy, p Params) *Runner {
 // consumed — and fresh span state. Forks may run TopK concurrently.
 func (r *Runner) Fork() *Runner {
 	f := &Runner{
-		eng:    r.eng,
-		policy: r.policy,
-		params: r.params,
-		tel:    r.tel,
-		ins:    r.ins,
-		hw:     r.hw,
-		sch:    r.sch,
-		acct:   &queryAcct{},
-		memo:   r.memo,
-		js:     r.js,
+		eng:            r.eng,
+		policy:         r.policy,
+		params:         r.params,
+		tel:            r.tel,
+		ins:            r.ins,
+		hw:             r.hw,
+		polComparisons: r.polComparisons,
+		polConcluded:   r.polConcluded,
+		sch:            r.sch,
+		acct:           &queryAcct{},
+		memo:           r.memo,
+		js:             r.js,
 	}
 	f.parent.Store(r.parent.Load())
 	return f
@@ -320,18 +368,24 @@ func (r *Runner) Fork() *Runner {
 // leak into the main query's verdict table.
 func (r *Runner) Derive(p Params) *Runner {
 	p.validate()
+	pol := r.policy
+	if rp, ok := pol.(reparameterizer); ok {
+		pol = rp.withParams(p)
+	}
 	d := &Runner{
-		eng:     r.eng,
-		policy:  r.policy,
-		params:  p,
-		tel:     r.tel,
-		ins:     r.ins,
-		hw:      r.hw,
-		sch:     r.sch,
-		acct:    r.acct,
-		memo:    &memoTable{},
-		js:      r.js,
-		derived: true,
+		eng:            r.eng,
+		policy:         pol,
+		params:         p,
+		tel:            r.tel,
+		ins:            r.ins,
+		hw:             r.hw,
+		polComparisons: r.polComparisons,
+		polConcluded:   r.polConcluded,
+		sch:            r.sch,
+		acct:           r.acct,
+		memo:           &memoTable{},
+		js:             r.js,
+		derived:        true,
 	}
 	d.parent.Store(r.parent.Load())
 	return d
@@ -603,8 +657,19 @@ func (r *Runner) Engine() *crowd.Engine { return r.eng }
 // this error.
 func (r *Runner) Err() error { return r.eng.Err() }
 
-// Policy returns the decision policy in use.
+// Policy returns the decision policy in use (always a full Policy: plain
+// testers were wrapped at construction).
 func (r *Runner) Policy() Policy { return r.policy }
+
+// PolicyName returns the name of the sampling-schedule policy in use
+// ("fixed", "voi", "pac", ...) — the label comparison metrics and spans
+// carry.
+func (r *Runner) PolicyName() string { return r.policy.Name() }
+
+// Tester returns the verdict estimator behind the policy: the wrapped
+// tester for the fixed-step adapter, the policy itself for adaptive
+// policies that embed their own stopping rule.
+func (r *Runner) Tester() Tester { return testerOf(r.policy) }
 
 // Params returns the execution parameters.
 func (r *Runner) Params() Params { return r.params }
@@ -689,9 +754,9 @@ func (r *Runner) budgetLeft(n int) int {
 }
 
 // Compare runs the full comparison process COMP(o_i, o_j) sequentially:
-// it keeps purchasing batches until the policy concludes or the budget is
-// exhausted, advancing the latency clock by one round per batch. Concluded
-// pairs are memoized; calling Compare again costs nothing.
+// it keeps purchasing policy-chosen batches until the policy concludes or
+// declines to buy, advancing the latency clock by one round per batch.
+// Concluded pairs are memoized; calling Compare again costs nothing.
 func (r *Runner) Compare(i, j int) Outcome {
 	if o, ok := r.Concluded(i, j); ok {
 		r.memoHit(i, j)
@@ -704,15 +769,17 @@ func (r *Runner) Compare(i, j int) Outcome {
 	v := r.eng.View(i, j)
 	verify := r.takeVerify(i, j)
 	for {
-		if need := r.params.I - v.N; need > 0 {
-			// Cold start: the initial I samples arrive Step at a time, so
-			// the granted samples cost ceil(granted/Step) batch rounds.
-			// Rounds are counted from what the engine actually granted: a
-			// spending cap may truncate the draw, and the ungranted
-			// remainder never occupied a round (nor must it be re-counted
-			// if the loop re-enters this branch). A stale store prior that
-			// only partly covers the cold start is verified here — the
-			// purchase is the reduced batch.
+		if need := r.policy.Bootstrap(v); need > 0 {
+			// Cold start: the policy's bootstrap workload arrives Step at a
+			// time, so the granted samples cost ceil(granted/Step) batch
+			// rounds (Step stays the latency constant η even when the
+			// policy sizes purchases itself). Rounds are counted from what
+			// the engine actually granted: a spending cap may truncate the
+			// draw, and the ungranted remainder never occupied a round
+			// (nor must it be re-counted if the loop re-enters this
+			// branch). A stale store prior that only partly covers the
+			// cold start is verified here — the purchase is the reduced
+			// batch.
 			verify = false
 			before := v.N
 			r.execStep(func() { v = r.draw(i, j, need) })
@@ -731,11 +798,7 @@ func (r *Runner) Compare(i, j int) Outcome {
 			// one reduced verification batch before trusting the stopping
 			// rule on decayed evidence alone.
 			verify = false
-			n := r.params.Step
-			if left := r.budgetLeft(v.N); n > left {
-				n = left
-			}
-			if n > 0 {
+			if n := r.policy.Next(v, r.budgetLeft(v.N)); n > 0 {
 				before := v.N
 				r.execStep(func() { v = r.draw(i, j, n) })
 				if v.N == before {
@@ -752,16 +815,15 @@ func (r *Runner) Compare(i, j int) Outcome {
 			r.finishComp(st, v, o, true)
 			return o
 		}
-		left := r.budgetLeft(v.N)
-		if left <= 0 {
+		n := r.policy.Next(v, r.budgetLeft(v.N))
+		if n <= 0 {
+			// The policy declines to buy: the budget ran dry, or an
+			// adaptive policy judged the verdict unreachable within it.
+			// Either way the pair concludes as a protocol-level tie.
 			r.remember(i, j, Tie)
 			r.noteConclusion(i, j, Tie, true)
 			r.finishComp(st, v, Tie, true)
 			return Tie
-		}
-		n := r.params.Step
-		if n > left {
-			n = left
 		}
 		before := v.N
 		r.execStep(func() { v = r.draw(i, j, n) })
@@ -776,11 +838,12 @@ func (r *Runner) Compare(i, j int) Outcome {
 }
 
 // Advance performs one batch step of the comparison process for (i, j)
-// without touching the latency clock: the first call purchases the initial
-// I samples (Algorithm 4's β ← I), subsequent calls one batch of Step.
-// It returns the current outcome and whether the process is finished
-// (concluded, or budget exhausted). Callers running many pairs in parallel
-// Tick the engine once per wave.
+// without touching the latency clock: the first call purchases the
+// policy's bootstrap workload (Algorithm 4's β ← I under the fixed
+// schedule), subsequent calls one policy-sized batch. It returns the
+// current outcome and whether the process is finished (concluded, budget
+// exhausted, or the policy declined to keep buying). Callers running many
+// pairs in parallel Tick the engine once per wave.
 func (r *Runner) Advance(i, j int) (Outcome, bool) {
 	if o, ok := r.Concluded(i, j); ok {
 		r.memoHit(i, j)
@@ -792,14 +855,13 @@ func (r *Runner) Advance(i, j int) (Outcome, bool) {
 	}
 	v := r.eng.View(i, j)
 	// A stale store prior reaches here with its cold start (partly)
-	// covered; the purchase below — I−N or one Step, both reduced against
-	// a cold pair's full workload — is its verification batch.
+	// covered; the purchase below — the bootstrap remainder or one batch,
+	// both reduced against a cold pair's full workload — is its
+	// verification batch.
 	r.takeVerify(i, j)
-	var n int
-	if v.N < r.params.I {
-		n = r.params.I - v.N
-	} else {
-		n = r.params.Step
+	n := r.policy.Bootstrap(v)
+	if n <= 0 {
+		n = r.policy.Next(v, r.budgetLeft(v.N))
 	}
 	if left := r.budgetLeft(v.N); n > left {
 		n = left
@@ -828,7 +890,10 @@ func (r *Runner) Advance(i, j int) (Outcome, bool) {
 		}
 		return o, true
 	}
-	if r.budgetLeft(v.N) <= 0 {
+	if r.policy.Next(v, r.budgetLeft(v.N)) <= 0 {
+		// No further purchase is coming — the budget ran dry, or an
+		// adaptive policy judged the verdict unreachable within it: the
+		// pair concludes as a protocol-level tie.
 		r.remember(i, j, Tie)
 		r.noteConclusion(i, j, Tie, true)
 		if st != nil {

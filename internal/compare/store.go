@@ -190,6 +190,15 @@ func (r *Runner) consultLocked(js *storeState, k [2]int) seenEntry {
 		return seenEntry{d: storeMiss}
 	}
 	stale, decay := js.pol.stale(rec, js.now())
+	if !stale && !r.trustsPolicy(rec.Policy) {
+		// Concluded under a different sampling policy than this runner's:
+		// the verdict was reached under stopping semantics the consumer
+		// did not choose (an adaptive policy's early surrender is not the
+		// fixed schedule's exhausted tie, and vice versa). Downgrade the
+		// fresh hit to a full-strength prior and re-verify at reduced
+		// cost instead of trusting it outright.
+		stale, decay = true, 1
+	}
 	post := crowd.PairPosterior{
 		N: rec.N, Mean: rec.Mean, M2: rec.M2,
 		BinN: rec.BinN, BinMean: rec.BinMean, BinM2: rec.BinM2,
@@ -245,6 +254,17 @@ func (r *Runner) consultLocked(js *storeState, k [2]int) seenEntry {
 		ins.StoreStale.Inc()
 	}
 	return seenEntry{d: storeStale, verify: true}
+}
+
+// trustsPolicy reports whether a stored record's committing policy is
+// trustworthy to this runner as a verdict. Records from before the
+// policy layer carry no name and are read as "fixed", the only schedule
+// that existed when they were committed.
+func (r *Runner) trustsPolicy(committed string) bool {
+	if committed == "" {
+		committed = "fixed"
+	}
+	return committed == r.policy.Name()
 }
 
 // takeVerify consumes the pair's pending stale-verification obligation:
@@ -351,6 +371,7 @@ func (r *Runner) CommitConclusions() int {
 			N:         post.N, Mean: post.Mean, M2: post.M2,
 			BinN: post.BinN, BinMean: post.BinMean, BinM2: post.BinM2,
 			Confidence: js.pol.Confidence,
+			Policy:     r.policy.Name(),
 		}
 		js.store.Commit(rec)
 		js.commits.Add(1)

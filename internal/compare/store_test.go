@@ -256,6 +256,84 @@ func TestTruncatedTieNotCommitted(t *testing.T) {
 	}
 }
 
+func TestCrossPolicyRecordDowngradedToPrior(t *testing.T) {
+	params := Params{B: 1000, I: 30, Step: 30}
+	store := jstore.NewMemStore()
+	pol := StorePolicy{Confidence: 0.98}
+
+	// Conclude and commit under the fixed-step schedule.
+	cold := itemsRunner(2, 0.1, params, 81)
+	cold.SetJudgmentStore(store, pol)
+	coldOut := cold.Compare(0, 1)
+	coldCost := cold.Engine().TMC()
+	if coldOut == Tie || coldCost == 0 {
+		t.Fatalf("cold run inconclusive (out %v, cost %d); seed no longer exercises the scenario", coldOut, coldCost)
+	}
+	cold.CommitConclusions()
+	rec, ok := store.Lookup(0, 1)
+	if !ok || rec.Policy != "fixed" {
+		t.Fatalf("committed record = (%+v, %v), want Policy \"fixed\"", rec, ok)
+	}
+
+	// A same-policy consumer gets the fresh hit: verdict served free.
+	same := itemsRunner(2, 0.1, params, 81)
+	same.SetJudgmentStore(store, pol)
+	if got := same.Compare(0, 1); got != coldOut {
+		t.Errorf("same-policy warm Compare = %v, cold %v", got, coldOut)
+	}
+	if tmc := same.Engine().TMC(); tmc != 0 {
+		t.Errorf("same-policy consumer spent %d microtasks, want 0", tmc)
+	}
+	if ss := same.StoreStats(); ss.Hits != 1 || ss.Stale != 0 {
+		t.Errorf("same-policy StoreStats = %+v, want 1 hit, 0 stale", ss)
+	}
+
+	// A consumer under a different policy must not adopt the verdict
+	// wholesale: the record downgrades to a full-strength prior that is
+	// re-verified with a reduced purchase.
+	voiEng := crowd.NewEngine(gaussItems{2, 0.1}, rand.New(rand.NewSource(81)))
+	voi := NewRunner(voiEng, NewVoI(0.02), params)
+	voi.SetJudgmentStore(store, pol)
+	if got := voi.Compare(0, 1); got != coldOut {
+		t.Errorf("cross-policy warm Compare = %v, cold %v", got, coldOut)
+	}
+	voiCost := voi.Engine().TMC()
+	if voiCost == 0 {
+		t.Error("cross-policy record served as a free verdict")
+	}
+	if voiCost >= coldCost {
+		t.Errorf("cross-policy verification cost %d, not reduced vs cold %d", voiCost, coldCost)
+	}
+	if ss := voi.StoreStats(); ss.Hits != 0 || ss.Stale != 1 {
+		t.Errorf("cross-policy StoreStats = %+v, want 0 hits, 1 stale", ss)
+	}
+
+	// A record from before the policy layer carries no name and is read
+	// as "fixed": trusted by a fixed consumer, downgraded by an adaptive
+	// one.
+	legacy := rec
+	legacy.Policy = ""
+	store.Commit(legacy)
+
+	fixedLegacy := itemsRunner(2, 0.1, params, 81)
+	fixedLegacy.SetJudgmentStore(store, pol)
+	fixedLegacy.Compare(0, 1)
+	if tmc := fixedLegacy.Engine().TMC(); tmc != 0 {
+		t.Errorf("legacy nameless record cost a fixed consumer %d microtasks, want 0", tmc)
+	}
+
+	voiLegacyEng := crowd.NewEngine(gaussItems{2, 0.1}, rand.New(rand.NewSource(81)))
+	voiLegacy := NewRunner(voiLegacyEng, NewVoI(0.02), params)
+	voiLegacy.SetJudgmentStore(store, pol)
+	voiLegacy.Compare(0, 1)
+	if tmc := voiLegacy.Engine().TMC(); tmc == 0 {
+		t.Error("legacy nameless record served to a voi consumer as a free verdict")
+	}
+	if ss := voiLegacy.StoreStats(); ss.Stale != 1 {
+		t.Errorf("voi-consumer StoreStats on legacy record = %+v, want 1 stale", ss)
+	}
+}
+
 func TestStoreSharedAcrossForks(t *testing.T) {
 	params := Params{B: 1000, I: 30, Step: 30}
 	store := jstore.NewMemStore()

@@ -87,7 +87,7 @@ func AblationJudgment(cfg Config) []*Table {
 	n := sub.NumItems()
 	alpha := cfg.Alpha
 
-	policies := []compare.Policy{
+	policies := []compare.Tester{
 		compare.NewStudent(alpha),
 		compare.NewStudentOneSided(alpha),
 		compare.NewStein(alpha),

@@ -52,6 +52,15 @@ type Record struct {
 	// as a prior to verify, not a verdict to trust.
 	Confidence float64 `json:"conf"`
 
+	// Policy names the comparison sampling-schedule policy that concluded
+	// the verdict ("fixed", "voi", "pac", ...). A query running under a
+	// different policy treats the record as a prior to verify, not a
+	// verdict to trust — the stopping semantics it was concluded under are
+	// not the consumer's. Empty on records from before the policy layer,
+	// which are read as "fixed" — the only schedule that existed when
+	// they were committed.
+	Policy string `json:"pol,omitempty"`
+
 	// Seq is the store's logical commit timestamp: a monotonic sequence
 	// number assigned at Commit, so "newest wins" is well defined even
 	// when wall clocks jump. UnixNano is the wall-clock commit time the

@@ -159,6 +159,18 @@ var (
 	QueueWaitBuckets = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
 )
 
+// PolicyComparisons returns the labeled counter name attributing started
+// comparison processes to one sampling policy ("fixed", "voi", "pac").
+func PolicyComparisons(policy string) string {
+	return `crowdtopk_comparisons_total{policy="` + policy + `"}`
+}
+
+// PolicyConcluded returns the labeled counter name attributing concluded
+// (verdict-reaching) comparison processes to one sampling policy.
+func PolicyConcluded(policy string) string {
+	return `crowdtopk_comparisons_concluded_total{policy="` + policy + `"}`
+}
+
 // PhaseTMC returns the labeled counter name attributing monetary cost to
 // one framework phase ("select", "partition", "rank").
 func PhaseTMC(phase string) string {

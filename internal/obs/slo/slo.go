@@ -18,6 +18,8 @@
 package slo
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -132,6 +134,33 @@ func (r *ring) advance(sec int64) {
 	r.lastSec = sec
 }
 
+// resized returns a ring covering the new window, carrying over the most
+// recent seconds of history that fit. Shrinking truncates the oldest
+// buckets; growing leaves the not-yet-lived part of the window empty (it
+// refills within one window of observations).
+func (r *ring) resized(window time.Duration) *ring {
+	n := newRing(window)
+	if len(n.buckets) == len(r.buckets) {
+		n.buckets, n.lastSec = r.buckets, r.lastSec
+		return n
+	}
+	if r.lastSec < 0 {
+		return n
+	}
+	keep := int64(len(n.buckets))
+	if k := int64(len(r.buckets)); k < keep {
+		keep = k
+	}
+	for s := r.lastSec - keep + 1; s <= r.lastSec; s++ {
+		if s < 0 {
+			continue
+		}
+		n.buckets[s%int64(len(n.buckets))] = r.buckets[s%int64(len(r.buckets))]
+	}
+	n.lastSec = r.lastSec
+	return n
+}
+
 func (r *ring) add(sec int64, v int64) {
 	r.advance(sec)
 	r.buckets[sec%int64(len(r.buckets))] += v
@@ -152,6 +181,31 @@ func (r *ring) sum(sec int64, window int64) int64 {
 		total += r.buckets[s%int64(len(r.buckets))]
 	}
 	return total
+}
+
+// validate rejects objectives that would make the tracker lie rather
+// than merely disable a dimension (zero fields disable; negatives and
+// inverted thresholds are configuration errors).
+func (o Objectives) validate() error {
+	if o.LatencyTarget < 0 {
+		return fmt.Errorf("slo: negative latency target %v", o.LatencyTarget)
+	}
+	if o.LatencyTarget > 0 && (o.LatencyGoal <= 0 || o.LatencyGoal >= 1) {
+		return fmt.Errorf("slo: latency goal %v outside (0,1)", o.LatencyGoal)
+	}
+	if o.Budget < 0 {
+		return fmt.Errorf("slo: negative budget %d", o.Budget)
+	}
+	if o.BudgetHorizon < 0 || o.ShortWindow < 0 || o.LongWindow < 0 {
+		return errors.New("slo: negative window or horizon")
+	}
+	if o.WarnBurn < 0 || o.PageBurn < 0 {
+		return errors.New("slo: negative burn threshold")
+	}
+	if o.WarnBurn > 0 && o.PageBurn > 0 && o.PageBurn < o.WarnBurn {
+		return fmt.Errorf("slo: page threshold %v below warn threshold %v", o.PageBurn, o.WarnBurn)
+	}
+	return nil
 }
 
 // WindowBurn is one evaluation window's burn-rate reading.
@@ -235,6 +289,46 @@ func New(obj Objectives, now func() time.Time) *Tracker {
 		breached: newRing(o.LongWindow),
 		spend:    newRing(o.LongWindow),
 	}
+}
+
+// Objectives returns the tracker's current objectives with defaults
+// resolved; the zero value from a nil tracker.
+func (t *Tracker) Objectives() Objectives {
+	if t == nil {
+		return Objectives{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.obj
+}
+
+// Reconfigure swaps the tracked objectives at runtime — the ops hook
+// behind POST /debug/slo: tighten the latency target during an incident,
+// raise the budget horizon after a top-up, widen the windows to calm a
+// flapping alert. The swap happens under the same lock every observation
+// takes, so no sample is lost or double-counted across it; the rings are
+// resized when the long window changes, carrying over the most recent
+// history that fits (a grown window refills within one window of
+// observations). Cumulative spend is preserved, so Remaining stays
+// honest across a budget change. Invalid objectives are rejected and the
+// tracker is left untouched.
+func (t *Tracker) Reconfigure(obj Objectives) error {
+	if t == nil {
+		return errors.New("slo: no tracker to reconfigure")
+	}
+	if err := obj.validate(); err != nil {
+		return err
+	}
+	o := obj.withDefaults()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if o.LongWindow != t.obj.LongWindow {
+		t.total = t.total.resized(o.LongWindow)
+		t.breached = t.breached.resized(o.LongWindow)
+		t.spend = t.spend.resized(o.LongWindow)
+	}
+	t.obj = o
+	return nil
 }
 
 // ObserveQuery records one finished query's wall latency.

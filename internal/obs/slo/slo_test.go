@@ -184,6 +184,83 @@ func TestExhaustionProjection(t *testing.T) {
 	}
 }
 
+// TestReconfigure swaps objectives mid-flight: spend history must be
+// carried over into the resized rings and the new thresholds take effect
+// on the next snapshot, clock-safely under the fake clock.
+func TestReconfigure(t *testing.T) {
+	obj := Objectives{
+		Budget:        36000, // allowed 10/s over the 1h horizon
+		BudgetHorizon: time.Hour,
+		ShortWindow:   10 * time.Second,
+		LongWindow:    40 * time.Second,
+		WarnBurn:      2,
+		PageBurn:      6,
+	}
+	tr, clk := tracker(obj)
+	// 3x pace for 40s → warn.
+	for n := 0; n < 40; n++ {
+		clk.tick(time.Second)
+		tr.ObserveSpend(30)
+	}
+	if st := tr.Snapshot(); st.Budget.State != "warn" {
+		t.Fatalf("pre-reconfigure state = %s", st.Budget.State)
+	}
+
+	// Triple the budget: the same spend rate is now on pace. History and
+	// cumulative spend survive the swap (the long window shrinks to 20s).
+	next := obj
+	next.Budget = 3 * 36000
+	next.LongWindow = 20 * time.Second
+	if err := tr.Reconfigure(next); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Snapshot()
+	if st.Budget.State != "ok" {
+		t.Fatalf("post-reconfigure state = %s (short %.2f long %.2f)",
+			st.Budget.State, st.Budget.Short.Burn, st.Budget.Long.Burn)
+	}
+	if st.Budget.Short.Burn < 0.9 || st.Budget.Short.Burn > 1.1 {
+		t.Fatalf("post-reconfigure short burn = %.2f, want ~1.0 (history lost?)", st.Budget.Short.Burn)
+	}
+	if st.Budget.Spent != 40*30 {
+		t.Fatalf("cumulative spend lost across reconfigure: %d", st.Budget.Spent)
+	}
+
+	// Growing the window back carries the recent 20s of history forward.
+	next.LongWindow = 40 * time.Second
+	if err := tr.Reconfigure(next); err != nil {
+		t.Fatal(err)
+	}
+	if st = tr.Snapshot(); st.Budget.Long.Burn <= 0 {
+		t.Fatalf("grown window dropped all history: %+v", st.Budget)
+	}
+
+	// Invalid objectives are rejected and leave the tracker untouched.
+	bad := next
+	bad.Budget = -1
+	if err := tr.Reconfigure(bad); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	bad = next
+	bad.LatencyTarget = time.Second
+	bad.LatencyGoal = 1.5
+	if err := tr.Reconfigure(bad); err == nil {
+		t.Fatal("latency goal outside (0,1) accepted")
+	}
+	bad = next
+	bad.WarnBurn, bad.PageBurn = 6, 2
+	if err := tr.Reconfigure(bad); err == nil {
+		t.Fatal("inverted warn/page thresholds accepted")
+	}
+	if got := tr.Objectives().Budget; got != next.Budget {
+		t.Fatalf("rejected reconfigure mutated objectives: budget %d", got)
+	}
+	var nilTr *Tracker
+	if err := nilTr.Reconfigure(next); err == nil {
+		t.Fatal("nil tracker reconfigure succeeded")
+	}
+}
+
 func TestRingLazyZeroing(t *testing.T) {
 	r := newRing(5 * time.Second)
 	r.add(100, 7)

@@ -131,9 +131,11 @@ function renderCards(acct, health, sloResp) {
     acct.queued + ' queued (cap ' + health.max_queue + ')'));
   if (sloResp.enabled) {
     const l = sloResp.status.latency, b = sloResp.status.budget;
-    if (l.enabled) c.push(card('latency slo', l.state, burnHint(l), l.state));
+    if (l.enabled) c.push(card('latency slo', l.state,
+      'target ' + l.target_ms + 'ms @ ' + l.goal + ' · ' + burnHint(l), l.state));
     if (b.enabled) c.push(card('budget burn', b.state,
-      b.remaining + ' left' + (b.exhaust_s >= 0 ? ' · ~' + b.exhaust_s + 's' : ''), b.state));
+      b.remaining + ' of ' + b.budget + ' left over ' + b.horizon_s + 's' +
+      (b.exhaust_s >= 0 ? ' · ~' + b.exhaust_s + 's' : ''), b.state));
   }
   if (acct.store_hits || acct.store_size)
     c.push(card('store', acct.store_hits + ' hits',

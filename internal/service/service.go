@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -142,6 +143,10 @@ type Request struct {
 	// Algorithm optionally overrides the session default
 	// ("spr", "tourtree", "heapsort", "quickselect", "pbr").
 	Algorithm string `json:"algorithm,omitempty"`
+	// Policy optionally overrides the session's comparison sampling
+	// policy for this query ("fixed", "voi", "pac", ...; the full list is
+	// crowdtopk.PolicyNames). Empty keeps the session default.
+	Policy string `json:"policy,omitempty"`
 	// MaxCost is the per-query budget sub-cap in microtasks (0 = none).
 	MaxCost int64 `json:"max_cost,omitempty"`
 	// Priority weights both admission and the comparison scheduler.
@@ -157,6 +162,7 @@ type Status struct {
 	State     string `json:"state"`
 	K         int    `json:"k"`
 	Algorithm string `json:"algorithm,omitempty"`
+	Policy    string `json:"policy,omitempty"`
 	Priority  int    `json:"priority"`
 	MaxCost   int64  `json:"max_cost,omitempty"`
 
@@ -238,6 +244,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/accounting", s.handleAccounting)
 	s.mux.HandleFunc("GET /debug/slo", s.handleSLO)
+	s.mux.HandleFunc("POST /debug/slo", s.handleSLOUpdate)
 	s.mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
 	if cfg.Telemetry != nil {
 		// /metrics refreshes the SLO gauges before delegating, so every
@@ -343,6 +350,7 @@ func (s *Server) run(q *query) {
 
 	h, err := s.cfg.Session.StartTopK(ctx, q.req.K, crowdtopk.QueryOptions{
 		Algorithm: crowdtopk.Algorithm(q.req.Algorithm),
+		Policy:    crowdtopk.PolicyName(q.req.Policy),
 		MaxCost:   q.req.MaxCost,
 		Priority:  q.req.Priority,
 	})
@@ -442,6 +450,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if !validAlgorithms[req.Algorithm] {
 		httpError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
+		return
+	}
+	if req.Policy != "" && !crowdtopk.PolicyRegistered(req.Policy) {
+		httpError(w, http.StatusBadRequest, "unknown policy %q (available: %s)",
+			req.Policy, strings.Join(crowdtopk.PolicyNames(), ", "))
 		return
 	}
 	if req.MaxCost < 0 {
@@ -676,12 +689,16 @@ func (q *query) status() Status {
 	}
 	st := Status{
 		ID: q.id, State: q.state, K: q.req.K, Algorithm: q.req.Algorithm,
-		Priority: q.req.Priority, MaxCost: q.req.MaxCost, Canceled: q.canceled,
+		Policy: q.req.Policy, Priority: q.req.Priority, MaxCost: q.req.MaxCost,
+		Canceled: q.canceled,
 	}
 	if h := q.handle; h != nil {
 		st.TMC, st.Rounds, st.Phase = h.TMC(), h.Rounds(), h.Phase()
 		if st.Algorithm == "" {
 			st.Algorithm = string(h.Algorithm())
+		}
+		if st.Policy == "" {
+			st.Policy = string(h.Policy())
 		}
 	}
 	if q.state == "done" || q.state == "canceled" {

@@ -1,7 +1,9 @@
 package service
 
 import (
+	"encoding/json"
 	"net/http"
+	"time"
 
 	"crowdtopk"
 	"crowdtopk/internal/obs"
@@ -14,6 +16,8 @@ import (
 type ExplainResponse struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
+	// Policy is the comparison sampling policy the query ran under.
+	Policy string `json:"policy,omitempty"`
 	// Enabled reports whether attribution was recording for this query
 	// (session telemetry on, or QueryOptions.Explain). A disabled query
 	// serves an empty tree and Reconciled is meaningless.
@@ -46,7 +50,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	restored := q.restored != nil
 	q.mu.Unlock()
 
-	resp := ExplainResponse{ID: q.id, State: state, Terminal: terminal}
+	resp := ExplainResponse{ID: q.id, State: state, Terminal: terminal, Policy: q.req.Policy}
 	if h == nil {
 		// Queued (never started) or restored from a journal: there is no
 		// live collector. A restored query's spend predates this process,
@@ -62,6 +66,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !terminal {
 		tmc = h.TMC()
 	}
+	if resp.Policy == "" {
+		resp.Policy = string(h.Policy())
+	}
 	resp.Enabled = h.ExplainEnabled()
 	resp.TMC = tmc
 	resp.Tree = h.Explain()
@@ -69,16 +76,96 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// SLOResponse is GET /debug/slo.
+// SLOResponse is GET /debug/slo (and the POST /debug/slo echo).
 type SLOResponse struct {
-	Enabled bool       `json:"enabled"`
-	Status  slo.Status `json:"status"`
+	Enabled bool `json:"enabled"`
+	// Objectives echoes the live configuration — which POST /debug/slo
+	// can change at runtime.
+	Objectives *SLOObjectives `json:"objectives,omitempty"`
+	Status     slo.Status     `json:"status"`
+}
+
+// SLOObjectives is the wire form of slo.Objectives: the POST /debug/slo
+// body and the objectives echo in GET /debug/slo. Durations travel in
+// the units the daemon flags use (milliseconds for the latency target,
+// seconds for windows and horizon); zero fields take the tracker
+// defaults, so a partial update body must re-state every objective it
+// wants to keep.
+type SLOObjectives struct {
+	LatencyTargetMS int64   `json:"latency_target_ms,omitempty"`
+	LatencyGoal     float64 `json:"latency_goal,omitempty"`
+	Budget          int64   `json:"budget,omitempty"`
+	BudgetHorizonS  int64   `json:"budget_horizon_s,omitempty"`
+	ShortWindowS    int64   `json:"short_window_s,omitempty"`
+	LongWindowS     int64   `json:"long_window_s,omitempty"`
+	WarnBurn        float64 `json:"warn_burn,omitempty"`
+	PageBurn        float64 `json:"page_burn,omitempty"`
+}
+
+func (o SLOObjectives) objectives() slo.Objectives {
+	return slo.Objectives{
+		LatencyTarget: time.Duration(o.LatencyTargetMS) * time.Millisecond,
+		LatencyGoal:   o.LatencyGoal,
+		Budget:        o.Budget,
+		BudgetHorizon: time.Duration(o.BudgetHorizonS) * time.Second,
+		ShortWindow:   time.Duration(o.ShortWindowS) * time.Second,
+		LongWindow:    time.Duration(o.LongWindowS) * time.Second,
+		WarnBurn:      o.WarnBurn,
+		PageBurn:      o.PageBurn,
+	}
+}
+
+func wireObjectives(o slo.Objectives) *SLOObjectives {
+	return &SLOObjectives{
+		LatencyTargetMS: o.LatencyTarget.Milliseconds(),
+		LatencyGoal:     o.LatencyGoal,
+		Budget:          o.Budget,
+		BudgetHorizonS:  int64(o.BudgetHorizon / time.Second),
+		ShortWindowS:    int64(o.ShortWindow / time.Second),
+		LongWindowS:     int64(o.LongWindow / time.Second),
+		WarnBurn:        o.WarnBurn,
+		PageBurn:        o.PageBurn,
+	}
 }
 
 func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, SLOResponse{
+	resp := SLOResponse{
 		Enabled: s.slo != nil,
 		Status:  s.syncSLO(),
+	}
+	if s.slo != nil {
+		resp.Objectives = wireObjectives(s.slo.Objectives())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSLOUpdate is POST /debug/slo: runtime reconfiguration of the
+// live tracker's objectives. The update is validated and applied
+// atomically — observation history is carried over, so the new burn
+// rates are computed from the same rings the old objectives filled —
+// and the response echoes the resolved objectives plus a fresh status.
+func (s *Server) handleSLOUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		httpError(w, http.StatusConflict, "slo tracking is disabled; boot with objectives (topkd -slo-latency / -total-budget) to enable runtime reconfiguration")
+		return
+	}
+	var upd SLOObjectives
+	if err := json.NewDecoder(r.Body).Decode(&upd); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if err := s.slo.Reconfigure(upd.objectives()); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	obj := s.slo.Objectives()
+	s.log.Info("slo reconfigured",
+		"latency_target_ms", obj.LatencyTarget.Milliseconds(), "latency_goal", obj.LatencyGoal,
+		"budget", obj.Budget, "horizon", obj.BudgetHorizon.String())
+	writeJSON(w, http.StatusOK, SLOResponse{
+		Enabled:    true,
+		Objectives: wireObjectives(obj),
+		Status:     s.syncSLO(),
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"crowdtopk"
+	"crowdtopk/internal/obs/slo"
 )
 
 // gateOracle blocks every judgment until released, so tests can hold
@@ -176,6 +177,9 @@ func TestValidation(t *testing.T) {
 	if _, code := postQuery(t, hs.URL, Request{K: 3, Algorithm: "nope"}); code != http.StatusBadRequest {
 		t.Fatalf("bad algorithm: status %d, want 400", code)
 	}
+	if _, code := postQuery(t, hs.URL, Request{K: 3, Policy: "nope"}); code != http.StatusBadRequest {
+		t.Fatalf("bad policy: status %d, want 400", code)
+	}
 	resp, err := http.Get(hs.URL + "/queries/zzz")
 	if err != nil {
 		t.Fatal(err)
@@ -183,6 +187,132 @@ func TestValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("missing id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPerQueryPolicyOverride runs one query under the adaptive VoI
+// policy and checks the name is reported everywhere the API surfaces it:
+// the status, the explain view, and the policy-labeled metrics — while a
+// sibling query on the same session stays on the session default.
+func TestPerQueryPolicyOverride(t *testing.T) {
+	_, hs, _ := newTestServer(t, crowdtopk.SyntheticDataset(30, 0.3, 7), Config{})
+	st, code := postQuery(t, hs.URL, Request{K: 3, Policy: "voi"})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /queries: status %d", code)
+	}
+	if st.Policy != "voi" {
+		t.Fatalf("accept response policy %q, want voi", st.Policy)
+	}
+	final := waitDone(t, hs.URL, st.ID)
+	if final.State != "done" || final.Policy != "voi" || len(final.TopK) != 3 {
+		t.Fatalf("unexpected final state: %+v", final)
+	}
+
+	st2, _ := postQuery(t, hs.URL, Request{K: 3})
+	if f2 := waitDone(t, hs.URL, st2.ID); f2.Policy != "fixed" {
+		t.Fatalf("default query policy %q, want fixed", f2.Policy)
+	}
+
+	eresp, err := http.Get(hs.URL + "/queries/" + st.ID + "/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	var ex ExplainResponse
+	if err := json.NewDecoder(eresp.Body).Decode(&ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Policy != "voi" {
+		t.Fatalf("/explain policy %q, want voi", ex.Policy)
+	}
+
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(mresp.Body)
+	for _, want := range []string{
+		`crowdtopk_comparisons_total{policy="voi"}`,
+		`crowdtopk_comparisons_total{policy="fixed"}`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestSLOReconfigureEndpoint drives POST /debug/slo: live objectives
+// are updated (and echoed on the next GET), invalid ones bounce with
+// 400 leaving the tracker untouched, and a server without SLO tracking
+// answers 409.
+func TestSLOReconfigureEndpoint(t *testing.T) {
+	_, hs, _ := newTestServer(t, crowdtopk.SyntheticDataset(20, 0.3, 7), Config{
+		SLO: &slo.Objectives{
+			LatencyTarget: time.Second, LatencyGoal: 0.95,
+			Budget: 10000, BudgetHorizon: time.Hour,
+		},
+	})
+	getSLO := func() SLOResponse {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/debug/slo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out SLOResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	postSLO := func(body string) (SLOResponse, int) {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/debug/slo", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out SLOResponse
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return out, resp.StatusCode
+	}
+
+	if got := getSLO(); !got.Enabled || got.Objectives == nil || got.Objectives.Budget != 10000 {
+		t.Fatalf("initial GET /debug/slo = %+v", got)
+	}
+
+	upd, code := postSLO(`{"latency_target_ms":500,"latency_goal":0.9,"budget":5000,"budget_horizon_s":1800}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST /debug/slo: status %d", code)
+	}
+	if upd.Objectives.Budget != 5000 || upd.Objectives.LatencyTargetMS != 500 || upd.Objectives.BudgetHorizonS != 1800 {
+		t.Fatalf("reconfigure echo = %+v", upd.Objectives)
+	}
+	if got := getSLO(); got.Objectives.Budget != 5000 || got.Objectives.LatencyGoal != 0.9 {
+		t.Fatalf("GET after reconfigure = %+v", got.Objectives)
+	}
+
+	if _, code := postSLO(`{"budget":-1}`); code != http.StatusBadRequest {
+		t.Fatalf("negative budget: status %d, want 400", code)
+	}
+	if _, code := postSLO(`{not json`); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", code)
+	}
+	if got := getSLO(); got.Objectives.Budget != 5000 {
+		t.Fatalf("rejected update mutated objectives: %+v", got.Objectives)
+	}
+
+	// A server booted without objectives has no tracker to reconfigure.
+	_, hs2, _ := newTestServer(t, crowdtopk.SyntheticDataset(20, 0.3, 7), Config{})
+	resp, err := http.Post(hs2.URL+"/debug/slo", "application/json", strings.NewReader(`{"budget":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("disabled SLO reconfigure: status %d, want 409", resp.StatusCode)
 	}
 }
 

@@ -3,7 +3,10 @@ package crowdtopk
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
+
+	"crowdtopk/internal/compare"
 )
 
 // Algorithm selects a top-k query processor.
@@ -76,6 +79,51 @@ const (
 	HoeffdingPreference Estimator = "hoeffding-pref"
 )
 
+// PolicyName selects the comparison sampling-schedule policy: who decides
+// how many samples a pair buys next, and when to stop paying. The
+// estimator answers "is the verdict in yet?"; the policy answers "what do
+// we buy about it?".
+type PolicyName string
+
+// The built-in policies. The full list — including any future additions —
+// is PolicyNames().
+const (
+	// FixedPolicy is the paper's schedule (§5.5): MinWorkload samples to
+	// overcome cold start, then BatchSize per batch until the estimator
+	// concludes or the per-pair Budget runs dry. The default, and
+	// byte-identical to the pre-policy-layer behavior.
+	FixedPolicy PolicyName = "fixed"
+	// VoIPolicy is a Bayesian value-of-information policy (Chen–Jiao–Lin
+	// style): it sizes batches by the posterior's projected distance to a
+	// verdict and stops paying for pairs whose verdict is not fundable
+	// from the remaining budget — near-ties surrender early instead of
+	// burning the full per-pair Budget. It brings its own stopping rule;
+	// Estimator is ignored under it.
+	VoIPolicy PolicyName = "voi"
+	// PACPolicy is a PAC gap-elimination policy (Ren–Liu–Shroff style):
+	// an anytime-valid Hoeffding race whose batch sizes grow geometrically
+	// with the observed gap's projected sample need, eliminating pairs
+	// whose gap cannot be separated within budget. Distribution-free; it
+	// brings its own stopping rule and ignores Estimator.
+	PACPolicy PolicyName = "pac"
+)
+
+// PolicyNames returns the names of every registered comparison policy,
+// sorted — the list -policy flags and error messages enumerate.
+func PolicyNames() []string { return compare.PolicyNames() }
+
+// PolicyRegistered reports whether name is a registered comparison
+// policy — the check service layers run before admitting a request.
+func PolicyRegistered(name string) bool { return compare.PolicyRegistered(name) }
+
+// EstimatorNames returns the available estimator names, sorted.
+func EstimatorNames() []string {
+	return []string{
+		string(HoeffdingBinary), string(HoeffdingPreference),
+		string(Stein), string(Student), string(StudentOneSided),
+	}
+}
+
 // Options configures a Query or a Judge call. The zero value of every
 // field selects the paper's default (Table 6).
 type Options struct {
@@ -84,7 +132,12 @@ type Options struct {
 	// Algorithm picks the query processor (default SPR).
 	Algorithm Algorithm
 	// Estimator picks the comparison stopping rule (default Student).
+	// Adaptive policies (VoIPolicy, PACPolicy) embed their own stopping
+	// rule and ignore it.
 	Estimator Estimator
+	// Policy picks the comparison sampling-schedule policy (default
+	// FixedPolicy, the paper's fixed-step schedule). See PolicyName.
+	Policy PolicyName
 	// Confidence is the per-comparison confidence level 1−α in (0, 1)
 	// (default 0.98).
 	Confidence float64
@@ -177,6 +230,9 @@ func (o Options) withDefaults() Options {
 	if o.Estimator == "" {
 		o.Estimator = Student
 	}
+	if o.Policy == "" {
+		o.Policy = FixedPolicy
+	}
 	if o.Confidence == 0 {
 		o.Confidence = 0.98
 	}
@@ -222,7 +278,12 @@ func (o Options) validate(n int) error {
 	switch o.Estimator {
 	case Student, Stein, StudentOneSided, HoeffdingBinary, HoeffdingPreference:
 	default:
-		return fmt.Errorf("crowdtopk: unknown estimator %q", o.Estimator)
+		return fmt.Errorf("crowdtopk: unknown estimator %q (available: %s)",
+			o.Estimator, strings.Join(EstimatorNames(), ", "))
+	}
+	if !compare.PolicyRegistered(string(o.Policy)) {
+		return fmt.Errorf("crowdtopk: unknown policy %q (available: %s)",
+			o.Policy, strings.Join(PolicyNames(), ", "))
 	}
 	if o.Estimator == StudentOneSided && o.Confidence <= 0.5 {
 		return fmt.Errorf("crowdtopk: one-sided estimation requires confidence > 0.5, got %v", o.Confidence)

@@ -44,6 +44,15 @@ type QueryOptions struct {
 	// ("" keeps the session default). All algorithms share the session's
 	// purchased evidence either way.
 	Algorithm Algorithm
+	// Policy overrides the session's comparison sampling-schedule policy
+	// for this call ("" keeps the session default) — per-tenant policy
+	// selection on one shared session. The query runs its comparisons
+	// under the named policy while sharing the session's purchased
+	// evidence; conclusions memoized by earlier queries are reused as-is
+	// within the session (cross-policy trust across sessions is handled
+	// by the judgment store, which re-verifies verdicts committed under a
+	// different policy).
+	Policy PolicyName
 	// MaxCost carves a per-query budget sub-cap out of the session's
 	// TotalBudget: this query may charge at most MaxCost microtasks.
 	// When the sub-cap runs dry the query stops and returns its
@@ -84,6 +93,10 @@ func (h *QueryHandle) K() int { return h.k }
 
 // Algorithm returns the processor answering the query.
 func (h *QueryHandle) Algorithm() Algorithm { return h.alg }
+
+// Policy returns the name of the comparison sampling-schedule policy the
+// query runs under ("fixed", "voi", "pac", ...).
+func (h *QueryHandle) Policy() PolicyName { return PolicyName(h.fork.PolicyName()) }
 
 // Priority returns the query's scheduling priority.
 func (h *QueryHandle) Priority() int { return h.prio }
@@ -169,6 +182,15 @@ func (s *Session) StartTopK(ctx context.Context, k int, qo QueryOptions) (*Query
 	if err != nil {
 		return nil, err
 	}
+	// A per-query policy override is built up front so an unknown name
+	// fails the call before anything is started.
+	var pol compare.Policy
+	if qo.Policy != "" && qo.Policy != s.opts.Policy {
+		opts.Policy = qo.Policy
+		if pol, err = newPolicy(qo.Policy, opts); err != nil {
+			return nil, err
+		}
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -179,6 +201,9 @@ func (s *Session) StartTopK(ctx context.Context, k int, qo QueryOptions) (*Query
 	s.mu.Unlock()
 
 	r := s.runner.Fork()
+	if pol != nil {
+		r.SetPolicy(pol)
+	}
 	if s.opts.Telemetry != nil || qo.Explain {
 		r.SetExplain(explain.NewCollector())
 	}
