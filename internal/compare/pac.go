@@ -117,7 +117,10 @@ func (p *PAC) Next(v crowd.BagView, left int) int {
 		return 0
 	}
 	need := p.projected(v)
-	if v.N >= p.floor && need > float64(v.N+left) {
+	// The sum is computed in float64: an unlimited budget arrives as
+	// MaxInt, and v.N+left would wrap negative in int arithmetic, turning
+	// "always fundable" into "never fundable".
+	if v.N >= p.floor && need > float64(v.N)+float64(left) {
 		return 0 // gap too small to separate within budget: eliminate
 	}
 	n := v.N / 2

@@ -139,6 +139,61 @@ const memoStripes = 64
 
 type memoTable struct {
 	stripes [memoStripes]memoStripe
+
+	// pol names the policy whose stopping semantics produced this table's
+	// verdicts. Verdicts are only reused between queries running the same
+	// policy — the in-session mirror of the judgment store's cross-policy
+	// downgrade — so per-query policy overrides get a side table keyed by
+	// policy name off the session table (forPolicy), while derived
+	// sub-phase runners keep fully private tables.
+	pol   string
+	mu    sync.Mutex
+	byPol map[string]*memoTable
+	root  *memoTable // non-nil on side tables: the session table
+}
+
+// forPolicy returns the memo table holding verdicts concluded under the
+// named policy, creating the side table on first use. Tables are resolved
+// from the session table, so every fork pinned to one policy shares one
+// table, and re-pinning back to the session policy returns the session
+// table itself.
+func (m *memoTable) forPolicy(name string) *memoTable {
+	if m.root != nil {
+		m = m.root
+	}
+	if name == m.pol {
+		return m
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.byPol[name]
+	if t == nil {
+		t = &memoTable{pol: name, root: m}
+		if m.byPol == nil {
+			m.byPol = make(map[string]*memoTable)
+		}
+		m.byPol[name] = t
+	}
+	return t
+}
+
+// clear empties the table and, from the session table, every per-policy
+// side table hanging off it.
+func (m *memoTable) clear() {
+	for s := range m.stripes {
+		m.stripes[s].mu.Lock()
+		m.stripes[s].m = nil
+		m.stripes[s].mu.Unlock()
+	}
+	m.mu.Lock()
+	side := make([]*memoTable, 0, len(m.byPol))
+	for _, t := range m.byPol {
+		side = append(side, t)
+	}
+	m.mu.Unlock()
+	for _, t := range side {
+		t.clear()
+	}
 }
 
 type memoStripe struct {
@@ -286,11 +341,12 @@ func NewRunner(e *crowd.Engine, t Tester, p Params) *Runner {
 		panic("compare: NewRunner requires a non-nil policy")
 	}
 	p.validate()
+	pol := resolvePolicy(t, p)
 	r := &Runner{
 		eng:    e,
-		policy: resolvePolicy(t, p),
+		policy: pol,
 		params: p,
-		memo:   &memoTable{},
+		memo:   &memoTable{pol: pol.Name()},
 		acct:   &queryAcct{},
 	}
 	r.sch = sched.New(r.Parallelism())
@@ -323,16 +379,23 @@ func (f *FixedStep) withParams(p Params) Policy { return NewFixedStep(f.T, p.I, 
 // SetPolicy swaps the runner's decision policy — the per-query override
 // hook: a Session forks the shared runner, then pins the fork to the
 // policy the query asked for. A plain Tester is wrapped in the fixed-step
-// adapter like in NewRunner. The conclusion memo and judgment store stay
-// shared across policies within a session; cross-policy trust is handled
-// at the store layer, which downgrades a hit committed under a different
-// policy to a verified prior. Call before the query starts executing.
+// adapter like in NewRunner. Conclusion reuse follows the same trust rule
+// as the judgment store: verdicts are shared between queries running the
+// SAME policy (the fork switches to the session memo's side table for the
+// new policy name, shared with every other fork pinned to it), never
+// adopted across stopping semantics — an adaptive policy's early
+// surrender is not the fixed schedule's exhausted tie, and vice versa. A
+// pinned query instead re-judges such pairs under its own stopping rule
+// against the session's already-purchased evidence, which usually
+// concludes without buying new samples. Call before the query starts
+// executing.
 func (r *Runner) SetPolicy(t Tester) {
 	if t == nil {
 		panic("compare: SetPolicy requires a non-nil policy")
 	}
 	r.policy = resolvePolicy(t, r.params)
 	r.hw, _ = r.policy.(HalfWidther)
+	r.memo = r.memo.forPolicy(r.policy.Name())
 	r.resolvePolicyCounters()
 }
 
@@ -931,13 +994,10 @@ func (r *Runner) Leaning(i, j int) Outcome {
 // Workload returns the number of microtasks purchased so far for the pair.
 func (r *Runner) Workload(i, j int) int { return r.eng.View(i, j).N }
 
-// ForgetConclusions clears the outcome memo while keeping all purchased
+// ForgetConclusions clears the outcome memo — from the session runner,
+// including every per-policy side table — while keeping all purchased
 // samples, letting a caller re-judge pairs under a different policy or
 // budget against the same bags. It must not race with in-flight waves.
 func (r *Runner) ForgetConclusions() {
-	for s := range r.memo.stripes {
-		r.memo.stripes[s].mu.Lock()
-		r.memo.stripes[s].m = nil
-		r.memo.stripes[s].mu.Unlock()
-	}
+	r.memo.clear()
 }

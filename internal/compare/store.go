@@ -56,6 +56,7 @@ const (
 type seenEntry struct {
 	d      storeDecision
 	o      Outcome // toward lo, valid when d == storeHit
+	pol    string  // committing policy of a hit record ("" reads as "fixed")
 	verify bool    // stale prior seeded, one reduced batch still owed
 }
 
@@ -162,6 +163,15 @@ func (r *Runner) storeServe(k [2]int) (Outcome, bool) {
 	if ent.d != storeHit {
 		return Tie, false
 	}
+	if !r.trustsPolicy(ent.pol) {
+		// The hit was latched by a consumer that trusted the committing
+		// policy; this runner is pinned to a different one. The pair's bag
+		// was already seeded with the record's full posterior, so declining
+		// to serve the verdict makes the comparison re-run this policy's
+		// stopping rule over that evidence — the per-reader mirror of the
+		// consult-time cross-policy downgrade.
+		return Tie, false
+	}
 	// Serve the latched verdict into this runner's memo: a fork shares
 	// the memo that was already written, but a derived runner's private
 	// memo (or the main memo after a derived-phase consultation) learns
@@ -214,7 +224,7 @@ func (r *Runner) consultLocked(js *storeState, k [2]int) seenEntry {
 			}
 			return seenEntry{d: storeMiss}
 		}
-		return seenEntry{d: storeHit, o: Outcome(rec.Outcome)}
+		return seenEntry{d: storeHit, o: Outcome(rec.Outcome), pol: rec.Policy}
 	}
 	// Stale (or under-confident): decay the evidence and seed it as a
 	// prior. The comparison proceeds normally from the seeded bag — its
